@@ -1,0 +1,133 @@
+// Command experiments regenerates the paper's evaluation (§4): every
+// table and figure, on the ten synthetic stand-ins for SPECInt2000/95.
+//
+// Usage:
+//
+//	experiments [-exp all|1|2|3|4|5|6|7|8|15|16|17|18|sequitur] [-workload name] [-scale n]
+//
+// Numbers 1-8 are tables, 15-18 figures, matching the paper's numbering.
+// -scale multiplies each workload's default input size.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"dynslice/internal/bench"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run: all, 1-8 (tables), 15-18 (figures), sequitur, ablation, forward")
+	workload := flag.String("workload", "", "restrict to one workload (e.g. 164.gzip or gzip)")
+	scale := flag.Int64("scale", 1, "input-size multiplier for every workload")
+	flag.Parse()
+
+	wls := bench.Workloads()
+	if *workload != "" {
+		w, ok := bench.ByName(*workload)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown workload %q\n", *workload)
+			os.Exit(2)
+		}
+		wls = []bench.Workload{w}
+	}
+	if *scale > 1 {
+		for i := range wls {
+			wls[i].Input = append([]int64{defaultSize(wls[i].Name) * *scale}, wls[i].Input...)
+		}
+	}
+
+	w := os.Stdout
+	run := func(name string, f func() error) {
+		if err := f(); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+			os.Exit(1)
+		}
+	}
+	sel := strings.Split(*exp, ",")
+	want := func(k string) bool {
+		for _, s := range sel {
+			if s == "all" || s == k {
+				return true
+			}
+		}
+		return false
+	}
+	if want("1") {
+		run("table1", func() error { return bench.RunTable1(w, wls) })
+	}
+	if want("2") {
+		run("table2", func() error { return bench.RunTable2(w, wls) })
+	}
+	if want("15") {
+		run("fig15", func() error { return bench.RunFig15(w, wls) })
+	}
+	if want("16") {
+		run("fig16", func() error { return bench.RunFig16(w, wls) })
+	}
+	if want("17") {
+		run("fig17", func() error { return bench.RunFig17(w, wls, 4) })
+	}
+	if want("3") {
+		run("table3", func() error { return bench.RunTable3(w, wls) })
+	}
+	if want("4") {
+		run("table4", func() error { return bench.RunTable4(w, wls) })
+	}
+	if want("18") {
+		run("fig18", func() error { return bench.RunFig18(w, wls, 25) })
+	}
+	if want("5") {
+		run("table5", func() error { return bench.RunTable5(w, wls) })
+	}
+	if want("6") {
+		run("table6", func() error { return bench.RunTable6(w, wls) })
+	}
+	if want("7") {
+		run("table7", func() error { return bench.RunTable7(w, wls) })
+	}
+	if want("8") {
+		run("table8", func() error { return bench.RunTable8(w, wls) })
+	}
+	if want("sequitur") {
+		run("sequitur", func() error { return bench.RunSequitur(w, wls) })
+	}
+	if want("ablation") {
+		run("ablation-solo", func() error { return bench.RunAblationSolo(w, wls) })
+		run("ablation-paths", func() error { return bench.RunAblationPathThreshold(w, wls) })
+		run("ablation-hybrid", func() error { return bench.RunAblationHybrid(w, wls) })
+	}
+	if want("forward") {
+		run("forward", func() error { return bench.RunForwardComparison(w, wls) })
+	}
+}
+
+// defaultSize mirrors each workload's built-in default input value so
+// -scale can multiply it.
+func defaultSize(name string) int64 {
+	switch {
+	case strings.Contains(name, "gzip"):
+		return 900
+	case strings.Contains(name, "bzip2"):
+		return 2600
+	case strings.Contains(name, "vortex"):
+		return 2200
+	case strings.Contains(name, "parser"):
+		return 260
+	case strings.Contains(name, "mcf"):
+		return 1400
+	case strings.Contains(name, "twolf"):
+		return 210
+	case strings.Contains(name, "perl"):
+		return 1700
+	case strings.Contains(name, "li"):
+		return 55
+	case strings.Contains(name, "gcc"):
+		return 30
+	case strings.Contains(name, "go"):
+		return 120
+	}
+	return 0
+}

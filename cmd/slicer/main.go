@@ -1,0 +1,170 @@
+// Command slicer compiles and runs a MiniC program, then answers dynamic
+// slicing queries against it.
+//
+// Usage:
+//
+//	slicer -src prog.mc [-input 1,2,3] [-algo opt|fp|lp] [-var g] [-addr n] [-ir] [-stats] [-repl]
+//
+// With -var (a global variable) or -addr (a raw address), the tool prints
+// the dynamic slice of that location's final value: the source lines it
+// transitively depends on, via data and control dependences actually
+// exercised in this run.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	slicer "dynslice"
+)
+
+func main() {
+	srcPath := flag.String("src", "", "MiniC source file (required)")
+	inputCSV := flag.String("input", "", "comma-separated input() values")
+	algo := flag.String("algo", "opt", "slicing algorithm: opt, fp, or lp")
+	varName := flag.String("var", "", "slice on the final value of this global variable")
+	addr := flag.Int64("addr", -1, "slice on the final definition of this address")
+	dumpIR := flag.Bool("ir", false, "dump the lowered IR and exit")
+	stats := flag.Bool("stats", false, "print graph statistics")
+	repl := flag.Bool("repl", false, "interactive mode: read criteria from stdin (var NAME | addr N | algo opt|fp|lp | quit)")
+	flag.Parse()
+
+	if *srcPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(*srcPath)
+	check(err)
+	prog, err := slicer.Compile(string(src))
+	check(err)
+	if *dumpIR {
+		fmt.Print(prog.DumpIR())
+		return
+	}
+
+	var input []int64
+	if *inputCSV != "" {
+		for _, f := range strings.Split(*inputCSV, ",") {
+			v, err := strconv.ParseInt(strings.TrimSpace(f), 10, 64)
+			check(err)
+			input = append(input, v)
+		}
+	}
+	rec, err := prog.Record(slicer.RunOptions{Input: input})
+	check(err)
+	defer rec.Close()
+
+	fmt.Printf("executed %d statements; output: %v; main returned %d\n",
+		rec.Steps, rec.Output, rec.Return)
+	if *stats {
+		st := rec.Stats()
+		fmt.Printf("graphs: FP %d labels (%.2f MB), OPT %d labels (%.2f MB), %d static edges, %d path nodes\n",
+			st.FPLabelPairs, float64(st.FPSizeBytes)/(1<<20),
+			st.OPTLabelPairs, float64(st.OPTSizeBytes)/(1<<20),
+			st.StaticEdges, st.PathNodes)
+	}
+
+	var s *slicer.Slicer
+	switch *algo {
+	case "opt":
+		s = rec.OPT()
+	case "fp":
+		s = rec.FP()
+	case "lp":
+		s = rec.LP()
+	default:
+		check(fmt.Errorf("unknown algorithm %q", *algo))
+	}
+
+	if *repl {
+		runREPL(rec, s, string(src))
+		return
+	}
+
+	var sl *slicer.Slice
+	switch {
+	case *varName != "":
+		sl, err = s.SliceVar(*varName)
+	case *addr >= 0:
+		sl, err = s.SliceAddr(*addr)
+	default:
+		return // run-only mode
+	}
+	check(err)
+	printSlice(s, sl, string(src))
+}
+
+func printSlice(s *slicer.Slicer, sl *slicer.Slice, src string) {
+	fmt.Printf("%s slice: %d statements, %d source lines (%.3f ms)\n",
+		s.Name(), sl.Stmts, len(sl.Lines), float64(sl.Time.Microseconds())/1000)
+	lines := strings.Split(src, "\n")
+	for _, ln := range sl.Lines {
+		if ln-1 < len(lines) {
+			fmt.Printf("%4d | %s\n", ln, lines[ln-1])
+		}
+	}
+}
+
+// runREPL answers slicing queries interactively against one recording —
+// the usage pattern the paper optimizes for: many slices, one build.
+func runREPL(rec *slicer.Recording, s *slicer.Slicer, src string) {
+	sc := bufio.NewScanner(os.Stdin)
+	fmt.Println("slicer repl — commands: var NAME | addr N | algo opt|fp|lp | quit")
+	fmt.Printf("[%s]> ", strings.ToLower(s.Name()))
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) == 0 {
+			fmt.Printf("[%s]> ", strings.ToLower(s.Name()))
+			continue
+		}
+		switch fields[0] {
+		case "quit", "exit", "q":
+			return
+		case "algo":
+			if len(fields) == 2 {
+				switch fields[1] {
+				case "opt":
+					s = rec.OPT()
+				case "fp":
+					s = rec.FP()
+				case "lp":
+					s = rec.LP()
+				default:
+					fmt.Println("unknown algorithm; use opt, fp, or lp")
+				}
+			}
+		case "var":
+			if len(fields) == 2 {
+				if sl, err := s.SliceVar(fields[1]); err != nil {
+					fmt.Println("error:", err)
+				} else {
+					printSlice(s, sl, src)
+				}
+			}
+		case "addr":
+			if len(fields) == 2 {
+				if a, err := strconv.ParseInt(fields[1], 10, 64); err == nil {
+					if sl, serr := s.SliceAddr(a); serr != nil {
+						fmt.Println("error:", serr)
+					} else {
+						printSlice(s, sl, src)
+					}
+				}
+			}
+		default:
+			fmt.Println("commands: var NAME | addr N | algo opt|fp|lp | quit")
+		}
+		fmt.Printf("[%s]> ", strings.ToLower(s.Name()))
+	}
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "slicer:", err)
+		os.Exit(1)
+	}
+}

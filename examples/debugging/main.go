@@ -1,0 +1,93 @@
+// Debugging with dynamic slices — the application slicing was invented
+// for. A statistics routine computes a windowed average but one branch
+// uses a wrong accumulator. The slice of the faulty output pinpoints the
+// handful of lines the wrong value can possibly depend on, excluding the
+// majority of the program.
+//
+//	go run ./examples/debugging
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	slicer "dynslice"
+)
+
+const src = `
+var sum = 0;
+var count = 0;
+var maxv = 0 - 1000000;
+var minv = 1000000;
+var avg = 0;
+
+func clamp(v, lo, hi) {
+	if (v < lo) { return lo; }
+	if (v > hi) { return hi; }
+	return v;
+}
+
+func main() {
+	var n = input();
+	var i = 0;
+	while (i < n) {
+		var v = input();
+		v = clamp(v, 0 - 100, 100);
+		if (v > maxv) { maxv = v; }
+		if (v < minv) { minv = v; }
+		if (v >= 0) {
+			sum = sum + v;
+		} else {
+			sum = sum + count;   // BUG: should be sum + v
+		}
+		count = count + 1;
+		i = i + 1;
+	}
+	if (count > 0) {
+		avg = sum / count;
+	}
+	print(avg);
+	print(maxv);
+	print(minv);
+}
+`
+
+func main() {
+	prog, err := slicer.Compile(src)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Inputs include a negative value, so the buggy branch executes.
+	rec, err := prog.Record(slicer.RunOptions{Input: []int64{5, 10, -4, 30, 7, -1}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer rec.Close()
+
+	fmt.Printf("observed: avg=%d maxv=%d minv=%d   (avg is wrong: -4 and -1 were mangled)\n\n",
+		rec.Output[0], rec.Output[1], rec.Output[2])
+
+	sl, err := rec.OPT().SliceVar("avg")
+	if err != nil {
+		log.Fatal(err)
+	}
+	lines := strings.Split(src, "\n")
+	fmt.Printf("dynamic slice of avg: %d source lines out of %d\n", len(sl.Lines), len(lines))
+	for _, ln := range sl.Lines {
+		marker := "  "
+		if strings.Contains(lines[ln-1], "BUG") {
+			marker = "=>"
+		}
+		fmt.Printf("%s %3d | %s\n", marker, ln, lines[ln-1])
+	}
+
+	// The max/min tracking lines cannot affect avg and must be excluded —
+	// that exclusion is what makes the slice useful for fault localization.
+	for _, ln := range sl.Lines {
+		if strings.Contains(lines[ln-1], "maxv = v") || strings.Contains(lines[ln-1], "minv = v") {
+			log.Fatal("slice unexpectedly contains max/min tracking")
+		}
+	}
+	fmt.Println("\nmax/min tracking is correctly excluded; the buggy accumulator line is in the slice")
+}

@@ -1,0 +1,3 @@
+module dynslice
+
+go 1.22

@@ -1,0 +1,447 @@
+// Package alias implements a flow-insensitive, field-insensitive (arrays
+// are collapsed to a single cell) Andersen-style points-to analysis for the
+// IR, plus interprocedural side-effect (MOD) summaries.
+//
+// Results are written back into the IR:
+//
+//   - every *e load slot gets its may-points-to set (UseSlot.MayPts),
+//   - every *e = ... statement gets its may-def set (Stmt.MayDefs),
+//   - every return statement may-defs the $ret objects of its callers,
+//   - every call statement may-defs the callee's transitive MOD set plus
+//     the caller's own $ret slot, and
+//   - every function gets its MOD summary (Func.MOD).
+//
+// The analysis is conservative: imprecision only reduces how many
+// dependence labels the OPT representation can elide; it never affects
+// slice correctness (the dynamic builder falls back to explicit labels).
+package alias
+
+import (
+	"sort"
+
+	"dynslice/internal/ir"
+)
+
+// node indexes the constraint graph: object nodes first (node i == ObjID i),
+// then synthetic nodes for load/expression sites and per-function return
+// values.
+type node int
+
+type analysis struct {
+	prog     *ir.Program
+	numNodes int
+	pts      []map[ir.ObjID]bool // points-to set per node
+	copyTo   [][]node            // copy edges: src -> dsts
+	loadTo   [][]node            // load edges: *src -> dsts
+	storeFm  [][]node            // store edges: srcs -> *dst (indexed by dst)
+	retNode  []node              // per function: synthetic return-value node
+	worklist []node
+	inWL     []bool
+}
+
+// Run performs the analysis and annotates the program in place.
+func Run(p *ir.Program) {
+	a := &analysis{prog: p}
+	a.numNodes = len(p.Objects)
+	a.retNode = make([]node, len(p.Funcs))
+	for i := range p.Funcs {
+		a.retNode[i] = a.newNode()
+	}
+	a.generate()
+	a.solve()
+	a.annotate()
+	a.computeMOD()
+}
+
+func (a *analysis) newNode() node {
+	n := node(a.numNodes)
+	a.numNodes++
+	return n
+}
+
+func (a *analysis) grow() {
+	for len(a.pts) < a.numNodes {
+		a.pts = append(a.pts, nil)
+		a.copyTo = append(a.copyTo, nil)
+		a.loadTo = append(a.loadTo, nil)
+		a.storeFm = append(a.storeFm, nil)
+	}
+}
+
+func (a *analysis) addAddr(dst node, o ir.ObjID) {
+	a.grow()
+	if a.pts[dst] == nil {
+		a.pts[dst] = map[ir.ObjID]bool{}
+	}
+	if !a.pts[dst][o] {
+		a.pts[dst][o] = true
+		a.push(dst)
+	}
+}
+
+func (a *analysis) addCopy(src, dst node) {
+	a.grow()
+	a.copyTo[src] = append(a.copyTo[src], dst)
+	a.push(src)
+}
+
+func (a *analysis) addLoad(src, dst node) {
+	a.grow()
+	a.loadTo[src] = append(a.loadTo[src], dst)
+	a.push(src)
+}
+
+func (a *analysis) addStore(valSrc, addr node) {
+	a.grow()
+	a.storeFm[addr] = append(a.storeFm[addr], valSrc)
+	a.push(addr)
+	a.push(valSrc)
+}
+
+func (a *analysis) push(n node) {
+	a.grow()
+	for len(a.inWL) < a.numNodes {
+		a.inWL = append(a.inWL, false)
+	}
+	if !a.inWL[n] {
+		a.inWL[n] = true
+		a.worklist = append(a.worklist, n)
+	}
+}
+
+// exprNode returns a node whose points-to set over-approximates the pointer
+// values the expression may evaluate to, generating constraints as needed.
+// Synthetic nodes are memoized per expression site via the exprNodes map.
+func (a *analysis) exprNode(e ir.Expr, fn *ir.Func) node {
+	switch x := e.(type) {
+	case *ir.EConst, *ir.EInput, nil:
+		return a.emptyNode()
+	case *ir.EAddr:
+		n := a.newNode()
+		a.grow()
+		a.addAddr(n, x.Obj)
+		if x.Idx != nil {
+			// &a[i]: the index contributes no pointer value.
+			_ = a.exprNode(x.Idx, fn)
+		}
+		return n
+	case *ir.ELoad:
+		return node(x.Obj)
+	case *ir.ELoadIdx:
+		_ = a.exprNode(x.Idx, fn)
+		return node(x.Obj)
+	case *ir.ELoadPtr:
+		addr := a.exprNode(x.Addr, fn)
+		n := a.newNode()
+		a.grow()
+		a.addLoad(addr, n)
+		return n
+	case *ir.EUnary:
+		return a.exprNode(x.X, fn)
+	case *ir.EBinary:
+		nx := a.exprNode(x.X, fn)
+		ny := a.exprNode(x.Y, fn)
+		n := a.newNode()
+		a.grow()
+		a.addCopy(nx, n)
+		a.addCopy(ny, n)
+		return n
+	}
+	return a.emptyNode()
+}
+
+func (a *analysis) emptyNode() node {
+	n := a.newNode()
+	a.grow()
+	return n
+}
+
+// callersOf maps each function to the call statements targeting it.
+func callersOf(p *ir.Program) map[*ir.Func][]*ir.Stmt {
+	m := map[*ir.Func][]*ir.Stmt{}
+	for _, s := range p.Stmts {
+		if s.Op == ir.OpCall {
+			m[s.Callee] = append(m[s.Callee], s)
+		}
+	}
+	return m
+}
+
+func (a *analysis) generate() {
+	p := a.prog
+	callers := callersOf(p)
+	for _, f := range p.Funcs {
+		for _, b := range f.Blocks {
+			for _, s := range b.Stmts {
+				switch s.Op {
+				case ir.OpAssign:
+					val := a.exprNode(s.Rhs, f)
+					switch s.Lhs {
+					case ir.LVar:
+						a.addCopy(val, node(s.LhsObj))
+					case ir.LIndex:
+						_ = a.exprNode(s.LhsIdx, f)
+						a.addCopy(val, node(s.LhsObj))
+					case ir.LDeref:
+						addr := a.exprNode(s.LhsAddr, f)
+						a.addStore(val, addr)
+					}
+				case ir.OpCall:
+					for i, arg := range s.Args {
+						val := a.exprNode(arg, f)
+						a.addCopy(val, node(s.Callee.Params[i].ID))
+					}
+					// The continuation reads $ret(f), which receives the
+					// callee's return value.
+					a.addCopy(a.retNode[s.Callee.ID], node(f.Ret.ID))
+				case ir.OpReturn:
+					val := a.exprNode(s.Rhs, f)
+					a.addCopy(val, a.retNode[f.ID])
+				case ir.OpCond, ir.OpPrint:
+					_ = a.exprNode(s.Rhs, f)
+				}
+			}
+		}
+	}
+	_ = callers
+}
+
+func (a *analysis) solve() {
+	a.grow()
+	// seen dedupes dynamically added copy edges.
+	seen := map[[2]node]bool{}
+	addCopyOnce := func(src, dst node) {
+		k := [2]node{src, dst}
+		if seen[k] {
+			return
+		}
+		seen[k] = true
+		a.copyTo[src] = append(a.copyTo[src], dst)
+		a.flow(src, dst)
+	}
+	for len(a.worklist) > 0 {
+		n := a.worklist[len(a.worklist)-1]
+		a.worklist = a.worklist[:len(a.worklist)-1]
+		a.inWL[n] = false
+
+		// Copy edges.
+		for _, dst := range a.copyTo[n] {
+			a.flow(n, dst)
+		}
+		// Load edges (*n -> dst) and store edges (valSrc -> *n) materialize
+		// persistent copy edges for each current pointee, so later growth of
+		// a pointee's set keeps propagating.
+		for o := range a.pts[n] {
+			for _, dst := range a.loadTo[n] {
+				addCopyOnce(node(o), dst)
+			}
+			for _, valSrc := range a.storeFm[n] {
+				addCopyOnce(valSrc, node(o))
+			}
+		}
+	}
+}
+
+// flow copies pts(src) into pts(dst), pushing dst if it grew. It also
+// re-pushes nodes with load/store edges whose base set changed, which is
+// handled by pushing dst (its edges are scanned when popped).
+func (a *analysis) flow(src, dst node) {
+	if src == dst {
+		return
+	}
+	sp := a.pts[src]
+	if len(sp) == 0 {
+		return
+	}
+	if a.pts[dst] == nil {
+		a.pts[dst] = map[ir.ObjID]bool{}
+	}
+	grew := false
+	for o := range sp {
+		if !a.pts[dst][o] {
+			a.pts[dst][o] = true
+			grew = true
+		}
+	}
+	if grew {
+		a.push(dst)
+	}
+}
+
+func (a *analysis) ptsOf(n node) []ir.ObjID {
+	m := a.pts[n]
+	out := make([]ir.ObjID, 0, len(m))
+	for o := range m {
+		out = append(out, o)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// annotate writes MayPts/MayDefs back into the IR. It re-walks statements
+// mirroring generate's traversal, so synthetic node creation must be kept
+// deterministic; instead of replaying, we simply recompute expression nodes
+// (the solved sets are monotone, so recomputation after solving reuses the
+// same object nodes and creates fresh synthetic nodes that copy from solved
+// ones — to keep this sound we resolve sets directly here).
+func (a *analysis) annotate() {
+	p := a.prog
+	callers := callersOf(p)
+	for _, f := range p.Funcs {
+		for _, b := range f.Blocks {
+			for _, s := range b.Stmts {
+				// Fill MayPts on pointer-load slots.
+				fill := func(e ir.Expr) {
+					ir.WalkExpr(e, func(x ir.Expr) {
+						if lp, ok := x.(*ir.ELoadPtr); ok {
+							s.Uses[lp.Slot].MayPts = a.resolve(lp.Addr)
+						}
+					})
+				}
+				switch s.Op {
+				case ir.OpAssign:
+					fill(s.Rhs)
+					if s.Lhs == ir.LIndex {
+						fill(s.LhsIdx)
+					}
+					if s.Lhs == ir.LDeref {
+						fill(s.LhsAddr)
+						s.MayDefs = append(s.MayDefs, a.resolve(s.LhsAddr)...)
+					}
+				case ir.OpCond, ir.OpPrint, ir.OpReturn:
+					fill(s.Rhs)
+					if s.Op == ir.OpReturn {
+						for _, cs := range callers[f] {
+							s.MayDefs = append(s.MayDefs, cs.Block.Fn.Ret.ID)
+						}
+					}
+				case ir.OpCall:
+					for _, arg := range s.Args {
+						fill(arg)
+					}
+					// The call also clobbers the caller's $ret slot.
+					s.MayDefs = append(s.MayDefs, f.Ret.ID)
+				}
+				s.MayDefs = dedupObjs(s.MayDefs)
+			}
+		}
+	}
+}
+
+// resolve computes the solved may-point-to set of an address expression
+// without generating new constraints (post-solve read-only evaluation).
+func (a *analysis) resolve(e ir.Expr) []ir.ObjID {
+	set := map[ir.ObjID]bool{}
+	a.resolveInto(e, set)
+	out := make([]ir.ObjID, 0, len(set))
+	for o := range set {
+		out = append(out, o)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func (a *analysis) resolveInto(e ir.Expr, set map[ir.ObjID]bool) {
+	switch x := e.(type) {
+	case *ir.EAddr:
+		set[x.Obj] = true
+	case *ir.ELoad:
+		for o := range a.pts[node(x.Obj)] {
+			set[o] = true
+		}
+	case *ir.ELoadIdx:
+		for o := range a.pts[node(x.Obj)] {
+			set[o] = true
+		}
+	case *ir.ELoadPtr:
+		inner := map[ir.ObjID]bool{}
+		a.resolveInto(x.Addr, inner)
+		for o := range inner {
+			for o2 := range a.pts[node(o)] {
+				set[o2] = true
+			}
+		}
+	case *ir.EUnary:
+		a.resolveInto(x.X, set)
+	case *ir.EBinary:
+		a.resolveInto(x.X, set)
+		a.resolveInto(x.Y, set)
+	}
+}
+
+func dedupObjs(in []ir.ObjID) []ir.ObjID {
+	if len(in) <= 1 {
+		return in
+	}
+	sort.Slice(in, func(i, j int) bool { return in[i] < in[j] })
+	out := in[:1]
+	for _, o := range in[1:] {
+		if o != out[len(out)-1] {
+			out = append(out, o)
+		}
+	}
+	return out
+}
+
+// computeMOD fills Func.MOD: the set of externally visible objects
+// (globals, address-taken objects, and caller $ret slots) each function may
+// write, transitively through calls. Call statements then also may-def
+// their callee's MOD set.
+func (a *analysis) computeMOD() {
+	p := a.prog
+	visible := func(o ir.ObjID) bool {
+		obj := p.Obj(o)
+		return obj.Fn == nil || obj.AddrTaken || obj.IsRet
+	}
+	for _, f := range p.Funcs {
+		f.MOD = map[ir.ObjID]bool{}
+	}
+	// Base effects.
+	for _, f := range p.Funcs {
+		for _, b := range f.Blocks {
+			for _, s := range b.Stmts {
+				if s.MustDef != ir.NoObj && visible(s.MustDef) {
+					f.MOD[s.MustDef] = true
+				}
+				for _, o := range s.MayDefs {
+					if visible(o) {
+						f.MOD[o] = true
+					}
+				}
+			}
+		}
+	}
+	// Transitive closure over the call graph.
+	for changed := true; changed; {
+		changed = false
+		for _, f := range p.Funcs {
+			for _, b := range f.Blocks {
+				for _, s := range b.Stmts {
+					if s.Op != ir.OpCall {
+						continue
+					}
+					for o := range s.Callee.MOD {
+						if !f.MOD[o] {
+							f.MOD[o] = true
+							changed = true
+						}
+					}
+				}
+			}
+		}
+	}
+	// Widen call statements' MayDefs with callee effects.
+	for _, f := range p.Funcs {
+		for _, b := range f.Blocks {
+			for _, s := range b.Stmts {
+				if s.Op != ir.OpCall {
+					continue
+				}
+				for o := range s.Callee.MOD {
+					s.MayDefs = append(s.MayDefs, o)
+				}
+				s.MayDefs = dedupObjs(s.MayDefs)
+			}
+		}
+	}
+}

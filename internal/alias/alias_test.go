@@ -1,0 +1,192 @@
+package alias_test
+
+import (
+	"testing"
+
+	"dynslice/internal/compile"
+	"dynslice/internal/ir"
+)
+
+func prog(t *testing.T, src string) *ir.Program {
+	t.Helper()
+	p, err := compile.Source(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func obj(p *ir.Program, name string) ir.ObjID {
+	for _, o := range p.Objects {
+		if o.String() == name || o.Name == name {
+			return o.ID
+		}
+	}
+	return ir.NoObj
+}
+
+// derefStoreTargets collects the may-def sets of all *p = ... statements.
+func derefStoreTargets(p *ir.Program) []map[string]bool {
+	var out []map[string]bool
+	for _, s := range p.Stmts {
+		if s.Op == ir.OpAssign && s.Lhs == ir.LDeref {
+			m := map[string]bool{}
+			for _, o := range s.MayDefs {
+				m[p.Obj(o).Name] = true
+			}
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+func TestDirectAddressFlow(t *testing.T) {
+	p := prog(t, `
+	var x = 0;
+	func main() {
+		var p = &x;
+		*p = 1;
+		print(x);
+	}`)
+	ts := derefStoreTargets(p)
+	if len(ts) != 1 || !ts[0]["x"] {
+		t.Fatalf("deref store targets = %v, want {x}", ts)
+	}
+}
+
+func TestFlowThroughCopiesAndCalls(t *testing.T) {
+	p := prog(t, `
+	var a = 0;
+	var b = 0;
+	func choose(p, q, c) {
+		if (c > 0) { return p; }
+		return q;
+	}
+	func main() {
+		var r = choose(&a, &b, input());
+		*r = 5;
+		print(a + b);
+	}`)
+	ts := derefStoreTargets(p)
+	if len(ts) != 1 {
+		t.Fatalf("expected one deref store, got %d", len(ts))
+	}
+	if !ts[0]["a"] || !ts[0]["b"] {
+		t.Fatalf("pointer from call should may-point to a and b, got %v", ts[0])
+	}
+}
+
+func TestFlowThroughArrayCells(t *testing.T) {
+	p := prog(t, `
+	var x = 0;
+	var y = 0;
+	func main() {
+		var slots[4];
+		slots[0] = &x;
+		slots[1] = &y;
+		var p = slots[input() % 2];
+		*p = 3;
+		print(x + y);
+	}`)
+	ts := derefStoreTargets(p)
+	if len(ts) != 1 || !ts[0]["x"] || !ts[0]["y"] {
+		t.Fatalf("array-carried pointers should reach x and y, got %v", ts)
+	}
+}
+
+func TestFlowThroughHeapLikeIndirection(t *testing.T) {
+	// Double indirection: a pointer stored through another pointer.
+	p := prog(t, `
+	var x = 0;
+	var cell = 0;
+	func main() {
+		var pp = &cell;
+		*pp = &x;      // cell now holds &x
+		var q = cell;
+		*q = 9;        // must may-define x
+		print(x);
+	}`)
+	ts := derefStoreTargets(p)
+	last := ts[len(ts)-1]
+	if !last["x"] {
+		t.Fatalf("second deref store should may-define x, got %v", last)
+	}
+}
+
+func TestNoSpuriousPointsTo(t *testing.T) {
+	p := prog(t, `
+	var x = 0;
+	var unrelated = 0;
+	func main() {
+		var p = &x;
+		*p = 1;
+		unrelated = 2;
+		print(x + unrelated);
+	}`)
+	ts := derefStoreTargets(p)
+	if ts[0]["unrelated"] {
+		t.Fatal("unrelated (never address-taken) must not be a deref target")
+	}
+	if p.Obj(obj(p, "unrelated")).AddrTaken {
+		t.Fatal("unrelated must not be marked address-taken")
+	}
+}
+
+func TestPointerArithmeticPreservesTargets(t *testing.T) {
+	p := prog(t, `
+	func main() {
+		var a[8];
+		var p = &a[0];
+		p = p + 3;
+		*p = 7;
+		print(a[3]);
+	}`)
+	ts := derefStoreTargets(p)
+	if len(ts) != 1 || !ts[0]["a"] {
+		t.Fatalf("pointer arithmetic should keep the array target, got %v", ts)
+	}
+}
+
+func TestReturnValuePointerFlow(t *testing.T) {
+	p := prog(t, `
+	var g = 0;
+	func mk() { return &g; }
+	func main() {
+		var p = mk();
+		*p = 4;
+		print(g);
+	}`)
+	ts := derefStoreTargets(p)
+	if len(ts) != 1 || !ts[0]["g"] {
+		t.Fatalf("returned pointer should target g, got %v", ts)
+	}
+}
+
+func TestMayUseAnnotationOnLoads(t *testing.T) {
+	p := prog(t, `
+	var x = 1;
+	var y = 2;
+	func main() {
+		var p = &x;
+		if (input() > 0) { p = &y; }
+		print(*p);
+	}`)
+	found := false
+	for _, s := range p.Stmts {
+		for _, u := range s.Uses {
+			if u.IsPtr {
+				found = true
+				names := map[string]bool{}
+				for _, o := range u.MayPts {
+					names[p.Obj(o).Name] = true
+				}
+				if !names["x"] || !names["y"] {
+					t.Fatalf("pointer load may-pts = %v, want x and y", names)
+				}
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no pointer load slot found")
+	}
+}

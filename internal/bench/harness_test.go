@@ -1,0 +1,70 @@
+package bench
+
+import (
+	"testing"
+
+	"dynslice/internal/slicing"
+)
+
+// TestWorkloadsRunAndAgree is the heavyweight integration test: every
+// workload compiles, runs, and produces identical slices from FP, LP, and
+// OPT on its 25 criteria.
+func TestWorkloadsRunAndAgree(t *testing.T) {
+	if testing.Short() {
+		t.Skip("workload differential suite is slow; run without -short")
+	}
+	for _, w := range Workloads() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			res, err := Build(w, Options{WithFP: true, WithLP: true, WithOPT: true, SegBlocks: 512})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer res.Close()
+			if res.RunInfo.Steps < 10_000 {
+				t.Errorf("workload too small: only %d statements executed", res.RunInfo.Steps)
+			}
+			if len(res.Crit) == 0 {
+				t.Fatal("no criteria")
+			}
+			nLP := len(res.Crit)
+			if nLP > 5 {
+				nLP = 5 // LP is deliberately slow; spot-check a subset
+			}
+			for i, a := range res.Crit {
+				c := slicing.AddrCriterion(a)
+				want, _, err := res.FP.Slice(c)
+				if err != nil {
+					t.Fatalf("fp: %v", err)
+				}
+				got, _, err := res.OPT.Slice(c)
+				if err != nil {
+					t.Fatalf("opt: %v", err)
+				}
+				if !want.Equal(got) {
+					t.Errorf("criterion %d: OPT slice (%d stmts) != FP slice (%d stmts)", a, got.Len(), want.Len())
+				}
+				if i < nLP {
+					got, _, err = res.LP.Slice(c)
+					if err != nil {
+						t.Fatalf("lp: %v", err)
+					}
+					if !want.Equal(got) {
+						t.Errorf("criterion %d: LP slice (%d stmts) != FP slice (%d stmts)", a, got.Len(), want.Len())
+					}
+				}
+			}
+			// The headline compression claim, in shape: OPT stores far
+			// fewer labels than FP on loop-dominated workloads.
+			fpPairs := res.FP.LabelPairs()
+			optPairs := res.OPT.LabelPairs()
+			if optPairs*2 > fpPairs {
+				t.Errorf("weak compression: OPT %d labels vs FP %d (%.1f%%)",
+					optPairs, fpPairs, 100*float64(optPairs)/float64(fpPairs))
+			}
+			t.Logf("%s: %d stmts executed, USE=%d, FP pairs=%d, OPT pairs=%d (%.1f%%), paths=%d",
+				w.Name, res.RunInfo.Steps, res.USE, fpPairs, optPairs,
+				100*float64(optPairs)/float64(fpPairs), res.OPT.PathNodes())
+		})
+	}
+}

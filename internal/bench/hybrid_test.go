@@ -1,0 +1,115 @@
+package bench
+
+import (
+	"os"
+	"testing"
+
+	"dynslice/internal/interp"
+	"dynslice/internal/profile"
+	"dynslice/internal/slicing"
+	"dynslice/internal/slicing/opt"
+	"dynslice/internal/trace"
+)
+
+// TestHybridModeDifferential exercises the §4.2 OPT+disk algorithm: with
+// a tiny label budget the builder must flush many epochs, slicing must
+// load them on demand, and every slice must still match FP exactly.
+func TestHybridModeDifferential(t *testing.T) {
+	w, _ := ByName("164.gzip")
+	res, err := Build(w, Options{WithFP: true, NCriteria: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Close()
+
+	col := profile.NewCollector(res.P)
+	if _, err := interp.Run(res.P, interp.Options{Input: w.Input, Sink: col}); err != nil {
+		t.Fatal(err)
+	}
+	g := opt.NewGraph(res.P, opt.Full(), col.HotPaths(1, 0), col.Cuts())
+	if err := g.EnableHybrid(t.TempDir(), 20_000); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(res.TracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := trace.Replay(res.P, f, g); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	if g.HybridEpochs() < 2 {
+		t.Fatalf("expected multiple flushed epochs, got %d", g.HybridEpochs())
+	}
+	if g.ResidentPairs() >= g.LabelPairs() {
+		t.Fatalf("flushing did not reduce resident labels: %d resident of %d total",
+			g.ResidentPairs(), g.LabelPairs())
+	}
+	for _, a := range res.Crit {
+		c := slicing.AddrCriterion(a)
+		want, _, err := res.FP.Slice(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, _, err := g.Slice(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !want.Equal(got) {
+			t.Fatalf("criterion %d: hybrid OPT slice differs from FP", a)
+		}
+	}
+	if g.HybridLoads() == 0 {
+		t.Fatal("slicing never loaded an epoch file; criteria did not exercise the disk path")
+	}
+	t.Logf("hybrid: %d epochs, %d loads, %d resident of %d total pairs",
+		g.HybridEpochs(), g.HybridLoads(), g.ResidentPairs(), g.LabelPairs())
+}
+
+// TestHybridFuzz runs the random-program differential under hybrid mode.
+func TestHybridFuzz(t *testing.T) {
+	seeds := 15
+	if testing.Short() {
+		seeds = 3
+	}
+	for seed := int64(100); seed < int64(100+seeds); seed++ {
+		src := RandProgram(seed)
+		w := Workload{Name: "fuzz-hybrid", Src: src}
+		res, err := Build(w, Options{WithFP: true, NCriteria: 6})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		col := profile.NewCollector(res.P)
+		if _, err := interp.Run(res.P, interp.Options{Sink: col}); err != nil {
+			t.Fatal(err)
+		}
+		g := opt.NewGraph(res.P, opt.Full(), col.HotPaths(1, 0), col.Cuts())
+		if err := g.EnableHybrid(t.TempDir(), 1); err != nil { // flush as often as possible
+			t.Fatal(err)
+		}
+		f, err := os.Open(res.TracePath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := trace.Replay(res.P, f, g); err != nil {
+			t.Fatal(err)
+		}
+		f.Close()
+		for _, a := range res.Crit {
+			c := slicing.AddrCriterion(a)
+			want, _, err := res.FP.Slice(c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, _, err := g.Slice(c)
+			if err != nil {
+				t.Fatalf("seed %d: %v\nprogram:\n%s", seed, err, src)
+			}
+			if !want.Equal(got) {
+				t.Fatalf("seed %d criterion %d: hybrid != FP\nprogram:\n%s", seed, a, src)
+			}
+		}
+		res.Close()
+	}
+}

@@ -1,0 +1,763 @@
+// Package bench provides the evaluation harness: the ten synthetic
+// workloads standing in for the paper's SPECInt2000/95 benchmarks, the
+// build pipeline that produces every slicer variant for a workload, and
+// measurement helpers used by cmd/experiments and the benchmark suite.
+//
+// Each workload is a MiniC program whose dependence structure mirrors the
+// character of its namesake (compressor, parser, interpreter, network
+// simplex, annealer, database, ...): loop-dominated computation with a mix
+// of scalars, arrays, pointers (for the aliasing-sensitive optimizations),
+// globals, and function calls. Run lengths are scaled to ~10^5 executed
+// statements by default (tunable via the first input value), versus the
+// paper's 10^8 — the evaluation compares shapes, not absolute numbers.
+package bench
+
+// Workload is one benchmark program.
+type Workload struct {
+	Name  string
+	Suite string
+	Src   string
+	Input []int64
+}
+
+// Workloads returns the ten workloads in the paper's Table 1 order.
+func Workloads() []Workload {
+	return []Workload{
+		{Name: "300.twolf", Suite: "SPECInt2000", Src: srcTwolf},
+		{Name: "256.bzip2", Suite: "SPECInt2000", Src: srcBzip2},
+		{Name: "255.vortex", Suite: "SPECInt2000", Src: srcVortex},
+		{Name: "197.parser", Suite: "SPECInt2000", Src: srcParser},
+		{Name: "181.mcf", Suite: "SPECInt2000", Src: srcMcf},
+		{Name: "164.gzip", Suite: "SPECInt2000", Src: srcGzip},
+		{Name: "134.perl", Suite: "SPECInt95", Src: srcPerl},
+		{Name: "130.li", Suite: "SPECInt95", Src: srcLi},
+		{Name: "126.gcc", Suite: "SPECInt95", Src: srcGcc},
+		{Name: "099.go", Suite: "SPECInt95", Src: srcGo},
+	}
+}
+
+// ByName returns the workload with the given name (with or without the
+// numeric prefix).
+func ByName(name string) (Workload, bool) {
+	for _, w := range Workloads() {
+		if w.Name == name || stripPrefix(w.Name) == name {
+			return w, true
+		}
+	}
+	return Workload{}, false
+}
+
+func stripPrefix(s string) string {
+	for i := 0; i < len(s); i++ {
+		if s[i] == '.' {
+			return s[i+1:]
+		}
+	}
+	return s
+}
+
+// srcGzip: LZ77-style compressor — sliding-window match search over a
+// pseudo-random buffer, emitting literals and (offset, length) pairs.
+const srcGzip = `
+var buf[2048];
+var out[4096];
+var outn = 0;
+var seed = 12345;
+
+func rnd(m) {
+	seed = (seed * 1103515245 + 12345) % 2147483648;
+	return seed % m;
+}
+
+func emit(v) {
+	out[outn % 4096] = v;
+	outn = outn + 1;
+	return outn;
+}
+
+func main() {
+	var n = input();
+	if (n == 0) { n = 900; }
+	var i = 0;
+	while (i < n) {
+		buf[i % 2048] = rnd(14);
+		i = i + 1;
+	}
+	var pos = 0;
+	while (pos < n) {
+		var bestlen = 0;
+		var bestoff = 0;
+		var w = pos - 48;
+		if (w < 0) { w = 0; }
+		var j = w;
+		while (j < pos) {
+			var l = 0;
+			while (pos + l < n && l < 8 && buf[(j + l) % 2048] == buf[(pos + l) % 2048]) {
+				l = l + 1;
+			}
+			if (l > bestlen) {
+				bestlen = l;
+				bestoff = pos - j;
+			}
+			j = j + 1;
+		}
+		if (bestlen > 2) {
+			emit(1000 + bestoff * 16 + bestlen);
+			pos = pos + bestlen;
+		} else {
+			emit(buf[pos % 2048]);
+			pos = pos + 1;
+		}
+	}
+	print(outn);
+	print(out[(outn - 1) % 4096]);
+}
+`
+
+// srcBzip2: run-length encoding plus move-to-front transform over a
+// generated buffer with runs.
+const srcBzip2 = `
+var data[4096];
+var mtf[64];
+var out[8192];
+var outn = 0;
+var seed = 777;
+
+func rnd(m) {
+	seed = (seed * 1103515245 + 12345) % 2147483648;
+	return seed % m;
+}
+
+func mtfEncode(sym) {
+	var idx = 0;
+	while (mtf[idx] != sym) {
+		idx = idx + 1;
+	}
+	var j = idx;
+	while (j > 0) {
+		mtf[j] = mtf[j - 1];
+		j = j - 1;
+	}
+	mtf[0] = sym;
+	return idx;
+}
+
+func main() {
+	var n = input();
+	if (n == 0) { n = 2600; }
+	var i = 0;
+	var cur = rnd(48);
+	var runleft = 1 + rnd(9);
+	while (i < n) {
+		data[i % 4096] = cur;
+		runleft = runleft - 1;
+		if (runleft == 0) {
+			cur = rnd(48);
+			runleft = 1 + rnd(9);
+		}
+		i = i + 1;
+	}
+	i = 0;
+	while (i < 64) {
+		mtf[i] = i;
+		i = i + 1;
+	}
+	// RLE over the MTF stream.
+	var prev = 0 - 1;
+	var count = 0;
+	i = 0;
+	while (i < n) {
+		var enc = mtfEncode(data[i % 4096]);
+		if (enc == prev) {
+			count = count + 1;
+		} else {
+			if (count > 0) {
+				out[outn % 8192] = prev * 32 + count;
+				outn = outn + 1;
+			}
+			prev = enc;
+			count = 1;
+		}
+		i = i + 1;
+	}
+	out[outn % 8192] = prev * 32 + count;
+	outn = outn + 1;
+	print(outn);
+}
+`
+
+// srcVortex: an in-memory object store — open-addressed hash table with
+// inserts, lookups, updates through pointers, and tombstone deletes.
+const srcVortex = `
+var keys[1024];
+var vals[1024];
+var state[1024];
+var seed = 4242;
+var hits = 0;
+var misses = 0;
+
+func rnd(m) {
+	seed = (seed * 1103515245 + 12345) % 2147483648;
+	return seed % m;
+}
+
+func slot(k) {
+	var h = (k * 2654435761) % 1024;
+	if (h < 0) { h = 0 - h; }
+	var probes = 0;
+	while (probes < 1024) {
+		if (state[h] == 0) { return h; }
+		if (state[h] == 1 && keys[h] == k) { return h; }
+		h = (h + 1) % 1024;
+		probes = probes + 1;
+	}
+	return 0 - 1;
+}
+
+func insert(k, v) {
+	var h = slot(k);
+	if (h < 0) { return 0; }
+	keys[h] = k;
+	vals[h] = v;
+	state[h] = 1;
+	return 1;
+}
+
+func bump(k, by) {
+	var h = slot(k);
+	if (h < 0) { return 0; }
+	if (state[h] != 1) { misses = misses + 1; return 0; }
+	var p = &vals[h];
+	*p = *p + by;
+	hits = hits + 1;
+	return *p;
+}
+
+func remove(k) {
+	var h = slot(k);
+	if (h >= 0 && state[h] == 1) {
+		state[h] = 2;
+		return 1;
+	}
+	return 0;
+}
+
+func main() {
+	var rounds = input();
+	if (rounds == 0) { rounds = 2200; }
+	var i = 0;
+	while (i < rounds) {
+		var op = rnd(10);
+		var k = rnd(500);
+		if (op < 4) {
+			insert(k, k * 3);
+		} else {
+			if (op < 8) {
+				bump(k, 1);
+			} else {
+				remove(k);
+			}
+		}
+		i = i + 1;
+	}
+	print(hits);
+	print(misses);
+}
+`
+
+// srcParser: generates parenthesized expression token streams and parses
+// them with a recursive-descent evaluator.
+const srcParser = `
+var toks[8192];
+var ntok = 0;
+var pos = 0;
+var seed = 99;
+var total = 0;
+
+func rnd(m) {
+	seed = (seed * 1103515245 + 12345) % 2147483648;
+	return seed % m;
+}
+
+func gen(depth) {
+	if (depth <= 0 || rnd(10) < 4) {
+		toks[ntok % 8192] = 100 + rnd(50);
+		ntok = ntok + 1;
+		return 0;
+	}
+	toks[ntok % 8192] = 1;
+	ntok = ntok + 1;
+	gen(depth - 1);
+	toks[ntok % 8192] = 2 + rnd(4);
+	ntok = ntok + 1;
+	gen(depth - 1);
+	toks[ntok % 8192] = 6;
+	ntok = ntok + 1;
+	return 0;
+}
+
+func parseExpr() {
+	var t = toks[pos % 8192];
+	if (t >= 100) {
+		pos = pos + 1;
+		return t - 100;
+	}
+	// '(' expr op expr ')'
+	pos = pos + 1;
+	var a = parseExpr();
+	var op = toks[pos % 8192];
+	pos = pos + 1;
+	var b = parseExpr();
+	pos = pos + 1;
+	if (op == 2) { return a + b; }
+	if (op == 3) { return a - b; }
+	if (op == 4) { return a * b % 10007; }
+	return a + b * 2;
+}
+
+func main() {
+	var exprs = input();
+	if (exprs == 0) { exprs = 260; }
+	var e = 0;
+	while (e < exprs) {
+		ntok = 0;
+		pos = 0;
+		gen(5);
+		total = (total + parseExpr()) % 1000003;
+		e = e + 1;
+	}
+	print(total);
+}
+`
+
+// srcMcf: network-flow flavored — Bellman-Ford relaxation over a random
+// sparse graph held in edge arrays.
+const srcMcf = `
+var eu[4096];
+var ev[4096];
+var ew[4096];
+var dist[256];
+var seed = 31337;
+
+func rnd(m) {
+	seed = (seed * 1103515245 + 12345) % 2147483648;
+	return seed % m;
+}
+
+func main() {
+	var nodes = 180;
+	var edges = input();
+	if (edges == 0) { edges = 1400; }
+	var i = 0;
+	while (i < edges) {
+		eu[i % 4096] = rnd(nodes);
+		ev[i % 4096] = rnd(nodes);
+		ew[i % 4096] = 1 + rnd(90);
+		i = i + 1;
+	}
+	i = 0;
+	while (i < nodes) {
+		dist[i] = 1000000;
+		i = i + 1;
+	}
+	dist[0] = 0;
+	var round = 0;
+	var changed = 1;
+	while (changed == 1 && round < 24) {
+		changed = 0;
+		var j = 0;
+		while (j < edges) {
+			var du = dist[eu[j % 4096]];
+			var cand = du + ew[j % 4096];
+			if (du < 1000000 && cand < dist[ev[j % 4096]]) {
+				dist[ev[j % 4096]] = cand;
+				changed = 1;
+			}
+			j = j + 1;
+		}
+		round = round + 1;
+	}
+	var sum = 0;
+	i = 0;
+	while (i < nodes) {
+		if (dist[i] < 1000000) { sum = sum + dist[i]; }
+		i = i + 1;
+	}
+	print(sum);
+	print(round);
+}
+`
+
+// srcTwolf: placement by simulated annealing — random cell swaps with a
+// wire-length objective over nets, accepting uphill moves with decaying
+// probability.
+const srcTwolf = `
+var place[200];
+var cellof[200];
+var n1[512];
+var n2[512];
+var seed = 2718;
+var best = 0;
+
+func rnd(m) {
+	seed = (seed * 1103515245 + 12345) % 2147483648;
+	return seed % m;
+}
+
+func netcost(i) {
+	var a = place[n1[i]];
+	var b = place[n2[i]];
+	var d = a - b;
+	if (d < 0) { d = 0 - d; }
+	return d;
+}
+
+func totalcost(nets) {
+	var c = 0;
+	var i = 0;
+	while (i < nets) {
+		c = c + netcost(i);
+		i = i + 1;
+	}
+	return c;
+}
+
+func main() {
+	var iters = input();
+	if (iters == 0) { iters = 210; }
+	var cells = 200;
+	var nets = 512;
+	var i = 0;
+	while (i < cells) {
+		place[i] = i;
+		cellof[i] = i;
+		i = i + 1;
+	}
+	i = 0;
+	while (i < nets) {
+		n1[i] = rnd(cells);
+		n2[i] = rnd(cells);
+		i = i + 1;
+	}
+	var cost = totalcost(nets);
+	var temp = 120;
+	var it = 0;
+	while (it < iters) {
+		var a = rnd(cells);
+		var b = rnd(cells);
+		var tmp = place[a];
+		place[a] = place[b];
+		place[b] = tmp;
+		var ncost = totalcost(nets);
+		var accept = 0;
+		if (ncost <= cost) { accept = 1; }
+		if (ncost > cost && rnd(120) < temp) { accept = 1; }
+		if (accept == 1) {
+			cost = ncost;
+		} else {
+			tmp = place[a];
+			place[a] = place[b];
+			place[b] = tmp;
+		}
+		if (it % 16 == 15 && temp > 2) { temp = temp - 2; }
+		it = it + 1;
+	}
+	best = cost;
+	print(best);
+}
+`
+
+// srcPerl: text mangling — letter frequency counting, a Caesar rotation
+// keyed off the histogram, and repeated passes with an associative lookup.
+const srcPerl = `
+var text[4096];
+var freq[26];
+var assoc_k[128];
+var assoc_v[128];
+var nassoc = 0;
+var seed = 55;
+
+func rnd(m) {
+	seed = (seed * 1103515245 + 12345) % 2147483648;
+	return seed % m;
+}
+
+func assocAdd(k, v) {
+	var i = 0;
+	while (i < nassoc) {
+		if (assoc_k[i] == k) {
+			var p = &assoc_v[i];
+			*p = *p + v;
+			return *p;
+		}
+		i = i + 1;
+	}
+	assoc_k[nassoc % 128] = k;
+	assoc_v[nassoc % 128] = v;
+	nassoc = nassoc + 1;
+	return v;
+}
+
+func main() {
+	var n = input();
+	if (n == 0) { n = 1700; }
+	var i = 0;
+	while (i < n) {
+		text[i % 4096] = rnd(26);
+		i = i + 1;
+	}
+	var pass = 0;
+	while (pass < 3) {
+		i = 0;
+		while (i < 26) {
+			freq[i] = 0;
+			i = i + 1;
+		}
+		i = 0;
+		while (i < n) {
+			freq[text[i % 4096]] = freq[text[i % 4096]] + 1;
+			i = i + 1;
+		}
+		var top = 0;
+		i = 1;
+		while (i < 26) {
+			if (freq[i] > freq[top]) { top = i; }
+			i = i + 1;
+		}
+		assocAdd(top, freq[top]);
+		i = 0;
+		while (i < n) {
+			text[i % 4096] = (text[i % 4096] + top) % 26;
+			i = i + 1;
+		}
+		pass = pass + 1;
+	}
+	print(nassoc);
+	print(assoc_v[0]);
+}
+`
+
+// srcLi: a bytecode interpreter (the lisp interpreter stand-in): a small
+// register/stack VM executing a hand-assembled program with loops.
+const srcLi = `
+var code[64];
+var stk[64];
+var sp = 0;
+var cells[16];
+var steps = 0;
+
+func push(v) {
+	stk[sp % 64] = v;
+	sp = sp + 1;
+	return sp;
+}
+
+func pop() {
+	sp = sp - 1;
+	return stk[sp % 64];
+}
+
+func main() {
+	var outer = input();
+	if (outer == 0) { outer = 55; }
+	// Program: cells[0] = outer; loop: cells[1] += cells[0]*3; cells[0]--;
+	// until cells[0] == 0; result in cells[1].
+	code[0] = 1;  code[1] = 3;   // push 3
+	code[2] = 4;  code[3] = 0;   // load cell 0
+	code[4] = 2;                 // mul
+	code[5] = 4;  code[6] = 1;   // load cell 1
+	code[7] = 3;                 // add
+	code[8] = 5;  code[9] = 1;   // store cell 1
+	code[10] = 4; code[11] = 0;  // load cell 0
+	code[12] = 1; code[13] = 1;  // push 1
+	code[14] = 6;                // sub
+	code[15] = 5; code[16] = 0;  // store cell 0
+	code[17] = 4; code[18] = 0;  // load cell 0
+	code[19] = 7; code[20] = 0;  // jnz 0
+	code[21] = 8;                // halt
+	var run = 0;
+	var acc = 0;
+	while (run < outer) {
+		cells[0] = 40 + run % 7;
+		cells[1] = 0;
+		var pc = 0;
+		var halted = 0;
+		while (halted == 0) {
+			var op = code[pc % 64];
+			steps = steps + 1;
+			if (op == 1) { push(code[(pc + 1) % 64]); pc = pc + 2; }
+			else { if (op == 2) { var b = pop(); var a = pop(); push(a * b); pc = pc + 1; }
+			else { if (op == 3) { var b2 = pop(); var a2 = pop(); push(a2 + b2); pc = pc + 1; }
+			else { if (op == 4) { push(cells[code[(pc + 1) % 64] % 16]); pc = pc + 2; }
+			else { if (op == 5) { cells[code[(pc + 1) % 64] % 16] = pop(); pc = pc + 2; }
+			else { if (op == 6) { var b3 = pop(); var a3 = pop(); push(a3 - b3); pc = pc + 1; }
+			else { if (op == 7) { var c = pop(); if (c != 0) { pc = code[(pc + 1) % 64]; } else { pc = pc + 2; } }
+			else { halted = 1; } } } } } } }
+		}
+		acc = (acc + cells[1]) % 1000003;
+		run = run + 1;
+	}
+	print(acc);
+	print(steps);
+}
+`
+
+// srcGcc: compiler flavored — iterative liveness dataflow over a random
+// CFG, sets represented as per-variable flag arrays.
+const srcGcc = `
+var succ1[64];
+var succ2[64];
+var genv[2048];
+var killv[2048];
+var livein[2048];
+var liveout[2048];
+var seed = 1234;
+
+func rnd(m) {
+	seed = (seed * 1103515245 + 12345) % 2147483648;
+	return seed % m;
+}
+
+func main() {
+	var nb = 48;
+	var nv = input();
+	if (nv == 0) { nv = 30; }
+	if (nv > 32) { nv = 32; }
+	var b = 0;
+	while (b < nb) {
+		succ1[b] = (b + 1) % nb;
+		succ2[b] = rnd(nb);
+		var v = 0;
+		while (v < nv) {
+			genv[b * 32 + v] = 0;
+			killv[b * 32 + v] = 0;
+			if (rnd(10) < 2) { genv[b * 32 + v] = 1; }
+			if (rnd(10) < 2) { killv[b * 32 + v] = 1; }
+			livein[b * 32 + v] = 0;
+			liveout[b * 32 + v] = 0;
+			v = v + 1;
+		}
+		b = b + 1;
+	}
+	var changed = 1;
+	var rounds = 0;
+	while (changed == 1 && rounds < 40) {
+		changed = 0;
+		b = nb - 1;
+		while (b >= 0) {
+			var v = 0;
+			while (v < nv) {
+				var o = livein[succ1[b] * 32 + v];
+				if (livein[succ2[b] * 32 + v] == 1) { o = 1; }
+				if (o != liveout[b * 32 + v]) {
+					liveout[b * 32 + v] = o;
+					changed = 1;
+				}
+				var inn = genv[b * 32 + v];
+				if (o == 1 && killv[b * 32 + v] == 0) { inn = 1; }
+				if (inn != livein[b * 32 + v]) {
+					livein[b * 32 + v] = inn;
+					changed = 1;
+				}
+				v = v + 1;
+			}
+			b = b - 1;
+		}
+		rounds = rounds + 1;
+	}
+	var live = 0;
+	b = 0;
+	while (b < nb * 32) {
+		live = live + livein[b];
+		b = b + 1;
+	}
+	print(live);
+	print(rounds);
+}
+`
+
+// srcGo: board game flavored — random stone placement on a bordered board
+// and liberty counting by flood fill with an explicit queue.
+const srcGo = `
+var board[169];
+var mark[169];
+var queue[169];
+var seed = 606;
+var libsum = 0;
+
+func rnd(m) {
+	seed = (seed * 1103515245 + 12345) % 2147483648;
+	return seed % m;
+}
+
+func liberties(start) {
+	var i = 0;
+	while (i < 169) {
+		mark[i] = 0;
+		i = i + 1;
+	}
+	var color = board[start];
+	var head = 0;
+	var tail = 0;
+	queue[tail % 169] = start;
+	tail = tail + 1;
+	mark[start] = 1;
+	var libs = 0;
+	while (head < tail) {
+		var p = queue[head % 169];
+		head = head + 1;
+		var d = 0;
+		while (d < 4) {
+			var q = p;
+			if (d == 0) { q = p - 13; }
+			if (d == 1) { q = p + 13; }
+			if (d == 2) { q = p - 1; }
+			if (d == 3) { q = p + 1; }
+			if (q >= 0 && q < 169 && mark[q] == 0) {
+				if (board[q] == 0) {
+					libs = libs + 1;
+					mark[q] = 1;
+				}
+				if (board[q] == color) {
+					mark[q] = 1;
+					queue[tail % 169] = q;
+					tail = tail + 1;
+				}
+			}
+			d = d + 1;
+		}
+	}
+	return libs;
+}
+
+func main() {
+	var moves = input();
+	if (moves == 0) { moves = 120; }
+	var i = 0;
+	while (i < 169) {
+		board[i] = 3;
+		i = i + 1;
+	}
+	var r = 1;
+	while (r < 12) {
+		var c = 1;
+		while (c < 12) {
+			board[r * 13 + c] = 0;
+			c = c + 1;
+		}
+		r = r + 1;
+	}
+	var m = 0;
+	var color = 1;
+	while (m < moves) {
+		var p = (1 + rnd(11)) * 13 + 1 + rnd(11);
+		if (board[p] == 0) {
+			board[p] = color;
+			libsum = libsum + liberties(p);
+			color = 3 - color;
+		}
+		m = m + 1;
+	}
+	print(libsum);
+}
+`

@@ -1,0 +1,274 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// RandProgram generates a random, semantically valid MiniC program for
+// differential fuzzing of the slicing algorithms. Generated programs
+// always terminate (loops are bounded counters), never fault (indices are
+// reduced modulo array sizes; pointers always hold valid addresses before
+// use), and exercise the features the compaction optimizations care
+// about: loops, branches, scalars, arrays, pointers with may-aliases,
+// globals, calls, and recursion.
+func RandProgram(seed int64) string {
+	r := rand.New(rand.NewSource(seed))
+	g := &pgen{r: r}
+	return g.program()
+}
+
+type pgen struct {
+	r        *rand.Rand
+	globals  []string
+	arrays   []string // global arrays (fixed size pgArraySize)
+	funcs    []string // helper function names (each takes 1 arg)
+	buf      strings.Builder
+	depth    int
+	loops    int
+	ptrs     []string        // in-scope pointer variables (always valid)
+	scals    []string        // in-scope scalar variables
+	protect  map[string]bool // loop induction variables: readable, never written
+	inHelper bool            // inside a helper body: no helper calls (bounds recursion)
+}
+
+const pgArraySize = 8
+
+func (g *pgen) program() string {
+	nGlobals := 2 + g.r.Intn(3)
+	for i := 0; i < nGlobals; i++ {
+		g.globals = append(g.globals, fmt.Sprintf("g%d", i))
+	}
+	nArrays := 1 + g.r.Intn(2)
+	for i := 0; i < nArrays; i++ {
+		g.arrays = append(g.arrays, fmt.Sprintf("arr%d", i))
+	}
+	nFuncs := 1 + g.r.Intn(3)
+	for i := 0; i < nFuncs; i++ {
+		g.funcs = append(g.funcs, fmt.Sprintf("h%d", i))
+	}
+
+	for _, gv := range g.globals {
+		fmt.Fprintf(&g.buf, "var %s = %d;\n", gv, g.r.Intn(20))
+	}
+	for _, av := range g.arrays {
+		fmt.Fprintf(&g.buf, "var %s[%d];\n", av, pgArraySize)
+	}
+
+	// Helper functions: one parameter, compute over globals and arrays,
+	// possibly recursive with a strictly decreasing argument.
+	for i, fn := range g.funcs {
+		fmt.Fprintf(&g.buf, "func %s(n) {\n", fn)
+		saveS, saveP := g.scals, g.ptrs
+		g.scals, g.ptrs = []string{"n"}, nil
+		if g.protect == nil {
+			g.protect = map[string]bool{}
+		}
+		g.protect["n"] = true // the recursion bound must strictly decrease
+		g.inHelper = true
+		g.depth = 1
+		nStmts := 2 + g.r.Intn(4)
+		for s := 0; s < nStmts; s++ {
+			g.stmt()
+		}
+		if i == 0 && g.r.Intn(2) == 0 {
+			// Bounded recursion through the first helper.
+			g.line("if (n > 1) { %s = %s + %s(n - 1); }", g.pickGlobal(), g.pickGlobal(), fn)
+		}
+		g.line("return n + %s;", g.pickGlobal())
+		g.buf.WriteString("}\n")
+		g.scals, g.ptrs = saveS, saveP
+		delete(g.protect, "n")
+		g.inHelper = false
+	}
+
+	g.buf.WriteString("func main() {\n")
+	g.depth = 1
+	g.scals = nil
+	g.ptrs = nil
+	nLocals := 2 + g.r.Intn(3)
+	for i := 0; i < nLocals; i++ {
+		v := fmt.Sprintf("v%d", i)
+		g.line("var %s = %d;", v, g.r.Intn(10))
+		g.scals = append(g.scals, v)
+	}
+	// One pointer variable, always valid: seeded to a global's address.
+	g.line("var p0 = &%s;", g.pickGlobal())
+	g.ptrs = append(g.ptrs, "p0")
+
+	nStmts := 5 + g.r.Intn(8)
+	for s := 0; s < nStmts; s++ {
+		g.stmt()
+	}
+	for _, gv := range g.globals {
+		g.line("print(%s);", gv)
+	}
+	for _, v := range g.scals {
+		g.line("print(%s);", v)
+	}
+	g.buf.WriteString("}\n")
+	return g.buf.String()
+}
+
+func (g *pgen) line(format string, args ...interface{}) {
+	g.buf.WriteString(strings.Repeat("\t", g.depth))
+	fmt.Fprintf(&g.buf, format, args...)
+	g.buf.WriteByte('\n')
+}
+
+func (g *pgen) pickGlobal() string { return g.globals[g.r.Intn(len(g.globals))] }
+
+// index yields an always-in-range array index (values can be negative, and
+// MiniC's % follows Go's sign, so fold into [0, size)).
+func (g *pgen) index() string {
+	return fmt.Sprintf("(%s %% %d + %d) %% %d", g.pickScalar(), pgArraySize, pgArraySize, pgArraySize)
+}
+func (g *pgen) pickArray() string { return g.arrays[g.r.Intn(len(g.arrays))] }
+
+func (g *pgen) pickScalar() string {
+	pool := append(append([]string{}, g.globals...), g.scals...)
+	return pool[g.r.Intn(len(pool))]
+}
+
+// pickTarget picks an assignable scalar: induction variables are excluded
+// so generated loops always terminate.
+func (g *pgen) pickTarget() string {
+	pool := append(append([]string{}, g.globals...), g.scals...)
+	for tries := 0; tries < 8; tries++ {
+		v := pool[g.r.Intn(len(pool))]
+		if !g.protect[v] {
+			return v
+		}
+	}
+	return g.pickGlobal()
+}
+
+// expr produces a side-effect-free expression over in-scope values.
+// Division is total in MiniC (x/0 == 0), so no guards are needed.
+func (g *pgen) expr(depth int) string {
+	if depth <= 0 || g.r.Intn(3) == 0 {
+		switch g.r.Intn(4) {
+		case 0:
+			return fmt.Sprintf("%d", g.r.Intn(30))
+		case 1:
+			return g.pickScalar()
+		case 2:
+			return fmt.Sprintf("%s[%s]", g.pickArray(), g.index())
+		default:
+			if len(g.ptrs) > 0 && g.r.Intn(2) == 0 {
+				return "*" + g.ptrs[g.r.Intn(len(g.ptrs))]
+			}
+			return g.pickScalar()
+		}
+	}
+	ops := []string{"+", "-", "*", "/", "%"}
+	op := ops[g.r.Intn(len(ops))]
+	return fmt.Sprintf("(%s %s %s)", g.expr(depth-1), op, g.expr(depth-1))
+}
+
+func (g *pgen) cond() string {
+	rels := []string{"<", "<=", ">", ">=", "==", "!="}
+	return fmt.Sprintf("%s %s %s", g.expr(1), rels[g.r.Intn(len(rels))], g.expr(1))
+}
+
+func (g *pgen) stmt() {
+	if g.depth > 3 {
+		g.assign()
+		return
+	}
+	switch g.r.Intn(10) {
+	case 0, 1, 2, 3:
+		g.assign()
+	case 4, 5:
+		g.ifStmt()
+	case 6:
+		if g.loops < 3 {
+			g.loop()
+		} else {
+			g.assign()
+		}
+	case 7:
+		if g.inHelper {
+			// Helpers never call helpers: the only recursion is the
+			// explicitly bounded self-call added after the body.
+			g.assign()
+			return
+		}
+		// Call a helper for effect or value.
+		fn := g.funcs[g.r.Intn(len(g.funcs))]
+		if g.r.Intn(2) == 0 {
+			g.line("%s = %s(%s %% 5);", g.pickTarget(), fn, g.expr(1))
+		} else {
+			g.line("%s(%s %% 4);", fn, g.expr(1))
+		}
+	case 8:
+		// Retarget or use the pointer (may-alias churn).
+		if len(g.ptrs) > 0 {
+			p := g.ptrs[g.r.Intn(len(g.ptrs))]
+			switch g.r.Intn(3) {
+			case 0:
+				g.line("%s = &%s;", p, g.pickGlobal())
+			case 1:
+				g.line("%s = &%s[%s];", p, g.pickArray(), g.index())
+			default:
+				g.line("*%s = %s;", p, g.expr(2))
+			}
+		} else {
+			g.assign()
+		}
+	default:
+		g.line("%s[%s] = %s;", g.pickArray(), g.index(), g.expr(2))
+	}
+}
+
+func (g *pgen) assign() {
+	g.line("%s = %s;", g.pickTarget(), g.expr(2))
+}
+
+// blockStmts emits n statements as a nested block body: scalar
+// declarations made inside (loop induction variables) go out of scope when
+// the block closes.
+func (g *pgen) blockStmts(n int) {
+	save := len(g.scals)
+	for i := 0; i < n; i++ {
+		g.stmt()
+	}
+	g.scals = g.scals[:save]
+}
+
+func (g *pgen) ifStmt() {
+	g.line("if (%s) {", g.cond())
+	g.depth++
+	g.blockStmts(1 + g.r.Intn(3))
+	g.depth--
+	if g.r.Intn(2) == 0 {
+		g.line("} else {")
+		g.depth++
+		g.blockStmts(1 + g.r.Intn(2))
+		g.depth--
+	}
+	g.line("}")
+}
+
+func (g *pgen) loop() {
+	g.loops++
+	iv := fmt.Sprintf("i%d", g.loops)
+	bound := 3 + g.r.Intn(12)
+	g.line("var %s = 0;", iv)
+	g.line("while (%s < %d) {", iv, bound)
+	g.depth++
+	g.scals = append(g.scals, iv)
+	if g.protect == nil {
+		g.protect = map[string]bool{}
+	}
+	g.protect[iv] = true
+	g.blockStmts(1 + g.r.Intn(4))
+	g.line("%s = %s + 1;", iv, iv)
+	g.depth--
+	g.line("}")
+	// The induction variable's declaration precedes the loop, so it stays
+	// in scope afterwards — but nested generation may have shadowed scopes;
+	// keep it readable but drop the protection.
+	delete(g.protect, iv)
+}

@@ -1,0 +1,136 @@
+package bench
+
+import (
+	"testing"
+
+	"dynslice/internal/compile"
+	"dynslice/internal/interp"
+	"dynslice/internal/slicing"
+	"dynslice/internal/slicing/fp"
+	"dynslice/internal/slicing/oracle"
+	"dynslice/internal/trace"
+)
+
+// TestFuzzDifferential is the heavy differential fuzzer: random MiniC
+// programs are compiled, executed, and sliced with FP, LP, and OPT (full
+// configuration, plus the paper-strict stage-6 configuration and a
+// shortcuts-off variant); all must agree on every criterion.
+func TestFuzzDifferential(t *testing.T) {
+	seeds := 60
+	if testing.Short() {
+		seeds = 8
+	}
+	for seed := int64(0); seed < int64(seeds); seed++ {
+		src := RandProgram(seed)
+		w := Workload{Name: "fuzz", Src: src}
+		res, err := Build(w, Options{WithFP: true, WithLP: true, WithOPT: true, SegBlocks: 32, NCriteria: 8})
+		if err != nil {
+			t.Fatalf("seed %d: %v\nprogram:\n%s", seed, err, src)
+		}
+		strict := optStrictVariant(t, w, res)
+		for i, a := range res.Crit {
+			c := slicing.AddrCriterion(a)
+			want, _, err := res.FP.Slice(c)
+			if err != nil {
+				t.Fatalf("seed %d fp: %v\nprogram:\n%s", seed, err, src)
+			}
+			got, _, err := res.OPT.Slice(c)
+			if err != nil {
+				t.Fatalf("seed %d opt: %v\nprogram:\n%s", seed, err, src)
+			}
+			if !want.Equal(got) {
+				t.Fatalf("seed %d criterion %d: OPT != FP\nprogram:\n%s", seed, a, src)
+			}
+			res.OPT.EnableShortcuts(false)
+			got, _, _ = res.OPT.Slice(c)
+			res.OPT.EnableShortcuts(true)
+			if !want.Equal(got) {
+				t.Fatalf("seed %d criterion %d: OPT(no shortcuts) != FP\nprogram:\n%s", seed, a, src)
+			}
+			got, _, err = strict.Slice(c)
+			if err != nil {
+				t.Fatalf("seed %d strict: %v\nprogram:\n%s", seed, err, src)
+			}
+			if !want.Equal(got) {
+				t.Fatalf("seed %d criterion %d: OPT(paper-strict) != FP\nprogram:\n%s", seed, a, src)
+			}
+			if i < 3 { // LP is slow; spot-check
+				got, _, err = res.LP.Slice(c)
+				if err != nil {
+					t.Fatalf("seed %d lp: %v\nprogram:\n%s", seed, err, src)
+				}
+				if !want.Equal(got) {
+					t.Fatalf("seed %d criterion %d: LP != FP\nprogram:\n%s", seed, a, src)
+				}
+			}
+		}
+		res.Close()
+	}
+}
+
+// optStrictVariant builds a stage-6 (no adaptive extension) OPT graph for
+// the same run.
+func optStrictVariant(t *testing.T, w Workload, res *Result) *slicingVariant {
+	t.Helper()
+	cfg := stage6()
+	r2, err := Build(w, Options{WithOPT: true, OptConfig: &cfg, NCriteria: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(r2.Close)
+	return &slicingVariant{g: r2}
+}
+
+type slicingVariant struct{ g *Result }
+
+func (v *slicingVariant) Slice(c slicing.Criterion) (*slicing.Slice, *slicing.Stats, error) {
+	return v.g.OPT.Slice(c)
+}
+
+// TestRandProgramsDeterministic checks generator reproducibility.
+func TestRandProgramsDeterministic(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		if RandProgram(seed) != RandProgram(seed) {
+			t.Fatalf("seed %d not deterministic", seed)
+		}
+	}
+	if RandProgram(1) == RandProgram(2) {
+		t.Fatal("different seeds produced identical programs")
+	}
+}
+
+// TestFuzzOracle validates FP against the brute-force oracle on random
+// programs (small seed count: the oracle is quadratic by design).
+func TestFuzzOracle(t *testing.T) {
+	seeds := 12
+	if testing.Short() {
+		seeds = 3
+	}
+	for seed := int64(500); seed < int64(500+seeds); seed++ {
+		src := RandProgram(seed)
+		p, err := compile.Source(src)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		fpg := fp.NewGraph(p)
+		ora := oracle.New(p)
+		picker := newCritPicker()
+		if _, err := interp.Run(p, interp.Options{Sink: trace.Multi{fpg, ora, picker}}); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		for _, a := range picker.pick(6) {
+			c := slicing.AddrCriterion(a)
+			want, _, err := ora.Slice(c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, _, err := fpg.Slice(c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !want.Equal(got) {
+				t.Fatalf("seed %d criterion %d: FP != oracle\nprogram:\n%s", seed, a, src)
+			}
+		}
+	}
+}

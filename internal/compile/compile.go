@@ -1,0 +1,31 @@
+// Package compile wires the front-end pipeline together: parse, lower,
+// finalize slots, alias analysis, and the static control-dependence
+// computation every slicing algorithm relies on.
+package compile
+
+import (
+	"dynslice/internal/alias"
+	"dynslice/internal/dataflow"
+	"dynslice/internal/ir"
+	"dynslice/internal/lang"
+)
+
+// Source compiles MiniC source text into fully analyzed IR.
+func Source(src string) (*ir.Program, error) {
+	ast, err := lang.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	p, err := ir.Lower(ast)
+	if err != nil {
+		return nil, err
+	}
+	p.Source = src
+	p.Finalize()
+	alias.Run(p)
+	for _, f := range p.Funcs {
+		pd := dataflow.PostDominators(f)
+		dataflow.ControlDeps(f, pd)
+	}
+	return p, nil
+}

@@ -1,0 +1,58 @@
+package compile_test
+
+import (
+	"strings"
+	"testing"
+
+	"dynslice/internal/compile"
+)
+
+func TestSourcePipeline(t *testing.T) {
+	p, err := compile.Source(`
+	var g = 1;
+	func main() {
+		var i = 0;
+		while (i < 3) { g = g * 2; i = i + 1; }
+		print(g);
+	}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Main == nil || len(p.Stmts) == 0 || len(p.Blocks) == 0 {
+		t.Fatal("pipeline produced an empty program")
+	}
+	// Control dependence must be filled for loop bodies.
+	withCD := 0
+	for _, b := range p.Main.Blocks {
+		if len(b.CDAncestors) > 0 {
+			withCD++
+		}
+	}
+	if withCD == 0 {
+		t.Error("no control-dependence ancestors computed")
+	}
+	// Alias/finalize must have run: every statement has its slot summary.
+	for _, s := range p.Stmts {
+		if s.NumDefs < 0 {
+			t.Fatal("finalize did not run")
+		}
+	}
+}
+
+func TestSourceErrors(t *testing.T) {
+	cases := map[string]string{
+		"lex":   `func main() { @ }`,
+		"parse": `func main() { var = ; }`,
+		"check": `func main() { undeclared = 1; }`,
+	}
+	for phase, src := range cases {
+		_, err := compile.Source(src)
+		if err == nil {
+			t.Errorf("%s: expected an error", phase)
+			continue
+		}
+		if !strings.Contains(err.Error(), ":") {
+			t.Errorf("%s: error %q lacks a source position", phase, err)
+		}
+	}
+}

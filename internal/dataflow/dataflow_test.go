@@ -1,0 +1,266 @@
+package dataflow_test
+
+import (
+	"testing"
+
+	"dynslice/internal/compile"
+	"dynslice/internal/dataflow"
+	"dynslice/internal/ir"
+)
+
+func prog(t *testing.T, src string) *ir.Program {
+	t.Helper()
+	p, err := compile.Source(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// blockWithStmt finds the block containing the statement whose source line
+// is the given line (first match).
+func blockAtLine(p *ir.Program, fn *ir.Func, line int) *ir.Block {
+	for _, b := range fn.Blocks {
+		for _, s := range b.Stmts {
+			if s.Pos.Line == line {
+				return b
+			}
+		}
+	}
+	return nil
+}
+
+const diamond = `
+func main() {
+	var x = input();
+	var y = 0;
+	if (x > 0) {
+		y = 1;
+	} else {
+		y = 2;
+	}
+	print(y);
+	var i = 0;
+	while (i < 3) {
+		i = i + 1;
+	}
+	print(i);
+}`
+
+func TestPostDominators(t *testing.T) {
+	p := prog(t, diamond)
+	f := p.Main
+	pd := dataflow.PostDominators(f)
+
+	entry := f.Entry()
+	condBlk := entry // the if condition terminates the entry block
+	thenBlk := blockAtLine(p, f, 6)
+	elseBlk := blockAtLine(p, f, 8)
+	mergeBlk := blockAtLine(p, f, 10)
+	if thenBlk == nil || elseBlk == nil || mergeBlk == nil {
+		t.Fatal("could not locate diamond blocks")
+	}
+	if !pd.PostDominates(mergeBlk, condBlk) {
+		t.Error("merge must postdominate the condition")
+	}
+	if pd.PostDominates(thenBlk, condBlk) {
+		t.Error("then-branch must not postdominate the condition")
+	}
+	if !pd.PostDominates(f.Exit, entry) {
+		t.Error("exit must postdominate the entry")
+	}
+	// Every block postdominates itself.
+	for _, b := range f.Blocks {
+		if !pd.PostDominates(b, b) {
+			t.Errorf("%s should postdominate itself", b)
+		}
+	}
+}
+
+func TestControlDeps(t *testing.T) {
+	p := prog(t, diamond)
+	f := p.Main
+	thenBlk := blockAtLine(p, f, 6)
+	elseBlk := blockAtLine(p, f, 8)
+	mergeBlk := blockAtLine(p, f, 10)
+	bodyBlk := blockAtLine(p, f, 13)
+
+	condBlk := f.Entry()
+	hasAnc := func(b, h *ir.Block) bool {
+		for _, a := range b.CDAncestors {
+			if a == h {
+				return true
+			}
+		}
+		return false
+	}
+	if !hasAnc(thenBlk, condBlk) || !hasAnc(elseBlk, condBlk) {
+		t.Error("both branches must be control dependent on the condition")
+	}
+	if hasAnc(mergeBlk, condBlk) {
+		t.Error("the merge must not be control dependent on the condition")
+	}
+	// Loop body is control dependent on the loop header; the header is
+	// control dependent on itself (it governs its own re-execution).
+	header := bodyBlk.CDAncestors
+	if len(header) == 0 {
+		t.Fatal("loop body has no control ancestor")
+	}
+	loopHdr := header[0]
+	if !hasAnc(loopHdr, loopHdr) {
+		t.Error("loop header should be control dependent on itself")
+	}
+}
+
+func TestDominatorsAndBackEdges(t *testing.T) {
+	p := prog(t, diamond)
+	f := p.Main
+	d := dataflow.Dominators(f)
+	if !d.Dominates(f.Entry(), f.Exit) {
+		t.Error("entry must dominate exit")
+	}
+	back := dataflow.BackEdges(f)
+	if len(back) != 1 {
+		t.Fatalf("expected exactly 1 back edge, got %d", len(back))
+	}
+	for e := range back {
+		if !d.Dominates(e[1], e[0]) {
+			t.Error("back edge target must dominate its source")
+		}
+	}
+}
+
+func TestReachingDefs(t *testing.T) {
+	p := prog(t, `
+	var g = 0;
+	func main() {
+		g = 1;
+		if (input() > 0) {
+			g = 2;
+		}
+		print(g);
+	}`)
+	f := p.Main
+	rd := dataflow.ComputeReachingDefs(f)
+	var gid ir.ObjID = -1
+	for _, o := range p.Globals {
+		if o.Name == "g" {
+			gid = o.ID
+		}
+	}
+	printBlk := blockAtLine(p, f, 8)
+	defs := rd.DefsReaching(printBlk, gid)
+	// Both g = 1 and g = 2 reach the print; the initializer g = 0 is
+	// killed by the unconditional g = 1 in the same block.
+	lines := map[int]bool{}
+	for _, d := range defs {
+		lines[d.Stmt.Pos.Line] = true
+	}
+	if !lines[4] || !lines[6] {
+		t.Errorf("defs reaching print at lines %v, want {4,6}", lines)
+	}
+	if lines[2] {
+		t.Error("killed initializer should not reach the print")
+	}
+}
+
+func TestChopAndInteriorClean(t *testing.T) {
+	p := prog(t, `
+	var x = 0;
+	var y = 0;
+	func main() {
+		x = 1;          // def block (line 5)
+		y = 2;
+		if (input() > 0) {
+			x = 9;      // interior killer of x (line 8)
+		}
+		print(x + y);   // use block (line 10)
+	}`)
+	f := p.Main
+	src := blockAtLine(p, f, 5)
+	dst := blockAtLine(p, f, 10)
+	killer := blockAtLine(p, f, 8)
+	chop := dataflow.Chop(f, src, dst)
+	if !chop[killer] {
+		t.Fatal("interior killer must be in the chop")
+	}
+	var xid, yid ir.ObjID = -1, -1
+	for _, o := range p.Globals {
+		switch o.Name {
+		case "x":
+			xid = o.ID
+		case "y":
+			yid = o.ID
+		}
+	}
+	if dataflow.InteriorClean(f, src, dst, xid) {
+		t.Error("x is killed in the chop interior; must not be clean")
+	}
+	if !dataflow.InteriorClean(f, src, dst, yid) {
+		t.Error("y has no interior definitions; must be clean")
+	}
+	except := map[*ir.Block]bool{killer: true}
+	if !dataflow.InteriorCleanExcept(f, src, dst, except, xid) {
+		t.Error("excepting the killer block must make x clean")
+	}
+}
+
+func TestReachingUses(t *testing.T) {
+	p := prog(t, `
+	var g = 0;
+	func main() {
+		var a = g + 1;       // line 4: use of g
+		if (input() > 0) {
+			g = 2;           // line 6: kills the use
+		}
+		print(a + g);        // line 8: uses g again
+	}`)
+	f := p.Main
+	ru := dataflow.ComputeReachingUses(f)
+	var gid ir.ObjID = -1
+	for _, o := range p.Globals {
+		if o.Name == "g" {
+			gid = o.ID
+		}
+	}
+	printBlk := blockAtLine(p, f, 8)
+	reaching := ru.UsesReaching(printBlk, gid)
+	// The line-4 use may reach the print along the not-taken branch, so
+	// the may-reaching set contains it — which is exactly why OPT-2b
+	// cannot use a FULL (unlabeled-only) use-use edge here and the local
+	// variant degrades to labels when the kill fires.
+	found := false
+	for _, u := range reaching {
+		if u.Stmt.Pos.Line == 4 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("line-4 use should may-reach the print (not-taken branch)")
+	}
+
+	// After an unconditional kill, nothing reaches.
+	p2 := prog(t, `
+	var g = 0;
+	func main() {
+		var a = g + 1;   // line 4
+		g = 2;           // unconditional kill
+		if (input() > 0) {
+			print(a + g); // line 7
+		}
+	}`)
+	f2 := p2.Main
+	ru2 := dataflow.ComputeReachingUses(f2)
+	var gid2 ir.ObjID = -1
+	for _, o := range p2.Globals {
+		if o.Name == "g" {
+			gid2 = o.ID
+		}
+	}
+	printBlk2 := blockAtLine(p2, f2, 7)
+	for _, u := range ru2.UsesReaching(printBlk2, gid2) {
+		if u.Stmt.Pos.Line == 4 {
+			t.Error("killed use must not reach past an unconditional definition")
+		}
+	}
+}

@@ -1,0 +1,106 @@
+package dataflow
+
+import (
+	"dynslice/internal/ir"
+)
+
+// Dom holds the (forward) dominator relation for one function.
+type Dom struct {
+	Fn    *ir.Func
+	idom  map[*ir.Block]*ir.Block
+	index map[*ir.Block]int // reverse post-order index
+}
+
+// Dominators computes the dominator tree of f (Cooper-Harvey-Kennedy).
+func Dominators(f *ir.Func) *Dom {
+	d := &Dom{Fn: f, idom: map[*ir.Block]*ir.Block{}, index: map[*ir.Block]int{}}
+	entry := f.Entry()
+
+	var order []*ir.Block
+	seen := map[*ir.Block]bool{}
+	var dfs func(b *ir.Block)
+	dfs = func(b *ir.Block) {
+		if seen[b] {
+			return
+		}
+		seen[b] = true
+		for _, s := range b.Succs {
+			dfs(s)
+		}
+		order = append(order, b)
+	}
+	dfs(entry)
+	for i, j := 0, len(order)-1; i < j; i, j = i+1, j-1 {
+		order[i], order[j] = order[j], order[i]
+	}
+	for i, b := range order {
+		d.index[b] = i
+	}
+
+	d.idom[entry] = entry
+	intersect := func(a, b *ir.Block) *ir.Block {
+		for a != b {
+			for d.index[a] > d.index[b] {
+				a = d.idom[a]
+			}
+			for d.index[b] > d.index[a] {
+				b = d.idom[b]
+			}
+		}
+		return a
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, b := range order {
+			if b == entry {
+				continue
+			}
+			var newIdom *ir.Block
+			for _, p := range b.Preds {
+				if d.idom[p] == nil {
+					continue
+				}
+				if newIdom == nil {
+					newIdom = p
+				} else {
+					newIdom = intersect(newIdom, p)
+				}
+			}
+			if newIdom != nil && d.idom[b] != newIdom {
+				d.idom[b] = newIdom
+				changed = true
+			}
+		}
+	}
+	return d
+}
+
+// Dominates reports whether a dominates b (reflexively).
+func (d *Dom) Dominates(a, b *ir.Block) bool {
+	for {
+		if a == b {
+			return true
+		}
+		next, ok := d.idom[b]
+		if !ok || next == b {
+			return false
+		}
+		b = next
+	}
+}
+
+// BackEdges returns the back edges of f's CFG: edges u->v where v
+// dominates u (natural-loop back edges; structured lowering produces only
+// reducible CFGs).
+func BackEdges(f *ir.Func) map[[2]*ir.Block]bool {
+	d := Dominators(f)
+	out := map[[2]*ir.Block]bool{}
+	for _, u := range f.Blocks {
+		for _, v := range u.Succs {
+			if d.Dominates(v, u) {
+				out[[2]*ir.Block{u, v}] = true
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,217 @@
+package dataflow
+
+import (
+	"dynslice/internal/ir"
+)
+
+// DefSite is one definition site: a statement that must- or may-defines an
+// object.
+type DefSite struct {
+	Stmt *ir.Stmt
+	Obj  ir.ObjID
+	Must bool
+}
+
+// ReachingDefs holds the intraprocedural may-reaching-definitions solution
+// for one function at object granularity. Call statements act as may-def
+// sites for their callee's MOD set; array stores and pointer stores are
+// may-defs (they never kill).
+type ReachingDefs struct {
+	Fn    *ir.Func
+	Sites []DefSite
+	// In[b] is the set of def-site indices reaching the entry of b.
+	In map[*ir.Block]map[int]bool
+	// siteOf maps (stmt, obj) to the def-site index.
+	siteOf map[siteKey]int
+	// byObj maps an object to its def-site indices.
+	byObj map[ir.ObjID][]int
+}
+
+type siteKey struct {
+	s ir.StmtID
+	o ir.ObjID
+}
+
+// ComputeReachingDefs solves may-reaching definitions for f.
+func ComputeReachingDefs(f *ir.Func) *ReachingDefs {
+	rd := &ReachingDefs{
+		Fn:     f,
+		In:     map[*ir.Block]map[int]bool{},
+		siteOf: map[siteKey]int{},
+		byObj:  map[ir.ObjID][]int{},
+	}
+	addSite := func(s *ir.Stmt, o ir.ObjID, must bool) {
+		k := siteKey{s.ID, o}
+		if _, dup := rd.siteOf[k]; dup {
+			return
+		}
+		rd.siteOf[k] = len(rd.Sites)
+		rd.byObj[o] = append(rd.byObj[o], len(rd.Sites))
+		rd.Sites = append(rd.Sites, DefSite{Stmt: s, Obj: o, Must: must})
+	}
+	for _, b := range f.Blocks {
+		for _, s := range b.Stmts {
+			if s.MustDef != ir.NoObj {
+				addSite(s, s.MustDef, true)
+			}
+			for _, o := range s.MayDefs {
+				addSite(s, o, false)
+			}
+		}
+	}
+
+	// GEN/KILL per block.
+	gen := map[*ir.Block]map[int]bool{}
+	kill := map[*ir.Block]map[int]bool{}
+	for _, b := range f.Blocks {
+		g := map[int]bool{}
+		k := map[int]bool{}
+		for _, s := range b.Stmts {
+			if s.MustDef != ir.NoObj {
+				// Kills every other site of the object.
+				for _, si := range rd.byObj[s.MustDef] {
+					if rd.Sites[si].Stmt != s {
+						k[si] = true
+					}
+					delete(g, si)
+				}
+				g[rd.siteOf[siteKey{s.ID, s.MustDef}]] = true
+			}
+			for _, o := range s.MayDefs {
+				si := rd.siteOf[siteKey{s.ID, o}]
+				g[si] = true
+				delete(k, si)
+			}
+		}
+		gen[b] = g
+		kill[b] = k
+	}
+
+	for _, b := range f.Blocks {
+		rd.In[b] = map[int]bool{}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, b := range f.Blocks {
+			in := rd.In[b]
+			for _, p := range b.Preds {
+				// out(p) = gen(p) ∪ (in(p) − kill(p))
+				for si := range gen[p] {
+					if !in[si] {
+						in[si] = true
+						changed = true
+					}
+				}
+				for si := range rd.In[p] {
+					if kill[p][si] || gen[p][si] {
+						continue
+					}
+					if !in[si] {
+						in[si] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+	return rd
+}
+
+// DefsReaching returns the def sites of object o that may reach the entry
+// of block b.
+func (rd *ReachingDefs) DefsReaching(b *ir.Block, o ir.ObjID) []DefSite {
+	var out []DefSite
+	for _, si := range rd.byObj[o] {
+		if rd.In[b][si] {
+			out = append(out, rd.Sites[si])
+		}
+	}
+	return out
+}
+
+// Chop returns the set of blocks lying on some CFG path from src to dst
+// within one function: reachable-from-src intersected with reaching-dst.
+// src and dst themselves are included when on such a path (e.g. via a
+// cycle); the conventional chop endpoints are always included.
+func Chop(f *ir.Func, src, dst *ir.Block) map[*ir.Block]bool {
+	fwd := reach(src, func(b *ir.Block) []*ir.Block { return b.Succs })
+	bwd := reach(dst, func(b *ir.Block) []*ir.Block { return b.Preds })
+	out := map[*ir.Block]bool{src: true, dst: true}
+	for b := range fwd {
+		if bwd[b] {
+			out[b] = true
+		}
+	}
+	return out
+}
+
+func reach(start *ir.Block, next func(*ir.Block) []*ir.Block) map[*ir.Block]bool {
+	seen := map[*ir.Block]bool{}
+	stack := []*ir.Block{start}
+	for len(stack) > 0 {
+		b := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, n := range next(b) {
+			if !seen[n] {
+				seen[n] = true
+				stack = append(stack, n)
+			}
+		}
+	}
+	return seen
+}
+
+// MayDefines reports whether statement s may write object o (including its
+// must-def).
+func MayDefines(s *ir.Stmt, o ir.ObjID) bool {
+	if s.MustDef == o {
+		return true
+	}
+	for _, m := range s.MayDefs {
+		if m == o {
+			return true
+		}
+	}
+	return false
+}
+
+// BlockMayDefines reports whether any statement of b may write o.
+func BlockMayDefines(b *ir.Block, o ir.ObjID) bool {
+	for _, s := range b.Stmts {
+		if MayDefines(s, o) {
+			return true
+		}
+	}
+	return false
+}
+
+// InteriorClean reports whether no block strictly inside the chop from src
+// to dst (i.e. excluding src and dst themselves) may define any of the
+// given objects. This is the conservative core of the paper's simultaneous
+// reachability analysis (OPT-3) and must reachability analysis (OPT-6):
+// when the chop interior is free of definitions of both objects, either
+// both definitions flow from src to dst or neither does, so the dependence
+// edges carry identical timestamp labels in every run.
+func InteriorClean(f *ir.Func, src, dst *ir.Block, objs ...ir.ObjID) bool {
+	return InteriorCleanExcept(f, src, dst, nil, objs...)
+}
+
+// InteriorCleanExcept is InteriorClean with an exception set: blocks in
+// except are permitted to define the objects. Used by the array
+// generalization of OPT-3, where the defining logical block lies inside a
+// loop (and hence inside its own chop) but re-executes all paired stores
+// together, preserving label equality.
+func InteriorCleanExcept(f *ir.Func, src, dst *ir.Block, except map[*ir.Block]bool, objs ...ir.ObjID) bool {
+	chop := Chop(f, src, dst)
+	for b := range chop {
+		if b == src || b == dst || except[b] {
+			continue
+		}
+		for _, o := range objs {
+			if BlockMayDefines(b, o) {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,137 @@
+package dataflow
+
+import (
+	"dynslice/internal/ir"
+)
+
+// Reaching uses analysis (paper §3.4 analysis (ii)): for each program
+// point, which earlier use sites of an object still see the value that
+// would reach this point — i.e. no definition of the object intervenes on
+// the path. A use u1 "reaching" a later use u2 of the same object is
+// exactly the condition under which OPT-2b may replace u2's non-local
+// def-use edge with a use-use edge to u1.
+//
+// The OPT graph builds its (block- and path-)local use-use edges with a
+// straight-line scan, which coincides with this analysis restricted to a
+// single node; the full dataflow version here answers the general
+// cross-block question and is used by tests to validate the local scan.
+
+// UseSite is one use of an object: a statement and the use-slot index.
+type UseSite struct {
+	Stmt *ir.Stmt
+	Slot int
+	Obj  ir.ObjID
+}
+
+// ReachingUses holds the may-reaching-uses solution for one function:
+// a use site reaches a point if some path from the use reaches it with no
+// intervening may-definition of the object.
+type ReachingUses struct {
+	Fn    *ir.Func
+	Sites []UseSite
+	// In[b] is the set of site indices reaching the entry of b.
+	In    map[*ir.Block]map[int]bool
+	byObj map[ir.ObjID][]int
+}
+
+// ComputeReachingUses solves the forward may-reaching-uses problem for
+// scalar uses in f.
+func ComputeReachingUses(f *ir.Func) *ReachingUses {
+	ru := &ReachingUses{
+		Fn:    f,
+		In:    map[*ir.Block]map[int]bool{},
+		byObj: map[ir.ObjID][]int{},
+	}
+	for _, b := range f.Blocks {
+		for _, s := range b.Stmts {
+			for k, u := range s.Uses {
+				if !u.Scalar() {
+					continue
+				}
+				ru.byObj[u.Obj] = append(ru.byObj[u.Obj], len(ru.Sites))
+				ru.Sites = append(ru.Sites, UseSite{Stmt: s, Slot: k, Obj: u.Obj})
+			}
+		}
+	}
+
+	// Per-block transfer: process statements in order; a may-def of an
+	// object kills its live use sites; a use generates its own site.
+	gen := map[*ir.Block]map[int]bool{}
+	killObj := map[*ir.Block]map[ir.ObjID]bool{}
+	siteIdx := map[UseSite]int{}
+	for i, s := range ru.Sites {
+		siteIdx[s] = i
+	}
+	for _, b := range f.Blocks {
+		g := map[int]bool{}
+		k := map[ir.ObjID]bool{}
+		for _, s := range b.Stmts {
+			for slot, u := range s.Uses {
+				if !u.Scalar() {
+					continue
+				}
+				g[siteIdx[UseSite{Stmt: s, Slot: slot, Obj: u.Obj}]] = true
+			}
+			// Defs kill the object's sites generated so far in this block
+			// and all incoming ones.
+			apply := func(o ir.ObjID) {
+				k[o] = true
+				for _, si := range ru.byObj[o] {
+					delete(g, si)
+				}
+			}
+			if s.MustDef != ir.NoObj {
+				apply(s.MustDef)
+			}
+			for _, o := range s.MayDefs {
+				// May-defs kill for the *may*-reaching variant used to
+				// validate soundness of use-use edges (a may-def can
+				// change the value, so the earlier use no longer
+				// guarantees the same resolution).
+				apply(o)
+			}
+		}
+		gen[b] = g
+		killObj[b] = k
+	}
+
+	for _, b := range f.Blocks {
+		ru.In[b] = map[int]bool{}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, b := range f.Blocks {
+			in := ru.In[b]
+			for _, p := range b.Preds {
+				for si := range gen[p] {
+					if !in[si] {
+						in[si] = true
+						changed = true
+					}
+				}
+				for si := range ru.In[p] {
+					if killObj[p][ru.Sites[si].Obj] || gen[p][si] {
+						continue
+					}
+					if !in[si] {
+						in[si] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+	return ru
+}
+
+// UsesReaching returns the use sites of object o that reach the entry of
+// block b undisturbed.
+func (ru *ReachingUses) UsesReaching(b *ir.Block, o ir.ObjID) []UseSite {
+	var out []UseSite
+	for _, si := range ru.byObj[o] {
+		if ru.In[b][si] {
+			out = append(out, ru.Sites[si])
+		}
+	}
+	return out
+}

@@ -1,0 +1,335 @@
+package interp_test
+
+import (
+	"testing"
+
+	"dynslice/internal/alias"
+	"dynslice/internal/interp"
+	"dynslice/internal/ir"
+	"dynslice/internal/lang"
+)
+
+// compile builds the full front-end pipeline for a source string.
+func compile(t *testing.T, src string) *ir.Program {
+	t.Helper()
+	ast, err := lang.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	p, err := ir.Lower(ast)
+	if err != nil {
+		t.Fatalf("lower: %v", err)
+	}
+	p.Finalize()
+	alias.Run(p)
+	return p
+}
+
+func run(t *testing.T, src string, input ...int64) *interp.Result {
+	t.Helper()
+	p := compile(t, src)
+	res, err := interp.Run(p, interp.Options{Input: input})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return res
+}
+
+func wantOutput(t *testing.T, res *interp.Result, want ...int64) {
+	t.Helper()
+	if len(res.Output) != len(want) {
+		t.Fatalf("output = %v, want %v", res.Output, want)
+	}
+	for i := range want {
+		if res.Output[i] != want[i] {
+			t.Fatalf("output = %v, want %v", res.Output, want)
+		}
+	}
+}
+
+func TestArithmetic(t *testing.T) {
+	res := run(t, `
+		func main() {
+			var x = 6;
+			var y = 7;
+			print(x * y);
+			print(x + y * 2);
+			print((x + y) * 2);
+			print(100 / 7);
+			print(100 % 7);
+			print(-x);
+			print(!x);
+			print(!0);
+		}
+	`)
+	wantOutput(t, res, 42, 20, 26, 14, 2, -6, 0, 1)
+}
+
+func TestDivByZeroIsZero(t *testing.T) {
+	res := run(t, `
+		func main() {
+			var z = 0;
+			print(5 / z);
+			print(5 % z);
+		}
+	`)
+	wantOutput(t, res, 0, 0)
+}
+
+func TestControlFlow(t *testing.T) {
+	res := run(t, `
+		func main() {
+			var i = 0;
+			var sum = 0;
+			while (i < 10) {
+				if (i % 2 == 0) {
+					sum = sum + i;
+				} else {
+					sum = sum - 1;
+				}
+				i = i + 1;
+			}
+			print(sum);
+			for (var j = 0; j < 5; j = j + 1) {
+				if (j == 3) { continue; }
+				if (j == 4) { break; }
+				print(j);
+			}
+		}
+	`)
+	wantOutput(t, res, 15, 0, 1, 2)
+}
+
+func TestFunctionsAndRecursion(t *testing.T) {
+	res := run(t, `
+		func fib(n) {
+			if (n < 2) { return n; }
+			return fib(n - 1) + fib(n - 2);
+		}
+		func main() {
+			print(fib(10));
+		}
+	`)
+	wantOutput(t, res, 55)
+}
+
+func TestArraysAndPointers(t *testing.T) {
+	res := run(t, `
+		var g;
+		func bump(p, by) {
+			*p = *p + by;
+			return *p;
+		}
+		func main() {
+			var a[5];
+			var i = 0;
+			while (i < 5) {
+				a[i] = i * i;
+				i = i + 1;
+			}
+			print(a[4]);
+			var q = &a[2];
+			*q = 100;
+			print(a[2]);
+			g = 5;
+			print(bump(&g, 37));
+			print(g);
+			// Pointer arithmetic across array cells.
+			var r = &a[0];
+			r = r + 3;
+			print(*r);
+		}
+	`)
+	wantOutput(t, res, 16, 100, 42, 42, 9)
+}
+
+func TestInputAndGlobals(t *testing.T) {
+	res := run(t, `
+		var total = 0;
+		func main() {
+			var n = input();
+			var i = 0;
+			while (i < n) {
+				total = total + input();
+				i = i + 1;
+			}
+			print(total);
+			print(input()); // exhausted -> 0
+		}
+	`, 3, 10, 20, 30)
+	wantOutput(t, res, 60, 0)
+}
+
+func TestShortCircuitOperatorsEvaluateBothSides(t *testing.T) {
+	// && and || are defined to evaluate both operands; division by zero
+	// yields zero, so this is well defined.
+	res := run(t, `
+		func main() {
+			var z = 0;
+			if (z != 0 && 10 / z > 1) { print(1); } else { print(2); }
+			if (z == 0 || 10 / z > 1) { print(3); } else { print(4); }
+		}
+	`)
+	wantOutput(t, res, 2, 3)
+}
+
+func TestRuntimeErrors(t *testing.T) {
+	p := compile(t, `
+		func main() {
+			var a[3];
+			var i = 5;
+			a[i] = 1;
+		}
+	`)
+	if _, err := interp.Run(p, interp.Options{}); err == nil {
+		t.Fatal("expected index-out-of-range error")
+	}
+
+	p2 := compile(t, `
+		func main() {
+			var p = 0;
+			print(*p);
+		}
+	`)
+	if _, err := interp.Run(p2, interp.Options{}); err == nil {
+		t.Fatal("expected invalid-address error (null guard)")
+	}
+
+	p3 := compile(t, `
+		func main() {
+			var i = 0;
+			while (1) { i = i + 1; }
+		}
+	`)
+	if _, err := interp.Run(p3, interp.Options{MaxSteps: 1000}); err == nil {
+		t.Fatal("expected step-limit error")
+	}
+}
+
+func TestMainReturnValue(t *testing.T) {
+	res := run(t, `
+		func main() {
+			return 7;
+		}
+	`)
+	if res.ReturnValue != 7 {
+		t.Fatalf("return value = %d, want 7", res.ReturnValue)
+	}
+}
+
+func TestCallsAreHoistedLeftToRight(t *testing.T) {
+	res := run(t, `
+		var log = 0;
+		func mark(k) {
+			log = log * 10 + k;
+			return k;
+		}
+		func main() {
+			var x = mark(1) + mark(2) * mark(3);
+			print(x);
+			print(log);
+		}
+	`)
+	wantOutput(t, res, 7, 123)
+}
+
+func TestEvaluationOrderLeftToRight(t *testing.T) {
+	// Within an expression, loads happen left to right; the trace (and
+	// therefore the dependence structure) relies on this order.
+	res := run(t, `
+		var log = 0;
+		func main() {
+			var a = 1;
+			var b = 2;
+			// a is read before b; verify via aliasing side channel.
+			var p = &a;
+			*p = 10;
+			print(a + b);
+		}
+	`)
+	wantOutput(t, res, 12)
+}
+
+func TestDeepRecursionFrames(t *testing.T) {
+	res := run(t, `
+		func down(n) {
+			var local = n * 2;
+			if (n == 0) { return 0; }
+			return local + down(n - 1);
+		}
+		func main() {
+			print(down(200));
+		}
+	`)
+	// sum of 2k for k=1..200 = 200*201 = 40200.
+	wantOutput(t, res, 40200)
+	if res.Watermark < 200*3 {
+		t.Errorf("fresh frames expected to grow the address space, watermark=%d", res.Watermark)
+	}
+}
+
+func TestGlobalInitOrder(t *testing.T) {
+	res := run(t, `
+		var a = 5;
+		var b = a + 1;   // initializers run in declaration order
+		func main() {
+			print(b);
+		}
+	`)
+	wantOutput(t, res, 6)
+}
+
+func TestInputConsumptionOrder(t *testing.T) {
+	res := run(t, `
+		func main() {
+			print(input() * 100 + input() * 10 + input());
+		}
+	`, 1, 2, 3)
+	wantOutput(t, res, 123)
+}
+
+func TestArrayRedeclarationZeroes(t *testing.T) {
+	res := run(t, `
+		func main() {
+			var i = 0;
+			var total = 0;
+			while (i < 3) {
+				var a[2];
+				total = total + a[0];  // always zero: decl re-zeroes
+				a[0] = 99;
+				i = i + 1;
+			}
+			print(total);
+		}
+	`)
+	wantOutput(t, res, 0)
+}
+
+func TestDanglingFramePointerFaults(t *testing.T) {
+	// A pointer into a dead frame points at a never-reused address; the
+	// memory still exists (frames are never reused), so the read sees the
+	// dead frame's value — documenting the fresh-frame model.
+	res := run(t, `
+		var keep = 0;
+		func leak() {
+			var local = 77;
+			keep = &local;
+			return 0;
+		}
+		func main() {
+			leak();
+			print(*keep);
+		}
+	`)
+	wantOutput(t, res, 77)
+}
+
+func TestNegativeModuloSemantics(t *testing.T) {
+	res := run(t, `
+		func main() {
+			print((0 - 7) % 3);
+			print(7 % (0 - 3));
+		}
+	`)
+	wantOutput(t, res, -1, 1)
+}

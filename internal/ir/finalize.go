@@ -1,0 +1,71 @@
+package ir
+
+// Finalize assigns use slots (memory read sites, in evaluation order) and
+// def counts to every statement. It must run once after Lower and before
+// alias analysis (which fills the MayPts/MayDefs fields) and before any
+// execution or graph construction.
+//
+// Evaluation order, which the interpreter reproduces exactly:
+//
+//	OpAssign: Rhs, then LhsIdx (a[i]=) or LhsAddr (*e=)
+//	OpCond, OpReturn, OpPrint: Rhs
+//	OpCall: Args left to right
+//
+// Within an expression, loads occur in post-order (operands before the
+// load that consumes them), which is what WalkExpr yields.
+func (p *Program) Finalize() {
+	for _, s := range p.Stmts {
+		s.Uses = nil
+		s.MustDef = NoObj
+		s.MayDefs = nil
+		collect := func(e Expr) {
+			WalkExpr(e, func(x Expr) {
+				switch l := x.(type) {
+				case *ELoad:
+					l.Slot = len(s.Uses)
+					s.Uses = append(s.Uses, &UseSlot{Obj: l.Obj})
+				case *ELoadIdx:
+					l.Slot = len(s.Uses)
+					s.Uses = append(s.Uses, &UseSlot{Obj: l.Obj, IsIdx: true})
+				case *ELoadPtr:
+					l.Slot = len(s.Uses)
+					s.Uses = append(s.Uses, &UseSlot{Obj: NoObj, IsPtr: true})
+				}
+			})
+		}
+		switch s.Op {
+		case OpAssign:
+			collect(s.Rhs)
+			switch s.Lhs {
+			case LVar:
+				s.MustDef = s.LhsObj
+				s.NumDefs = 1
+			case LIndex:
+				collect(s.LhsIdx)
+				s.MayDefs = append(s.MayDefs, s.LhsObj)
+				s.NumDefs = 1
+			case LDeref:
+				collect(s.LhsAddr)
+				s.NumDefs = 1
+				// MayDefs filled by alias analysis.
+			}
+		case OpDeclArr:
+			s.MayDefs = append(s.MayDefs, s.Obj)
+			s.NumDefs = 1 // a region def record
+		case OpCond, OpPrint:
+			collect(s.Rhs)
+		case OpReturn:
+			collect(s.Rhs)
+			s.NumDefs = 1 // writes the caller's $ret slot
+			// MayDefs ($ret objects of possible callers) filled later.
+		case OpCall:
+			for _, a := range s.Args {
+				collect(a)
+			}
+			s.NumDefs = len(s.Callee.Params)
+			for _, prm := range s.Callee.Params {
+				s.MayDefs = append(s.MayDefs, prm.ID)
+			}
+		}
+	}
+}

@@ -1,0 +1,319 @@
+package ir_test
+
+import (
+	"testing"
+
+	"dynslice/internal/compile"
+	"dynslice/internal/ir"
+)
+
+func lower(t *testing.T, src string) *ir.Program {
+	t.Helper()
+	p, err := compile.Source(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestCFGWellFormed checks structural invariants of the lowered CFG on a
+// battery of shapes: terminators only at block ends, successor counts
+// consistent with terminators, pred/succ symmetry, and statement/block
+// numbering matching the flat indices.
+func TestCFGWellFormed(t *testing.T) {
+	sources := []string{
+		`func main() {}`,
+		`func main() { var x = 1; if (x > 0) { print(x); } }`,
+		`func main() { var i = 0; while (i < 3) { i = i + 1; } print(i); }`,
+		`func main() { for (var i = 0; i < 9; i = i + 1) { if (i == 4) { continue; } if (i == 7) { break; } } }`,
+		`func f(a) { if (a > 0) { return a; } return 0 - a; } func main() { print(f(input())); }`,
+		`func main() { var a[3]; var p = &a[0]; *p = 5; print(a[0] + *p); }`,
+	}
+	for _, src := range sources {
+		p := lower(t, src)
+		for i, b := range p.Blocks {
+			if int(b.ID) != i {
+				t.Fatalf("block id %d at index %d", b.ID, i)
+			}
+			for j, s := range b.Stmts {
+				if s.Block != b || s.Idx != j {
+					t.Fatalf("statement back-pointers broken at %s", b)
+				}
+				isTerm := s.Op == ir.OpCond || s.Op == ir.OpCall || s.Op == ir.OpReturn
+				if isTerm && j != len(b.Stmts)-1 {
+					t.Fatalf("terminator %v mid-block in %s", s.Op, b)
+				}
+			}
+			switch term := b.Terminator(); {
+			case term == nil:
+				if b != b.Fn.Exit && len(b.Succs) != 1 {
+					t.Fatalf("fallthrough block %s has %d successors", b, len(b.Succs))
+				}
+			case term.Op == ir.OpCond:
+				if len(b.Succs) != 2 {
+					t.Fatalf("cond block %s has %d successors", b, len(b.Succs))
+				}
+			case term.Op == ir.OpCall, term.Op == ir.OpReturn:
+				if len(b.Succs) != 1 {
+					t.Fatalf("%v block %s has %d successors", term.Op, b, len(b.Succs))
+				}
+			}
+			for _, s := range b.Succs {
+				found := false
+				for _, pr := range s.Preds {
+					if pr == b {
+						found = true
+					}
+				}
+				if !found {
+					t.Fatalf("pred/succ asymmetry %s -> %s", b, s)
+				}
+			}
+		}
+		for i, s := range p.Stmts {
+			if int(s.ID) != i {
+				t.Fatalf("stmt id %d at index %d", s.ID, i)
+			}
+		}
+	}
+}
+
+// TestThreeAddressForm verifies that lowering flattens expressions: every
+// statement performs at most one operation over leaf operands.
+func TestThreeAddressForm(t *testing.T) {
+	p := lower(t, `
+		var g = 0;
+		func main() {
+			var a[4];
+			var i = 1;
+			g = (i + 2) * (i - 3) + a[i * 2] / 5;
+			print(g);
+		}
+	`)
+	var checkLeaf func(e ir.Expr) bool
+	checkLeaf = func(e ir.Expr) bool {
+		switch e.(type) {
+		case *ir.EConst, *ir.ELoad, *ir.EInput, nil:
+			return true
+		}
+		return false
+	}
+	for _, s := range p.Stmts {
+		exprs := []ir.Expr{}
+		switch s.Op {
+		case ir.OpAssign:
+			exprs = append(exprs, s.Rhs)
+			if s.Lhs == ir.LIndex {
+				if !checkLeaf(s.LhsIdx) {
+					t.Fatalf("s%d: store index is not a leaf", s.ID)
+				}
+			}
+		case ir.OpCond, ir.OpPrint, ir.OpReturn:
+			exprs = append(exprs, s.Rhs)
+		case ir.OpCall:
+			for _, a := range s.Args {
+				if !checkLeaf(a) {
+					t.Fatalf("s%d: call argument is not a leaf", s.ID)
+				}
+			}
+		}
+		for _, e := range exprs {
+			switch x := e.(type) {
+			case *ir.EBinary:
+				if !checkLeaf(x.X) || !checkLeaf(x.Y) {
+					t.Fatalf("s%d: binary operands not leaves", s.ID)
+				}
+			case *ir.EUnary:
+				if !checkLeaf(x.X) {
+					t.Fatalf("s%d: unary operand not a leaf", s.ID)
+				}
+			case *ir.ELoadIdx:
+				if !checkLeaf(x.Idx) {
+					t.Fatalf("s%d: load index not a leaf", s.ID)
+				}
+			case *ir.ELoadPtr:
+				if !checkLeaf(x.Addr) {
+					t.Fatalf("s%d: load address not a leaf", s.ID)
+				}
+			}
+		}
+	}
+}
+
+// TestCSESharesIndexTemps checks that repeated pure index computations in
+// one block reuse a single temporary.
+func TestCSESharesIndexTemps(t *testing.T) {
+	p := lower(t, `
+		func main() {
+			var a[16];
+			var b[16];
+			var i = 3;
+			a[i * 2 + 1] = 10;
+			b[i * 2 + 1] = 20;
+			print(a[i * 2 + 1] + b[i * 2 + 1]);
+		}
+	`)
+	// Count statements computing i*2: with CSE there must be exactly one
+	// multiplication by 2 in the whole program.
+	muls := 0
+	for _, s := range p.Stmts {
+		if s.Op != ir.OpAssign {
+			continue
+		}
+		if bin, ok := s.Rhs.(*ir.EBinary); ok {
+			if c, ok := bin.Y.(*ir.EConst); ok && c.Val == 2 {
+				muls++
+			}
+		}
+	}
+	if muls != 1 {
+		t.Fatalf("i*2 computed %d times, want 1 (CSE)", muls)
+	}
+}
+
+// TestUseSlotsMatchEvaluation verifies slot counts for representative
+// statement forms.
+func TestUseSlotsMatchEvaluation(t *testing.T) {
+	p := lower(t, `
+		var g = 5;
+		func main() {
+			var a[4];
+			var i = 1;
+			var x = a[i];      // uses: i, a[i]
+			var p = &a[2];     // uses: none (address computation)
+			var y = *p;        // uses: p, *p
+			g = x + y;         // uses: x, y
+			print(g);          // uses: g
+		}
+	`)
+	counts := map[string]int{}
+	for _, s := range p.Stmts {
+		if s.Op == ir.OpAssign && s.Lhs == ir.LVar {
+			counts[p.Obj(s.LhsObj).Name] = len(s.Uses)
+		}
+	}
+	if counts["x"] != 2 {
+		t.Errorf("x = a[i] has %d use slots, want 2", counts["x"])
+	}
+	if counts["p"] != 0 {
+		t.Errorf("p = &a[2] has %d use slots, want 0", counts["p"])
+	}
+	if counts["y"] != 2 {
+		t.Errorf("y = *p has %d use slots, want 2", counts["y"])
+	}
+	if counts["g"] != 2 {
+		t.Errorf("g = x + y has %d use slots, want 2", counts["g"])
+	}
+}
+
+// TestLogicalChains checks superblock chain construction.
+func TestLogicalChains(t *testing.T) {
+	p := lower(t, `
+		func f(x) { return x + 1; }
+		func main() {
+			var a = f(1) + f(2);
+			print(a);
+		}
+	`)
+	heads := 0
+	for _, b := range p.Main.Blocks {
+		if b.IsContinuation() {
+			if len(b.Preds) != 1 || !b.Preds[0].IsCallBlock() {
+				t.Fatalf("bad continuation %s", b)
+			}
+			continue
+		}
+		chain := ir.LogicalChain(b)
+		heads++
+		for i, cb := range chain {
+			if i > 0 && !cb.IsContinuation() {
+				t.Fatalf("chain of %s contains non-continuation %s", b, cb)
+			}
+		}
+		// The entry's chain must cover both calls.
+		if b == p.Main.Entry() && len(chain) < 3 {
+			t.Fatalf("entry chain has %d blocks, want >= 3 (two calls)", len(chain))
+		}
+	}
+	if heads == 0 {
+		t.Fatal("no chain heads found")
+	}
+}
+
+// TestAliasAnnotations checks that points-to results land on the IR.
+func TestAliasAnnotations(t *testing.T) {
+	p := lower(t, `
+		var x = 1;
+		var y = 2;
+		func main() {
+			var p = &x;
+			if (input() > 0) { p = &y; }
+			*p = 7;
+			print(*p);
+		}
+	`)
+	var store *ir.Stmt
+	for _, s := range p.Stmts {
+		if s.Op == ir.OpAssign && s.Lhs == ir.LDeref {
+			store = s
+		}
+	}
+	if store == nil {
+		t.Fatal("no deref store found")
+	}
+	hasX, hasY := false, false
+	for _, o := range store.MayDefs {
+		switch p.Obj(o).Name {
+		case "x":
+			hasX = true
+		case "y":
+			hasY = true
+		}
+	}
+	if !hasX || !hasY {
+		t.Fatalf("deref store may-defs = %v, want x and y", store.MayDefs)
+	}
+	if !p.Obj(findObj(p, "x")).AddrTaken || !p.Obj(findObj(p, "y")).AddrTaken {
+		t.Error("address-taken flags not set")
+	}
+}
+
+func findObj(p *ir.Program, name string) ir.ObjID {
+	for _, o := range p.Objects {
+		if o.Name == name {
+			return o.ID
+		}
+	}
+	return ir.NoObj
+}
+
+// TestMODSummaries checks transitive side-effect summaries.
+func TestMODSummaries(t *testing.T) {
+	p := lower(t, `
+		var g = 0;
+		func deep() { g = g + 1; return g; }
+		func mid() { return deep(); }
+		func main() { mid(); print(g); }
+	`)
+	gid := findObj(p, "g")
+	for _, name := range []string{"deep", "mid"} {
+		f := p.Func(name)
+		if !f.MOD[gid] {
+			t.Errorf("MOD(%s) should contain g", name)
+		}
+	}
+	// Call statements to mid must may-def g.
+	for _, s := range p.Stmts {
+		if s.Op == ir.OpCall && s.Callee.Name == "mid" {
+			found := false
+			for _, o := range s.MayDefs {
+				if o == gid {
+					found = true
+				}
+			}
+			if !found {
+				t.Error("call to mid should may-def g")
+			}
+		}
+	}
+}

@@ -1,0 +1,87 @@
+package ir
+
+// Logical blocks. The lowerer terminates physical basic blocks at call
+// statements so that trace records stay positionally decodable, but the
+// paper's model (Trimaran) keeps calls in the middle of blocks. A
+// *logical block* recovers that view: a chain
+//
+//	head -> continuation -> continuation -> ...
+//
+// where every link is a call-terminated block followed by its unique
+// continuation. The OPT graph assigns one node (and one timestamp per
+// execution) to each logical block, exactly as the paper assigns one
+// timestamp per basic-block execution.
+
+// IsCallBlock reports whether b's terminator is a call.
+func (b *Block) IsCallBlock() bool {
+	t := b.Terminator()
+	return t != nil && t.Op == OpCall
+}
+
+// IsContinuation reports whether b is the continuation of a call: its only
+// predecessor ends in a call. Continuations never execute standalone.
+func (b *Block) IsContinuation() bool {
+	return len(b.Preds) == 1 && b.Preds[0].IsCallBlock()
+}
+
+// LogicalChain returns the logical block starting at head: head followed
+// by its continuation chain. head must not itself be a continuation.
+func LogicalChain(head *Block) []*Block {
+	chain := []*Block{head}
+	for chain[len(chain)-1].IsCallBlock() {
+		next := chain[len(chain)-1].Succs[0]
+		chain = append(chain, next)
+	}
+	return chain
+}
+
+// UseIdxScalar returns the scalar object serving as the index operand of
+// the array load feeding use slot k, when that operand is a direct scalar
+// load (the common case after three-address lowering with CSE). It is used
+// by the OPT-3 generalization that shares labels between paired array
+// accesses.
+func (s *Stmt) UseIdxScalar(slot int) (ObjID, bool) {
+	var out ObjID = NoObj
+	found := false
+	visit := func(e Expr) {
+		WalkExpr(e, func(x Expr) {
+			li, ok := x.(*ELoadIdx)
+			if !ok || li.Slot != slot {
+				return
+			}
+			if ld, ok := li.Idx.(*ELoad); ok {
+				out = ld.Obj
+				found = true
+			}
+		})
+	}
+	switch s.Op {
+	case OpAssign:
+		visit(s.Rhs)
+		if s.Lhs == LIndex {
+			visit(s.LhsIdx)
+		}
+		if s.Lhs == LDeref {
+			visit(s.LhsAddr)
+		}
+	case OpCond, OpPrint, OpReturn:
+		visit(s.Rhs)
+	case OpCall:
+		for _, a := range s.Args {
+			visit(a)
+		}
+	}
+	return out, found
+}
+
+// DefIdxScalar returns the scalar object serving as the index operand of
+// an array store (Lhs == LIndex), when it is a direct scalar load.
+func (s *Stmt) DefIdxScalar() (ObjID, bool) {
+	if s.Op != OpAssign || s.Lhs != LIndex {
+		return NoObj, false
+	}
+	if ld, ok := s.LhsIdx.(*ELoad); ok {
+		return ld.Obj, true
+	}
+	return NoObj, false
+}

@@ -1,0 +1,766 @@
+package ir
+
+import (
+	"fmt"
+
+	"dynslice/internal/lang"
+)
+
+// Lower translates a checked AST into IR. Lowering:
+//
+//   - hoists calls out of expressions (each call becomes an OpCall block
+//     terminator followed by `tmp = $ret` in the continuation block),
+//   - materializes global initialization as statements at main's entry,
+//   - inserts an implicit `return 0` on every path that falls off the end
+//     of a function,
+//   - builds the CFG with call statements terminating blocks, and
+//   - removes unreachable blocks and numbers statements and blocks
+//     program-wide.
+func Lower(ast *lang.Program) (*Program, error) {
+	lw := &lowerer{
+		prog: &Program{Source: ""},
+		ast:  ast,
+	}
+	return lw.run()
+}
+
+type lowerer struct {
+	prog *Program
+	ast  *lang.Program
+
+	fn     *Func
+	blk    *Block // current block being filled (nil after a terminator)
+	scopes []map[string]*Object
+	loops  []loopCtx
+	tmpSeq int
+
+	// cse memoizes pure computations (binary/unary/address ops over leaf
+	// operands) hoisted into temporaries within the current block, so
+	// repeated subexpressions (typically index arithmetic) share one
+	// temporary — standard block-local common-subexpression elimination,
+	// mirroring what the paper's Trimaran substrate performs.
+	cse map[cseKey]*Object
+}
+
+// cseKey identifies a pure single-operation computation over leaves.
+type cseKey struct {
+	op       lang.Kind
+	kind     uint8 // 1: binary, 2: unary, 3: addr, 4: addr+index
+	aIsConst bool
+	aVal     int64 // constant value or ObjID
+	bIsConst bool
+	bVal     int64
+}
+
+func leafKey(e Expr) (isConst bool, val int64, ok bool) {
+	switch x := e.(type) {
+	case *EConst:
+		return true, x.Val, true
+	case *ELoad:
+		return false, int64(x.Obj), true
+	}
+	return false, 0, false
+}
+
+// cseLookup returns a memoized temporary for the simplified expression, if
+// the computation is pure and already available in this block.
+func (lw *lowerer) cseLookup(e Expr) (*Object, cseKey, bool, bool) {
+	var k cseKey
+	switch x := e.(type) {
+	case *EBinary:
+		ac, av, ok1 := leafKey(x.X)
+		bc, bv, ok2 := leafKey(x.Y)
+		if !ok1 || !ok2 {
+			return nil, k, false, false
+		}
+		k = cseKey{op: x.Op, kind: 1, aIsConst: ac, aVal: av, bIsConst: bc, bVal: bv}
+	case *EUnary:
+		ac, av, ok1 := leafKey(x.X)
+		if !ok1 {
+			return nil, k, false, false
+		}
+		k = cseKey{op: x.Op, kind: 2, aIsConst: ac, aVal: av}
+	case *EAddr:
+		if x.Idx == nil {
+			k = cseKey{kind: 3, aVal: int64(x.Obj)}
+		} else {
+			bc, bv, ok1 := leafKey(x.Idx)
+			if !ok1 {
+				return nil, k, false, false
+			}
+			k = cseKey{kind: 4, aVal: int64(x.Obj), bIsConst: bc, bVal: bv}
+		}
+	default:
+		return nil, k, false, false
+	}
+	if lw.cse == nil {
+		return nil, k, false, true
+	}
+	t, hit := lw.cse[k]
+	return t, k, hit, true
+}
+
+// cseInvalidate drops memo entries that read the (re)defined scalar.
+func (lw *lowerer) cseInvalidate(obj ObjID) {
+	for k := range lw.cse {
+		if (!k.aIsConst && k.aVal == int64(obj) && k.kind != 3 && k.kind != 4) ||
+			(!k.bIsConst && k.bVal == int64(obj) && (k.kind == 1 || k.kind == 4)) {
+			delete(lw.cse, k)
+		}
+	}
+}
+
+type loopCtx struct {
+	continueTo *Block
+	breakTo    *Block
+}
+
+func (lw *lowerer) run() (*Program, error) {
+	p := lw.prog
+	// Create function shells first so calls can be resolved.
+	fnByName := map[string]*Func{}
+	for i, fd := range lw.ast.Funcs {
+		f := &Func{ID: i, Name: fd.Name}
+		p.Funcs = append(p.Funcs, f)
+		fnByName[fd.Name] = f
+	}
+	p.Main = fnByName["main"]
+
+	// Globals.
+	var goff int64
+	for _, g := range lw.ast.Globals {
+		o := lw.newObject(g.Name, nil, g.Size)
+		o.Off = goff
+		goff += o.Size
+		p.Globals = append(p.Globals, o)
+	}
+	p.GlobalSize = goff
+
+	// Lower each function.
+	for i, fd := range lw.ast.Funcs {
+		if err := lw.lowerFunc(p.Funcs[i], fd, fnByName); err != nil {
+			return nil, err
+		}
+	}
+
+	// Program-wide numbering.
+	lw.number()
+	return p, nil
+}
+
+func (lw *lowerer) newObject(name string, fn *Func, arrSize int64) *Object {
+	o := &Object{
+		ID:      ObjID(len(lw.prog.Objects)),
+		Name:    name,
+		Fn:      fn,
+		Size:    1,
+		IsArray: arrSize > 0,
+	}
+	if arrSize > 0 {
+		o.Size = arrSize
+	}
+	lw.prog.Objects = append(lw.prog.Objects, o)
+	return o
+}
+
+func (lw *lowerer) globalScope() map[string]*Object {
+	m := map[string]*Object{}
+	for _, o := range lw.prog.Globals {
+		m[o.Name] = o
+	}
+	return m
+}
+
+func (lw *lowerer) lookup(name string) *Object {
+	for i := len(lw.scopes) - 1; i >= 0; i-- {
+		if o, ok := lw.scopes[i][name]; ok {
+			return o
+		}
+	}
+	return nil
+}
+
+func (lw *lowerer) declare(name string, arrSize int64) *Object {
+	o := lw.newObject(name, lw.fn, arrSize)
+	lw.fn.Locals = append(lw.fn.Locals, o)
+	lw.scopes[len(lw.scopes)-1][name] = o
+	return o
+}
+
+func (lw *lowerer) newTemp() *Object {
+	lw.tmpSeq++
+	o := lw.newObject(fmt.Sprintf("$t%d", lw.tmpSeq), lw.fn, 0)
+	lw.fn.Locals = append(lw.fn.Locals, o)
+	return o
+}
+
+func (lw *lowerer) newBlock() *Block {
+	b := &Block{Fn: lw.fn, Index: len(lw.fn.Blocks)}
+	lw.fn.Blocks = append(lw.fn.Blocks, b)
+	return b
+}
+
+// setBlock makes b the current insertion block and resets the CSE memo
+// (memoized temporaries are only valid within one block).
+func (lw *lowerer) setBlock(b *Block) {
+	lw.blk = b
+	lw.cse = map[cseKey]*Object{}
+}
+
+// emit appends a statement to the current block, maintaining the CSE memo.
+func (lw *lowerer) emit(s *Stmt) *Stmt {
+	s.Block = lw.blk
+	s.Idx = len(lw.blk.Stmts)
+	lw.blk.Stmts = append(lw.blk.Stmts, s)
+	if s.Op == OpAssign {
+		switch s.Lhs {
+		case LVar:
+			lw.cseInvalidate(s.LhsObj)
+		case LDeref:
+			// AddrTaken flags are not final during lowering, so be fully
+			// conservative about what a pointer store may overwrite.
+			lw.cse = map[cseKey]*Object{}
+		}
+	}
+	return s
+}
+
+// link adds a CFG edge a -> b.
+func link(a, b *Block) { a.Succs = append(a.Succs, b) }
+
+func (lw *lowerer) lowerFunc(f *Func, fd *lang.FuncDecl, fnByName map[string]*Func) error {
+	lw.fn = f
+	lw.tmpSeq = 0
+	lw.scopes = []map[string]*Object{lw.globalScope(), {}}
+	lw.loops = nil
+
+	for _, pname := range fd.Params {
+		o := lw.newObject(pname, f, 0)
+		f.Params = append(f.Params, o)
+		f.Locals = append(f.Locals, o)
+		lw.scopes[1][pname] = o
+	}
+	f.Ret = lw.newObject("$ret", f, 0)
+	f.Ret.IsRet = true
+	f.Locals = append(f.Locals, f.Ret)
+
+	entry := lw.newBlock()
+	lw.setBlock(entry)
+
+	// Global initialization runs at the start of main.
+	if f == lw.prog.Main {
+		for i, g := range lw.ast.Globals {
+			o := lw.prog.Globals[i]
+			if o.IsArray {
+				lw.emit(&Stmt{Op: OpDeclArr, Obj: o.ID, Pos: g.Pos_})
+				continue
+			}
+			rhs := Expr(&EConst{Val: 0})
+			if g.Init != nil {
+				var err error
+				rhs, err = lw.lowerExpr(g.Init)
+				if err != nil {
+					return err
+				}
+			}
+			rhs = lw.simplify(rhs, g.Pos_)
+			lw.emit(&Stmt{Op: OpAssign, Lhs: LVar, LhsObj: o.ID, Rhs: rhs, Pos: g.Pos_})
+		}
+	}
+
+	if err := lw.lowerBlockStmt(fd.Body); err != nil {
+		return err
+	}
+
+	// Implicit `return 0` for paths that fall off the end.
+	if lw.blk != nil {
+		lw.emit(&Stmt{Op: OpReturn, Rhs: &EConst{Val: 0}, Pos: fd.Pos_})
+		lw.blk = nil
+	}
+	exit := lw.newBlock()
+	f.Exit = exit
+	// Wire every return block to the exit.
+	for _, b := range f.Blocks {
+		if b == exit {
+			continue
+		}
+		if t := b.Terminator(); t != nil && t.Op == OpReturn {
+			link(b, exit)
+		}
+	}
+
+	lw.cleanup(f)
+
+	// Assign frame offsets.
+	var off int64
+	for _, o := range f.Locals {
+		o.Off = off
+		off += o.Size
+	}
+	f.FrameSize = off
+	lw.resolveCalls(f, fnByName)
+	return nil
+}
+
+// resolveCalls is a no-op placeholder kept for symmetry; callees are
+// resolved during lowering via fnByName captured in lowerExpr closures.
+func (lw *lowerer) resolveCalls(*Func, map[string]*Func) {}
+
+func (lw *lowerer) lowerBlockStmt(b *lang.BlockStmt) error {
+	lw.scopes = append(lw.scopes, map[string]*Object{})
+	defer func() { lw.scopes = lw.scopes[:len(lw.scopes)-1] }()
+	for _, s := range b.Stmts {
+		if lw.blk == nil {
+			// Unreachable code after break/continue/return: skip it.
+			return nil
+		}
+		if err := lw.lowerStmt(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (lw *lowerer) lowerStmt(s lang.Stmt) error {
+	switch st := s.(type) {
+	case *lang.VarDecl:
+		o := lw.declare(st.Name, st.Size)
+		if o.IsArray {
+			lw.emit(&Stmt{Op: OpDeclArr, Obj: o.ID, Pos: st.Pos_})
+			return nil
+		}
+		rhs := Expr(&EConst{Val: 0})
+		if st.Init != nil {
+			var err error
+			rhs, err = lw.lowerExpr(st.Init)
+			if err != nil {
+				return err
+			}
+		}
+		rhs = lw.simplify(rhs, st.Pos_)
+		lw.emit(&Stmt{Op: OpAssign, Lhs: LVar, LhsObj: o.ID, Rhs: rhs, Pos: st.Pos_})
+		return nil
+
+	case *lang.AssignStmt:
+		if st.Deref {
+			addr, err := lw.lowerExpr(st.Addr)
+			if err != nil {
+				return err
+			}
+			rhs, err := lw.lowerExpr(st.Rhs)
+			if err != nil {
+				return err
+			}
+			addr = lw.atom(addr, st.Pos_)
+			rhs = lw.atom(rhs, st.Pos_)
+			lw.emit(&Stmt{Op: OpAssign, Lhs: LDeref, LhsAddr: addr, Rhs: rhs, Pos: st.Pos_})
+			return nil
+		}
+		o := lw.lookup(st.Name)
+		if st.Index != nil {
+			idx, err := lw.lowerExpr(st.Index)
+			if err != nil {
+				return err
+			}
+			rhs, err := lw.lowerExpr(st.Rhs)
+			if err != nil {
+				return err
+			}
+			idx = lw.atom(idx, st.Pos_)
+			rhs = lw.atom(rhs, st.Pos_)
+			lw.emit(&Stmt{Op: OpAssign, Lhs: LIndex, LhsObj: o.ID, LhsIdx: idx, Rhs: rhs, Pos: st.Pos_})
+			return nil
+		}
+		rhs, err := lw.lowerExpr(st.Rhs)
+		if err != nil {
+			return err
+		}
+		rhs = lw.simplify(rhs, st.Pos_)
+		lw.emit(&Stmt{Op: OpAssign, Lhs: LVar, LhsObj: o.ID, Rhs: rhs, Pos: st.Pos_})
+		return nil
+
+	case *lang.IfStmt:
+		cond, err := lw.lowerExpr(st.Cond)
+		if err != nil {
+			return err
+		}
+		cond = lw.simplify(cond, st.Pos_)
+		condBlk := lw.blk
+		lw.emit(&Stmt{Op: OpCond, Rhs: cond, Pos: st.Pos_})
+		thenBlk := lw.newBlock()
+		link(condBlk, thenBlk)
+		lw.setBlock(thenBlk)
+		if err := lw.lowerBlockStmt(st.Then); err != nil {
+			return err
+		}
+		thenEnd := lw.blk
+
+		var elseEnd *Block
+		if st.Else != nil {
+			elseBlk := lw.newBlock()
+			link(condBlk, elseBlk)
+			lw.setBlock(elseBlk)
+			if err := lw.lowerStmt(st.Else); err != nil {
+				return err
+			}
+			elseEnd = lw.blk
+		}
+
+		if st.Else == nil {
+			merge := lw.newBlock()
+			link(condBlk, merge) // false edge
+			if thenEnd != nil {
+				link(thenEnd, merge)
+			}
+			lw.setBlock(merge)
+			return nil
+		}
+		if thenEnd == nil && elseEnd == nil {
+			lw.blk = nil
+			return nil
+		}
+		merge := lw.newBlock()
+		if thenEnd != nil {
+			link(thenEnd, merge)
+		}
+		if elseEnd != nil {
+			link(elseEnd, merge)
+		}
+		lw.setBlock(merge)
+		return nil
+
+	case *lang.WhileStmt:
+		header := lw.newBlock()
+		link(lw.blk, header)
+		lw.setBlock(header)
+		cond, err := lw.lowerExpr(st.Cond)
+		if err != nil {
+			return err
+		}
+		cond = lw.simplify(cond, st.Pos_)
+		// The condition may have hoisted calls or temporaries, splitting
+		// blocks; the block holding the OpCond is the current one, which
+		// may differ from header. Back edges target header (re-evaluating
+		// the calls and temporaries).
+		condBlk := lw.blk
+		lw.emit(&Stmt{Op: OpCond, Rhs: cond, Pos: st.Pos_})
+		body := lw.newBlock()
+		after := lw.newBlock()
+		link(condBlk, body)
+		link(condBlk, after)
+		lw.loops = append(lw.loops, loopCtx{continueTo: header, breakTo: after})
+		lw.setBlock(body)
+		if err := lw.lowerBlockStmt(st.Body); err != nil {
+			return err
+		}
+		if lw.blk != nil {
+			link(lw.blk, header)
+		}
+		lw.loops = lw.loops[:len(lw.loops)-1]
+		lw.setBlock(after)
+		return nil
+
+	case *lang.ForStmt:
+		lw.scopes = append(lw.scopes, map[string]*Object{})
+		defer func() { lw.scopes = lw.scopes[:len(lw.scopes)-1] }()
+		if st.Init != nil {
+			if err := lw.lowerStmt(st.Init); err != nil {
+				return err
+			}
+		}
+		header := lw.newBlock()
+		link(lw.blk, header)
+		lw.setBlock(header)
+		cond := Expr(&EConst{Val: 1})
+		if st.Cond != nil {
+			var err error
+			cond, err = lw.lowerExpr(st.Cond)
+			if err != nil {
+				return err
+			}
+		}
+		cond = lw.simplify(cond, st.Pos_)
+		condBlk := lw.blk
+		lw.emit(&Stmt{Op: OpCond, Rhs: cond, Pos: st.Pos_})
+		body := lw.newBlock()
+		after := lw.newBlock()
+		post := lw.newBlock()
+		link(condBlk, body)
+		link(condBlk, after)
+		lw.loops = append(lw.loops, loopCtx{continueTo: post, breakTo: after})
+		lw.setBlock(body)
+		if err := lw.lowerBlockStmt(st.Body); err != nil {
+			return err
+		}
+		if lw.blk != nil {
+			link(lw.blk, post)
+		}
+		lw.loops = lw.loops[:len(lw.loops)-1]
+		lw.setBlock(post)
+		if st.Post != nil {
+			if err := lw.lowerStmt(st.Post); err != nil {
+				return err
+			}
+		}
+		if lw.blk != nil {
+			link(lw.blk, header)
+		}
+		lw.setBlock(after)
+		return nil
+
+	case *lang.ReturnStmt:
+		rhs := Expr(&EConst{Val: 0})
+		if st.Value != nil {
+			var err error
+			rhs, err = lw.lowerExpr(st.Value)
+			if err != nil {
+				return err
+			}
+		}
+		rhs = lw.simplify(rhs, st.Pos_)
+		lw.emit(&Stmt{Op: OpReturn, Rhs: rhs, Pos: st.Pos_})
+		lw.blk = nil
+		return nil
+
+	case *lang.BreakStmt:
+		lc := lw.loops[len(lw.loops)-1]
+		link(lw.blk, lc.breakTo)
+		lw.blk = nil
+		return nil
+
+	case *lang.ContinueStmt:
+		lc := lw.loops[len(lw.loops)-1]
+		link(lw.blk, lc.continueTo)
+		lw.blk = nil
+		return nil
+
+	case *lang.PrintStmt:
+		arg, err := lw.lowerExpr(st.Arg)
+		if err != nil {
+			return err
+		}
+		arg = lw.simplify(arg, st.Pos_)
+		lw.emit(&Stmt{Op: OpPrint, Rhs: arg, Pos: st.Pos_})
+		return nil
+
+	case *lang.ExprStmt:
+		// A call for effect: lower the call, discard $ret.
+		_, err := lw.lowerCall(st.Call, false)
+		return err
+
+	case *lang.BlockStmt:
+		return lw.lowerBlockStmt(st)
+	}
+	return fmt.Errorf("%s: internal: unhandled statement %T", s.Position(), s)
+}
+
+// lowerCall emits argument evaluation and the OpCall terminator, then opens
+// the continuation block. If wantValue is true it returns an expression
+// reading a fresh temporary that holds the return value.
+func (lw *lowerer) lowerCall(c *lang.CallExpr, wantValue bool) (Expr, error) {
+	callee := lw.calleeOf(c.Callee)
+	args := make([]Expr, len(c.Args))
+	for i, a := range c.Args {
+		e, err := lw.lowerExpr(a)
+		if err != nil {
+			return nil, err
+		}
+		args[i] = lw.atom(e, c.Pos_)
+	}
+	callBlk := lw.blk
+	lw.emit(&Stmt{Op: OpCall, Callee: callee, Args: args, Pos: c.Pos_})
+	cont := lw.newBlock()
+	link(callBlk, cont)
+	lw.setBlock(cont)
+	if !wantValue {
+		return nil, nil
+	}
+	tmp := lw.newTemp()
+	lw.emit(&Stmt{
+		Op: OpAssign, Lhs: LVar, LhsObj: tmp.ID,
+		Rhs: &ELoad{Obj: lw.fn.Ret.ID}, Pos: c.Pos_,
+	})
+	return &ELoad{Obj: tmp.ID}, nil
+}
+
+func (lw *lowerer) calleeOf(name string) *Func {
+	for _, f := range lw.prog.Funcs {
+		if f.Name == name {
+			return f
+		}
+	}
+	return nil // unreachable: checker verified call targets
+}
+
+// lowerExpr lowers an AST expression, hoisting any contained calls before
+// the current statement. Calls are evaluated left to right, before any
+// other part of the containing statement.
+func (lw *lowerer) lowerExpr(e lang.Expr) (Expr, error) {
+	switch ex := e.(type) {
+	case *lang.NumLit:
+		return &EConst{Val: ex.Value}, nil
+	case *lang.VarRef:
+		return &ELoad{Obj: lw.lookup(ex.Name).ID}, nil
+	case *lang.IndexExpr:
+		idx, err := lw.lowerExpr(ex.Index)
+		if err != nil {
+			return nil, err
+		}
+		return &ELoadIdx{Obj: lw.lookup(ex.Array).ID, Idx: idx}, nil
+	case *lang.DerefExpr:
+		addr, err := lw.lowerExpr(ex.Addr)
+		if err != nil {
+			return nil, err
+		}
+		return &ELoadPtr{Addr: addr}, nil
+	case *lang.AddrOfExpr:
+		o := lw.lookup(ex.Name)
+		o.AddrTaken = true
+		if ex.Index == nil {
+			return &EAddr{Obj: o.ID}, nil
+		}
+		idx, err := lw.lowerExpr(ex.Index)
+		if err != nil {
+			return nil, err
+		}
+		return &EAddr{Obj: o.ID, Idx: idx}, nil
+	case *lang.UnaryExpr:
+		x, err := lw.lowerExpr(ex.X)
+		if err != nil {
+			return nil, err
+		}
+		return &EUnary{Op: ex.Op, X: x}, nil
+	case *lang.BinaryExpr:
+		x, err := lw.lowerExpr(ex.X)
+		if err != nil {
+			return nil, err
+		}
+		y, err := lw.lowerExpr(ex.Y)
+		if err != nil {
+			return nil, err
+		}
+		return &EBinary{Op: ex.Op, X: x, Y: y}, nil
+	case *lang.CallExpr:
+		return lw.lowerCall(ex, true)
+	case *lang.InputExpr:
+		return &EInput{}, nil
+	}
+	return nil, fmt.Errorf("%s: internal: unhandled expression %T", e.Position(), e)
+}
+
+// cleanup removes unreachable blocks, computes predecessor lists, and
+// renumbers block indices within the function.
+func (lw *lowerer) cleanup(f *Func) {
+	reach := map[*Block]bool{}
+	var dfs func(*Block)
+	dfs = func(b *Block) {
+		if reach[b] {
+			return
+		}
+		reach[b] = true
+		for _, s := range b.Succs {
+			dfs(s)
+		}
+	}
+	dfs(f.Blocks[0])
+	reach[f.Exit] = true
+
+	var kept []*Block
+	for _, b := range f.Blocks {
+		if reach[b] {
+			kept = append(kept, b)
+		}
+	}
+	f.Blocks = kept
+	for i, b := range f.Blocks {
+		b.Index = i
+		b.Preds = nil
+	}
+	for _, b := range f.Blocks {
+		var succs []*Block
+		for _, s := range b.Succs {
+			if reach[s] {
+				succs = append(succs, s)
+			}
+		}
+		b.Succs = succs
+		for _, s := range b.Succs {
+			s.Preds = append(s.Preds, b)
+		}
+	}
+}
+
+// number assigns program-wide IDs to blocks and statements and fills the
+// flat lookup slices.
+func (lw *lowerer) number() {
+	p := lw.prog
+	for _, f := range p.Funcs {
+		for _, b := range f.Blocks {
+			b.ID = BlockID(len(p.Blocks))
+			p.Blocks = append(p.Blocks, b)
+			for i, s := range b.Stmts {
+				s.ID = StmtID(len(p.Stmts))
+				s.Block = b
+				s.Idx = i
+				p.Stmts = append(p.Stmts, s)
+			}
+		}
+	}
+}
+
+// ---- Three-address decomposition ----
+//
+// Expressions are flattened into temporaries so every statement performs
+// at most one operation over leaf operands, mirroring the paper's
+// Trimaran substrate. The resulting block-local temporary def-use chains
+// are exactly the dependences OPT-1a infers without labels.
+
+// atom reduces e to a leaf operand (constant, scalar load, or input),
+// hoisting anything larger into a temporary in the current block. Pure
+// computations reuse an existing temporary when the same computation is
+// already available (block-local CSE).
+func (lw *lowerer) atom(e Expr, pos lang.Pos) Expr {
+	switch e.(type) {
+	case *EConst, *ELoad, *EInput:
+		return e
+	}
+	simple := lw.simplify(e, pos)
+	if t, key, hit, pure := lw.cseLookup(simple); pure {
+		if hit {
+			return &ELoad{Obj: t.ID}
+		}
+		nt := lw.newTemp()
+		lw.emit(&Stmt{Op: OpAssign, Lhs: LVar, LhsObj: nt.ID, Rhs: simple, Pos: pos})
+		lw.cse[key] = nt
+		return &ELoad{Obj: nt.ID}
+	}
+	t := lw.newTemp()
+	lw.emit(&Stmt{Op: OpAssign, Lhs: LVar, LhsObj: t.ID, Rhs: simple, Pos: pos})
+	return &ELoad{Obj: t.ID}
+}
+
+// simplify reduces e to a single operation whose operands are leaves,
+// emitting temporaries for subexpressions in evaluation order.
+func (lw *lowerer) simplify(e Expr, pos lang.Pos) Expr {
+	switch x := e.(type) {
+	case *EBinary:
+		x.X = lw.atom(x.X, pos)
+		x.Y = lw.atom(x.Y, pos)
+		return x
+	case *EUnary:
+		x.X = lw.atom(x.X, pos)
+		return x
+	case *ELoadIdx:
+		x.Idx = lw.atom(x.Idx, pos)
+		return x
+	case *ELoadPtr:
+		x.Addr = lw.atom(x.Addr, pos)
+		return x
+	case *EAddr:
+		if x.Idx != nil {
+			x.Idx = lw.atom(x.Idx, pos)
+		}
+		return x
+	}
+	return e
+}

@@ -1,0 +1,235 @@
+package lang
+
+// This file defines the abstract syntax tree produced by the parser.
+// The tree is deliberately small: expressions, statements, declarations.
+// Lowering to the analyzable/executable IR happens in package ir.
+
+// Node is implemented by all AST nodes and reports the source position.
+type Node interface {
+	Position() Pos
+}
+
+// ---- Expressions ----
+
+// Expr is an expression node.
+type Expr interface {
+	Node
+	exprNode()
+}
+
+// NumLit is an integer literal.
+type NumLit struct {
+	Pos_  Pos
+	Value int64
+}
+
+// VarRef is a reference to a named scalar or array variable.
+type VarRef struct {
+	Pos_ Pos
+	Name string
+}
+
+// IndexExpr is a[i].
+type IndexExpr struct {
+	Pos_  Pos
+	Array string
+	Index Expr
+}
+
+// DerefExpr is *e: read from the address computed by e.
+type DerefExpr struct {
+	Pos_ Pos
+	Addr Expr
+}
+
+// AddrOfExpr is &x or &a[i]: the address of a variable or array element.
+type AddrOfExpr struct {
+	Pos_  Pos
+	Name  string
+	Index Expr // nil for &x; non-nil for &a[i]
+}
+
+// UnaryExpr is -e or !e.
+type UnaryExpr struct {
+	Pos_ Pos
+	Op   Kind // Minus or Not
+	X    Expr
+}
+
+// BinaryExpr is a binary operation. && and || are short-circuiting.
+type BinaryExpr struct {
+	Pos_ Pos
+	Op   Kind
+	X, Y Expr
+}
+
+// CallExpr is f(args) used as a value.
+type CallExpr struct {
+	Pos_   Pos
+	Callee string
+	Args   []Expr
+}
+
+// InputExpr is input(): reads the next value from the program input vector.
+type InputExpr struct {
+	Pos_ Pos
+}
+
+func (e *NumLit) Position() Pos     { return e.Pos_ }
+func (e *VarRef) Position() Pos     { return e.Pos_ }
+func (e *IndexExpr) Position() Pos  { return e.Pos_ }
+func (e *DerefExpr) Position() Pos  { return e.Pos_ }
+func (e *AddrOfExpr) Position() Pos { return e.Pos_ }
+func (e *UnaryExpr) Position() Pos  { return e.Pos_ }
+func (e *BinaryExpr) Position() Pos { return e.Pos_ }
+func (e *CallExpr) Position() Pos   { return e.Pos_ }
+func (e *InputExpr) Position() Pos  { return e.Pos_ }
+
+func (*NumLit) exprNode()     {}
+func (*VarRef) exprNode()     {}
+func (*IndexExpr) exprNode()  {}
+func (*DerefExpr) exprNode()  {}
+func (*AddrOfExpr) exprNode() {}
+func (*UnaryExpr) exprNode()  {}
+func (*BinaryExpr) exprNode() {}
+func (*CallExpr) exprNode()   {}
+func (*InputExpr) exprNode()  {}
+
+// ---- Statements ----
+
+// Stmt is a statement node.
+type Stmt interface {
+	Node
+	stmtNode()
+}
+
+// VarDecl declares a scalar (Size == 0) or an array (Size > 0). A scalar may
+// carry an initializer expression; arrays are zero-initialized. A VarDecl is
+// executable: it defines the variable (scalars with the initializer or 0).
+type VarDecl struct {
+	Pos_ Pos
+	Name string
+	Size int64 // 0 for scalar, >0 for array length
+	Init Expr  // optional, scalars only
+}
+
+// AssignStmt stores Rhs into a scalar (Index==nil, Deref==false), an array
+// element (Index!=nil), or through a pointer (Deref==true, Target holds the
+// pointer-valued expression's variable name is not enough: Addr holds it).
+type AssignStmt struct {
+	Pos_  Pos
+	Name  string // target variable for x= / a[i]= forms
+	Index Expr   // non-nil for a[i] = ...
+	Deref bool   // true for *e = ...
+	Addr  Expr   // pointer expression for *e = ...
+	Rhs   Expr
+}
+
+// IfStmt is a two-way conditional; Else may be nil.
+type IfStmt struct {
+	Pos_ Pos
+	Cond Expr
+	Then *BlockStmt
+	Else Stmt // *BlockStmt or *IfStmt or nil
+}
+
+// WhileStmt is a pre-test loop.
+type WhileStmt struct {
+	Pos_ Pos
+	Cond Expr
+	Body *BlockStmt
+}
+
+// ForStmt is for (init; cond; post) { body }. Init and Post are optional
+// simple statements; Cond is optional (nil means true).
+type ForStmt struct {
+	Pos_ Pos
+	Init Stmt
+	Cond Expr
+	Post Stmt
+	Body *BlockStmt
+}
+
+// ReturnStmt returns from the current function, with an optional value.
+type ReturnStmt struct {
+	Pos_  Pos
+	Value Expr
+}
+
+// BreakStmt exits the innermost loop.
+type BreakStmt struct{ Pos_ Pos }
+
+// ContinueStmt jumps to the next iteration of the innermost loop.
+type ContinueStmt struct{ Pos_ Pos }
+
+// PrintStmt appends the value of its argument to the program output.
+type PrintStmt struct {
+	Pos_ Pos
+	Arg  Expr
+}
+
+// ExprStmt is a call used for effect: f(args);
+type ExprStmt struct {
+	Pos_ Pos
+	Call *CallExpr
+}
+
+// BlockStmt is a brace-delimited statement sequence.
+type BlockStmt struct {
+	Pos_  Pos
+	Stmts []Stmt
+}
+
+func (s *VarDecl) Position() Pos      { return s.Pos_ }
+func (s *AssignStmt) Position() Pos   { return s.Pos_ }
+func (s *IfStmt) Position() Pos       { return s.Pos_ }
+func (s *WhileStmt) Position() Pos    { return s.Pos_ }
+func (s *ForStmt) Position() Pos      { return s.Pos_ }
+func (s *ReturnStmt) Position() Pos   { return s.Pos_ }
+func (s *BreakStmt) Position() Pos    { return s.Pos_ }
+func (s *ContinueStmt) Position() Pos { return s.Pos_ }
+func (s *PrintStmt) Position() Pos    { return s.Pos_ }
+func (s *ExprStmt) Position() Pos     { return s.Pos_ }
+func (s *BlockStmt) Position() Pos    { return s.Pos_ }
+
+func (*VarDecl) stmtNode()      {}
+func (*AssignStmt) stmtNode()   {}
+func (*IfStmt) stmtNode()       {}
+func (*WhileStmt) stmtNode()    {}
+func (*ForStmt) stmtNode()      {}
+func (*ReturnStmt) stmtNode()   {}
+func (*BreakStmt) stmtNode()    {}
+func (*ContinueStmt) stmtNode() {}
+func (*PrintStmt) stmtNode()    {}
+func (*ExprStmt) stmtNode()     {}
+func (*BlockStmt) stmtNode()    {}
+
+// ---- Top level ----
+
+// FuncDecl is a function definition.
+type FuncDecl struct {
+	Pos_   Pos
+	Name   string
+	Params []string
+	Body   *BlockStmt
+}
+
+// Position reports the source position of the declaration.
+func (f *FuncDecl) Position() Pos { return f.Pos_ }
+
+// Program is a parsed compilation unit: globals and functions. Execution
+// begins at the function named "main".
+type Program struct {
+	Globals []*VarDecl
+	Funcs   []*FuncDecl
+}
+
+// Func returns the function with the given name, or nil.
+func (p *Program) Func(name string) *FuncDecl {
+	for _, f := range p.Funcs {
+		if f.Name == name {
+			return f
+		}
+	}
+	return nil
+}

@@ -1,0 +1,262 @@
+package lang
+
+// Semantic checking: name resolution, arity checking, array/scalar kind
+// checking, and break/continue placement. Checking is lexically scoped;
+// a declaration is visible from its point of declaration to the end of the
+// enclosing block.
+
+type symKind int
+
+const (
+	symScalar symKind = iota
+	symArray
+)
+
+type scope struct {
+	parent *scope
+	syms   map[string]symKind
+}
+
+func newScope(parent *scope) *scope {
+	return &scope{parent: parent, syms: map[string]symKind{}}
+}
+
+func (s *scope) lookup(name string) (symKind, bool) {
+	for sc := s; sc != nil; sc = sc.parent {
+		if k, ok := sc.syms[name]; ok {
+			return k, true
+		}
+	}
+	return 0, false
+}
+
+type checker struct {
+	prog      *Program
+	funcs     map[string]*FuncDecl
+	loopDepth int
+}
+
+func checkProgram(prog *Program) error {
+	c := &checker{prog: prog, funcs: map[string]*FuncDecl{}}
+	for _, f := range prog.Funcs {
+		if _, dup := c.funcs[f.Name]; dup {
+			return errf(f.Pos_, "duplicate function %q", f.Name)
+		}
+		c.funcs[f.Name] = f
+	}
+	if _, ok := c.funcs["main"]; !ok {
+		return errf(Pos{Line: 1, Col: 1}, "program has no 'main' function")
+	}
+	if len(c.funcs["main"].Params) != 0 {
+		return errf(c.funcs["main"].Pos_, "'main' must take no parameters")
+	}
+
+	globals := newScope(nil)
+	for _, g := range prog.Globals {
+		if _, dup := globals.syms[g.Name]; dup {
+			return errf(g.Pos_, "duplicate global %q", g.Name)
+		}
+		if g.Init != nil {
+			if err := c.checkExpr(g.Init, globals); err != nil {
+				return err
+			}
+		}
+		globals.syms[g.Name] = declKind(g)
+	}
+
+	for _, f := range prog.Funcs {
+		fnScope := newScope(globals)
+		for _, p := range f.Params {
+			if _, dup := fnScope.syms[p]; dup {
+				return errf(f.Pos_, "duplicate parameter %q in %q", p, f.Name)
+			}
+			fnScope.syms[p] = symScalar
+		}
+		c.loopDepth = 0
+		if err := c.checkBlock(f.Body, fnScope); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func declKind(d *VarDecl) symKind {
+	if d.Size > 0 {
+		return symArray
+	}
+	return symScalar
+}
+
+func (c *checker) checkBlock(b *BlockStmt, parent *scope) error {
+	sc := newScope(parent)
+	for _, s := range b.Stmts {
+		if err := c.checkStmt(s, sc); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (c *checker) checkStmt(s Stmt, sc *scope) error {
+	switch st := s.(type) {
+	case *VarDecl:
+		if _, dup := sc.syms[st.Name]; dup {
+			return errf(st.Pos_, "duplicate declaration of %q in this block", st.Name)
+		}
+		if st.Init != nil {
+			if err := c.checkExpr(st.Init, sc); err != nil {
+				return err
+			}
+		}
+		sc.syms[st.Name] = declKind(st)
+		return nil
+	case *AssignStmt:
+		if st.Deref {
+			if err := c.checkExpr(st.Addr, sc); err != nil {
+				return err
+			}
+		} else {
+			k, ok := sc.lookup(st.Name)
+			if !ok {
+				return errf(st.Pos_, "assignment to undeclared variable %q", st.Name)
+			}
+			if st.Index != nil {
+				if k != symArray {
+					return errf(st.Pos_, "%q is not an array", st.Name)
+				}
+				if err := c.checkExpr(st.Index, sc); err != nil {
+					return err
+				}
+			} else if k != symScalar {
+				return errf(st.Pos_, "cannot assign to array %q without an index", st.Name)
+			}
+		}
+		return c.checkExpr(st.Rhs, sc)
+	case *IfStmt:
+		if err := c.checkExpr(st.Cond, sc); err != nil {
+			return err
+		}
+		if err := c.checkBlock(st.Then, sc); err != nil {
+			return err
+		}
+		if st.Else != nil {
+			return c.checkStmt(st.Else, sc)
+		}
+		return nil
+	case *WhileStmt:
+		if err := c.checkExpr(st.Cond, sc); err != nil {
+			return err
+		}
+		c.loopDepth++
+		err := c.checkBlock(st.Body, sc)
+		c.loopDepth--
+		return err
+	case *ForStmt:
+		inner := newScope(sc)
+		if st.Init != nil {
+			if err := c.checkStmt(st.Init, inner); err != nil {
+				return err
+			}
+		}
+		if st.Cond != nil {
+			if err := c.checkExpr(st.Cond, inner); err != nil {
+				return err
+			}
+		}
+		if st.Post != nil {
+			if err := c.checkStmt(st.Post, inner); err != nil {
+				return err
+			}
+		}
+		c.loopDepth++
+		err := c.checkBlock(st.Body, inner)
+		c.loopDepth--
+		return err
+	case *ReturnStmt:
+		if st.Value != nil {
+			return c.checkExpr(st.Value, sc)
+		}
+		return nil
+	case *BreakStmt:
+		if c.loopDepth == 0 {
+			return errf(st.Pos_, "break outside loop")
+		}
+		return nil
+	case *ContinueStmt:
+		if c.loopDepth == 0 {
+			return errf(st.Pos_, "continue outside loop")
+		}
+		return nil
+	case *PrintStmt:
+		return c.checkExpr(st.Arg, sc)
+	case *ExprStmt:
+		return c.checkExpr(st.Call, sc)
+	case *BlockStmt:
+		return c.checkBlock(st, sc)
+	}
+	return errf(s.Position(), "internal: unknown statement type %T", s)
+}
+
+func (c *checker) checkExpr(e Expr, sc *scope) error {
+	switch ex := e.(type) {
+	case *NumLit, *InputExpr:
+		return nil
+	case *VarRef:
+		k, ok := sc.lookup(ex.Name)
+		if !ok {
+			return errf(ex.Pos_, "use of undeclared variable %q", ex.Name)
+		}
+		if k != symScalar {
+			return errf(ex.Pos_, "array %q used without an index", ex.Name)
+		}
+		return nil
+	case *IndexExpr:
+		k, ok := sc.lookup(ex.Array)
+		if !ok {
+			return errf(ex.Pos_, "use of undeclared array %q", ex.Array)
+		}
+		if k != symArray {
+			return errf(ex.Pos_, "%q is not an array", ex.Array)
+		}
+		return c.checkExpr(ex.Index, sc)
+	case *DerefExpr:
+		return c.checkExpr(ex.Addr, sc)
+	case *AddrOfExpr:
+		k, ok := sc.lookup(ex.Name)
+		if !ok {
+			return errf(ex.Pos_, "address of undeclared variable %q", ex.Name)
+		}
+		if ex.Index != nil {
+			if k != symArray {
+				return errf(ex.Pos_, "%q is not an array", ex.Name)
+			}
+			return c.checkExpr(ex.Index, sc)
+		}
+		if k != symScalar {
+			return errf(ex.Pos_, "cannot take address of array %q without index (use &%s[i])", ex.Name, ex.Name)
+		}
+		return nil
+	case *UnaryExpr:
+		return c.checkExpr(ex.X, sc)
+	case *BinaryExpr:
+		if err := c.checkExpr(ex.X, sc); err != nil {
+			return err
+		}
+		return c.checkExpr(ex.Y, sc)
+	case *CallExpr:
+		f, ok := c.funcs[ex.Callee]
+		if !ok {
+			return errf(ex.Pos_, "call to undefined function %q", ex.Callee)
+		}
+		if len(ex.Args) != len(f.Params) {
+			return errf(ex.Pos_, "%q takes %d argument(s), got %d", ex.Callee, len(f.Params), len(ex.Args))
+		}
+		for _, a := range ex.Args {
+			if err := c.checkExpr(a, sc); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return errf(e.Position(), "internal: unknown expression type %T", e)
+}

@@ -1,0 +1,202 @@
+package lang
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestTokenizeBasics(t *testing.T) {
+	toks, err := Tokenize(`func main() { var x = 1 + 2; // comment
+		print(x <= 3 && x != 4 || !0); }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var kinds []Kind
+	for _, tk := range toks {
+		kinds = append(kinds, tk.Kind)
+	}
+	want := []Kind{
+		KwFunc, IDENT, LParen, RParen, LBrace,
+		KwVar, IDENT, Assign, NUMBER, Plus, NUMBER, Semicolon,
+		KwPrint, LParen, IDENT, Le, NUMBER, AndAnd, IDENT, NotEq, NUMBER, OrOr, Not, NUMBER, RParen, Semicolon,
+		RBrace,
+	}
+	if len(kinds) != len(want) {
+		t.Fatalf("got %d tokens, want %d: %v", len(kinds), len(want), kinds)
+	}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Fatalf("token %d = %v, want %v", i, kinds[i], want[i])
+		}
+	}
+}
+
+func TestTokenizePositions(t *testing.T) {
+	toks, err := Tokenize("var x;\n  var y;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Pos.Line != 1 || toks[0].Pos.Col != 1 {
+		t.Errorf("first token at %v, want 1:1", toks[0].Pos)
+	}
+	if toks[3].Pos.Line != 2 || toks[3].Pos.Col != 3 {
+		t.Errorf("second var at %v, want 2:3", toks[3].Pos)
+	}
+}
+
+func TestTokenizeErrors(t *testing.T) {
+	for _, src := range []string{"@", "var x | y;", "#"} {
+		if _, err := Tokenize(src); err == nil {
+			t.Errorf("Tokenize(%q): expected error", src)
+		}
+	}
+}
+
+func mustParse(t *testing.T, src string) *Program {
+	t.Helper()
+	p, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	return p
+}
+
+func TestParsePrecedence(t *testing.T) {
+	p := mustParse(t, `func main() { var x = 1 + 2 * 3; print(x); }`)
+	body := p.Func("main").Body.Stmts
+	decl := body[0].(*VarDecl)
+	bin := decl.Init.(*BinaryExpr)
+	if bin.Op != Plus {
+		t.Fatalf("top op = %v, want +", bin.Op)
+	}
+	if inner, ok := bin.Y.(*BinaryExpr); !ok || inner.Op != Star {
+		t.Fatalf("rhs should be a multiplication, got %T", bin.Y)
+	}
+}
+
+func TestParseElseIfChain(t *testing.T) {
+	p := mustParse(t, `func main() {
+		var x = 1;
+		if (x == 1) { print(1); }
+		else if (x == 2) { print(2); }
+		else { print(3); }
+	}`)
+	ifs := p.Func("main").Body.Stmts[1].(*IfStmt)
+	elseIf, ok := ifs.Else.(*IfStmt)
+	if !ok {
+		t.Fatalf("else branch is %T, want *IfStmt", ifs.Else)
+	}
+	if _, ok := elseIf.Else.(*BlockStmt); !ok {
+		t.Fatalf("final else is %T, want *BlockStmt", elseIf.Else)
+	}
+}
+
+func TestParsePointersAndArrays(t *testing.T) {
+	p := mustParse(t, `func main() {
+		var a[4];
+		var x = 0;
+		var p = &x;
+		var q = &a[2];
+		*p = a[1] + *q;
+		a[x] = *p;
+	}`)
+	stmts := p.Func("main").Body.Stmts
+	if d := stmts[0].(*VarDecl); d.Size != 4 {
+		t.Errorf("array size = %d, want 4", d.Size)
+	}
+	as := stmts[4].(*AssignStmt)
+	if !as.Deref {
+		t.Error("expected deref assignment")
+	}
+}
+
+func TestParseForLoop(t *testing.T) {
+	p := mustParse(t, `func main() {
+		for (var i = 0; i < 3; i = i + 1) { print(i); }
+		for (;;) { break; }
+	}`)
+	f1 := p.Func("main").Body.Stmts[0].(*ForStmt)
+	if f1.Init == nil || f1.Cond == nil || f1.Post == nil {
+		t.Error("full for-header parts missing")
+	}
+	f2 := p.Func("main").Body.Stmts[1].(*ForStmt)
+	if f2.Init != nil || f2.Cond != nil || f2.Post != nil {
+		t.Error("empty for-header parts should be nil")
+	}
+}
+
+func TestCheckerErrors(t *testing.T) {
+	cases := map[string]string{
+		"no main":             `func f() {}`,
+		"main with params":    `func main(x) {}`,
+		"undeclared var":      `func main() { x = 1; }`,
+		"undeclared use":      `func main() { var y = x; }`,
+		"duplicate func":      `func f() {} func f() {} func main() {}`,
+		"duplicate param":     `func f(a, a) {} func main() {}`,
+		"duplicate local":     `func main() { var x; var x; }`,
+		"array without index": `func main() { var a[3]; var y = a; }`,
+		"scalar with index":   `func main() { var x; x[0] = 1; }`,
+		"index non-array":     `func main() { var x; var y = x[0]; }`,
+		"bad arity":           `func f(a) { return a; } func main() { f(1, 2); }`,
+		"unknown callee":      `func main() { g(); }`,
+		"break outside loop":  `func main() { break; }`,
+		"continue outside":    `func main() { continue; }`,
+		"addr of array":       `func main() { var a[3]; var p = &a; }`,
+		"assign whole array":  `func main() { var a[3]; a = 1; }`,
+	}
+	for name, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("%s: expected a checker error", name)
+		}
+	}
+}
+
+func TestCheckerScoping(t *testing.T) {
+	// Shadowing in nested blocks is legal; sibling blocks are independent.
+	src := `
+	var g = 1;
+	func main() {
+		var x = g;
+		if (x == 1) { var y = 2; print(y); }
+		if (x == 1) { var y = 3; print(y); }
+		while (x < 2) { var g = 9; print(g); x = x + 1; }
+	}`
+	if _, err := Parse(src); err != nil {
+		t.Fatalf("scoping should be accepted: %v", err)
+	}
+	// Use after a sibling block's declaration is invalid.
+	bad := `func main() { if (1) { var y = 2; } print(y); }`
+	if _, err := Parse(bad); err == nil {
+		t.Fatal("expected out-of-scope error")
+	}
+}
+
+// TestLexerNeverPanics fuzzes the lexer with arbitrary strings.
+func TestLexerNeverPanics(t *testing.T) {
+	f := func(s string) bool {
+		_, _ = Tokenize(s)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestParserNeverPanics fuzzes the parser with token-ish soup.
+func TestParserNeverPanics(t *testing.T) {
+	frags := []string{"func", "main", "(", ")", "{", "}", "var", "x", "=",
+		"1", ";", "if", "while", "+", "*", "&", "[", "]", "return", "input"}
+	f := func(picks []uint8) bool {
+		var sb strings.Builder
+		for _, p := range picks {
+			sb.WriteString(frags[int(p)%len(frags)])
+			sb.WriteByte(' ')
+		}
+		_, _ = Parse(sb.String())
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,168 @@
+package lang
+
+import (
+	"strings"
+)
+
+// Lexer converts MiniC source text into a token stream. Comments run from
+// "//" to end of line. Whitespace is insignificant.
+type Lexer struct {
+	src  string
+	off  int
+	line int
+	col  int
+}
+
+// NewLexer returns a lexer over src.
+func NewLexer(src string) *Lexer {
+	return &Lexer{src: src, line: 1, col: 1}
+}
+
+func (l *Lexer) pos() Pos { return Pos{Line: l.line, Col: l.col} }
+
+func (l *Lexer) peek() byte {
+	if l.off >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off]
+}
+
+func (l *Lexer) peek2() byte {
+	if l.off+1 >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off+1]
+}
+
+func (l *Lexer) advance() byte {
+	c := l.src[l.off]
+	l.off++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+func (l *Lexer) skipSpaceAndComments() {
+	for l.off < len(l.src) {
+		c := l.peek()
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			l.advance()
+		case c == '/' && l.peek2() == '/':
+			for l.off < len(l.src) && l.peek() != '\n' {
+				l.advance()
+			}
+		default:
+			return
+		}
+	}
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isIdentCont(c byte) bool { return isIdentStart(c) || isDigit(c) }
+
+// Next returns the next token, or an EOF token at end of input.
+func (l *Lexer) Next() (Token, error) {
+	l.skipSpaceAndComments()
+	start := l.pos()
+	if l.off >= len(l.src) {
+		return Token{Kind: EOF, Pos: start}, nil
+	}
+	c := l.peek()
+	switch {
+	case isIdentStart(c):
+		var sb strings.Builder
+		for l.off < len(l.src) && isIdentCont(l.peek()) {
+			sb.WriteByte(l.advance())
+		}
+		text := sb.String()
+		if kw, ok := keywords[text]; ok {
+			return Token{Kind: kw, Text: text, Pos: start}, nil
+		}
+		return Token{Kind: IDENT, Text: text, Pos: start}, nil
+	case isDigit(c):
+		var sb strings.Builder
+		for l.off < len(l.src) && isDigit(l.peek()) {
+			sb.WriteByte(l.advance())
+		}
+		return Token{Kind: NUMBER, Text: sb.String(), Pos: start}, nil
+	}
+	l.advance()
+	two := func(next byte, withKind, soloKind Kind) (Token, error) {
+		if l.peek() == next {
+			l.advance()
+			return Token{Kind: withKind, Pos: start}, nil
+		}
+		return Token{Kind: soloKind, Pos: start}, nil
+	}
+	switch c {
+	case '(':
+		return Token{Kind: LParen, Pos: start}, nil
+	case ')':
+		return Token{Kind: RParen, Pos: start}, nil
+	case '{':
+		return Token{Kind: LBrace, Pos: start}, nil
+	case '}':
+		return Token{Kind: RBrace, Pos: start}, nil
+	case '[':
+		return Token{Kind: LBracket, Pos: start}, nil
+	case ']':
+		return Token{Kind: RBracket, Pos: start}, nil
+	case ',':
+		return Token{Kind: Comma, Pos: start}, nil
+	case ';':
+		return Token{Kind: Semicolon, Pos: start}, nil
+	case '+':
+		return Token{Kind: Plus, Pos: start}, nil
+	case '-':
+		return Token{Kind: Minus, Pos: start}, nil
+	case '*':
+		return Token{Kind: Star, Pos: start}, nil
+	case '/':
+		return Token{Kind: Slash, Pos: start}, nil
+	case '%':
+		return Token{Kind: Percent, Pos: start}, nil
+	case '=':
+		return two('=', EqEq, Assign)
+	case '<':
+		return two('=', Le, Lt)
+	case '>':
+		return two('=', Ge, Gt)
+	case '!':
+		return two('=', NotEq, Not)
+	case '&':
+		return two('&', AndAnd, Amp)
+	case '|':
+		if l.peek() == '|' {
+			l.advance()
+			return Token{Kind: OrOr, Pos: start}, nil
+		}
+		return Token{}, errf(start, "unexpected character %q (did you mean \"||\"?)", c)
+	}
+	return Token{}, errf(start, "unexpected character %q", c)
+}
+
+// Tokenize lexes the whole input, returning all tokens except the final EOF.
+func Tokenize(src string) ([]Token, error) {
+	l := NewLexer(src)
+	var toks []Token
+	for {
+		t, err := l.Next()
+		if err != nil {
+			return nil, err
+		}
+		if t.Kind == EOF {
+			return toks, nil
+		}
+		toks = append(toks, t)
+	}
+}

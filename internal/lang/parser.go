@@ -1,0 +1,540 @@
+package lang
+
+import "strconv"
+
+// Parser is a recursive-descent parser for MiniC.
+type Parser struct {
+	toks []Token
+	pos  int
+}
+
+// Parse parses a complete MiniC program.
+func Parse(src string) (*Program, error) {
+	toks, err := Tokenize(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &Parser{toks: toks}
+	prog := &Program{}
+	for !p.at(EOF) {
+		switch {
+		case p.at(KwVar):
+			d, err := p.parseVarDecl()
+			if err != nil {
+				return nil, err
+			}
+			prog.Globals = append(prog.Globals, d)
+		case p.at(KwFunc):
+			f, err := p.parseFunc()
+			if err != nil {
+				return nil, err
+			}
+			prog.Funcs = append(prog.Funcs, f)
+		default:
+			return nil, errf(p.cur().Pos, "expected 'var' or 'func' at top level, got %s", p.cur().Kind)
+		}
+	}
+	if err := checkProgram(prog); err != nil {
+		return nil, err
+	}
+	return prog, nil
+}
+
+func (p *Parser) cur() Token {
+	if p.pos < len(p.toks) {
+		return p.toks[p.pos]
+	}
+	last := Pos{Line: 1, Col: 1}
+	if len(p.toks) > 0 {
+		last = p.toks[len(p.toks)-1].Pos
+	}
+	return Token{Kind: EOF, Pos: last}
+}
+
+func (p *Parser) at(k Kind) bool { return p.cur().Kind == k }
+
+func (p *Parser) next() Token {
+	t := p.cur()
+	p.pos++
+	return t
+}
+
+func (p *Parser) expect(k Kind) (Token, error) {
+	if !p.at(k) {
+		return Token{}, errf(p.cur().Pos, "expected %s, got %s", k, p.cur().Kind)
+	}
+	return p.next(), nil
+}
+
+func (p *Parser) accept(k Kind) bool {
+	if p.at(k) {
+		p.next()
+		return true
+	}
+	return false
+}
+
+// parseVarDecl parses: var x; | var x = expr; | var a[N];
+func (p *Parser) parseVarDecl() (*VarDecl, error) {
+	kw, err := p.expect(KwVar)
+	if err != nil {
+		return nil, err
+	}
+	name, err := p.expect(IDENT)
+	if err != nil {
+		return nil, err
+	}
+	d := &VarDecl{Pos_: kw.Pos, Name: name.Text}
+	if p.accept(LBracket) {
+		n, err := p.expect(NUMBER)
+		if err != nil {
+			return nil, err
+		}
+		size, perr := strconv.ParseInt(n.Text, 10, 64)
+		if perr != nil || size <= 0 {
+			return nil, errf(n.Pos, "invalid array size %q", n.Text)
+		}
+		d.Size = size
+		if _, err := p.expect(RBracket); err != nil {
+			return nil, err
+		}
+	} else if p.accept(Assign) {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		d.Init = e
+	}
+	if _, err := p.expect(Semicolon); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+func (p *Parser) parseFunc() (*FuncDecl, error) {
+	kw, err := p.expect(KwFunc)
+	if err != nil {
+		return nil, err
+	}
+	name, err := p.expect(IDENT)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(LParen); err != nil {
+		return nil, err
+	}
+	f := &FuncDecl{Pos_: kw.Pos, Name: name.Text}
+	if !p.at(RParen) {
+		for {
+			id, err := p.expect(IDENT)
+			if err != nil {
+				return nil, err
+			}
+			f.Params = append(f.Params, id.Text)
+			if !p.accept(Comma) {
+				break
+			}
+		}
+	}
+	if _, err := p.expect(RParen); err != nil {
+		return nil, err
+	}
+	body, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	f.Body = body
+	return f, nil
+}
+
+func (p *Parser) parseBlock() (*BlockStmt, error) {
+	lb, err := p.expect(LBrace)
+	if err != nil {
+		return nil, err
+	}
+	b := &BlockStmt{Pos_: lb.Pos}
+	for !p.at(RBrace) && !p.at(EOF) {
+		s, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		b.Stmts = append(b.Stmts, s)
+	}
+	if _, err := p.expect(RBrace); err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+func (p *Parser) parseStmt() (Stmt, error) {
+	switch p.cur().Kind {
+	case KwVar:
+		return p.parseVarDecl()
+	case KwIf:
+		return p.parseIf()
+	case KwWhile:
+		return p.parseWhile()
+	case KwFor:
+		return p.parseFor()
+	case KwReturn:
+		kw := p.next()
+		s := &ReturnStmt{Pos_: kw.Pos}
+		if !p.at(Semicolon) {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			s.Value = e
+		}
+		if _, err := p.expect(Semicolon); err != nil {
+			return nil, err
+		}
+		return s, nil
+	case KwBreak:
+		kw := p.next()
+		if _, err := p.expect(Semicolon); err != nil {
+			return nil, err
+		}
+		return &BreakStmt{Pos_: kw.Pos}, nil
+	case KwContinue:
+		kw := p.next()
+		if _, err := p.expect(Semicolon); err != nil {
+			return nil, err
+		}
+		return &ContinueStmt{Pos_: kw.Pos}, nil
+	case KwPrint:
+		kw := p.next()
+		if _, err := p.expect(LParen); err != nil {
+			return nil, err
+		}
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(RParen); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(Semicolon); err != nil {
+			return nil, err
+		}
+		return &PrintStmt{Pos_: kw.Pos, Arg: e}, nil
+	case LBrace:
+		return p.parseBlock()
+	}
+	s, err := p.parseSimpleStmt()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(Semicolon); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// parseSimpleStmt parses an assignment or a call statement without the
+// trailing semicolon (shared between statement position and for-headers).
+func (p *Parser) parseSimpleStmt() (Stmt, error) {
+	switch p.cur().Kind {
+	case Star:
+		star := p.next()
+		addr, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(Assign); err != nil {
+			return nil, err
+		}
+		rhs, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &AssignStmt{Pos_: star.Pos, Deref: true, Addr: addr, Rhs: rhs}, nil
+	case IDENT:
+		id := p.next()
+		switch p.cur().Kind {
+		case LBracket:
+			p.next()
+			idx, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(RBracket); err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(Assign); err != nil {
+				return nil, err
+			}
+			rhs, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			return &AssignStmt{Pos_: id.Pos, Name: id.Text, Index: idx, Rhs: rhs}, nil
+		case Assign:
+			p.next()
+			rhs, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			return &AssignStmt{Pos_: id.Pos, Name: id.Text, Rhs: rhs}, nil
+		case LParen:
+			call, err := p.parseCallAfterName(id)
+			if err != nil {
+				return nil, err
+			}
+			return &ExprStmt{Pos_: id.Pos, Call: call}, nil
+		}
+		return nil, errf(p.cur().Pos, "expected '=', '[', or '(' after identifier %q", id.Text)
+	}
+	return nil, errf(p.cur().Pos, "expected statement, got %s", p.cur().Kind)
+}
+
+func (p *Parser) parseIf() (Stmt, error) {
+	kw := p.next()
+	if _, err := p.expect(LParen); err != nil {
+		return nil, err
+	}
+	cond, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(RParen); err != nil {
+		return nil, err
+	}
+	then, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	s := &IfStmt{Pos_: kw.Pos, Cond: cond, Then: then}
+	if p.accept(KwElse) {
+		if p.at(KwIf) {
+			elseIf, err := p.parseIf()
+			if err != nil {
+				return nil, err
+			}
+			s.Else = elseIf
+		} else {
+			blk, err := p.parseBlock()
+			if err != nil {
+				return nil, err
+			}
+			s.Else = blk
+		}
+	}
+	return s, nil
+}
+
+func (p *Parser) parseWhile() (Stmt, error) {
+	kw := p.next()
+	if _, err := p.expect(LParen); err != nil {
+		return nil, err
+	}
+	cond, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(RParen); err != nil {
+		return nil, err
+	}
+	body, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	return &WhileStmt{Pos_: kw.Pos, Cond: cond, Body: body}, nil
+}
+
+func (p *Parser) parseFor() (Stmt, error) {
+	kw := p.next()
+	if _, err := p.expect(LParen); err != nil {
+		return nil, err
+	}
+	s := &ForStmt{Pos_: kw.Pos}
+	if !p.at(Semicolon) {
+		if p.at(KwVar) {
+			d, err := p.parseVarDecl() // consumes the ';'
+			if err != nil {
+				return nil, err
+			}
+			s.Init = d
+		} else {
+			init, err := p.parseSimpleStmt()
+			if err != nil {
+				return nil, err
+			}
+			s.Init = init
+			if _, err := p.expect(Semicolon); err != nil {
+				return nil, err
+			}
+		}
+	} else {
+		p.next()
+	}
+	if !p.at(Semicolon) {
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		s.Cond = cond
+	}
+	if _, err := p.expect(Semicolon); err != nil {
+		return nil, err
+	}
+	if !p.at(RParen) {
+		post, err := p.parseSimpleStmt()
+		if err != nil {
+			return nil, err
+		}
+		s.Post = post
+	}
+	if _, err := p.expect(RParen); err != nil {
+		return nil, err
+	}
+	body, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	s.Body = body
+	return s, nil
+}
+
+// ---- Expressions (precedence climbing) ----
+
+var binPrec = map[Kind]int{
+	OrOr:   1,
+	AndAnd: 2,
+	EqEq:   3, NotEq: 3,
+	Lt: 4, Le: 4, Gt: 4, Ge: 4,
+	Plus: 5, Minus: 5,
+	Star: 6, Slash: 6, Percent: 6,
+}
+
+func (p *Parser) parseExpr() (Expr, error) { return p.parseBinary(1) }
+
+func (p *Parser) parseBinary(minPrec int) (Expr, error) {
+	lhs, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		op := p.cur().Kind
+		prec, ok := binPrec[op]
+		if !ok || prec < minPrec {
+			return lhs, nil
+		}
+		opTok := p.next()
+		rhs, err := p.parseBinary(prec + 1)
+		if err != nil {
+			return nil, err
+		}
+		lhs = &BinaryExpr{Pos_: opTok.Pos, Op: op, X: lhs, Y: rhs}
+	}
+}
+
+func (p *Parser) parseUnary() (Expr, error) {
+	switch p.cur().Kind {
+	case Minus, Not:
+		op := p.next()
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryExpr{Pos_: op.Pos, Op: op.Kind, X: x}, nil
+	case Star:
+		op := p.next()
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &DerefExpr{Pos_: op.Pos, Addr: x}, nil
+	case Amp:
+		op := p.next()
+		id, err := p.expect(IDENT)
+		if err != nil {
+			return nil, err
+		}
+		a := &AddrOfExpr{Pos_: op.Pos, Name: id.Text}
+		if p.accept(LBracket) {
+			idx, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(RBracket); err != nil {
+				return nil, err
+			}
+			a.Index = idx
+		}
+		return a, nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *Parser) parsePrimary() (Expr, error) {
+	switch p.cur().Kind {
+	case NUMBER:
+		t := p.next()
+		v, err := strconv.ParseInt(t.Text, 10, 64)
+		if err != nil {
+			return nil, errf(t.Pos, "invalid number %q", t.Text)
+		}
+		return &NumLit{Pos_: t.Pos, Value: v}, nil
+	case KwInput:
+		t := p.next()
+		if _, err := p.expect(LParen); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(RParen); err != nil {
+			return nil, err
+		}
+		return &InputExpr{Pos_: t.Pos}, nil
+	case IDENT:
+		id := p.next()
+		switch p.cur().Kind {
+		case LBracket:
+			p.next()
+			idx, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(RBracket); err != nil {
+				return nil, err
+			}
+			return &IndexExpr{Pos_: id.Pos, Array: id.Text, Index: idx}, nil
+		case LParen:
+			return p.parseCallAfterName(id)
+		}
+		return &VarRef{Pos_: id.Pos, Name: id.Text}, nil
+	case LParen:
+		p.next()
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(RParen); err != nil {
+			return nil, err
+		}
+		return e, nil
+	}
+	return nil, errf(p.cur().Pos, "expected expression, got %s", p.cur().Kind)
+}
+
+func (p *Parser) parseCallAfterName(id Token) (*CallExpr, error) {
+	if _, err := p.expect(LParen); err != nil {
+		return nil, err
+	}
+	c := &CallExpr{Pos_: id.Pos, Callee: id.Text}
+	if !p.at(RParen) {
+		for {
+			a, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			c.Args = append(c.Args, a)
+			if !p.accept(Comma) {
+				break
+			}
+		}
+	}
+	if _, err := p.expect(RParen); err != nil {
+		return nil, err
+	}
+	return c, nil
+}

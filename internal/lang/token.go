@@ -1,0 +1,117 @@
+// Package lang implements the front end for MiniC, the small imperative
+// language used as the subject language for dynamic slicing. MiniC has
+// 64-bit integer scalars, fixed-size integer arrays, pointers obtained with
+// the address-of operator, functions, and structured control flow. The
+// deliberate inclusion of pointers and arrays is what exercises the
+// aliasing-sensitive parts of the slicing optimizations (OPT-1b, OPT-2a in
+// the paper's terminology).
+package lang
+
+import "fmt"
+
+// Kind identifies a lexical token class.
+type Kind int
+
+// Token kinds. Single-character operators use their own kinds rather than
+// the raw byte so the parser can switch exhaustively.
+const (
+	EOF Kind = iota
+	IDENT
+	NUMBER
+
+	// Keywords.
+	KwVar
+	KwFunc
+	KwIf
+	KwElse
+	KwWhile
+	KwFor
+	KwReturn
+	KwBreak
+	KwContinue
+	KwPrint
+	KwInput
+
+	// Punctuation.
+	LParen
+	RParen
+	LBrace
+	RBrace
+	LBracket
+	RBracket
+	Comma
+	Semicolon
+
+	// Operators.
+	Assign // =
+	Plus
+	Minus
+	Star
+	Slash
+	Percent
+	Amp    // &
+	Not    // !
+	Lt     // <
+	Le     // <=
+	Gt     // >
+	Ge     // >=
+	EqEq   // ==
+	NotEq  // !=
+	AndAnd // &&
+	OrOr   // ||
+)
+
+var kindNames = map[Kind]string{
+	EOF: "EOF", IDENT: "identifier", NUMBER: "number",
+	KwVar: "var", KwFunc: "func", KwIf: "if", KwElse: "else",
+	KwWhile: "while", KwFor: "for", KwReturn: "return",
+	KwBreak: "break", KwContinue: "continue", KwPrint: "print", KwInput: "input",
+	LParen: "(", RParen: ")", LBrace: "{", RBrace: "}",
+	LBracket: "[", RBracket: "]", Comma: ",", Semicolon: ";",
+	Assign: "=", Plus: "+", Minus: "-", Star: "*", Slash: "/", Percent: "%",
+	Amp: "&", Not: "!", Lt: "<", Le: "<=", Gt: ">", Ge: ">=",
+	EqEq: "==", NotEq: "!=", AndAnd: "&&", OrOr: "||",
+}
+
+// String returns a human-readable name for the token kind.
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+var keywords = map[string]Kind{
+	"var": KwVar, "func": KwFunc, "if": KwIf, "else": KwElse,
+	"while": KwWhile, "for": KwFor, "return": KwReturn,
+	"break": KwBreak, "continue": KwContinue, "print": KwPrint, "input": KwInput,
+}
+
+// Pos is a source position (1-based line and column).
+type Pos struct {
+	Line int
+	Col  int
+}
+
+// String formats the position as "line:col".
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// Token is a single lexical token with its source position.
+type Token struct {
+	Kind Kind
+	Text string // raw text for IDENT and NUMBER
+	Pos  Pos
+}
+
+// Error is a front-end error carrying a source position.
+type Error struct {
+	Pos Pos
+	Msg string
+}
+
+// Error implements the error interface.
+func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+func errf(pos Pos, format string, args ...interface{}) *Error {
+	return &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}

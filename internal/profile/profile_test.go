@@ -1,0 +1,168 @@
+package profile_test
+
+import (
+	"testing"
+
+	"dynslice/internal/compile"
+	"dynslice/internal/interp"
+	"dynslice/internal/ir"
+	"dynslice/internal/profile"
+)
+
+func prog(t *testing.T, src string) *ir.Program {
+	t.Helper()
+	p, err := compile.Source(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+const branchy = `
+func main() {
+	var n = input();
+	var acc = 0;
+	var i = 0;
+	while (i < n) {
+		if (i % 2 == 0) {
+			acc = acc + i;
+		} else {
+			acc = acc - 1;
+		}
+		if (i % 3 == 0) {
+			acc = acc * 2;
+		}
+		i = i + 1;
+	}
+	print(acc);
+}`
+
+// TestNumberingBijective checks that PathID and Decode are inverses for
+// every path of every function.
+func TestNumberingBijective(t *testing.T) {
+	p := prog(t, branchy)
+	for _, f := range p.Funcs {
+		n := profile.Number(f)
+		for start := range n.Starts {
+			total := n.NumPaths[start]
+			if total == 0 {
+				continue
+			}
+			seen := map[string]bool{}
+			for id := int64(0); id < total; id++ {
+				seq, err := n.Decode(start, id)
+				if err != nil {
+					t.Fatalf("Decode(%v, %d): %v", start, id, err)
+				}
+				back, err := n.PathID(seq)
+				if err != nil {
+					t.Fatalf("PathID(%v): %v", seq, err)
+				}
+				if back != id {
+					t.Fatalf("roundtrip %d -> %v -> %d", id, seq, back)
+				}
+				key := profile.SeqKey(seq)
+				if seen[key] {
+					t.Fatalf("duplicate sequence for id %d", id)
+				}
+				seen[key] = true
+			}
+		}
+	}
+}
+
+// TestCollectorMatchesNumbering runs the program and checks that every
+// collected path has a valid Ball-Larus id (the sequence and arithmetic
+// views agree) and that counts sum to the number of cuts.
+func TestCollectorMatchesNumbering(t *testing.T) {
+	p := prog(t, branchy)
+	col := profile.NewCollector(p)
+	if _, err := interp.Run(p, interp.Options{Input: []int64{30}, Sink: col}); err != nil {
+		t.Fatal(err)
+	}
+	paths := col.Paths()
+	if len(paths) == 0 {
+		t.Fatal("no paths collected")
+	}
+	for _, pp := range paths {
+		if pp.ID < 0 {
+			t.Errorf("path %v has no valid Ball-Larus id", pp.Seq)
+		}
+		num := col.Numbering(pp.Fn)
+		seq, err := num.Decode(pp.Seq[0], pp.ID)
+		if err != nil {
+			t.Fatalf("decode collected path: %v", err)
+		}
+		if profile.SeqKey(seq) != pp.Key {
+			t.Errorf("arithmetic and sequence views disagree for %v", pp.Seq)
+		}
+	}
+	// The loop runs 30 times; the loop-body paths must dominate counts.
+	var loopCount int64
+	for _, pp := range paths {
+		if len(pp.Seq) >= 2 {
+			loopCount += pp.Count
+		}
+	}
+	if loopCount < 30 {
+		t.Errorf("loop paths executed %d times, want >= 30", loopCount)
+	}
+}
+
+// TestCutsSeparatePathUnits verifies the cut predicate's rules.
+func TestCutsSeparatePathUnits(t *testing.T) {
+	p := prog(t, `
+	func g(v) { return v + 1; }
+	func main() {
+		var x = 0;
+		var i = 0;
+		while (i < 3) {
+			x = g(x);
+			i = i + 1;
+		}
+		print(x);
+	}`)
+	cuts := profile.NewCuts(p)
+	for _, f := range p.Funcs {
+		for _, b := range f.Blocks {
+			for _, s := range b.Succs {
+				if b.Fn != s.Fn {
+					continue
+				}
+				if b.IsCallBlock() && !cuts.Between(b, s) {
+					t.Errorf("call block %s -> %s must cut", b, s)
+				}
+				if s.IsContinuation() && !cuts.Between(b, s) {
+					t.Errorf("edge into continuation %s must cut", s)
+				}
+			}
+		}
+	}
+}
+
+// TestHotPathsFiltering checks frequency and length filters.
+func TestHotPathsFiltering(t *testing.T) {
+	p := prog(t, branchy)
+	col := profile.NewCollector(p)
+	if _, err := interp.Run(p, interp.Options{Input: []int64{50}, Sink: col}); err != nil {
+		t.Fatal(err)
+	}
+	for _, pp := range col.HotPaths(5, 0) {
+		if pp.Count < 5 {
+			t.Errorf("hot path with count %d < threshold", pp.Count)
+		}
+		if len(pp.Seq) < 2 {
+			t.Errorf("singleton path %v should be filtered", pp.Seq)
+		}
+	}
+	capped := col.HotPaths(1, 2)
+	perFn := map[string]int{}
+	for _, pp := range capped {
+		perFn[pp.Fn.Name]++
+	}
+	for fn, n := range perFn {
+		if n > 2 {
+			t.Errorf("%s has %d paths, cap was 2", fn, n)
+		}
+	}
+}

@@ -1,0 +1,148 @@
+package sequitur
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func expandEquals(t *testing.T, seq []int64) {
+	t.Helper()
+	g := New()
+	for _, v := range seq {
+		g.Append(v)
+	}
+	got := g.Expand()
+	if len(got) != len(seq) {
+		t.Fatalf("expand length = %d, want %d (seq %v, got %v)", len(got), len(seq), seq, got)
+	}
+	for i := range seq {
+		if got[i] != seq[i] {
+			t.Fatalf("expand[%d] = %d, want %d (seq %v, got %v)", i, got[i], seq[i], seq, got)
+		}
+	}
+}
+
+func TestRoundTripClassicExamples(t *testing.T) {
+	cases := [][]int64{
+		{},
+		{1},
+		{1, 2},
+		{1, 1},
+		{1, 1, 1},
+		{1, 1, 1, 1},
+		{1, 2, 1, 2},             // abab
+		{1, 2, 3, 1, 2, 3},       // abcabc
+		{1, 2, 1, 2, 1, 2, 1, 2}, // abababab
+		{1, 2, 2, 1, 2, 2},
+		{1, 2, 3, 4, 1, 2, 3, 4, 1, 2, 3, 4},
+		{1, 1, 2, 1, 1, 2, 1, 1, 2},
+	}
+	for _, seq := range cases {
+		expandEquals(t, seq)
+	}
+}
+
+func TestCompressionOnRepetitiveInput(t *testing.T) {
+	var seq []int64
+	for i := 0; i < 200; i++ {
+		seq = append(seq, 5, 6, 7, 8)
+	}
+	in, out, ratio := Compress(seq)
+	if in != 800 {
+		t.Fatalf("in = %d", in)
+	}
+	if ratio < 10 {
+		t.Fatalf("expected strong compression of a repeated phrase, got %d symbols (ratio %.1f)", out, ratio)
+	}
+	expandEquals(t, seq)
+}
+
+func TestNoCompressionOnUniqueInput(t *testing.T) {
+	var seq []int64
+	for i := 0; i < 300; i++ {
+		seq = append(seq, int64(i))
+	}
+	_, out, _ := Compress(seq)
+	if out != 300 {
+		t.Fatalf("unique input must not compress: got %d symbols", out)
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(raw []uint8, alphabet uint8) bool {
+		k := int64(alphabet%5) + 1
+		seq := make([]int64, len(raw))
+		for i, b := range raw {
+			seq[i] = int64(b) % k
+		}
+		g := New()
+		for _, v := range seq {
+			g.Append(v)
+		}
+		got := g.Expand()
+		if len(got) != len(seq) {
+			return false
+		}
+		for i := range seq {
+			if got[i] != seq[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandomLongSequences(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 20; trial++ {
+		n := 500 + rng.Intn(1500)
+		k := int64(2 + rng.Intn(6))
+		seq := make([]int64, n)
+		for i := range seq {
+			seq[i] = rng.Int63n(k)
+		}
+		expandEquals(t, seq)
+	}
+}
+
+func TestDigramUniquenessInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 10; trial++ {
+		g := New()
+		for i := 0; i < 800; i++ {
+			g.Append(rng.Int63n(4))
+		}
+		// Rebuild the digram set from the grammar and verify no duplicates.
+		seen := map[[2]int64]int{}
+		var walk func(r *rule)
+		visited := map[*rule]bool{}
+		walk = func(r *rule) {
+			if visited[r] {
+				return
+			}
+			visited[r] = true
+			for s := r.guard.next; !s.isGuard; s = s.next {
+				if s.rule != nil {
+					walk(s.rule)
+				}
+				if !s.next.isGuard {
+					k := key(s)
+					if k[0] == k[1] {
+						continue // overlapping digrams (aaa) are permitted
+					}
+					seen[k]++
+				}
+			}
+		}
+		walk(g.start)
+		for k, n := range seen {
+			if n > 1 {
+				t.Fatalf("digram %v occurs %d times in the grammar", k, n)
+			}
+		}
+	}
+}

@@ -1,0 +1,52 @@
+package forward
+
+import (
+	"testing"
+
+	"dynslice/internal/ir"
+)
+
+func TestStoreInternAndUnion(t *testing.T) {
+	st := newStore()
+	a := st.put([]ir.StmtID{1, 3, 5})
+	b := st.put([]ir.StmtID{2, 3, 4})
+	if st.put([]ir.StmtID{1, 3, 5}) != a {
+		t.Fatal("interning failed: identical content got a new id")
+	}
+	u := st.union(a, b)
+	want := []ir.StmtID{1, 2, 3, 4, 5}
+	got := st.sets[u]
+	if len(got) != len(want) {
+		t.Fatalf("union = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("union = %v, want %v", got, want)
+		}
+	}
+	if st.union(a, b) != u {
+		t.Fatal("union memoization failed")
+	}
+	if st.union(b, a) != u {
+		t.Fatal("union must be symmetric via the memo key ordering")
+	}
+	if st.union(a, noSet) != a || st.union(noSet, b) != b {
+		t.Fatal("union with the empty set must be identity")
+	}
+}
+
+func TestStoreAdd(t *testing.T) {
+	st := newStore()
+	a := st.put([]ir.StmtID{2, 4})
+	withThree := st.add(a, 3)
+	got := st.sets[withThree]
+	if len(got) != 3 || got[0] != 2 || got[1] != 3 || got[2] != 4 {
+		t.Fatalf("add = %v, want [2 3 4]", got)
+	}
+	if st.add(a, 4) != a {
+		t.Fatal("adding a present element must be identity")
+	}
+	if st.add(noSet, 7) == noSet {
+		t.Fatal("adding to the empty set must create a singleton")
+	}
+}

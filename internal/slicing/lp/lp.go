@@ -1,0 +1,446 @@
+// Package lp implements the demand-driven "limited preprocessing" slicing
+// algorithm the paper compares against (their ICSE'03 LP algorithm): the
+// execution trace lives on disk, augmented with per-segment summaries
+// (blocks executed, addresses defined); each slicing query performs one
+// backward traversal of the trace, skipping segments the summaries prove
+// irrelevant, and materializes only the dependence subgraph the query
+// needs.
+//
+// The backward scan services all outstanding needs in a single pass:
+// resolving an instance's dependences only ever creates needs at earlier
+// trace positions, so needs are monotone with respect to the scan
+// direction. Control-dependence needs carry a call-depth counter so that
+// ancestors are matched in the correct frame even under recursion; a
+// pending control need disables segment skipping (its counter must observe
+// every call and return).
+package lp
+
+import (
+	"fmt"
+	"os"
+
+	"dynslice/internal/ir"
+	"dynslice/internal/slicing"
+	"dynslice/internal/trace"
+)
+
+// Slicer answers slicing queries from an on-disk trace.
+type Slicer struct {
+	p    *ir.Program
+	path string
+	segs []*trace.Segment
+
+	// offsets caches, per block, the cumulative record layout used to
+	// iterate a block execution's flat address array.
+	offsets map[*ir.Block]blockLayout
+
+	// MaxSubgraphEdges tracks the largest demand-built subgraph (in
+	// resolved dependence edges) over all queries, for the paper's Table 6.
+	MaxSubgraphEdges int64
+}
+
+type blockLayout struct {
+	useOff []int // per stmt: offset of its use addrs in the flat array
+	defOff []int // per stmt: offset of its def addrs
+	total  int
+}
+
+// New returns an LP slicer over a trace file written by trace.Writer.
+func New(p *ir.Program, tracePath string, segs []*trace.Segment) *Slicer {
+	return &Slicer{p: p, path: tracePath, segs: segs, offsets: map[*ir.Block]blockLayout{}}
+}
+
+func (s *Slicer) layout(b *ir.Block) blockLayout {
+	if l, ok := s.offsets[b]; ok {
+		return l
+	}
+	l := blockLayout{useOff: make([]int, len(b.Stmts)), defOff: make([]int, len(b.Stmts))}
+	off := 0
+	for i, st := range b.Stmts {
+		l.useOff[i] = off
+		if st.Op == ir.OpDeclArr {
+			off += 2 // start, length
+			l.defOff[i] = l.useOff[i]
+			continue
+		}
+		off += len(st.Uses)
+		l.defOff[i] = off
+		off += st.NumDefs
+	}
+	l.total = off
+	s.offsets[b] = l
+	return l
+}
+
+// pos is a trace position: block ordinal plus statement index.
+type pos struct {
+	ord int64
+	idx int
+}
+
+func (a pos) before(b pos) bool {
+	if a.ord != b.ord {
+		return a.ord < b.ord
+	}
+	return a.idx < b.idx
+}
+
+type defNeed struct {
+	use pos // the definition must precede this position
+}
+
+type cdNeed struct {
+	fn        *ir.Func
+	ancestors map[ir.BlockID]bool
+	entryLike bool  // no intraprocedural ancestors: resolve at the frame-creating call
+	startOrd  int64 // only consider block executions strictly before this
+	depth     int
+	done      bool
+}
+
+type instKey struct {
+	stmt ir.StmtID
+	ord  int64
+}
+
+type query struct {
+	s        *Slicer
+	slice    *slicing.Slice
+	stats    *slicing.Stats
+	needDefs map[int64][]defNeed
+	needCDs  []*cdNeed
+	cdSeen   map[instKey]bool // block-instance keys with a cd need already created
+	visited  map[instKey]bool
+	edges    int64
+
+	// Criterion plumbing.
+	wantAddr    int64 // address whose last definition starts the slice (mode A)
+	wantAddrHit bool
+	locStmt     ir.StmtID // instance to locate (mode B)
+	locOrd      int64
+	locPending  bool
+}
+
+// Slice implements slicing.Slicer.
+func (s *Slicer) Slice(c slicing.Criterion) (*slicing.Slice, *slicing.Stats, error) {
+	q := &query{
+		s:        s,
+		slice:    slicing.NewSlice(),
+		stats:    &slicing.Stats{},
+		needDefs: map[int64][]defNeed{},
+		cdSeen:   map[instKey]bool{},
+		visited:  map[instKey]bool{},
+	}
+	if c.Stmt >= 0 {
+		q.locStmt, q.locOrd, q.locPending = c.Stmt, c.TS, true
+	} else {
+		q.wantAddr = c.Addr
+		q.needDefs[c.Addr] = append(q.needDefs[c.Addr], defNeed{use: pos{ord: 1 << 62, idx: 0}})
+	}
+	if err := q.scan(); err != nil {
+		return nil, nil, err
+	}
+	if c.Stmt < 0 && !q.wantAddrHit {
+		return nil, nil, fmt.Errorf("lp: address %d was never defined", c.Addr)
+	}
+	if q.edges > s.MaxSubgraphEdges {
+		s.MaxSubgraphEdges = q.edges
+	}
+	return q.slice, q.stats, nil
+}
+
+// blockExec is one buffered block execution.
+type blockExec struct {
+	b     *ir.Block
+	ord   int64
+	addrs []int64 // flat per-stmt use+def addresses (layout per blockLayout)
+}
+
+func (q *query) scan() error {
+	f, err := os.Open(q.s.path)
+	if err != nil {
+		return fmt.Errorf("lp: %w", err)
+	}
+	defer f.Close()
+
+	for si := len(q.s.segs) - 1; si >= 0; si-- {
+		seg := q.s.segs[si]
+		if q.idle() {
+			return nil
+		}
+		if q.canSkip(seg) {
+			q.stats.SegSkips++
+			continue
+		}
+		q.stats.SegScans++
+		execs, err := q.decodeSegment(f, seg)
+		if err != nil {
+			return err
+		}
+		for i := len(execs) - 1; i >= 0; i-- {
+			q.processBlockExec(&execs[i])
+		}
+		q.compactCDs()
+	}
+	return nil
+}
+
+// idle reports whether no needs remain.
+func (q *query) idle() bool {
+	return len(q.needDefs) == 0 && len(q.needCDs) == 0 && !q.locPending
+}
+
+// canSkip decides from the segment summary whether scanning it can be
+// avoided. Pending control needs always force a scan (their depth counters
+// must see every call and return in order).
+func (q *query) canSkip(seg *trace.Segment) bool {
+	if len(q.needCDs) > 0 {
+		return false
+	}
+	if q.locPending && q.locOrd >= seg.StartOrd && q.locOrd < seg.EndOrd {
+		return false
+	}
+	for a := range q.needDefs {
+		if seg.MayDefine(a) {
+			return false
+		}
+	}
+	return true
+}
+
+func (q *query) decodeSegment(f *os.File, seg *trace.Segment) ([]blockExec, error) {
+	if _, err := f.Seek(seg.Off, 0); err != nil {
+		return nil, fmt.Errorf("lp: seek: %w", err)
+	}
+	d := trace.NewDecoder(q.s.p, f, seg.StartOrd)
+	n := seg.EndOrd - seg.StartOrd
+	execs := make([]blockExec, 0, n)
+	var cur *blockExec
+	for int64(len(execs)) < n {
+		ev, err := d.Next()
+		if err != nil {
+			return nil, err
+		}
+		switch ev.Kind {
+		case trace.EvBlock:
+			execs = append(execs, blockExec{b: ev.Block, ord: ev.Ord})
+			cur = &execs[len(execs)-1]
+			cur.addrs = make([]int64, 0, q.s.layout(ev.Block).total)
+		case trace.EvStmt:
+			cur.addrs = append(cur.addrs, ev.Uses...)
+			cur.addrs = append(cur.addrs, ev.Defs...)
+		case trace.EvRegion:
+			cur.addrs = append(cur.addrs, ev.RegStart, ev.RegLen)
+		case trace.EvEnd:
+			return execs, nil
+		}
+		// Stop once the final block of the segment is fully decoded: the
+		// decoder would otherwise run into the next segment. We detect
+		// completion by count of block records; trailing statement records
+		// of the last block still need decoding, so only break on the next
+		// block boundary — handled by the loop condition plus one extra
+		// round below.
+	}
+	// The loop exits after appending the segment's last block record; its
+	// statement records still follow. Decode until the next block record
+	// or end.
+	lay := q.s.layout(cur.b)
+	for len(cur.addrs) < lay.total {
+		ev, err := d.Next()
+		if err != nil {
+			return nil, err
+		}
+		switch ev.Kind {
+		case trace.EvStmt:
+			cur.addrs = append(cur.addrs, ev.Uses...)
+			cur.addrs = append(cur.addrs, ev.Defs...)
+		case trace.EvRegion:
+			cur.addrs = append(cur.addrs, ev.RegStart, ev.RegLen)
+		case trace.EvEnd:
+			return execs, nil
+		case trace.EvBlock:
+			return nil, fmt.Errorf("lp: segment decoding desynchronized")
+		}
+	}
+	return execs, nil
+}
+
+func (q *query) processBlockExec(be *blockExec) {
+	lay := q.s.layout(be.b)
+
+	// Locate a criterion instance.
+	if q.locPending && be.ord == q.locOrd {
+		st := q.s.p.Stmt(q.locStmt)
+		if st.Block == be.b {
+			q.locPending = false
+			q.admit(st, be, lay)
+		}
+	}
+
+	// Control-dependence needs from later instances observe this block
+	// execution first: a matched ancestor's terminator may itself use
+	// values defined earlier in this very block execution, so its data
+	// needs must exist before the statement scan below.
+	q.updateCDs(be, lay)
+
+	// Statements in reverse order: defs may satisfy pending needs.
+	for idx := len(be.b.Stmts) - 1; idx >= 0; idx-- {
+		st := be.b.Stmts[idx]
+		here := pos{ord: be.ord, idx: idx}
+		if st.Op == ir.OpDeclArr {
+			start, length := be.addrs[lay.useOff[idx]], be.addrs[lay.useOff[idx]+1]
+			q.resolveRegion(st, be, lay, here, start, length)
+			continue
+		}
+		for di := 0; di < st.NumDefs; di++ {
+			a := be.addrs[lay.defOff[idx]+di]
+			q.resolveDefs(st, be, lay, here, a)
+		}
+	}
+}
+
+// resolveDefs satisfies pending needs on address a with the definition at
+// position here.
+func (q *query) resolveDefs(st *ir.Stmt, be *blockExec, lay blockLayout, here pos, a int64) {
+	needs := q.needDefs[a]
+	if len(needs) == 0 {
+		return
+	}
+	kept := needs[:0]
+	hit := false
+	for _, n := range needs {
+		if here.before(n.use) {
+			hit = true
+			q.edges++
+		} else {
+			kept = append(kept, n)
+		}
+	}
+	if len(kept) == 0 {
+		delete(q.needDefs, a)
+	} else {
+		q.needDefs[a] = kept
+	}
+	if hit {
+		if a == q.wantAddr {
+			q.wantAddrHit = true
+		}
+		q.admit(st, be, lay)
+	}
+}
+
+func (q *query) resolveRegion(st *ir.Stmt, be *blockExec, lay blockLayout, here pos, start, length int64) {
+	hit := false
+	for a := range q.needDefs {
+		if a < start || a >= start+length {
+			continue
+		}
+		needs := q.needDefs[a]
+		kept := needs[:0]
+		for _, n := range needs {
+			if here.before(n.use) {
+				hit = true
+				q.edges++
+			} else {
+				kept = append(kept, n)
+			}
+		}
+		if len(kept) == 0 {
+			delete(q.needDefs, a)
+		} else {
+			q.needDefs[a] = kept
+		}
+		if a == q.wantAddr && hit {
+			q.wantAddrHit = true
+		}
+	}
+	if hit {
+		q.admit(st, be, lay)
+	}
+}
+
+// admit adds a statement instance to the slice and queues its needs.
+func (q *query) admit(st *ir.Stmt, be *blockExec, lay blockLayout) {
+	k := instKey{stmt: st.ID, ord: be.ord}
+	if q.visited[k] {
+		return
+	}
+	q.visited[k] = true
+	q.stats.Instances++
+	q.slice.Add(st.ID)
+
+	// Data needs: one per use slot, at this instance's position.
+	if st.Op != ir.OpDeclArr {
+		for ui := 0; ui < len(st.Uses); ui++ {
+			a := be.addrs[lay.useOff[st.Idx]+ui]
+			q.needDefs[a] = append(q.needDefs[a], defNeed{use: pos{ord: be.ord, idx: st.Idx}})
+		}
+	}
+
+	// Control need for the enclosing block instance (once per instance).
+	bk := instKey{stmt: ir.StmtID(st.Block.ID), ord: be.ord}
+	if q.cdSeen[bk] {
+		return
+	}
+	q.cdSeen[bk] = true
+	ancs := st.Block.CDAncestors
+	if len(ancs) == 0 {
+		// Only function entries carry the interprocedural (call-site)
+		// control dependence; other ancestor-free blocks execute
+		// unconditionally within their frame (see the FP builder).
+		if st.Block.Fn == q.s.p.Main || st.Block != st.Block.Fn.Entry() {
+			return
+		}
+	}
+	n := &cdNeed{fn: st.Block.Fn, ancestors: map[ir.BlockID]bool{}, startOrd: be.ord}
+	for _, ab := range ancs {
+		n.ancestors[ab.ID] = true
+	}
+	n.entryLike = len(ancs) == 0
+	q.needCDs = append(q.needCDs, n)
+}
+
+// updateCDs advances every pending control need over this block execution.
+func (q *query) updateCDs(be *blockExec, lay blockLayout) {
+	for _, n := range q.needCDs {
+		if n.done || be.ord >= n.startOrd {
+			continue
+		}
+		term := be.b.Terminator()
+		if term != nil && term.Op == ir.OpReturn {
+			n.depth++
+			continue
+		}
+		if term != nil && term.Op == ir.OpCall {
+			if n.depth == 0 {
+				// Frame-creating call: resolves entry-like needs; intra-
+				// procedural needs cannot match beyond this boundary.
+				if n.entryLike {
+					q.edges++
+					q.admit(term, be, lay)
+				}
+				n.done = true
+				continue
+			}
+			n.depth--
+			// A same-frame call block is never a branch ancestor; fall
+			// through only for depth accounting.
+			continue
+		}
+		if n.depth == 0 && n.ancestors[be.b.ID] {
+			q.edges++
+			q.admit(be.b.Terminator(), be, lay)
+			n.done = true
+		}
+	}
+}
+
+func (q *query) compactCDs() {
+	kept := q.needCDs[:0]
+	for _, n := range q.needCDs {
+		if !n.done {
+			kept = append(kept, n)
+		}
+	}
+	q.needCDs = kept
+}

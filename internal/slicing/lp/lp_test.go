@@ -1,0 +1,154 @@
+package lp_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"dynslice/internal/compile"
+	"dynslice/internal/interp"
+	"dynslice/internal/ir"
+	"dynslice/internal/slicing"
+	"dynslice/internal/slicing/lp"
+	"dynslice/internal/trace"
+)
+
+// buildLP runs src and returns an LP slicer plus the address of a global.
+func buildLP(t *testing.T, src string, segBlocks int, input ...int64) (*lp.Slicer, *ir.Program) {
+	t.Helper()
+	p, err := compile.Source(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "t.trace")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := trace.NewWriter(p, f, segBlocks)
+	if _, err := interp.Run(p, interp.Options{Input: input, Sink: w}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Err() != nil {
+		t.Fatal(w.Err())
+	}
+	return lp.New(p, path, w.Segments()), p
+}
+
+func globalAddr(p *ir.Program, name string) int64 {
+	for _, o := range p.Globals {
+		if o.Name == name {
+			return interp.GlobalBase + o.Off
+		}
+	}
+	return -1
+}
+
+// TestSegmentSkipping checks that the segment summaries actually prune
+// work: slicing on a value finalized early in the run must skip the long
+// unrelated tail.
+func TestSegmentSkipping(t *testing.T) {
+	src := `
+	var early = 0;
+	var late = 0;
+	func main() {
+		early = input() + 1;          // defined once, at the very start
+		var i = 0;
+		while (i < 5000) {            // long unrelated tail
+			late = late + i;
+			i = i + 1;
+		}
+		print(early);
+		print(late);
+	}`
+	s, p := buildLP(t, src, 64, 41)
+	sl, stats, err := s.Slice(slicing.AddrCriterion(globalAddr(p, "early")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sl.Len() == 0 {
+		t.Fatal("empty slice")
+	}
+	if stats.SegSkips == 0 {
+		t.Error("expected segment skipping on an early-defined criterion")
+	}
+	if stats.SegScans > stats.SegSkips {
+		t.Errorf("scanned %d segments but skipped only %d; summaries ineffective",
+			stats.SegScans, stats.SegSkips)
+	}
+	// The loop must not be in the slice of early.
+	for _, id := range sl.Stmts() {
+		if p.Stmt(id).Pos.Line >= 7 && p.Stmt(id).Pos.Line <= 10 {
+			t.Errorf("unrelated loop line %d in slice of early", p.Stmt(id).Pos.Line)
+		}
+	}
+}
+
+// TestNeverDefinedAddress checks error reporting.
+func TestNeverDefinedAddress(t *testing.T) {
+	s, _ := buildLP(t, `func main() { print(1); }`, 16)
+	if _, _, err := s.Slice(slicing.AddrCriterion(1 << 40)); err == nil {
+		t.Fatal("expected an error for a never-defined address")
+	}
+}
+
+// TestRecursionControlDepth checks the frame-aware control matching: under
+// recursion, the controlling branch of a statement must come from the
+// correct frame, which exercises the backward depth counters.
+func TestRecursionControlDepth(t *testing.T) {
+	src := `
+	var g = 0;
+	func rec(n) {
+		if (n > 0) {
+			rec(n - 1);
+			g = g + n;     // control dependent on THIS frame's n > 0
+		}
+		return 0;
+	}
+	func main() {
+		rec(6);
+		print(g);
+	}`
+	s, p := buildLP(t, src, 8)
+	sl, _, err := s.Slice(slicing.AddrCriterion(globalAddr(p, "g")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The slice must include the recursive condition and call.
+	lines := map[int]bool{}
+	for _, id := range sl.Stmts() {
+		lines[p.Stmt(id).Pos.Line] = true
+	}
+	for _, want := range []int{4, 5, 6, 11} {
+		if !lines[want] {
+			t.Errorf("line %d missing from slice; got %v", want, lines)
+		}
+	}
+}
+
+// TestMaxSubgraphTracking checks the Table 6 accounting.
+func TestMaxSubgraphTracking(t *testing.T) {
+	s, p := buildLP(t, `
+	var total = 0;
+	func main() {
+		var i = 0;
+		while (i < 200) {
+			total = total + i;
+			i = i + 1;
+		}
+		print(total);
+	}`, 32)
+	if s.MaxSubgraphEdges != 0 {
+		t.Fatal("subgraph accounting must start at zero")
+	}
+	if _, _, err := s.Slice(slicing.AddrCriterion(globalAddr(p, "total"))); err != nil {
+		t.Fatal(err)
+	}
+	if s.MaxSubgraphEdges == 0 {
+		t.Fatal("subgraph accounting did not record any resolved edges")
+	}
+}

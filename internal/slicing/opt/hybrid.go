@@ -1,0 +1,250 @@
+package opt
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// Hybrid mode implements the algorithm sketched in the paper's §4.2
+// ("Combining idea behind LP with OPT"): the compacted graph is built in
+// memory as usual, but whenever the accumulated explicit labels exceed a
+// budget, the current *epoch* of labels is written to disk and dropped
+// from memory. Because node timestamps are (per edge) monotone, a label's
+// epoch is determined by its consumer timestamp, so slicing loads at most
+// one epoch file at a time on demand — trading slicing-time I/O for a
+// memory ceiling, which is what lets the representation scale to runs
+// whose compacted labels still exceed RAM.
+//
+// Labels appended out of timestamp order by suspended superblock
+// executions (recursion) would fall outside their epoch's range; the
+// flush keeps such stragglers in memory, so every pair lives in exactly
+// one place: the in-memory list or its epoch's file.
+
+// epoch is one flushed label block.
+type epoch struct {
+	tsStart, tsEnd int64 // consumer-timestamp range [tsStart, tsEnd)
+	path           string
+	pairs          int64
+}
+
+// hybridState holds the disk-epoch machinery of a graph.
+type hybridState struct {
+	dir        string
+	budget     int64 // max in-memory pairs before a flush
+	sinceFlush int64
+	tsStart    int64
+	epochs     []epoch
+	flushed    int64
+
+	// One-epoch cache for slicing.
+	cachedEpoch int
+	cache       map[int32][]Pair
+	loads       int64
+}
+
+// EnableHybrid turns on §4.2 disk-epoch mode: whenever more than budget
+// labels are resident, they are flushed to a new epoch file under dir.
+// Must be called before feeding the trace.
+func (g *Graph) EnableHybrid(dir string, budget int64) error {
+	if budget <= 0 {
+		budget = 1 << 18
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	g.hybrid = &hybridState{dir: dir, budget: budget, cachedEpoch: -1}
+	return nil
+}
+
+// HybridEpochs reports how many epochs were flushed (0 when disabled).
+func (g *Graph) HybridEpochs() int {
+	if g.hybrid == nil {
+		return 0
+	}
+	return len(g.hybrid.epochs)
+}
+
+// HybridLoads reports how many epoch files slicing loaded.
+func (g *Graph) HybridLoads() int64 {
+	if g.hybrid == nil {
+		return 0
+	}
+	return g.hybrid.loads
+}
+
+// ResidentPairs returns the labels currently held in memory.
+func (g *Graph) ResidentPairs() int64 {
+	var n int64
+	for _, l := range g.allLabels {
+		n += int64(len(l.pairs))
+	}
+	return n
+}
+
+// maybeFlush is called after each node execution in hybrid mode.
+func (g *Graph) maybeFlush() {
+	h := g.hybrid
+	if h == nil {
+		return
+	}
+	h.sinceFlush++
+	// Counting resident pairs exactly on every node execution would be
+	// quadratic; sample every 1024 executions.
+	if h.sinceFlush%1024 != 0 {
+		return
+	}
+	if g.ResidentPairs() < h.budget {
+		return
+	}
+	if err := g.flushEpoch(); err != nil {
+		// Disk trouble: disable hybrid mode rather than corrupt the graph;
+		// labels simply stay in memory.
+		g.hybrid = nil
+	}
+}
+
+// flushEpoch writes every in-range resident pair to a new epoch file.
+func (g *Graph) flushEpoch() error {
+	h := g.hybrid
+	start, end := h.tsStart, g.ts
+	if end <= start {
+		return nil
+	}
+	path := filepath.Join(h.dir, fmt.Sprintf("epoch%06d.labels", len(h.epochs)))
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	bw := bufio.NewWriterSize(f, 1<<16)
+	var scratch [binary.MaxVarintLen64]byte
+	put := func(v uint64) error {
+		n := binary.PutUvarint(scratch[:], v)
+		_, err := bw.Write(scratch[:n])
+		return err
+	}
+	var written int64
+	for id, l := range g.allLabels {
+		if len(l.pairs) == 0 {
+			continue
+		}
+		l.ensureSorted()
+		// Partition: in-range pairs go to disk, stragglers stay.
+		lo := sort.Search(len(l.pairs), func(i int) bool { return l.pairs[i].Tu >= start })
+		out := l.pairs[lo:]
+		if len(out) == 0 {
+			continue
+		}
+		if err := put(uint64(id)); err != nil {
+			return err
+		}
+		if err := put(uint64(len(out))); err != nil {
+			return err
+		}
+		for _, p := range out {
+			if err := put(uint64(p.Tu)); err != nil {
+				return err
+			}
+			// Td can precede Tu by an arbitrary amount but is never
+			// negative except tombstones (-1): zig-zag encode.
+			if err := put(zigzag(p.Td)); err != nil {
+				return err
+			}
+		}
+		written += int64(len(out))
+		l.pairs = l.pairs[:lo]
+	}
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	h.epochs = append(h.epochs, epoch{tsStart: start, tsEnd: end, path: path, pairs: written})
+	h.flushed += written
+	h.tsStart = end
+	return nil
+}
+
+func zigzag(v int64) uint64 { return uint64((v << 1) ^ (v >> 63)) }
+func unzig(u uint64) int64  { return int64(u>>1) ^ -int64(u&1) }
+
+// findLabel searches l for tu: resident pairs first, then the epoch file
+// whose range contains tu (loaded on demand, one-epoch cache).
+func (g *Graph) findLabel(l *Labels, id int32, tu int64) (int64, int64, bool) {
+	td, probes, ok := l.Find(tu)
+	if ok || g.hybrid == nil {
+		return td, probes, ok
+	}
+	h := g.hybrid
+	ei := sort.Search(len(h.epochs), func(i int) bool { return h.epochs[i].tsEnd > tu })
+	if ei >= len(h.epochs) || h.epochs[ei].tsStart > tu {
+		return 0, probes, false
+	}
+	if err := h.load(ei); err != nil {
+		return 0, probes, false
+	}
+	pairs := h.cache[id]
+	lo, hi := 0, len(pairs)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		probes++
+		if pairs[mid].Tu < tu {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(pairs) && pairs[lo].Tu == tu {
+		return pairs[lo].Td, probes, true
+	}
+	return 0, probes, false
+}
+
+// load reads an epoch file into the single-slot cache.
+func (h *hybridState) load(ei int) error {
+	if h.cachedEpoch == ei {
+		return nil
+	}
+	f, err := os.Open(h.epochs[ei].path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	br := bufio.NewReaderSize(f, 1<<16)
+	cache := map[int32][]Pair{}
+	for {
+		id, err := binary.ReadUvarint(br)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		n, err := binary.ReadUvarint(br)
+		if err != nil {
+			return err
+		}
+		pairs := make([]Pair, n)
+		for i := range pairs {
+			tu, err := binary.ReadUvarint(br)
+			if err != nil {
+				return err
+			}
+			tdz, err := binary.ReadUvarint(br)
+			if err != nil {
+				return err
+			}
+			pairs[i] = Pair{Tu: int64(tu), Td: unzig(tdz)}
+		}
+		cache[int32(id)] = pairs
+	}
+	h.cache = cache
+	h.cachedEpoch = ei
+	h.loads++
+	return nil
+}

@@ -1,0 +1,98 @@
+package opt
+
+import "dynslice/internal/ir"
+
+// Shortcut edges (paper §3.4 "Using Shortcuts to Speed Up Traversal"):
+// when several static edges would be traversed in sequence, their
+// contribution to a slice is the same in every execution, so it can be
+// precomputed. A closure generalizes the paper's single shortcut edge: it
+// is the transitive closure of the all-static, same-timestamp subgraph
+// reachable from one statement copy — the set of statements skipped plus
+// the frontier of points where dynamic labels (or timestamp arithmetic)
+// must still be consulted.
+//
+// Closures are computed lazily after the build completes, so an edge
+// counts as "all static" only if it also accumulated no fallback labels.
+
+type useRef struct {
+	stmt, slot int32
+}
+
+type closure struct {
+	stmts  []ir.StmtID
+	uFront []useRef
+	cFront []int32 // occurrence indices whose control dependence is dynamic
+}
+
+// closureFor returns (computing and memoizing on first use) the static
+// closure of the statement copy at loc.
+func (g *Graph) closureFor(loc InstLoc) *closure {
+	if c, ok := g.shortcuts[loc]; ok {
+		return c
+	}
+	n := g.nodes[loc.Node]
+	c := &closure{}
+	seenStmt := map[int32]bool{}
+	seenUse := map[useRef]bool{}
+	seenOcc := map[int32]bool{}
+
+	var visitStmt func(si int32)
+	var visitUse func(si, slot int32)
+	var visitOcc func(occIdx int32)
+
+	visitUse = func(si, slot int32) {
+		r := useRef{si, slot}
+		if seenUse[r] {
+			return
+		}
+		seenUse[r] = true
+		us := &n.Stmts[si].Uses[slot]
+		if len(us.Dyn) > 0 || us.Default.Mode != DefNone {
+			c.uFront = append(c.uFront, r)
+			return
+		}
+		switch us.Static {
+		case SDU, SDUPartial:
+			visitStmt(us.StTgtStmt)
+		case SUU:
+			visitUse(us.StTgtStmt, us.StTgtSlot)
+		}
+	}
+	visitOcc = func(occIdx int32) {
+		if seenOcc[occIdx] {
+			return
+		}
+		seenOcc[occIdx] = true
+		cd := &n.Occs[occIdx].CD
+		if len(cd.Dyn) == 0 && cd.Default.Mode == DefNone {
+			switch cd.Static {
+			case CDLocal:
+				tgtOcc := n.Occs[cd.StTgtOcc]
+				visitStmt(tgtOcc.StmtOff + int32(len(tgtOcc.B.Stmts)) - 1)
+				return
+			case CDSame:
+				visitOcc(cd.StTgtOcc)
+				return
+			case CDNone:
+				return
+			}
+		}
+		c.cFront = append(c.cFront, occIdx)
+	}
+	visitStmt = func(si int32) {
+		if seenStmt[si] {
+			return
+		}
+		seenStmt[si] = true
+		sc := &n.Stmts[si]
+		c.stmts = append(c.stmts, sc.S.ID)
+		for k := range sc.Uses {
+			visitUse(si, int32(k))
+		}
+		visitOcc(sc.OccIdx)
+	}
+
+	visitStmt(loc.Stmt)
+	g.shortcuts[loc] = c
+	return c
+}

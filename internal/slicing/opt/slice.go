@@ -1,0 +1,195 @@
+package opt
+
+import (
+	"fmt"
+
+	"dynslice/internal/slicing"
+)
+
+// Slicing traversal (paper §3.4 "Dynamic Slicing" and Fig. 13): for each
+// dependence of an instance, search the dynamic labels first; if the
+// relevant timestamp is absent, the statically introduced edge applies and
+// the producing timestamp is inferred (td = tu for data edges and local
+// control edges, tc = tb - delta for distance-inferred control edges).
+// Use-use edges redirect resolution to the earlier use without adding its
+// statement to the slice.
+
+type instKey struct {
+	loc InstLoc
+	ts  int64
+}
+
+type sliceState struct {
+	g       *Graph
+	out     *slicing.Slice
+	stats   *slicing.Stats
+	visited map[instKey]bool
+	seenUse map[useKey]bool
+	work    []task
+}
+
+type useKey struct {
+	loc  InstLoc
+	slot int32
+	ts   int64
+}
+
+type task struct {
+	loc   InstLoc
+	ts    int64
+	slot  int32
+	isUse bool // resolve a single use slot without adding the statement
+}
+
+// Slice implements slicing.Slicer. Address criteria resolve against the
+// graph's final last-definition table; statement-instance criteria are
+// supported through SliceAt (OPT timestamps are node ordinals, which are
+// not meaningful to callers holding FP ordinals).
+func (g *Graph) Slice(c slicing.Criterion) (*slicing.Slice, *slicing.Stats, error) {
+	if c.Stmt >= 0 {
+		return nil, nil, fmt.Errorf("opt: statement-instance criteria require SliceAt (OPT timestamps are node ordinals)")
+	}
+	d, ok := g.lastDef[c.Addr]
+	if !ok {
+		return nil, nil, fmt.Errorf("opt: address %d was never defined", c.Addr)
+	}
+	return g.SliceAt(d.Loc, d.Ts)
+}
+
+// SliceAt computes the dynamic slice of the statement-copy instance at loc
+// with node timestamp ts.
+func (g *Graph) SliceAt(loc InstLoc, ts int64) (*slicing.Slice, *slicing.Stats, error) {
+	st := &sliceState{
+		g:       g,
+		out:     slicing.NewSlice(),
+		stats:   &slicing.Stats{},
+		visited: map[instKey]bool{},
+		seenUse: map[useKey]bool{},
+	}
+	st.pushInstance(loc, ts)
+	for len(st.work) > 0 {
+		t := st.work[len(st.work)-1]
+		st.work = st.work[:len(st.work)-1]
+		if t.isUse {
+			st.resolveUse(t.loc, t.slot, t.ts)
+		} else {
+			st.processInstance(t.loc, t.ts)
+		}
+	}
+	return st.out, st.stats, nil
+}
+
+func (st *sliceState) pushInstance(loc InstLoc, ts int64) {
+	if ts < 0 || ts >= st.g.ts {
+		// Out of the executed timestamp range: an inference rule fired for
+		// a timestamp it has no evidence about (possible only after graph
+		// corruption); drop rather than fabricate instances.
+		return
+	}
+	k := instKey{loc, ts}
+	if st.visited[k] {
+		return
+	}
+	st.visited[k] = true
+	st.work = append(st.work, task{loc: loc, ts: ts})
+}
+
+func (st *sliceState) pushUse(loc InstLoc, slot int32, ts int64) {
+	k := useKey{loc, slot, ts}
+	if st.seenUse[k] {
+		return
+	}
+	st.seenUse[k] = true
+	st.work = append(st.work, task{loc: loc, ts: ts, slot: slot, isUse: true})
+}
+
+func (st *sliceState) processInstance(loc InstLoc, ts int64) {
+	st.stats.Instances++
+	g := st.g
+	if g.cfg.Shortcuts {
+		cl := g.closureFor(loc)
+		for _, id := range cl.stmts {
+			st.out.Add(id)
+		}
+		for _, u := range cl.uFront {
+			st.resolveUse(InstLoc{Node: loc.Node, Stmt: u.stmt}, u.slot, ts)
+		}
+		for _, occIdx := range cl.cFront {
+			st.resolveCD(loc.Node, occIdx, ts)
+		}
+		return
+	}
+	n := g.nodes[loc.Node]
+	sc := &n.Stmts[loc.Stmt]
+	st.out.Add(sc.S.ID)
+	for k := range sc.Uses {
+		st.resolveUse(loc, int32(k), ts)
+	}
+	st.resolveCD(loc.Node, sc.OccIdx, ts)
+}
+
+// resolveUse locates the dependence of one use slot at time ts and
+// enqueues the producing instance. Dynamic labels take precedence; the
+// static edge is the fallback (paper Fig. 13, cases (a) and (c)).
+func (st *sliceState) resolveUse(loc InstLoc, slot int32, ts int64) {
+	g := st.g
+	us := &g.nodes[loc.Node].Stmts[loc.Stmt].Uses[slot]
+	for i := range us.Dyn {
+		td, probes, found := g.findLabel(us.Dyn[i].L, us.Dyn[i].L.id, ts)
+		st.stats.LabelProbes += probes
+		if found {
+			if td < 0 {
+				return // tombstone: this execution had no producer
+			}
+			st.pushInstance(us.Dyn[i].Tgt, td)
+			return
+		}
+	}
+	switch us.Static {
+	case SDU, SDUPartial:
+		st.pushInstance(InstLoc{Node: loc.Node, Stmt: us.StTgtStmt}, ts)
+	case SUU:
+		// Redirect to the earlier use at the same timestamp; its statement
+		// is not added to the slice.
+		st.pushUse(InstLoc{Node: loc.Node, Stmt: us.StTgtStmt}, us.StTgtSlot, ts)
+	case SNone:
+		if tgt, td, ok := us.Default.Resolve(ts); ok {
+			st.pushInstance(tgt, td)
+		}
+	}
+}
+
+// resolveCD locates the controlling instance of a block occurrence at time
+// ts and enqueues the branch (or call) statement instance.
+func (st *sliceState) resolveCD(node NodeID, occIdx int32, ts int64) {
+	g := st.g
+	occ := &g.nodes[node].Occs[occIdx]
+	for i := range occ.CD.Dyn {
+		ta, probes, found := g.findLabel(occ.CD.Dyn[i].L, occ.CD.Dyn[i].L.id, ts)
+		st.stats.LabelProbes += probes
+		if found {
+			if ta < 0 {
+				return // tombstone: this execution had no controlling instance
+			}
+			st.pushInstance(occ.CD.Dyn[i].Tgt, ta)
+			return
+		}
+	}
+	switch occ.CD.Static {
+	case CDLocal:
+		tgtOcc := g.nodes[node].Occs[occ.CD.StTgtOcc]
+		termIdx := tgtOcc.StmtOff + int32(len(tgtOcc.B.Stmts)) - 1
+		st.pushInstance(InstLoc{Node: node, Stmt: termIdx}, ts)
+	case CDDelta:
+		st.pushInstance(occ.CD.StTgt, ts-occ.CD.Delta)
+	case CDSame:
+		// Control equivalent to an earlier occurrence of the same node
+		// execution: resolve that occurrence's control edge at the same
+		// timestamp.
+		st.resolveCD(node, occ.CD.StTgtOcc, ts)
+	case CDNone:
+		if tgt, ta, ok := occ.CD.Default.Resolve(ts); ok {
+			st.pushInstance(tgt, ta)
+		}
+	}
+}

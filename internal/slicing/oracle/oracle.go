@@ -1,0 +1,177 @@
+// Package oracle is a brute-force reference dynamic slicer used only by
+// tests. It shares no code or representation with the FP, LP, or OPT
+// implementations: the whole trace is kept as a flat event log, and a
+// slice is computed by a direct backward walk over that log, recomputing
+// every dependence from first principles. It is deliberately simple and
+// memory-hungry — its only job is to be obviously correct, so that a
+// conceptual bug shared by the optimized implementations cannot hide
+// behind differential agreement.
+package oracle
+
+import (
+	"fmt"
+
+	"dynslice/internal/ir"
+	"dynslice/internal/slicing"
+)
+
+// event is one statement execution in the log.
+type event struct {
+	stmt *ir.Stmt
+	ord  int64 // block-execution ordinal (FP timestamp)
+	uses []int64
+	defs []int64
+	// control: index into the log of the controlling statement execution
+	// (the branch whose most recent same-frame execution governs this
+	// one, or the call that created the frame for function entries), or
+	// -1.
+	control int
+}
+
+// Slicer is the reference implementation. It implements trace.Sink; feed
+// it the whole trace, then query.
+type Slicer struct {
+	p   *ir.Program
+	log []event
+	ord int64
+
+	// Builder state for control resolution.
+	frames  []*oframe
+	lastDef map[int64]int // addr -> log index of the defining event
+}
+
+type oframe struct {
+	fn       *ir.Func
+	lastTerm map[ir.BlockID]int // block -> log index of its terminator execution
+	callIdx  int                // log index of the creating call, or -1
+}
+
+// New returns an empty oracle for p.
+func New(p *ir.Program) *Slicer {
+	return &Slicer{p: p, lastDef: map[int64]int{}}
+}
+
+// Block implements trace.Sink.
+func (o *Slicer) Block(b *ir.Block) {
+	if len(o.frames) == 0 {
+		o.frames = append(o.frames, &oframe{fn: b.Fn, lastTerm: map[ir.BlockID]int{}, callIdx: -1})
+	}
+	o.ord++
+}
+
+// Stmt implements trace.Sink.
+func (o *Slicer) Stmt(s *ir.Stmt, uses, defs []int64) {
+	fr := o.frames[len(o.frames)-1]
+	ev := event{
+		stmt:    s,
+		ord:     o.ord - 1,
+		uses:    append([]int64(nil), uses...),
+		defs:    append([]int64(nil), defs...),
+		control: o.resolveControl(s.Block, fr),
+	}
+	idx := len(o.log)
+	o.log = append(o.log, ev)
+	for _, a := range defs {
+		o.lastDef[a] = idx
+	}
+	switch s.Op {
+	case ir.OpCall:
+		o.frames = append(o.frames, &oframe{
+			fn:       s.Callee,
+			lastTerm: map[ir.BlockID]int{},
+			callIdx:  idx,
+		})
+	case ir.OpCond, ir.OpReturn:
+		fr.lastTerm[s.Block.ID] = idx
+		if s.Op == ir.OpReturn && len(o.frames) > 0 {
+			o.frames = o.frames[:len(o.frames)-1]
+		}
+	}
+}
+
+// RegionDef implements trace.Sink.
+func (o *Slicer) RegionDef(s *ir.Stmt, start, length int64) {
+	fr := o.frames[len(o.frames)-1]
+	ev := event{
+		stmt:    s,
+		ord:     o.ord - 1,
+		defs:    nil,
+		control: o.resolveControl(s.Block, fr),
+	}
+	for a := start; a < start+length; a++ {
+		ev.defs = append(ev.defs, a)
+	}
+	idx := len(o.log)
+	o.log = append(o.log, ev)
+	for _, a := range ev.defs {
+		o.lastDef[a] = idx
+	}
+}
+
+// End implements trace.Sink.
+func (o *Slicer) End() {}
+
+// resolveControl finds the controlling execution for a statement of block
+// b in frame fr: the most recent same-frame terminator execution among
+// b's static control ancestors, or the frame-creating call for function
+// entries (matching the rule shared by FP, LP, and OPT).
+func (o *Slicer) resolveControl(b *ir.Block, fr *oframe) int {
+	best := -1
+	for _, h := range b.CDAncestors {
+		if idx, ok := fr.lastTerm[h.ID]; ok && idx > best {
+			best = idx
+		}
+	}
+	if best >= 0 {
+		return best
+	}
+	if len(b.CDAncestors) == 0 && b.Fn != o.p.Main && b == b.Fn.Entry() {
+		return fr.callIdx
+	}
+	return -1
+}
+
+// Slice implements slicing.Slicer: brute-force backward walk.
+func (o *Slicer) Slice(c slicing.Criterion) (*slicing.Slice, *slicing.Stats, error) {
+	if c.Stmt >= 0 {
+		return nil, nil, fmt.Errorf("oracle: instance criteria unsupported")
+	}
+	start, ok := o.lastDef[c.Addr]
+	if !ok {
+		return nil, nil, fmt.Errorf("oracle: address %d was never defined", c.Addr)
+	}
+	out := slicing.NewSlice()
+	stats := &slicing.Stats{}
+	visited := make([]bool, len(o.log))
+	work := []int{start}
+	for len(work) > 0 {
+		idx := work[len(work)-1]
+		work = work[:len(work)-1]
+		if idx < 0 || visited[idx] {
+			continue
+		}
+		visited[idx] = true
+		stats.Instances++
+		ev := &o.log[idx]
+		out.Add(ev.stmt.ID)
+		// Data: for each used address, scan backward for the previous
+		// definition (the brute-force part).
+		for _, a := range ev.uses {
+			for j := idx - 1; j >= 0; j-- {
+				hit := false
+				for _, d := range o.log[j].defs {
+					if d == a {
+						hit = true
+						break
+					}
+				}
+				if hit {
+					work = append(work, j)
+					break
+				}
+			}
+		}
+		work = append(work, ev.control)
+	}
+	return out, stats, nil
+}

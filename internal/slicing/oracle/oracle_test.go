@@ -1,0 +1,29 @@
+package oracle_test
+
+import (
+	"testing"
+
+	"dynslice/internal/compile"
+	"dynslice/internal/interp"
+	"dynslice/internal/slicing"
+	"dynslice/internal/slicing/oracle"
+)
+
+// The oracle's substantive validation lives in the differential suites
+// (internal/slicing, internal/bench); this covers its error paths.
+func TestOracleErrors(t *testing.T) {
+	p, err := compile.Source(`func main() { print(1); }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := oracle.New(p)
+	if _, err := interp.Run(p, interp.Options{Sink: o}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := o.Slice(slicing.AddrCriterion(1 << 40)); err == nil {
+		t.Fatal("expected error for a never-defined address")
+	}
+	if _, _, err := o.Slice(slicing.Criterion{Stmt: 0, TS: 0}); err == nil {
+		t.Fatal("expected error for instance criteria")
+	}
+}

@@ -1,0 +1,47 @@
+package trace_test
+
+import (
+	"bytes"
+	"testing"
+
+	"dynslice/internal/interp"
+	"dynslice/internal/trace"
+)
+
+// TestDecoderRejectsCorruptStreams feeds damaged encodings to the decoder
+// and requires an error (never a panic or silent success).
+func TestDecoderRejectsCorruptStreams(t *testing.T) {
+	p := prog(t, `
+	func main() {
+		var i = 0;
+		while (i < 5) { i = i + 1; }
+		print(i);
+	}`)
+	var buf bytes.Buffer
+	w := trace.NewWriter(p, &buf, 0)
+	if _, err := interp.Run(p, interp.Options{Sink: w}); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	replayOK := func(data []byte) error {
+		return trace.Replay(p, bytes.NewReader(data), &recorder{})
+	}
+	if err := replayOK(good); err != nil {
+		t.Fatalf("pristine stream must replay: %v", err)
+	}
+
+	// Truncations at every prefix length must error (or hit a clean End
+	// marker, which only the full stream contains).
+	for cut := 1; cut < len(good)-1; cut += 7 {
+		if err := replayOK(good[:cut]); err == nil {
+			t.Fatalf("truncation at %d silently succeeded", cut)
+		}
+	}
+
+	// A bogus block id must be rejected.
+	bogus := append([]byte{0xFF, 0xFF, 0x7F}, good...)
+	if err := replayOK(bogus); err == nil {
+		t.Fatal("bogus block id silently accepted")
+	}
+}

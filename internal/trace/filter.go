@@ -1,0 +1,46 @@
+package trace
+
+// addrFilter is a small fixed-size Bloom-style filter over addresses, used
+// in segment summaries so the LP algorithm can skip trace segments that
+// cannot contain a definition of a wanted address. Two hash probes over a
+// 2^17-bit table give a low enough false-positive rate for segment sizes in
+// the thousands of definitions while costing only 16 KiB per segment.
+type addrFilter struct {
+	bits [1 << 11]uint64 // 2^17 bits
+}
+
+const filterMask = 1<<17 - 1
+
+func mix(a int64) (uint32, uint32) {
+	x := uint64(a)
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return uint32(x) & filterMask, uint32(x>>32) & filterMask
+}
+
+// Add inserts an address.
+func (f *addrFilter) Add(a int64) {
+	h1, h2 := mix(a)
+	f.bits[h1>>6] |= 1 << (h1 & 63)
+	f.bits[h2>>6] |= 1 << (h2 & 63)
+}
+
+// MayContain reports whether the address may have been inserted.
+func (f *addrFilter) MayContain(a int64) bool {
+	h1, h2 := mix(a)
+	return f.bits[h1>>6]&(1<<(h1&63)) != 0 && f.bits[h2>>6]&(1<<(h2&63)) != 0
+}
+
+// blockSet is a dense bitset over program block IDs.
+type blockSet []uint64
+
+func newBlockSet(n int) blockSet { return make(blockSet, (n+63)/64) }
+
+// Add inserts a block ID.
+func (s blockSet) Add(id int) { s[id>>6] |= 1 << (uint(id) & 63) }
+
+// Has reports membership.
+func (s blockSet) Has(id int) bool { return s[id>>6]&(1<<(uint(id)&63)) != 0 }

@@ -1,0 +1,138 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"dynslice/internal/ir"
+)
+
+// EventKind tags decoded events.
+type EventKind int
+
+// Decoded event kinds.
+const (
+	EvBlock EventKind = iota
+	EvStmt
+	EvRegion
+	EvEnd
+)
+
+// Event is one decoded trace event. The Uses and Defs slices are reused
+// between Next calls; callers must copy them to retain them.
+type Event struct {
+	Kind     EventKind
+	Ord      int64 // block ordinal (valid for EvBlock)
+	Block    *ir.Block
+	Stmt     *ir.Stmt
+	Uses     []int64
+	Defs     []int64
+	RegStart int64
+	RegLen   int64
+}
+
+// Decoder decodes a binary trace stream for one program.
+type Decoder struct {
+	p       *ir.Program
+	br      *bufio.Reader
+	ord     int64 // ordinal to assign to the next block record
+	blk     *ir.Block
+	stmtIdx int
+	uses    []int64
+	defs    []int64
+	done    bool
+}
+
+// NewDecoder returns a decoder reading from r. startOrd is the ordinal of
+// the first block record in the stream (0 for a whole trace; a segment's
+// StartOrd when resuming mid-file).
+func NewDecoder(p *ir.Program, r io.Reader, startOrd int64) *Decoder {
+	return &Decoder{p: p, br: bufio.NewReaderSize(r, 1<<16), ord: startOrd}
+}
+
+func (d *Decoder) uvarint() (uint64, error) {
+	return binary.ReadUvarint(d.br)
+}
+
+// Next decodes the next event. After EvEnd (or when a segment-bounded
+// caller stops early), Next must not be called again.
+func (d *Decoder) Next() (Event, error) {
+	if d.done {
+		return Event{Kind: EvEnd}, nil
+	}
+	// Inside a block: statement records until exhausted.
+	if d.blk != nil && d.stmtIdx < len(d.blk.Stmts) {
+		s := d.blk.Stmts[d.stmtIdx]
+		d.stmtIdx++
+		if s.Op == ir.OpDeclArr {
+			start, err := d.uvarint()
+			if err != nil {
+				return Event{}, fmt.Errorf("trace: region record: %w", err)
+			}
+			length, err := d.uvarint()
+			if err != nil {
+				return Event{}, fmt.Errorf("trace: region record: %w", err)
+			}
+			return Event{Kind: EvRegion, Stmt: s, RegStart: int64(start), RegLen: int64(length)}, nil
+		}
+		d.uses = d.uses[:0]
+		for i := 0; i < len(s.Uses); i++ {
+			a, err := d.uvarint()
+			if err != nil {
+				return Event{}, fmt.Errorf("trace: use addr: %w", err)
+			}
+			d.uses = append(d.uses, int64(a))
+		}
+		d.defs = d.defs[:0]
+		for i := 0; i < s.NumDefs; i++ {
+			a, err := d.uvarint()
+			if err != nil {
+				return Event{}, fmt.Errorf("trace: def addr: %w", err)
+			}
+			d.defs = append(d.defs, int64(a))
+		}
+		return Event{Kind: EvStmt, Stmt: s, Uses: d.uses, Defs: d.defs}, nil
+	}
+	// Block boundary.
+	v, err := d.uvarint()
+	if err != nil {
+		return Event{}, fmt.Errorf("trace: block record: %w", err)
+	}
+	if v == 0 {
+		d.done = true
+		return Event{Kind: EvEnd}, nil
+	}
+	id := int(v - 1)
+	if id >= len(d.p.Blocks) {
+		return Event{}, fmt.Errorf("trace: bad block id %d", id)
+	}
+	d.blk = d.p.Blocks[id]
+	d.stmtIdx = 0
+	ev := Event{Kind: EvBlock, Block: d.blk, Ord: d.ord}
+	d.ord++
+	return ev, nil
+}
+
+// Replay decodes the whole stream into a sink.
+func Replay(p *ir.Program, r io.Reader, sink Sink) error {
+	d := NewDecoder(p, r, 0)
+	for {
+		ev, err := d.Next()
+		if err != nil {
+			return err
+		}
+		switch ev.Kind {
+		case EvBlock:
+			sink.Block(ev.Block)
+		case EvStmt:
+			sink.Stmt(ev.Stmt, ev.Uses, ev.Defs)
+		case EvRegion:
+			sink.RegionDef(ev.Stmt, ev.RegStart, ev.RegLen)
+		case EvEnd:
+			sink.End()
+			return nil
+		}
+	}
+}

@@ -1,0 +1,109 @@
+// Package trace defines the execution-trace event model shared by the
+// interpreter (producer) and the dependence-graph builders (consumers),
+// plus a compact binary encoding with per-segment summaries used by the
+// demand-driven LP algorithm.
+//
+// A trace is a sequence of basic-block executions; each block execution
+// carries one record per statement in the block, in order, holding the
+// dynamic memory addresses of the statement's use slots and def slots.
+// Because call statements terminate basic blocks, the records of one block
+// execution are contiguous even across calls, and the ordinal number of a
+// block record doubles as the full-graph timestamp of that execution.
+package trace
+
+import (
+	"dynslice/internal/ir"
+)
+
+// Sink receives execution events. The interpreter drives a Sink directly;
+// the binary Writer is a Sink; graph builders are Sinks; Multi fans out.
+type Sink interface {
+	// Block announces the execution of a basic block. The statements of
+	// the block follow as Stmt/RegionDef calls, one per statement in order.
+	Block(b *ir.Block)
+	// Stmt reports one statement execution: uses holds one address per use
+	// slot (evaluation order), defs one address per def slot. The slices
+	// are only valid during the call.
+	Stmt(s *ir.Stmt, uses, defs []int64)
+	// RegionDef reports an array-declaration execution defining the
+	// address range [start, start+length).
+	RegionDef(s *ir.Stmt, start, length int64)
+	// End marks the end of the trace.
+	End()
+}
+
+// Multi fans events out to several sinks in order.
+type Multi []Sink
+
+// Block implements Sink.
+func (m Multi) Block(b *ir.Block) {
+	for _, s := range m {
+		s.Block(b)
+	}
+}
+
+// Stmt implements Sink.
+func (m Multi) Stmt(s *ir.Stmt, uses, defs []int64) {
+	for _, k := range m {
+		k.Stmt(s, uses, defs)
+	}
+}
+
+// RegionDef implements Sink.
+func (m Multi) RegionDef(s *ir.Stmt, start, length int64) {
+	for _, k := range m {
+		k.RegionDef(s, start, length)
+	}
+}
+
+// End implements Sink.
+func (m Multi) End() {
+	for _, s := range m {
+		s.End()
+	}
+}
+
+// Counting is a Sink that accumulates the aggregate statistics reported in
+// the paper's Table 1: statements executed and unique statements executed
+// (USE).
+type Counting struct {
+	Blocks     int64
+	Stmts      int64
+	ExecOnce   []bool // indexed by StmtID; allocated lazily
+	numStmtIDs int
+}
+
+// NewCounting returns a counting sink for a program with the given number
+// of statements.
+func NewCounting(p *ir.Program) *Counting {
+	return &Counting{ExecOnce: make([]bool, len(p.Stmts)), numStmtIDs: len(p.Stmts)}
+}
+
+// Block implements Sink.
+func (c *Counting) Block(*ir.Block) { c.Blocks++ }
+
+// Stmt implements Sink.
+func (c *Counting) Stmt(s *ir.Stmt, _, _ []int64) {
+	c.Stmts++
+	c.ExecOnce[s.ID] = true
+}
+
+// RegionDef implements Sink.
+func (c *Counting) RegionDef(s *ir.Stmt, _, _ int64) {
+	c.Stmts++
+	c.ExecOnce[s.ID] = true
+}
+
+// End implements Sink.
+func (c *Counting) End() {}
+
+// USE returns the number of unique statements executed at least once.
+func (c *Counting) USE() int {
+	n := 0
+	for _, x := range c.ExecOnce {
+		if x {
+			n++
+		}
+	}
+	return n
+}

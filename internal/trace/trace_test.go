@@ -1,0 +1,246 @@
+package trace_test
+
+import (
+	"bytes"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+
+	"dynslice/internal/compile"
+	"dynslice/internal/interp"
+	"dynslice/internal/ir"
+	"dynslice/internal/trace"
+)
+
+func prog(t *testing.T, src string) *ir.Program {
+	t.Helper()
+	p, err := compile.Source(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// recorder captures all events for comparison.
+type recorder struct {
+	events []string
+}
+
+func (r *recorder) Block(b *ir.Block) {
+	r.events = append(r.events, "B"+b.String())
+}
+func (r *recorder) Stmt(s *ir.Stmt, uses, defs []int64) {
+	ev := "S"
+	for _, u := range uses {
+		ev += "u" + itoa(u)
+	}
+	for _, d := range defs {
+		ev += "d" + itoa(d)
+	}
+	r.events = append(r.events, ev)
+}
+func (r *recorder) RegionDef(s *ir.Stmt, start, length int64) {
+	r.events = append(r.events, "R"+itoa(start)+":"+itoa(length))
+}
+func (r *recorder) End() { r.events = append(r.events, "E") }
+
+func itoa(v int64) string {
+	if v == 0 {
+		return "0"
+	}
+	neg := v < 0
+	var buf [24]byte
+	i := len(buf)
+	u := v
+	if neg {
+		u = -u
+	}
+	for u > 0 {
+		i--
+		buf[i] = byte('0' + u%10)
+		u /= 10
+	}
+	if neg {
+		i--
+		buf[i] = '-'
+	}
+	return string(buf[i:])
+}
+
+const srcLoop = `
+func f(k) { return k * 2; }
+func main() {
+	var a[8];
+	var s = 0;
+	var i = 0;
+	while (i < 20) {
+		a[i % 8] = f(i);
+		s = s + a[i % 8];
+		i = i + 1;
+	}
+	print(s);
+}`
+
+// TestRoundTrip checks that encoding a trace and replaying it reproduces
+// the identical event stream.
+func TestRoundTrip(t *testing.T) {
+	p := prog(t, srcLoop)
+	var buf bytes.Buffer
+	w := trace.NewWriter(p, &buf, 7) // odd segment size on purpose
+	direct := &recorder{}
+	if _, err := interp.Run(p, interp.Options{Sink: trace.Multi{w, direct}}); err != nil {
+		t.Fatal(err)
+	}
+	if w.Err() != nil {
+		t.Fatal(w.Err())
+	}
+	replayed := &recorder{}
+	if err := trace.Replay(p, bytes.NewReader(buf.Bytes()), replayed); err != nil {
+		t.Fatal(err)
+	}
+	if len(direct.events) != len(replayed.events) {
+		t.Fatalf("event counts differ: %d vs %d", len(direct.events), len(replayed.events))
+	}
+	for i := range direct.events {
+		if direct.events[i] != replayed.events[i] {
+			t.Fatalf("event %d differs: %q vs %q", i, direct.events[i], replayed.events[i])
+		}
+	}
+}
+
+// TestSegments checks segment-index invariants: contiguous ordinal ranges,
+// valid offsets, and sound summaries (every defined address inside a
+// segment must pass its filter; every executed block must be in its set).
+func TestSegments(t *testing.T) {
+	p := prog(t, srcLoop)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "t.trace")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := trace.NewWriter(p, f, 5)
+	if _, err := interp.Run(p, interp.Options{Sink: w}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	segs := w.Segments()
+	if len(segs) < 3 {
+		t.Fatalf("expected several segments, got %d", len(segs))
+	}
+	var prevEnd int64
+	for i, seg := range segs {
+		if seg.StartOrd != prevEnd {
+			t.Fatalf("segment %d starts at %d, want %d", i, seg.StartOrd, prevEnd)
+		}
+		if seg.EndOrd <= seg.StartOrd {
+			t.Fatalf("segment %d empty", i)
+		}
+		prevEnd = seg.EndOrd
+
+		// Replay the segment and validate its summary.
+		rf, err := os.Open(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := rf.Seek(seg.Off, 0); err != nil {
+			t.Fatal(err)
+		}
+		d := trace.NewDecoder(p, rf, seg.StartOrd)
+		blocks := seg.EndOrd - seg.StartOrd
+		var seen int64
+		for seen < blocks {
+			ev, err := d.Next()
+			if err != nil {
+				t.Fatal(err)
+			}
+			switch ev.Kind {
+			case trace.EvBlock:
+				seen++
+				if seen > blocks {
+					break
+				}
+				if !seg.HasBlock(ev.Block.ID) {
+					t.Fatalf("segment %d summary missing block %s", i, ev.Block)
+				}
+			case trace.EvStmt:
+				for _, a := range ev.Defs {
+					if !seg.MayDefine(a) {
+						t.Fatalf("segment %d summary missing def addr %d", i, a)
+					}
+				}
+			case trace.EvRegion:
+				for a := ev.RegStart; a < ev.RegStart+ev.RegLen; a++ {
+					if !seg.MayDefine(a) {
+						t.Fatalf("segment %d summary missing region addr %d", i, a)
+					}
+				}
+			case trace.EvEnd:
+				seen = blocks
+			}
+		}
+		rf.Close()
+	}
+}
+
+// TestCountingSink checks USE and statement counting.
+func TestCountingSink(t *testing.T) {
+	p := prog(t, srcLoop)
+	c := trace.NewCounting(p)
+	res, err := interp.Run(p, interp.Options{Sink: c})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Stmts != res.Steps {
+		t.Errorf("counting sink saw %d statements, interpreter reports %d", c.Stmts, res.Steps)
+	}
+	if c.USE() == 0 || c.USE() > len(p.Stmts) {
+		t.Errorf("USE = %d out of range (program has %d statements)", c.USE(), len(p.Stmts))
+	}
+	if c.Blocks != res.BlockExecs {
+		t.Errorf("block counts differ: %d vs %d", c.Blocks, res.BlockExecs)
+	}
+}
+
+// TestAddrFilterProperty: no false negatives ever; false positives stay
+// below a loose bound on random workloads.
+func TestAddrFilterProperty(t *testing.T) {
+	f := func(adds []int64, probes []int64) bool {
+		var seg trace.Segment
+		in := map[int64]bool{}
+		for _, a := range adds {
+			if a < 0 {
+				a = -a
+			}
+			seg.Defs.Add(a)
+			in[a] = true
+		}
+		for a := range in {
+			if !seg.MayDefine(a) {
+				return false // false negative: never allowed
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+
+	rng := rand.New(rand.NewSource(1))
+	var seg trace.Segment
+	for i := 0; i < 2000; i++ {
+		seg.Defs.Add(rng.Int63n(1 << 30))
+	}
+	fp := 0
+	const trials = 20000
+	for i := 0; i < trials; i++ {
+		if seg.MayDefine(rng.Int63n(1<<30) + (1 << 31)) {
+			fp++
+		}
+	}
+	if rate := float64(fp) / trials; rate > 0.05 {
+		t.Errorf("false positive rate %.3f too high for 2000 inserts", rate)
+	}
+}

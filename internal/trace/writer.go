@@ -1,0 +1,143 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"io"
+
+	"dynslice/internal/ir"
+)
+
+// Binary format. The stream is self-framing given the program: a block
+// record is the varint (blockID+1); the value 0 is the end marker. A block
+// record is followed by exactly one record per statement of the block, in
+// order. A statement record is the statement's use addresses (one uvarint
+// per use slot) followed by its def addresses (one uvarint per def slot).
+// An array declaration (OpDeclArr) instead carries two uvarints: region
+// start and region length.
+
+// Segment summarizes a contiguous run of block executions for demand-driven
+// (LP) traversal: its half-open ordinal range, its file offset, the set of
+// blocks executed, and a filter over the addresses defined.
+type Segment struct {
+	StartOrd int64 // ordinal of first block execution in the segment
+	EndOrd   int64 // one past the last ordinal
+	Off      int64 // byte offset of the segment start in the stream
+	Blocks   blockSet
+	Defs     addrFilter
+	DefsAll  bool // set when a huge region def made the filter pointless
+}
+
+// HasBlock reports whether the segment executed block id.
+func (g *Segment) HasBlock(id ir.BlockID) bool { return g.Blocks.Has(int(id)) }
+
+// MayDefine reports whether the segment may define address a.
+func (g *Segment) MayDefine(a int64) bool { return g.DefsAll || g.Defs.MayContain(a) }
+
+// regionFilterCap bounds how many addresses of a region definition are
+// added to a segment filter before giving up and marking DefsAll.
+const regionFilterCap = 1 << 14
+
+// Writer encodes a trace to an io.Writer, building segment summaries as it
+// goes. It implements Sink.
+type Writer struct {
+	bw        *bufio.Writer
+	segBlocks int64 // block executions per segment
+	ord       int64 // next block ordinal
+	written   int64 // bytes written (post-buffer accounting)
+	segs      []*Segment
+	cur       *Segment
+	numBlocks int
+	scratch   [binary.MaxVarintLen64]byte
+	err       error
+}
+
+// NewWriter returns a trace writer. segBlocks controls segment granularity
+// (block executions per segment); 4096 is a reasonable default.
+func NewWriter(p *ir.Program, w io.Writer, segBlocks int) *Writer {
+	if segBlocks <= 0 {
+		segBlocks = 4096
+	}
+	return &Writer{
+		bw:        bufio.NewWriterSize(w, 1<<16),
+		segBlocks: int64(segBlocks),
+		numBlocks: len(p.Blocks),
+	}
+}
+
+// Err returns the first write error encountered, if any.
+func (w *Writer) Err() error { return w.err }
+
+// Segments returns the segment index. Valid after End.
+func (w *Writer) Segments() []*Segment { return w.segs }
+
+// BlockExecutions returns the number of block records written.
+func (w *Writer) BlockExecutions() int64 { return w.ord }
+
+func (w *Writer) putUvarint(v uint64) {
+	if w.err != nil {
+		return
+	}
+	n := binary.PutUvarint(w.scratch[:], v)
+	if _, err := w.bw.Write(w.scratch[:n]); err != nil {
+		w.err = err
+	}
+	w.written += int64(n)
+}
+
+// Block implements Sink.
+func (w *Writer) Block(b *ir.Block) {
+	if w.cur == nil || w.ord-w.cur.StartOrd >= w.segBlocks {
+		w.closeSegment()
+		w.cur = &Segment{StartOrd: w.ord, Off: w.written, Blocks: newBlockSet(w.numBlocks)}
+	}
+	w.cur.Blocks.Add(int(b.ID))
+	w.putUvarint(uint64(b.ID) + 1)
+	w.ord++
+}
+
+func (w *Writer) closeSegment() {
+	if w.cur != nil {
+		w.cur.EndOrd = w.ord
+		w.segs = append(w.segs, w.cur)
+		w.cur = nil
+	}
+}
+
+// Stmt implements Sink.
+func (w *Writer) Stmt(s *ir.Stmt, uses, defs []int64) {
+	for _, a := range uses {
+		w.putUvarint(uint64(a))
+	}
+	for _, a := range defs {
+		w.putUvarint(uint64(a))
+		if w.cur != nil {
+			w.cur.Defs.Add(a)
+		}
+	}
+}
+
+// RegionDef implements Sink.
+func (w *Writer) RegionDef(s *ir.Stmt, start, length int64) {
+	w.putUvarint(uint64(start))
+	w.putUvarint(uint64(length))
+	if w.cur == nil {
+		return
+	}
+	if length > regionFilterCap {
+		w.cur.DefsAll = true
+		return
+	}
+	for a := start; a < start+length; a++ {
+		w.cur.Defs.Add(a)
+	}
+}
+
+// End implements Sink.
+func (w *Writer) End() {
+	w.putUvarint(0)
+	w.closeSegment()
+	if err := w.bw.Flush(); err != nil && w.err == nil {
+		w.err = err
+	}
+}
