@@ -1,0 +1,29 @@
+GO ?= go
+
+.PHONY: ci build vet fmt test overhead bench experiments
+
+ci: build vet fmt test overhead
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+# gofmt -l prints nonconforming files; fail if it prints anything.
+fmt:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed:"; echo "$$out"; exit 1; fi
+
+test:
+	$(GO) test ./...
+
+# Guard: a disabled telemetry registry may cost at most 5% over none.
+overhead:
+	$(GO) test -run TestOverhead -bench BenchmarkTelemetryOverhead -benchtime 5x .
+
+bench:
+	$(GO) test -bench . -benchmem .
+
+experiments:
+	$(GO) run ./cmd/experiments -exp all

@@ -3,10 +3,14 @@
 //
 // Usage:
 //
-//	experiments [-exp all|1|2|3|4|5|6|7|8|15|16|17|18|sequitur] [-workload name] [-scale n]
+//	experiments [-exp all|1|2|3|4|5|6|7|8|15|16|17|18|sequitur|telemetry] [-workload name] [-scale n]
+//	            [-telemetry-out BENCH_telemetry.json]
 //
 // Numbers 1-8 are tables, 15-18 figures, matching the paper's numbering.
-// -scale multiplies each workload's default input size.
+// -scale multiplies each workload's default input size. The telemetry
+// experiment builds every workload with metrics attached and writes
+// per-benchmark graph sizes, per-optimization label-elimination counts,
+// and slice times to -telemetry-out.
 package main
 
 import (
@@ -19,9 +23,10 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: all, 1-8 (tables), 15-18 (figures), sequitur, ablation, forward")
+	exp := flag.String("exp", "all", "experiment to run: all, 1-8 (tables), 15-18 (figures), sequitur, ablation, forward, telemetry")
 	workload := flag.String("workload", "", "restrict to one workload (e.g. 164.gzip or gzip)")
 	scale := flag.Int64("scale", 1, "input-size multiplier for every workload")
+	telemetryOut := flag.String("telemetry-out", "BENCH_telemetry.json", "output file for -exp telemetry")
 	flag.Parse()
 
 	wls := bench.Workloads()
@@ -101,6 +106,9 @@ func main() {
 	}
 	if want("forward") {
 		run("forward", func() error { return bench.RunForwardComparison(w, wls) })
+	}
+	if want("telemetry") {
+		run("telemetry", func() error { return bench.RunTelemetry(w, wls, *telemetryOut) })
 	}
 }
 

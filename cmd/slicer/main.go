@@ -3,23 +3,32 @@
 //
 // Usage:
 //
-//	slicer -src prog.mc [-input 1,2,3] [-algo opt|fp|lp] [-var g] [-addr n] [-ir] [-stats] [-repl]
+//	slicer -src prog.mc [-input 1,2,3] [-algo opt|fp|lp] [-var g] [-addr n]
+//	       [-ir] [-stats] [-repl] [-metrics out.json] [-pprof localhost:6060]
 //
 // With -var (a global variable) or -addr (a raw address), the tool prints
 // the dynamic slice of that location's final value: the source lines it
 // transitively depends on, via data and control dependences actually
 // exercised in this run.
+//
+// -metrics writes a telemetry snapshot (phase spans, algorithm counters;
+// see docs/OBSERVABILITY.md) as JSON when the tool exits. -pprof serves
+// net/http/pprof and expvar (the live registry under the "dynslice" var)
+// for the life of the process — most useful together with -repl.
 package main
 
 import (
 	"bufio"
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"strconv"
 	"strings"
 
 	slicer "dynslice"
+	"dynslice/internal/telemetry"
 )
 
 func main() {
@@ -31,15 +40,42 @@ func main() {
 	dumpIR := flag.Bool("ir", false, "dump the lowered IR and exit")
 	stats := flag.Bool("stats", false, "print graph statistics")
 	repl := flag.Bool("repl", false, "interactive mode: read criteria from stdin (var NAME | addr N | algo opt|fp|lp | quit)")
+	metricsOut := flag.String("metrics", "", "write a telemetry JSON snapshot to this file on exit")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof and expvar on this address (e.g. localhost:6060)")
 	flag.Parse()
 
 	if *srcPath == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
+	var reg *telemetry.Registry
+	if *metricsOut != "" || *pprofAddr != "" {
+		reg = telemetry.New()
+		reg.PublishExpvar("dynslice")
+	}
+	if *metricsOut != "" {
+		// Registered as both a defer and the check() exit hook: error
+		// exits are exactly when the interp.err.* counters matter.
+		onExit = func() {
+			if err := reg.WriteFile(*metricsOut); err != nil {
+				fmt.Fprintln(os.Stderr, "slicer: metrics:", err)
+				return
+			}
+			fmt.Printf("wrote metrics to %s\n", *metricsOut)
+		}
+		defer onExit()
+	}
+	if *pprofAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "slicer: pprof:", err)
+			}
+		}()
+		fmt.Printf("pprof/expvar listening on http://%s/debug/pprof (vars at /debug/vars)\n", *pprofAddr)
+	}
 	src, err := os.ReadFile(*srcPath)
 	check(err)
-	prog, err := slicer.Compile(string(src))
+	prog, err := slicer.CompileWith(string(src), reg)
 	check(err)
 	if *dumpIR {
 		fmt.Print(prog.DumpIR())
@@ -54,7 +90,7 @@ func main() {
 			input = append(input, v)
 		}
 	}
-	rec, err := prog.Record(slicer.RunOptions{Input: input})
+	rec, err := prog.Record(slicer.RunOptions{Input: input, Telemetry: reg})
 	check(err)
 	defer rec.Close()
 
@@ -162,9 +198,15 @@ func runREPL(rec *slicer.Recording, s *slicer.Slicer, src string) {
 	}
 }
 
+// onExit, when set, runs before an error exit (os.Exit skips defers).
+var onExit func()
+
 func check(err error) {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "slicer:", err)
+		if onExit != nil {
+			onExit()
+		}
 		os.Exit(1)
 	}
 }

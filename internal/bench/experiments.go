@@ -176,6 +176,10 @@ func RunFig17(w io.Writer, workloads []Workload, checkpoints int) error {
 			return err
 		}
 		dec := trace.NewDecoder(res.P, f, 0)
+		if err := dec.ReadHeader(); err != nil {
+			f.Close()
+			return err
+		}
 		total := res.RunInfo.Steps
 		interval := total / int64(checkpoints)
 		picker := newCritPicker()

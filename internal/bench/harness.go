@@ -16,6 +16,7 @@ import (
 	"dynslice/internal/slicing/fp"
 	"dynslice/internal/slicing/lp"
 	"dynslice/internal/slicing/opt"
+	"dynslice/internal/telemetry"
 	"dynslice/internal/trace"
 )
 
@@ -26,9 +27,10 @@ type Options struct {
 	WithOPT    bool
 	WithStages bool // also build opt.Stage(0..7) graphs (for Figs 15/16)
 	OptConfig  *opt.Config
-	NCriteria  int    // slicing criteria to select (default 25, the paper's count)
-	TraceDir   string // directory for the LP trace file (default: temp)
-	SegBlocks  int    // trace segment granularity (default 4096)
+	NCriteria  int                 // slicing criteria to select (default 25, the paper's count)
+	TraceDir   string              // directory for the LP trace file (default: temp)
+	SegBlocks  int                 // trace segment granularity (default 4096)
+	Telemetry  *telemetry.Registry // optional; phase spans + pipeline counters
 }
 
 // Result bundles everything built for one workload, with the preprocessing
@@ -145,18 +147,24 @@ func Build(w Workload, o Options) (*Result, error) {
 	if o.SegBlocks == 0 {
 		o.SegBlocks = 4096
 	}
-	p, err := compile.Source(w.Src)
+	reg := o.Telemetry
+	p, err := compile.SourceWith(w.Src, reg)
 	if err != nil {
 		return nil, fmt.Errorf("bench %s: %w", w.Name, err)
 	}
 	res := &Result{W: w, P: p}
+	span := reg.StartSpan("bench-build")
+	defer span.End()
 
 	// Profiling run.
+	sp := span.Child("profile")
 	col := profile.NewCollector(p)
 	t0 := time.Now()
-	if _, err := interp.Run(p, interp.Options{Input: w.Input, Sink: col}); err != nil {
+	if _, err := interp.Run(p, interp.Options{Input: w.Input, Sink: col, Telemetry: reg}); err != nil {
+		sp.End()
 		return nil, fmt.Errorf("bench %s profiling: %w", w.Name, err)
 	}
+	sp.End()
 	res.ProfileTime = time.Since(t0)
 	hot := col.HotPaths(1, 0)
 
@@ -181,11 +189,14 @@ func Build(w Workload, o Options) (*Result, error) {
 		}
 	}
 	tw := trace.NewWriter(p, tf, o.SegBlocks)
+	tw.SetMetrics(trace.NewMetrics(reg))
 	picker := newCritPicker()
 	counter := trace.NewCounting(p)
 	sinks := trace.Multi{tw, picker, counter}
+	sp = span.Child("trace-write")
 	t0 = time.Now()
-	run, err := interp.Run(p, interp.Options{Input: w.Input, Sink: sinks})
+	run, err := interp.Run(p, interp.Options{Input: w.Input, Sink: sinks, Telemetry: reg})
+	sp.End()
 	if err != nil {
 		return nil, fmt.Errorf("bench %s trace run: %w", w.Name, err)
 	}
@@ -202,6 +213,7 @@ func Build(w Workload, o Options) (*Result, error) {
 
 	// Graph builds replay the trace from disk so preprocessing is measured
 	// uniformly (trace -> graph), as in the paper.
+	rmet := trace.NewMetrics(reg)
 	replay := func(sink trace.Sink) (time.Duration, error) {
 		f, err := os.Open(res.TracePath)
 		if err != nil {
@@ -209,7 +221,7 @@ func Build(w Workload, o Options) (*Result, error) {
 		}
 		defer f.Close()
 		start := time.Now()
-		if err := trace.Replay(p, f, sink); err != nil {
+		if err := trace.ReplayWith(p, f, sink, rmet); err != nil {
 			return 0, err
 		}
 		return time.Since(start), nil
@@ -217,7 +229,11 @@ func Build(w Workload, o Options) (*Result, error) {
 
 	if o.WithFP {
 		res.FP = fp.NewGraph(p)
-		if res.FPBuild, err = replay(res.FP); err != nil {
+		res.FP.SetTelemetry(reg)
+		sp = span.Child("fp-build")
+		res.FPBuild, err = replay(res.FP)
+		sp.End()
+		if err != nil {
 			return nil, fmt.Errorf("bench %s fp build: %w", w.Name, err)
 		}
 	}
@@ -227,7 +243,11 @@ func Build(w Workload, o Options) (*Result, error) {
 			cfg = *o.OptConfig
 		}
 		res.OPT = opt.NewGraph(p, cfg, hot, col.Cuts())
-		if res.OPTBuild, err = replay(res.OPT); err != nil {
+		res.OPT.SetTelemetry(reg)
+		sp = span.Child("opt-build")
+		res.OPTBuild, err = replay(res.OPT)
+		sp.End()
+		if err != nil {
 			return nil, fmt.Errorf("bench %s opt build: %w", w.Name, err)
 		}
 	}
@@ -242,6 +262,7 @@ func Build(w Workload, o Options) (*Result, error) {
 	}
 	if o.WithLP {
 		res.LP = lp.New(p, res.TracePath, tw.Segments())
+		res.LP.SetTelemetry(reg)
 	}
 	return res, nil
 }

@@ -1,0 +1,112 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"dynslice/internal/telemetry"
+)
+
+// BenchTelemetry is one workload's observability record: graph shapes,
+// per-optimization label-elimination tallies, per-algorithm query times,
+// and the full metrics snapshot collected while building and slicing.
+type BenchTelemetry struct {
+	Name            string              `json:"name"`
+	Steps           int64               `json:"steps"`
+	FPSizeBytes     int64               `json:"fp_size_bytes"`
+	OPTSizeBytes    int64               `json:"opt_size_bytes"`
+	FPLabelPairs    int64               `json:"fp_label_pairs"`
+	OPTLabelPairs   int64               `json:"opt_label_pairs"`
+	PathNodes       int                 `json:"path_nodes"`
+	StageLabelPairs map[string]int64    `json:"stage_label_pairs"`
+	Elim            map[string]int64    `json:"elim"`
+	SliceAvgMs      map[string]float64  `json:"slice_avg_ms"`
+	Snapshot        *telemetry.Snapshot `json:"snapshot"`
+}
+
+// RunTelemetry builds every workload with a fresh registry, runs all
+// three slicers over the standard criteria, and writes the per-benchmark
+// records to outPath as JSON (cmd/experiments -exp telemetry).
+func RunTelemetry(w io.Writer, workloads []Workload, outPath string) error {
+	header(w, "Telemetry: per-benchmark pipeline metrics",
+		fmt.Sprintf("%-12s %12s %12s %12s %10s\n",
+			"Program", "FP labels", "OPT labels", "OPT elim", "written"))
+	var out []BenchTelemetry
+	for _, wl := range workloads {
+		reg := telemetry.New()
+		res, err := Build(wl, Options{
+			WithFP: true, WithOPT: true, WithLP: true, WithStages: true,
+			Telemetry: reg,
+		})
+		if err != nil {
+			return err
+		}
+		bt := BenchTelemetry{
+			Name:            wl.Name,
+			Steps:           res.RunInfo.Steps,
+			FPSizeBytes:     res.FP.SizeBytes(),
+			OPTSizeBytes:    res.OPT.SizeBytes(),
+			FPLabelPairs:    res.FP.LabelPairs(),
+			OPTLabelPairs:   res.OPT.LabelPairs(),
+			PathNodes:       res.OPT.PathNodes(),
+			StageLabelPairs: map[string]int64{},
+			SliceAvgMs:      map[string]float64{},
+		}
+		for i, g := range res.Stages {
+			bt.StageLabelPairs[stageNames[i]] = g.LabelPairs()
+		}
+		e := res.OPT.Elim()
+		bt.Elim = map[string]int64{
+			"use_slots":     e.UseSlots,
+			"opt1_du":       e.OPT1DU,
+			"opt2_uu":       e.OPT2UU,
+			"opt3_dedup":    e.OPT3Dedup,
+			"opt4_delta":    e.OPT4Delta,
+			"opt5_local":    e.OPT5Local,
+			"opt5_same":     e.OPT5Same,
+			"opt6_dedup":    e.OPT6Dedup,
+			"adaptive_data": e.AdaptiveData,
+			"adaptive_cd":   e.AdaptiveCD,
+			"no_producer":   e.NoProducer,
+			"no_ancestor":   e.NoAncestor,
+			"data_labels":   e.DataLabels,
+			"cd_labels":     e.CDLabels,
+			"cd_execs":      e.CDExecs,
+		}
+		if t, _, _, err := SliceAll(res.FP, res.Crit); err == nil && len(res.Crit) > 0 {
+			bt.SliceAvgMs["FP"] = ms(t) / float64(len(res.Crit))
+		} else if err != nil {
+			return err
+		}
+		if t, _, _, err := SliceAll(res.OPT, res.Crit); err == nil && len(res.Crit) > 0 {
+			bt.SliceAvgMs["OPT"] = ms(t) / float64(len(res.Crit))
+		} else if err != nil {
+			return err
+		}
+		if t, _, _, err := SliceAll(res.LP, res.Crit); err == nil && len(res.Crit) > 0 {
+			bt.SliceAvgMs["LP"] = ms(t) / float64(len(res.Crit))
+		} else if err != nil {
+			return err
+		}
+		bt.Snapshot = reg.Snapshot()
+		elim := e.OPT1DU + e.OPT2UU + e.AdaptiveData
+		written := bt.Snapshot.Counters["trace.write.bytes"]
+		fmt.Fprintf(w, "%-12s %12d %12d %12d %10d\n",
+			wl.Name, bt.FPLabelPairs, bt.OPTLabelPairs, elim, written)
+		out = append(out, bt)
+		res.Close()
+	}
+	if outPath != "" {
+		data, err := json.MarshalIndent(out, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "\nwrote %s\n", outPath)
+	}
+	return nil
+}

@@ -8,24 +8,50 @@ import (
 	"dynslice/internal/dataflow"
 	"dynslice/internal/ir"
 	"dynslice/internal/lang"
+	"dynslice/internal/telemetry"
 )
 
 // Source compiles MiniC source text into fully analyzed IR.
 func Source(src string) (*ir.Program, error) {
+	return SourceWith(src, nil)
+}
+
+// SourceWith is Source with per-phase telemetry: spans compile/parse,
+// compile/lower, and compile/analyze, plus program-shape gauges. A nil
+// registry behaves exactly like Source.
+func SourceWith(src string, reg *telemetry.Registry) (*ir.Program, error) {
+	root := reg.StartSpan("compile")
+	defer root.End()
+
+	sp := root.Child("parse")
 	ast, err := lang.Parse(src)
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
+
+	sp = root.Child("lower")
 	p, err := ir.Lower(ast)
 	if err != nil {
+		sp.End()
 		return nil, err
 	}
 	p.Source = src
 	p.Finalize()
+	sp.End()
+
+	sp = root.Child("analyze")
 	alias.Run(p)
 	for _, f := range p.Funcs {
 		pd := dataflow.PostDominators(f)
 		dataflow.ControlDeps(f, pd)
+	}
+	sp.End()
+
+	if reg != nil {
+		reg.Gauge("compile.funcs").Set(int64(len(p.Funcs)))
+		reg.Gauge("compile.blocks").Set(int64(len(p.Blocks)))
+		reg.Gauge("compile.stmts").Set(int64(len(p.Stmts)))
 	}
 	return p, nil
 }

@@ -21,6 +21,7 @@ import (
 
 	"dynslice/internal/ir"
 	"dynslice/internal/lang"
+	"dynslice/internal/telemetry"
 	"dynslice/internal/trace"
 )
 
@@ -33,9 +34,10 @@ const DefaultMaxSteps int64 = 200_000_000
 
 // Options configures a run.
 type Options struct {
-	Input    []int64    // values consumed by input()
-	MaxSteps int64      // statement execution budget (0 = DefaultMaxSteps)
-	Sink     trace.Sink // optional trace consumer
+	Input     []int64             // values consumed by input()
+	MaxSteps  int64               // statement execution budget (0 = DefaultMaxSteps)
+	Sink      trace.Sink          // optional trace consumer
+	Telemetry *telemetry.Registry // optional metrics (nil = off, zero cost)
 }
 
 // Result summarizes a completed run.
@@ -74,6 +76,7 @@ type machine struct {
 	steps     int64
 	maxSteps  int64
 	blockEx   int64
+	stepAbort bool    // run ended by the step-limit fault
 	uses      []int64 // per-statement scratch
 	defs      [1]int64
 }
@@ -102,6 +105,22 @@ func Run(p *ir.Program, opts Options) (*Result, error) {
 	m.frames = append(m.frames, frame{fn: p.Main, base: mainBase})
 
 	ret, err := m.run()
+	// Telemetry is flushed once from accumulated machine state, so the
+	// per-statement execution loop carries no instrumentation at all.
+	if reg := opts.Telemetry; reg != nil {
+		reg.Counter("interp.runs").Inc()
+		reg.Counter("interp.steps").Add(m.steps)
+		reg.Counter("interp.blocks").Add(m.blockEx)
+		reg.Counter("interp.input_reads").Add(int64(m.inPos))
+		reg.Counter("interp.outputs").Add(int64(len(m.output)))
+		if err != nil {
+			if m.stepAbort {
+				reg.Counter("interp.err.max_steps").Inc()
+			} else {
+				reg.Counter("interp.err.runtime_fault").Inc()
+			}
+		}
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -162,6 +181,7 @@ func (m *machine) execBlock(b *ir.Block) (next *ir.Block, ret int64, halted bool
 	for _, s := range b.Stmts {
 		m.steps++
 		if m.steps > m.maxSteps {
+			m.stepAbort = true
 			return nil, 0, false, m.fault(s, "step limit of %d exceeded", m.maxSteps)
 		}
 		m.uses = m.uses[:0]

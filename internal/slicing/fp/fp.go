@@ -16,6 +16,7 @@ import (
 
 	"dynslice/internal/ir"
 	"dynslice/internal/slicing"
+	"dynslice/internal/telemetry"
 )
 
 type instRef struct {
@@ -52,6 +53,8 @@ type Graph struct {
 	cdEdges   [][]CDEdge     // [blockID] -> edges ordered by Tb
 	dataPairs int64
 	cdPairs   int64
+
+	tel *telemetry.Registry // optional; flushed once at End
 }
 
 type frameCtx struct {
@@ -142,8 +145,19 @@ func (g *Graph) RegionDef(s *ir.Stmt, start, length int64) {
 	}
 }
 
+// SetTelemetry attaches a registry; the builder keeps plain counters and
+// flushes them when the trace ends.
+func (g *Graph) SetTelemetry(reg *telemetry.Registry) { g.tel = reg }
+
 // End implements trace.Sink.
-func (g *Graph) End() {}
+func (g *Graph) End() {
+	if reg := g.tel; reg != nil {
+		reg.Counter("fp.labels.data").Add(g.dataPairs)
+		reg.Counter("fp.labels.cd").Add(g.cdPairs)
+		reg.Counter("fp.block_execs").Add(g.ts)
+		reg.Gauge("fp.graph.size_bytes").Set(g.SizeBytes())
+	}
+}
 
 // LastDefOf returns the statement instance that last defined addr.
 func (g *Graph) LastDefOf(addr int64) (ir.StmtID, int64, bool) {

@@ -21,6 +21,7 @@ import (
 
 	"dynslice/internal/ir"
 	"dynslice/internal/slicing"
+	"dynslice/internal/telemetry"
 	"dynslice/internal/trace"
 )
 
@@ -37,6 +38,13 @@ type Slicer struct {
 	// MaxSubgraphEdges tracks the largest demand-built subgraph (in
 	// resolved dependence edges) over all queries, for the paper's Table 6.
 	MaxSubgraphEdges int64
+
+	// Telemetry (nil counters are inert); see SetTelemetry.
+	met       *trace.Metrics
+	cQueries  *telemetry.Counter
+	cSegScans *telemetry.Counter
+	cSegSkips *telemetry.Counter
+	cEdges    *telemetry.Counter
 }
 
 type blockLayout struct {
@@ -48,6 +56,18 @@ type blockLayout struct {
 // New returns an LP slicer over a trace file written by trace.Writer.
 func New(p *ir.Program, tracePath string, segs []*trace.Segment) *Slicer {
 	return &Slicer{p: p, path: tracePath, segs: segs, offsets: map[*ir.Block]blockLayout{}}
+}
+
+// SetTelemetry mints the LP counters on reg and attaches trace-read
+// metrics to segment decoders. Query counters are folded in once per
+// query from the per-query stats, so the scan itself carries no
+// instrumentation.
+func (s *Slicer) SetTelemetry(reg *telemetry.Registry) {
+	s.met = trace.NewMetrics(reg)
+	s.cQueries = reg.Counter("lp.queries")
+	s.cSegScans = reg.Counter("lp.seg_scans")
+	s.cSegSkips = reg.Counter("lp.seg_skips")
+	s.cEdges = reg.Counter("lp.subgraph_edges")
 }
 
 func (s *Slicer) layout(b *ir.Block) blockLayout {
@@ -146,6 +166,10 @@ func (s *Slicer) Slice(c slicing.Criterion) (*slicing.Slice, *slicing.Stats, err
 	if q.edges > s.MaxSubgraphEdges {
 		s.MaxSubgraphEdges = q.edges
 	}
+	s.cQueries.Inc()
+	s.cSegScans.Add(q.stats.SegScans)
+	s.cSegSkips.Add(q.stats.SegSkips)
+	s.cEdges.Add(q.edges)
 	return q.slice, q.stats, nil
 }
 
@@ -213,6 +237,7 @@ func (q *query) decodeSegment(f *os.File, seg *trace.Segment) ([]blockExec, erro
 		return nil, fmt.Errorf("lp: seek: %w", err)
 	}
 	d := trace.NewDecoder(q.s.p, f, seg.StartOrd)
+	d.SetMetrics(q.s.met)
 	n := seg.EndOrd - seg.StartOrd
 	execs := make([]blockExec, 0, n)
 	var cur *blockExec
@@ -259,6 +284,9 @@ func (q *query) decodeSegment(f *os.File, seg *trace.Segment) ([]blockExec, erro
 		case trace.EvEnd:
 			return execs, nil
 		case trace.EvBlock:
+			if m := q.s.met; m != nil {
+				m.ErrDesync.Inc()
+			}
 			return nil, fmt.Errorf("lp: segment decoding desynchronized")
 		}
 	}

@@ -167,6 +167,7 @@ func (g *Graph) End() {
 	if len(g.buf) > 0 {
 		g.flush()
 	}
+	g.flushTelemetry()
 }
 
 // topFrame returns the current frame, lazily creating the root frame.
@@ -312,6 +313,7 @@ func (g *Graph) processNode(nid NodeID, startOcc int32, entries []bufEntry, ts i
 // processUse handles one use-slot execution: verify static coverage, else
 // record an explicit label.
 func (g *Graph) processUse(nid NodeID, si int32, slot int, addr int64, ts int64, sc *StmtCopy, ctx *execCtx) {
+	g.elim.UseSlots++
 	d, ok := g.lastDef[addr]
 	if sc.ResolveTrack != nil && sc.ResolveTrack[slot] {
 		ctx.track[si<<8|int32(slot)] = trackVal{d: d, ok: ok}
@@ -321,6 +323,7 @@ func (g *Graph) processUse(nid NodeID, si int32, slot int, addr int64, ts int64,
 		// A use with no producer: an adaptive default would wrongly infer
 		// one for this timestamp. Tombstone (Td < 0) the timestamp if a
 		// rule is adopted, and prevent adoption otherwise.
+		g.elim.NoProducer++
 		switch us.Default.Mode {
 		case DefDelta, DefConst:
 			g.appendDataLabel(us, us.Default.Tgt, Pair{Td: -1, Tu: ts})
@@ -332,16 +335,19 @@ func (g *Graph) processUse(nid NodeID, si int32, slot int, addr int64, ts int64,
 	switch us.Static {
 	case SDU, SDUPartial:
 		if d.Loc.Node == nid && d.Loc.Stmt == us.StTgtStmt && d.Ts == ts {
+			g.elim.OPT1DU++
 			return // inferable: td == tu within this node execution
 		}
 	case SUU:
 		if tv, has := ctx.track[us.StTgtStmt<<8|us.StTgtSlot]; has && tv.ok && tv.d.Loc == d.Loc && tv.d.Ts == d.Ts {
+			g.elim.OPT2UU++
 			return // same producing instance as the earlier use
 		}
 	case SNone:
 		if g.cfg.AdaptiveDeltas {
 			wasWarm := us.Default.Mode == DefWarm || us.Default.Mode == DefNone
 			if us.Default.observe(d.Loc, d.Ts, ts) {
+				g.elim.AdaptiveData++
 				return
 			}
 			if wasWarm && (us.Default.Mode == DefDelta || us.Default.Mode == DefConst) {
@@ -350,6 +356,7 @@ func (g *Graph) processUse(nid NodeID, si int32, slot int, addr int64, ts int64,
 		}
 	}
 	// Explicit label on a dynamic edge to the producing statement copy.
+	g.elim.DataLabels++
 	g.appendDataLabel(us, d.Loc, Pair{Td: d.Ts, Tu: ts})
 }
 
@@ -374,13 +381,16 @@ func (g *Graph) appendDataLabel(us *UseEdgeSet, tgt InstLoc, p Pair) {
 		us.Dyn = append(us.Dyn, DynEdge{Tgt: tgt, L: l})
 		edge = &us.Dyn[len(us.Dyn)-1]
 	}
-	edge.L.Append(p)
+	if !edge.L.Append(p) {
+		g.elim.OPT3Dedup++
+	}
 }
 
 // processCD handles one block-occurrence execution: determine the dynamic
 // control ancestor (most recent same-frame static ancestor, or the call
 // site for entry-level blocks), verify static coverage, else label.
 func (g *Graph) processCD(n *Node, occ *Occ, b *ir.Block, ts int64, fr *frameCtx, ctx *execCtx) {
+	g.elim.CDExecs++
 	var anc nodeInst
 	for _, h := range b.CDAncestors {
 		e, ok := fr.lastExec[h.ID]
@@ -410,6 +420,7 @@ func (g *Graph) processCD(n *Node, occ *Occ, b *ir.Block, ts int64, fr *frameCtx
 	default:
 		// No controlling instance: tombstone or veto the adaptive default
 		// exactly as processUse does for producerless uses.
+		g.elim.NoAncestor++
 		switch occ.CD.Default.Mode {
 		case DefDelta, DefConst:
 			g.appendCDLabel(&occ.CD, occ.CD.Default.Tgt, Pair{Td: -1, Tu: ts})
@@ -425,20 +436,24 @@ func (g *Graph) processCD(n *Node, occ *Occ, b *ir.Block, ts int64, fr *frameCtx
 	switch occ.CD.Static {
 	case CDLocal:
 		if anc.live && anc.node == n.ID && anc.ts == ts && anc.occ == occ.CD.StTgtOcc {
+			g.elim.OPT5Local++
 			return
 		}
 	case CDDelta:
 		if tgt == occ.CD.StTgt && ta == ts-occ.CD.Delta {
+			g.elim.OPT4Delta++
 			return
 		}
 	case CDSame:
 		if ctx.anc0Set && tgt == ctx.anc0 && ta == ctx.ta0 {
+			g.elim.OPT5Same++
 			return
 		}
 	case CDNone:
 		if g.cfg.AdaptiveDeltas {
 			wasWarm := occ.CD.Default.Mode == DefWarm || occ.CD.Default.Mode == DefNone
 			if occ.CD.Default.observe(tgt, ta, ts) {
+				g.elim.AdaptiveCD++
 				return
 			}
 			if wasWarm && (occ.CD.Default.Mode == DefDelta || occ.CD.Default.Mode == DefConst) {
@@ -446,6 +461,7 @@ func (g *Graph) processCD(n *Node, occ *Occ, b *ir.Block, ts int64, fr *frameCtx
 			}
 		}
 	}
+	g.elim.CDLabels++
 	g.appendCDLabel(&occ.CD, tgt, Pair{Td: ta, Tu: ts})
 }
 
@@ -469,5 +485,7 @@ func (g *Graph) appendCDLabel(cd *CDEdgeSet, tgt InstLoc, p Pair) {
 		cd.Dyn = append(cd.Dyn, CDDynEdge{Tgt: tgt, L: l})
 		edge = &cd.Dyn[len(cd.Dyn)-1]
 	}
-	edge.L.Append(p)
+	if !edge.L.Append(p) {
+		g.elim.OPT6Dedup++
+	}
 }

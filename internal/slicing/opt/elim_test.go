@@ -1,0 +1,127 @@
+package opt_test
+
+import (
+	"testing"
+
+	"dynslice/internal/compile"
+	"dynslice/internal/interp"
+	"dynslice/internal/profile"
+	"dynslice/internal/slicing"
+	"dynslice/internal/slicing/opt"
+	"dynslice/internal/telemetry"
+)
+
+const elimSrc = `
+var total = 0;
+var arr[16];
+
+func addup(k) {
+	var j = 0;
+	var acc = 0;
+	while (j < k) {
+		acc = acc + arr[j];
+		j = j + 1;
+	}
+	return acc;
+}
+
+func main() {
+	var i = 0;
+	while (i < 16) {
+		arr[i] = i * 3;
+		if (i % 4 == 0) {
+			total = total + addup(i);
+		}
+		i = i + 1;
+	}
+	print(total);
+}
+`
+
+func buildElimGraph(t *testing.T, reg *telemetry.Registry) *opt.Graph {
+	t.Helper()
+	p, err := compile.Source(elimSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := profile.NewCollector(p)
+	if _, err := interp.Run(p, interp.Options{Sink: col}); err != nil {
+		t.Fatal(err)
+	}
+	g := opt.NewGraph(p, opt.Full(), col.HotPaths(1, 0), col.Cuts())
+	if reg != nil {
+		g.SetTelemetry(reg)
+	}
+	if _, err := interp.Run(p, interp.Options{Sink: g}); err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// TestElimAccounting verifies the elimination tallies' core invariant:
+// every processed use-slot and block-occurrence execution is accounted
+// for by exactly one disposition, and the explicit-label tallies agree
+// with the label pairs the graph actually stores.
+func TestElimAccounting(t *testing.T) {
+	g := buildElimGraph(t, nil)
+	e := g.Elim()
+
+	if e.UseSlots == 0 || e.CDExecs == 0 {
+		t.Fatalf("no executions tallied: %+v", e)
+	}
+	if got := e.DataAccounted(); got != e.UseSlots {
+		t.Fatalf("data dispositions sum to %d, want UseSlots=%d (%+v)", got, e.UseSlots, e)
+	}
+	if got := e.CDAccounted(); got != e.CDExecs {
+		t.Fatalf("cd dispositions sum to %d, want CDExecs=%d (%+v)", got, e.CDExecs, e)
+	}
+	// The optimizations must actually fire on this workload.
+	if e.OPT1DU == 0 {
+		t.Error("no OPT-1 def-use eliminations on a loop-heavy program")
+	}
+	if e.OPT4Delta+e.OPT5Local+e.OPT5Same == 0 {
+		t.Error("no OPT-4/OPT-5 control eliminations")
+	}
+	// With no producerless tombstones, the explicit-label tallies minus
+	// shared-list dedupes equal the stored pairs.
+	if e.NoProducer == 0 {
+		if want := e.DataLabels - e.OPT3Dedup; g.DataPairs() != want {
+			t.Errorf("stored data pairs = %d, want %d", g.DataPairs(), want)
+		}
+	}
+	if e.NoAncestor == 0 {
+		if want := e.CDLabels - e.OPT6Dedup; g.CDPairs() != want {
+			t.Errorf("stored cd pairs = %d, want %d", g.CDPairs(), want)
+		}
+	}
+}
+
+// TestElimTelemetryFlush verifies that End publishes the tallies and
+// graph-shape gauges to an attached registry, and that shortcut hits are
+// counted during slicing.
+func TestElimTelemetryFlush(t *testing.T) {
+	reg := telemetry.New()
+	g := buildElimGraph(t, reg)
+	e := g.Elim()
+
+	c := func(name string) int64 { return reg.Counter(name).Value() }
+	if c("opt.build.use_slots") != e.UseSlots {
+		t.Fatalf("opt.build.use_slots = %d, want %d", c("opt.build.use_slots"), e.UseSlots)
+	}
+	if c("opt.elim.opt1.du") != e.OPT1DU || c("opt.labels.data") != e.DataLabels {
+		t.Fatal("elimination counters do not match the builder tallies")
+	}
+	if got := reg.Gauge("opt.graph.label_pairs").Value(); got != g.LabelPairs() {
+		t.Fatalf("opt.graph.label_pairs = %d, want %d", got, g.LabelPairs())
+	}
+
+	// A slice over the shortcut-enabled graph must count closure hits, and
+	// its reported instance count must match the per-query stats.
+	_, stats, err := g.Slice(slicing.AddrCriterion(interp.GlobalBase))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hits := c("opt.slice.shortcut_hits"); hits != stats.Instances {
+		t.Fatalf("shortcut hits = %d, want one per instance (%d)", hits, stats.Instances)
+	}
+}

@@ -5,6 +5,7 @@ import (
 
 	"dynslice/internal/ir"
 	"dynslice/internal/profile"
+	"dynslice/internal/telemetry"
 )
 
 // NodeID identifies a node of the compacted graph: either a standalone
@@ -32,10 +33,11 @@ type Labels struct {
 }
 
 // Append records a pair, deduping an immediate repeat on shared lists.
-func (l *Labels) Append(p Pair) {
+// It reports whether the pair was stored (false = deduped).
+func (l *Labels) Append(p Pair) bool {
 	if n := len(l.pairs); n > 0 {
 		if l.shared && l.pairs[n-1] == p {
-			return
+			return false
 		}
 		if l.pairs[n-1].Tu > p.Tu {
 			l.dirty = true
@@ -43,6 +45,7 @@ func (l *Labels) Append(p Pair) {
 	}
 	l.pairs = append(l.pairs, p)
 	l.count++
+	return true
 }
 
 func (l *Labels) ensureSorted() {
@@ -368,6 +371,14 @@ type Graph struct {
 	// Builder scratch.
 	framePool  []*frameCtx
 	keyScratch []byte
+
+	// Telemetry (see telemetry.go). elim is always maintained (plain
+	// increments on paths already taken); tel/cShortcut are nil unless a
+	// registry is attached.
+	elim       Elim
+	tel        *telemetry.Registry
+	cShortcut  *telemetry.Counter
+	telFlushed bool
 }
 
 func (g *Graph) node(id NodeID) *Node { return g.nodes[id] }

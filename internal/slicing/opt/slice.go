@@ -107,6 +107,7 @@ func (st *sliceState) processInstance(loc InstLoc, ts int64) {
 	st.stats.Instances++
 	g := st.g
 	if g.cfg.Shortcuts {
+		g.cShortcut.Inc()
 		cl := g.closureFor(loc)
 		for _, id := range cl.stmts {
 			st.out.Add(id)

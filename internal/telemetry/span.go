@@ -1,0 +1,133 @@
+package telemetry
+
+import (
+	"runtime"
+	"time"
+)
+
+// Spans form the pipeline's phase hierarchy (compile → lower → dataflow,
+// record → interp → trace-write, graph-build → opt, slice → traversal).
+// Each Start/End pair accumulates into the registry's aggregate for the
+// span's slash-joined path: occurrence count, total wall time, and — when
+// allocation tracking is on — the bytes allocated between Start and End.
+//
+// Allocation deltas come from runtime.ReadMemStats, which is too expensive
+// for fine-grained spans; phases are coarse (a handful per run), so two
+// reads per span are acceptable. ObserveSpan records duration-only
+// occurrences for hot, repeated phases such as individual slice queries.
+
+// spanStats is the registry-side aggregate of one span path.
+type spanStats struct {
+	count      int64
+	nanos      int64
+	allocBytes int64
+}
+
+// SpanSnapshot is the exported aggregate of one span path.
+type SpanSnapshot struct {
+	Count      int64   `json:"count"`
+	TotalMs    float64 `json:"total_ms"`
+	MeanMs     float64 `json:"mean_ms"`
+	AllocBytes int64   `json:"alloc_bytes,omitempty"`
+}
+
+func (s *spanStats) snapshot() SpanSnapshot {
+	snap := SpanSnapshot{
+		Count:      s.count,
+		TotalMs:    float64(s.nanos) / 1e6,
+		AllocBytes: s.allocBytes,
+	}
+	if s.count > 0 {
+		snap.MeanMs = snap.TotalMs / float64(s.count)
+	}
+	return snap
+}
+
+// Span is one in-flight phase. A nil span (from a nil or disabled
+// registry) ignores every call.
+type Span struct {
+	r          *Registry
+	path       string
+	start      time.Time
+	allocStart uint64
+	trackAlloc bool
+}
+
+// StartSpan opens a root span. Returns nil (harmless) when the registry is
+// nil or disabled.
+func (r *Registry) StartSpan(name string) *Span { return r.startSpan(name, true) }
+
+func (r *Registry) startSpan(path string, trackAlloc bool) *Span {
+	if !r.Enabled() {
+		return nil
+	}
+	sp := &Span{r: r, path: path, start: time.Now(), trackAlloc: trackAlloc}
+	if trackAlloc {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		sp.allocStart = ms.TotalAlloc
+	}
+	return sp
+}
+
+// Child opens a sub-span beneath s (path "parent/child"). Safe on nil.
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	return s.r.startSpan(s.path+"/"+name, s.trackAlloc)
+}
+
+// End closes the span, folding its wall time and allocation delta into the
+// registry aggregate for its path. Safe on nil; End twice double-counts,
+// so don't.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	nanos := time.Since(s.start).Nanoseconds()
+	var alloc int64
+	if s.trackAlloc {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		alloc = int64(ms.TotalAlloc - s.allocStart)
+	}
+	s.r.observe(s.path, 1, nanos, alloc)
+}
+
+// ObserveSpan folds one duration-only occurrence into the aggregate for
+// path — the cheap form for per-query phases where two ReadMemStats calls
+// would dominate the measured work.
+func (r *Registry) ObserveSpan(path string, d time.Duration) {
+	if !r.Enabled() {
+		return
+	}
+	r.observe(path, 1, d.Nanoseconds(), 0)
+}
+
+func (r *Registry) observe(path string, count, nanos, alloc int64) {
+	r.spanMu.Lock()
+	st, ok := r.spans[path]
+	if !ok {
+		st = &spanStats{}
+		r.spans[path] = st
+	}
+	st.count += count
+	st.nanos += nanos
+	st.allocBytes += alloc
+	r.spanMu.Unlock()
+}
+
+// SpanCount returns the occurrence count recorded for a span path (0 when
+// absent or on a nil registry) — a test and assertion helper.
+func (r *Registry) SpanCount(path string) int64 {
+	if r == nil {
+		return 0
+	}
+	r.spanMu.Lock()
+	defer r.spanMu.Unlock()
+	if st, ok := r.spans[path]; ok {
+		return st.count
+	}
+	return 0
+}

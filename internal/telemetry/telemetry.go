@@ -1,0 +1,336 @@
+// Package telemetry is a zero-dependency, low-overhead metrics and span
+// tracing subsystem for the slicing pipeline. It provides counters, gauges,
+// and histograms with atomic hot-path increments, hierarchical spans with
+// wall-time and allocation deltas, and a registry that snapshots to JSON
+// and publishes through expvar.
+//
+// The defining constraint is that disabled telemetry must cost (almost)
+// nothing: every instrument and every Registry method is safe on a nil
+// receiver and returns immediately, so the pipeline is instrumented
+// unconditionally and a nil *Registry — the default everywhere — turns the
+// whole layer into branch-predictable nil checks. A non-nil registry can
+// additionally be switched off at runtime; instruments then guard their
+// atomic update with a single atomic flag load.
+package telemetry
+
+import (
+	"encoding/json"
+	"expvar"
+	"io"
+	"math/bits"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Registry owns a namespace of instruments. The zero of *Registry (nil) is
+// a fully functional disabled registry.
+type Registry struct {
+	enabled atomic.Bool
+
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+
+	spanMu sync.Mutex
+	spans  map[string]*spanStats
+}
+
+// New returns an enabled registry.
+func New() *Registry {
+	r := &Registry{
+		counters: map[string]*Counter{},
+		gauges:   map[string]*Gauge{},
+		hists:    map[string]*Histogram{},
+		spans:    map[string]*spanStats{},
+	}
+	r.enabled.Store(true)
+	return r
+}
+
+// SetEnabled switches the registry (and every instrument minted from it)
+// on or off at runtime.
+func (r *Registry) SetEnabled(on bool) {
+	if r == nil {
+		return
+	}
+	r.enabled.Store(on)
+}
+
+// Enabled reports whether the registry is collecting.
+func (r *Registry) Enabled() bool { return r != nil && r.enabled.Load() }
+
+// Counter returns (minting on first use) the named counter. A nil registry
+// returns a nil counter, whose methods are no-ops.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{on: &r.enabled}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns (minting on first use) the named gauge.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{on: &r.enabled}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns (minting on first use) the named histogram.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = &Histogram{on: &r.enabled}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Counter is a monotonically increasing atomic counter. The hot path is a
+// nil check plus one atomic flag load plus one atomic add.
+type Counter struct {
+	v  atomic.Int64
+	on *atomic.Bool
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) {
+	if c == nil || !c.on.Load() {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count (0 on a nil counter).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an atomically settable instantaneous value.
+type Gauge struct {
+	v  atomic.Int64
+	on *atomic.Bool
+}
+
+// Set stores v.
+func (g *Gauge) Set(v int64) {
+	if g == nil || !g.on.Load() {
+		return
+	}
+	g.v.Store(v)
+}
+
+// Add adjusts the gauge by delta (may be negative).
+func (g *Gauge) Add(delta int64) {
+	if g == nil || !g.on.Load() {
+		return
+	}
+	g.v.Add(delta)
+}
+
+// Value returns the current value (0 on a nil gauge).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// histBuckets is the number of power-of-two histogram buckets: bucket i
+// counts observations v with bits.Len64(v) == i, i.e. bucket 0 holds v==0,
+// bucket i holds 2^(i-1) <= v < 2^i.
+const histBuckets = 64
+
+// Histogram counts observations in power-of-two buckets, tracking count
+// and sum exactly. All updates are atomic; concurrent observers race only
+// benignly (per-bucket atomics).
+type Histogram struct {
+	count   atomic.Int64
+	sum     atomic.Int64
+	buckets [histBuckets]atomic.Int64
+	on      *atomic.Bool
+}
+
+// Observe records one value. Negative values clamp to zero.
+func (h *Histogram) Observe(v int64) {
+	if h == nil || !h.on.Load() {
+		return
+	}
+	if v < 0 {
+		v = 0
+	}
+	h.count.Add(1)
+	h.sum.Add(v)
+	h.buckets[bits.Len64(uint64(v))].Add(1)
+}
+
+// HistogramSnapshot is the exported state of one histogram. Buckets maps
+// the inclusive upper bound of each non-empty power-of-two bucket
+// (2^i - 1) to its count.
+type HistogramSnapshot struct {
+	Count   int64            `json:"count"`
+	Sum     int64            `json:"sum"`
+	Mean    float64          `json:"mean"`
+	Buckets map[string]int64 `json:"buckets,omitempty"`
+}
+
+func (h *Histogram) snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{Count: h.count.Load(), Sum: h.sum.Load(), Buckets: map[string]int64{}}
+	if s.Count > 0 {
+		s.Mean = float64(s.Sum) / float64(s.Count)
+	}
+	for i := range h.buckets {
+		n := h.buckets[i].Load()
+		if n == 0 {
+			continue
+		}
+		var hi uint64
+		if i > 0 {
+			hi = 1<<uint(i) - 1
+		}
+		s.Buckets[formatUint(hi)] = n
+	}
+	return s
+}
+
+// formatUint avoids strconv to keep the dependency footprint minimal in
+// snapshots (this path is cold).
+func formatUint(v uint64) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}
+
+// Snapshot is a point-in-time JSON-serializable view of a registry.
+type Snapshot struct {
+	Counters   map[string]int64             `json:"counters,omitempty"`
+	Gauges     map[string]int64             `json:"gauges,omitempty"`
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+	Spans      map[string]SpanSnapshot      `json:"spans,omitempty"`
+}
+
+// Snapshot captures every instrument's current value. Returns an empty
+// snapshot on a nil registry.
+func (r *Registry) Snapshot() *Snapshot {
+	s := &Snapshot{
+		Counters:   map[string]int64{},
+		Gauges:     map[string]int64{},
+		Histograms: map[string]HistogramSnapshot{},
+		Spans:      map[string]SpanSnapshot{},
+	}
+	if r == nil {
+		return s
+	}
+	r.mu.Lock()
+	for name, c := range r.counters {
+		s.Counters[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		s.Gauges[name] = g.Value()
+	}
+	for name, h := range r.hists {
+		s.Histograms[name] = h.snapshot()
+	}
+	r.mu.Unlock()
+	r.spanMu.Lock()
+	for path, st := range r.spans {
+		s.Spans[path] = st.snapshot()
+	}
+	r.spanMu.Unlock()
+	return s
+}
+
+// WriteJSON writes an indented JSON snapshot to w.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Snapshot())
+}
+
+// WriteFile snapshots the registry to a JSON file.
+func (r *Registry) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := r.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// CounterNames returns the registered counter names, sorted (test helper
+// and expvar ordering).
+func (r *Registry) CounterNames() []string {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	names := make([]string, 0, len(r.counters))
+	for n := range r.counters {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// published guards expvar.Publish, which panics on duplicate names.
+var (
+	publishMu sync.Mutex
+	published = map[string]bool{}
+)
+
+// PublishExpvar exposes the registry's live snapshot as one expvar
+// variable (visible at /debug/vars when an HTTP server runs). Publishing
+// the same name twice (including across registries) is a no-op: expvar
+// variables are process-global, so the first registry wins.
+func (r *Registry) PublishExpvar(name string) {
+	if r == nil {
+		return
+	}
+	publishMu.Lock()
+	defer publishMu.Unlock()
+	if published[name] {
+		return
+	}
+	published[name] = true
+	expvar.Publish(name, expvar.Func(func() interface{} { return r.Snapshot() }))
+}

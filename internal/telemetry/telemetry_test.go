@@ -1,0 +1,200 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilRegistryIsInert(t *testing.T) {
+	var r *Registry
+	r.SetEnabled(true)
+	if r.Enabled() {
+		t.Fatal("nil registry reports enabled")
+	}
+	c := r.Counter("x")
+	c.Add(5)
+	c.Inc()
+	if c.Value() != 0 {
+		t.Fatal("nil counter accumulated")
+	}
+	g := r.Gauge("g")
+	g.Set(7)
+	g.Add(1)
+	if g.Value() != 0 {
+		t.Fatal("nil gauge accumulated")
+	}
+	r.Histogram("h").Observe(3)
+	sp := r.StartSpan("phase")
+	sp.Child("sub").End()
+	sp.End()
+	r.ObserveSpan("q", time.Millisecond)
+	if n := len(r.Snapshot().Counters); n != 0 {
+		t.Fatalf("nil registry snapshot has %d counters", n)
+	}
+	r.PublishExpvar("never")
+}
+
+func TestCountersGaugesHistograms(t *testing.T) {
+	r := New()
+	c := r.Counter("trace.write.bytes")
+	c.Add(100)
+	c.Add(23)
+	if c.Value() != 123 {
+		t.Fatalf("counter = %d, want 123", c.Value())
+	}
+	if r.Counter("trace.write.bytes") != c {
+		t.Fatal("counter not interned by name")
+	}
+	g := r.Gauge("heap")
+	g.Set(50)
+	g.Add(-20)
+	if g.Value() != 30 {
+		t.Fatalf("gauge = %d, want 30", g.Value())
+	}
+	h := r.Histogram("slice.size")
+	for _, v := range []int64{0, 1, 2, 3, 1000, -4} {
+		h.Observe(v)
+	}
+	snap := r.Snapshot()
+	hs := snap.Histograms["slice.size"]
+	if hs.Count != 6 || hs.Sum != 1006 {
+		t.Fatalf("hist count/sum = %d/%d, want 6/1006", hs.Count, hs.Sum)
+	}
+	// v==0 (incl. clamped -4) land in bucket "0"; 1000 in "1023".
+	if hs.Buckets["0"] != 2 || hs.Buckets["1023"] != 1 {
+		t.Fatalf("unexpected buckets: %v", hs.Buckets)
+	}
+}
+
+func TestDisableStopsCollection(t *testing.T) {
+	r := New()
+	c := r.Counter("c")
+	c.Inc()
+	r.SetEnabled(false)
+	c.Inc()
+	r.Gauge("g").Set(9)
+	r.Histogram("h").Observe(9)
+	if sp := r.StartSpan("p"); sp != nil {
+		t.Fatal("disabled registry handed out a live span")
+	}
+	r.ObserveSpan("p", time.Second)
+	r.SetEnabled(true)
+	c.Inc()
+	if c.Value() != 2 {
+		t.Fatalf("counter = %d, want 2 (middle Inc suppressed)", c.Value())
+	}
+	if r.Gauge("g").Value() != 0 {
+		t.Fatal("disabled gauge accepted a Set")
+	}
+	if r.SpanCount("p") != 0 {
+		t.Fatal("disabled registry recorded a span")
+	}
+}
+
+// allocSink keeps test allocations heap-visible.
+var allocSink []byte
+
+func TestSpanHierarchyAndSnapshot(t *testing.T) {
+	r := New()
+	root := r.StartSpan("record")
+	child := root.Child("interp")
+	// Allocate something heap-visible so the delta is nonzero.
+	allocSink = make([]byte, 1<<16)
+	child.End()
+	root.End()
+	r.ObserveSpan("slice/opt", 2*time.Millisecond)
+	r.ObserveSpan("slice/opt", 4*time.Millisecond)
+
+	snap := r.Snapshot()
+	if snap.Spans["record"].Count != 1 || snap.Spans["record/interp"].Count != 1 {
+		t.Fatalf("span counts wrong: %+v", snap.Spans)
+	}
+	q := snap.Spans["slice/opt"]
+	if q.Count != 2 || q.TotalMs < 5.9 {
+		t.Fatalf("slice/opt aggregate wrong: %+v", q)
+	}
+	if snap.Spans["record/interp"].AllocBytes <= 0 {
+		t.Fatal("child span recorded no allocation delta")
+	}
+
+	var out bytes.Buffer
+	if err := r.WriteJSON(&out); err != nil {
+		t.Fatal(err)
+	}
+	var decoded Snapshot
+	if err := json.Unmarshal(out.Bytes(), &decoded); err != nil {
+		t.Fatalf("snapshot is not valid JSON: %v", err)
+	}
+	if !strings.Contains(out.String(), "slice/opt") {
+		t.Fatal("JSON snapshot missing span path")
+	}
+}
+
+func TestConcurrentUpdates(t *testing.T) {
+	r := New()
+	c := r.Counter("n")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+				r.Histogram("h").Observe(int64(j))
+				r.ObserveSpan("p", time.Nanosecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 8000 {
+		t.Fatalf("counter = %d, want 8000", c.Value())
+	}
+	if r.SpanCount("p") != 8000 {
+		t.Fatalf("span count = %d, want 8000", r.SpanCount("p"))
+	}
+}
+
+func TestPublishExpvarIdempotent(t *testing.T) {
+	r := New()
+	r.Counter("x").Inc()
+	r.PublishExpvar("telemetry_test_var")
+	r2 := New()
+	r2.PublishExpvar("telemetry_test_var") // must not panic
+}
+
+// BenchmarkDisabledCounter measures the nil-registry hot path: the cost the
+// whole pipeline pays when telemetry is off.
+func BenchmarkDisabledCounter(b *testing.B) {
+	var r *Registry
+	c := r.Counter("x")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Add(1)
+	}
+}
+
+// BenchmarkSwitchedOffCounter measures a minted-but-disabled counter: one
+// atomic flag load per call.
+func BenchmarkSwitchedOffCounter(b *testing.B) {
+	r := New()
+	c := r.Counter("x")
+	r.SetEnabled(false)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Add(1)
+	}
+}
+
+// BenchmarkEnabledCounter measures the live atomic increment.
+func BenchmarkEnabledCounter(b *testing.B) {
+	r := New()
+	c := r.Counter("x")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Add(1)
+	}
+}

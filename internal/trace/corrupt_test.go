@@ -2,9 +2,11 @@ package trace_test
 
 import (
 	"bytes"
+	"strings"
 	"testing"
 
 	"dynslice/internal/interp"
+	"dynslice/internal/telemetry"
 	"dynslice/internal/trace"
 )
 
@@ -39,9 +41,100 @@ func TestDecoderRejectsCorruptStreams(t *testing.T) {
 		}
 	}
 
-	// A bogus block id must be rejected.
+	// A bogus block id must be rejected (prepended before the header, the
+	// stream also fails the magic check; see the metrics test below for the
+	// post-header variant).
 	bogus := append([]byte{0xFF, 0xFF, 0x7F}, good...)
 	if err := replayOK(bogus); err == nil {
 		t.Fatal("bogus block id silently accepted")
+	}
+}
+
+// TestReaderErrorCounters verifies that each decoder error path fires its
+// classification counter, and that clean replays count records read.
+func TestReaderErrorCounters(t *testing.T) {
+	p := prog(t, `
+	func main() {
+		var i = 0;
+		while (i < 5) { i = i + 1; }
+		print(i);
+	}`)
+	var buf bytes.Buffer
+	w := trace.NewWriter(p, &buf, 0)
+	if _, err := interp.Run(p, interp.Options{Sink: w}); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	replay := func(data []byte) (*telemetry.Registry, error) {
+		reg := telemetry.New()
+		m := trace.NewMetrics(reg)
+		err := trace.ReplayWith(p, bytes.NewReader(data), &recorder{}, m)
+		return reg, err
+	}
+	count := func(reg *telemetry.Registry, name string) int64 {
+		return reg.Counter(name).Value()
+	}
+
+	// Pristine stream: blocks/stmts read match what the writer recorded,
+	// and no error counter fires.
+	reg, err := replay(good)
+	if err != nil {
+		t.Fatalf("pristine stream: %v", err)
+	}
+	if got := count(reg, "trace.read.blocks"); got != w.BlockExecutions() {
+		t.Fatalf("blocks read = %d, want %d", got, w.BlockExecutions())
+	}
+	if count(reg, "trace.read.stmts") == 0 {
+		t.Fatal("no statement records counted on a clean replay")
+	}
+	for _, n := range []string{"trace.read.err.truncated", "trace.read.err.bad_magic", "trace.read.err.bad_block"} {
+		if count(reg, n) != 0 {
+			t.Fatalf("counter %s fired on a clean replay", n)
+		}
+	}
+
+	// Header shorter than HeaderSize: truncation.
+	reg, err = replay(good[:trace.HeaderSize-2])
+	if err == nil || count(reg, "trace.read.err.truncated") != 1 {
+		t.Fatalf("short header: err=%v truncated=%d", err, count(reg, "trace.read.err.truncated"))
+	}
+
+	// Corrupted magic.
+	bad := append([]byte(nil), good...)
+	bad[0] ^= 0xFF
+	reg, err = replay(bad)
+	if err == nil || !strings.Contains(err.Error(), "bad magic") {
+		t.Fatalf("corrupt magic: err=%v", err)
+	}
+	if count(reg, "trace.read.err.bad_magic") != 1 {
+		t.Fatal("bad_magic counter did not fire on corrupt magic")
+	}
+
+	// Unsupported version byte classifies as bad_magic too.
+	bad = append([]byte(nil), good...)
+	bad[len(trace.Magic)] = trace.Version + 1
+	reg, err = replay(bad)
+	if err == nil || count(reg, "trace.read.err.bad_magic") != 1 {
+		t.Fatalf("bad version: err=%v bad_magic=%d", err, count(reg, "trace.read.err.bad_magic"))
+	}
+
+	// Out-of-range block id directly after the header.
+	bad = append(append([]byte(nil), good[:trace.HeaderSize]...), 0xFF, 0xFF, 0x7F)
+	reg, err = replay(bad)
+	if err == nil || count(reg, "trace.read.err.bad_block") != 1 {
+		t.Fatalf("bogus block id: err=%v bad_block=%d", err, count(reg, "trace.read.err.bad_block"))
+	}
+
+	// Truncation mid-record: every short prefix past the header must
+	// classify as truncated (never silently succeed, never misclassify).
+	for cut := trace.HeaderSize + 1; cut < len(good)-1; cut += 5 {
+		reg, err = replay(good[:cut])
+		if err == nil {
+			t.Fatalf("truncation at %d silently succeeded", cut)
+		}
+		if count(reg, "trace.read.err.truncated") != 1 {
+			t.Fatalf("truncation at %d not counted (err=%v)", cut, err)
+		}
 	}
 }

@@ -1,0 +1,44 @@
+package trace
+
+import "dynslice/internal/telemetry"
+
+// Metrics bundles the trace layer's counters. A nil *Metrics (the default
+// on every Writer and Decoder) disables collection; individual nil
+// counters are likewise inert, so partially populated bundles are fine.
+type Metrics struct {
+	// Writer side (flushed once at End).
+	BlocksWritten   *telemetry.Counter // block records written
+	StmtsWritten    *telemetry.Counter // statement/region records written
+	BytesWritten    *telemetry.Counter // encoded bytes (post-buffer accounting)
+	SegmentsWritten *telemetry.Counter // segment summaries created
+
+	// Reader side (incremental).
+	BlocksRead *telemetry.Counter // block records decoded
+	StmtsRead  *telemetry.Counter // statement/region records decoded
+
+	// Reader error paths, by class.
+	ErrTruncated *telemetry.Counter // stream ended mid-record
+	ErrBadMagic  *telemetry.Counter // header magic/version mismatch
+	ErrBadBlock  *telemetry.Counter // block id out of range
+	ErrDesync    *telemetry.Counter // segment decoding desynchronized
+}
+
+// NewMetrics mints the trace counter bundle on a registry under the
+// "trace." namespace. Returns nil (disabled) on a nil registry.
+func NewMetrics(reg *telemetry.Registry) *Metrics {
+	if reg == nil {
+		return nil
+	}
+	return &Metrics{
+		BlocksWritten:   reg.Counter("trace.write.blocks"),
+		StmtsWritten:    reg.Counter("trace.write.stmts"),
+		BytesWritten:    reg.Counter("trace.write.bytes"),
+		SegmentsWritten: reg.Counter("trace.write.segments"),
+		BlocksRead:      reg.Counter("trace.read.blocks"),
+		StmtsRead:       reg.Counter("trace.read.stmts"),
+		ErrTruncated:    reg.Counter("trace.read.err.truncated"),
+		ErrBadMagic:     reg.Counter("trace.read.err.bad_magic"),
+		ErrBadBlock:     reg.Counter("trace.read.err.bad_block"),
+		ErrDesync:       reg.Counter("trace.read.err.desync"),
+	}
+}

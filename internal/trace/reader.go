@@ -3,6 +3,7 @@ package trace
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 
@@ -42,14 +43,54 @@ type Decoder struct {
 	stmtIdx int
 	uses    []int64
 	defs    []int64
+	met     *Metrics
 	done    bool
 }
 
 // NewDecoder returns a decoder reading from r. startOrd is the ordinal of
 // the first block record in the stream (0 for a whole trace; a segment's
-// StartOrd when resuming mid-file).
+// StartOrd when resuming mid-file). Decoders positioned at the start of a
+// stream must call ReadHeader before Next; mid-file decoders (segment
+// offsets point past the header) must not.
 func NewDecoder(p *ir.Program, r io.Reader, startOrd int64) *Decoder {
 	return &Decoder{p: p, br: bufio.NewReaderSize(r, 1<<16), ord: startOrd}
+}
+
+// SetMetrics attaches a telemetry bundle. Read counters are incremental
+// (nil-safe, inert by default); error counters fire once per failed call.
+func (d *Decoder) SetMetrics(m *Metrics) { d.met = m }
+
+// ReadHeader consumes and validates the stream header (magic + version).
+func (d *Decoder) ReadHeader() error {
+	var hdr [HeaderSize]byte
+	if _, err := io.ReadFull(d.br, hdr[:]); err != nil {
+		d.countErr(err)
+		return fmt.Errorf("trace: header: %w", err)
+	}
+	if [4]byte(hdr[:4]) != Magic {
+		if d.met != nil {
+			d.met.ErrBadMagic.Inc()
+		}
+		return fmt.Errorf("trace: bad magic %q", hdr[:4])
+	}
+	if hdr[4] != Version {
+		if d.met != nil {
+			d.met.ErrBadMagic.Inc()
+		}
+		return fmt.Errorf("trace: unsupported format version %d (want %d)", hdr[4], Version)
+	}
+	return nil
+}
+
+// countErr classifies a decode error into the metrics bundle. EOF-family
+// errors mean the stream ended mid-record (truncation).
+func (d *Decoder) countErr(err error) {
+	if d.met == nil {
+		return
+	}
+	if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+		d.met.ErrTruncated.Inc()
+	}
 }
 
 func (d *Decoder) uvarint() (uint64, error) {
@@ -69,11 +110,16 @@ func (d *Decoder) Next() (Event, error) {
 		if s.Op == ir.OpDeclArr {
 			start, err := d.uvarint()
 			if err != nil {
+				d.countErr(err)
 				return Event{}, fmt.Errorf("trace: region record: %w", err)
 			}
 			length, err := d.uvarint()
 			if err != nil {
+				d.countErr(err)
 				return Event{}, fmt.Errorf("trace: region record: %w", err)
+			}
+			if d.met != nil {
+				d.met.StmtsRead.Inc()
 			}
 			return Event{Kind: EvRegion, Stmt: s, RegStart: int64(start), RegLen: int64(length)}, nil
 		}
@@ -81,6 +127,7 @@ func (d *Decoder) Next() (Event, error) {
 		for i := 0; i < len(s.Uses); i++ {
 			a, err := d.uvarint()
 			if err != nil {
+				d.countErr(err)
 				return Event{}, fmt.Errorf("trace: use addr: %w", err)
 			}
 			d.uses = append(d.uses, int64(a))
@@ -89,15 +136,20 @@ func (d *Decoder) Next() (Event, error) {
 		for i := 0; i < s.NumDefs; i++ {
 			a, err := d.uvarint()
 			if err != nil {
+				d.countErr(err)
 				return Event{}, fmt.Errorf("trace: def addr: %w", err)
 			}
 			d.defs = append(d.defs, int64(a))
+		}
+		if d.met != nil {
+			d.met.StmtsRead.Inc()
 		}
 		return Event{Kind: EvStmt, Stmt: s, Uses: d.uses, Defs: d.defs}, nil
 	}
 	// Block boundary.
 	v, err := d.uvarint()
 	if err != nil {
+		d.countErr(err)
 		return Event{}, fmt.Errorf("trace: block record: %w", err)
 	}
 	if v == 0 {
@@ -106,18 +158,33 @@ func (d *Decoder) Next() (Event, error) {
 	}
 	id := int(v - 1)
 	if id >= len(d.p.Blocks) {
+		if d.met != nil {
+			d.met.ErrBadBlock.Inc()
+		}
 		return Event{}, fmt.Errorf("trace: bad block id %d", id)
 	}
 	d.blk = d.p.Blocks[id]
 	d.stmtIdx = 0
+	if d.met != nil {
+		d.met.BlocksRead.Inc()
+	}
 	ev := Event{Kind: EvBlock, Block: d.blk, Ord: d.ord}
 	d.ord++
 	return ev, nil
 }
 
-// Replay decodes the whole stream into a sink.
+// Replay decodes the whole stream (header included) into a sink.
 func Replay(p *ir.Program, r io.Reader, sink Sink) error {
+	return ReplayWith(p, r, sink, nil)
+}
+
+// ReplayWith is Replay with a metrics bundle attached to the decoder.
+func ReplayWith(p *ir.Program, r io.Reader, sink Sink, m *Metrics) error {
 	d := NewDecoder(p, r, 0)
+	d.SetMetrics(m)
+	if err := d.ReadHeader(); err != nil {
+		return err
+	}
 	for {
 		ev, err := d.Next()
 		if err != nil {

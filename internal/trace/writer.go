@@ -38,32 +38,58 @@ func (g *Segment) MayDefine(a int64) bool { return g.DefsAll || g.Defs.MayContai
 // added to a segment filter before giving up and marking DefsAll.
 const regionFilterCap = 1 << 14
 
+// Magic is the four-byte stream header ("DYTR"), followed by one format
+// version byte. Segment offsets point past the header, so mid-file seeks
+// (LP) never re-read it; whole-stream decoders validate it first.
+var Magic = [4]byte{'D', 'Y', 'T', 'R'}
+
+// Version is the current trace format version.
+const Version byte = 1
+
+// HeaderSize is the encoded size of the stream header.
+const HeaderSize = len(Magic) + 1
+
 // Writer encodes a trace to an io.Writer, building segment summaries as it
 // goes. It implements Sink.
 type Writer struct {
 	bw        *bufio.Writer
 	segBlocks int64 // block executions per segment
 	ord       int64 // next block ordinal
+	stmts     int64 // statement/region records written
 	written   int64 // bytes written (post-buffer accounting)
 	segs      []*Segment
 	cur       *Segment
 	numBlocks int
+	met       *Metrics
 	scratch   [binary.MaxVarintLen64]byte
 	err       error
 }
 
 // NewWriter returns a trace writer. segBlocks controls segment granularity
-// (block executions per segment); 4096 is a reasonable default.
+// (block executions per segment); 4096 is a reasonable default. The stream
+// header is written immediately.
 func NewWriter(p *ir.Program, w io.Writer, segBlocks int) *Writer {
 	if segBlocks <= 0 {
 		segBlocks = 4096
 	}
-	return &Writer{
+	tw := &Writer{
 		bw:        bufio.NewWriterSize(w, 1<<16),
 		segBlocks: int64(segBlocks),
 		numBlocks: len(p.Blocks),
 	}
+	if _, err := tw.bw.Write(Magic[:]); err != nil {
+		tw.err = err
+	}
+	if err := tw.bw.WriteByte(Version); err != nil && tw.err == nil {
+		tw.err = err
+	}
+	tw.written += int64(HeaderSize)
+	return tw
 }
+
+// SetMetrics attaches a telemetry bundle; aggregate write counters are
+// flushed once at End, so metrics cost nothing on the per-record path.
+func (w *Writer) SetMetrics(m *Metrics) { w.met = m }
 
 // Err returns the first write error encountered, if any.
 func (w *Writer) Err() error { return w.err }
@@ -106,6 +132,7 @@ func (w *Writer) closeSegment() {
 
 // Stmt implements Sink.
 func (w *Writer) Stmt(s *ir.Stmt, uses, defs []int64) {
+	w.stmts++
 	for _, a := range uses {
 		w.putUvarint(uint64(a))
 	}
@@ -119,6 +146,7 @@ func (w *Writer) Stmt(s *ir.Stmt, uses, defs []int64) {
 
 // RegionDef implements Sink.
 func (w *Writer) RegionDef(s *ir.Stmt, start, length int64) {
+	w.stmts++
 	w.putUvarint(uint64(start))
 	w.putUvarint(uint64(length))
 	if w.cur == nil {
@@ -139,5 +167,11 @@ func (w *Writer) End() {
 	w.closeSegment()
 	if err := w.bw.Flush(); err != nil && w.err == nil {
 		w.err = err
+	}
+	if m := w.met; m != nil {
+		m.BlocksWritten.Add(w.ord)
+		m.StmtsWritten.Add(w.stmts)
+		m.BytesWritten.Add(w.written)
+		m.SegmentsWritten.Add(int64(len(w.segs)))
 	}
 }

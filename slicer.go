@@ -36,6 +36,7 @@ import (
 	"dynslice/internal/slicing/fp"
 	"dynslice/internal/slicing/lp"
 	"dynslice/internal/slicing/opt"
+	"dynslice/internal/telemetry"
 	"dynslice/internal/trace"
 )
 
@@ -46,7 +47,13 @@ type Program struct {
 
 // Compile parses, checks, lowers, and analyzes MiniC source text.
 func Compile(src string) (*Program, error) {
-	p, err := compile.Source(src)
+	return CompileWith(src, nil)
+}
+
+// CompileWith is Compile with telemetry: compile-phase spans and
+// program-shape gauges land on reg. A nil registry costs nothing.
+func CompileWith(src string, reg *telemetry.Registry) (*Program, error) {
+	p, err := compile.SourceWith(src, reg)
 	if err != nil {
 		return nil, err
 	}
@@ -66,6 +73,10 @@ type RunOptions struct {
 	TraceDir string  // where the trace file is written (default: temp dir)
 	// OptConfig overrides the OPT configuration (default: opt.Full()).
 	OptConfig *opt.Config
+	// Telemetry receives phase spans and pipeline counters for this
+	// recording and its slicers. Nil disables collection at near-zero
+	// cost (see docs/OBSERVABILITY.md).
+	Telemetry *telemetry.Registry
 }
 
 // Recording is one instrumented execution: its outputs, its on-disk trace,
@@ -77,6 +88,7 @@ type Recording struct {
 	Return  int64
 	path    string
 	cleanup func()
+	tel     *telemetry.Registry
 
 	segs    []*trace.Segment
 	fpG     *fp.Graph
@@ -92,13 +104,18 @@ type Recording struct {
 // profile (as the paper does), once instrumented — building the FP and OPT
 // graphs online and writing the trace file the LP slicer reads.
 func (p *Program) Record(o RunOptions) (*Recording, error) {
-	rec := &Recording{p: p, optCfg: opt.Full()}
+	rec := &Recording{p: p, optCfg: opt.Full(), tel: o.Telemetry}
 	if o.OptConfig != nil {
 		rec.optCfg = *o.OptConfig
 	}
+	span := o.Telemetry.StartSpan("record")
+	defer span.End()
 
+	sp := span.Child("profile")
 	col := profile.NewCollector(p.ir)
-	if _, err := interp.Run(p.ir, interp.Options{Input: o.Input, MaxSteps: o.MaxSteps, Sink: col}); err != nil {
+	_, err := interp.Run(p.ir, interp.Options{Input: o.Input, MaxSteps: o.MaxSteps, Sink: col, Telemetry: o.Telemetry})
+	sp.End()
+	if err != nil {
 		return nil, fmt.Errorf("slicer: profiling run: %w", err)
 	}
 	rec.hot = col.HotPaths(1, 0)
@@ -107,58 +124,84 @@ func (p *Program) Record(o RunOptions) (*Recording, error) {
 	dir := o.TraceDir
 	var tmp string
 	if dir == "" {
-		var err error
 		tmp, err = os.MkdirTemp("", "dynslice")
 		if err != nil {
 			return nil, err
 		}
 		dir = tmp
 	}
+	rec.path = filepath.Join(dir, "run.trace")
+	tracePath := rec.path
 	rec.cleanup = func() {
+		// The trace file may live in a caller-supplied directory; remove
+		// it explicitly before removing our own temp dir (if any).
+		os.Remove(tracePath)
 		if tmp != "" {
 			os.RemoveAll(tmp)
 		}
 	}
-	rec.path = filepath.Join(dir, "run.trace")
+	// Until the recording is complete, every error return must release
+	// what was created so far (trace file, temp dir).
+	ok := false
+	defer func() {
+		if !ok {
+			rec.Close()
+		}
+	}()
 	f, err := os.Create(rec.path)
 	if err != nil {
 		return nil, err
 	}
 	tw := trace.NewWriter(p.ir, f, 4096)
+	tw.SetMetrics(trace.NewMetrics(o.Telemetry))
 	rec.fpG = fp.NewGraph(p.ir)
+	rec.fpG.SetTelemetry(o.Telemetry)
 	rec.optG = opt.NewGraph(p.ir, rec.optCfg, rec.hot, rec.cuts)
+	rec.optG.SetTelemetry(o.Telemetry)
+	sp = span.Child("interp")
 	res, err := interp.Run(p.ir, interp.Options{
-		Input:    o.Input,
-		MaxSteps: o.MaxSteps,
-		Sink:     trace.Multi{tw, rec.fpG, rec.optG},
+		Input:     o.Input,
+		MaxSteps:  o.MaxSteps,
+		Sink:      trace.Multi{tw, rec.fpG, rec.optG},
+		Telemetry: o.Telemetry,
 	})
+	sp.End()
 	if err != nil {
 		f.Close()
-		rec.Close()
 		return nil, err
 	}
 	if err := f.Close(); err != nil {
-		rec.Close()
 		return nil, err
 	}
 	if tw.Err() != nil {
-		rec.Close()
 		return nil, tw.Err()
 	}
 	rec.segs = tw.Segments()
 	rec.lpS = lp.New(p.ir, rec.path, rec.segs)
+	rec.lpS.SetTelemetry(o.Telemetry)
 	rec.Output = res.Output
 	rec.Steps = res.Steps
 	rec.Return = res.ReturnValue
+	ok = true
 	return rec, nil
 }
 
-// Close removes temporary artifacts.
+// Close removes temporary artifacts (the trace file and, when Record
+// created one, its temp directory). Closing twice is a no-op; a
+// Recording whose trace was removed can no longer answer LP queries.
 func (r *Recording) Close() {
 	if r.cleanup != nil {
 		r.cleanup()
+		r.cleanup = nil
 	}
 }
+
+// TracePath returns the on-disk trace file location (empty until Record
+// has created it; invalid after Close).
+func (r *Recording) TracePath() string { return r.path }
+
+// Telemetry returns the registry attached via RunOptions, or nil.
+func (r *Recording) Telemetry() *telemetry.Registry { return r.tel }
 
 // Slice is a slicing result mapped back to the source program.
 type Slice struct {
@@ -206,14 +249,24 @@ func (s *Slicer) Name() string { return s.name }
 // SliceAddr slices on the last definition of the given memory address.
 func (s *Slicer) SliceAddr(addr int64) (*Slice, error) {
 	t0 := time.Now()
-	raw, _, err := s.impl.Slice(slicing.AddrCriterion(addr))
+	raw, stats, err := s.impl.Slice(slicing.AddrCriterion(addr))
 	if err != nil {
 		return nil, err
+	}
+	elapsed := time.Since(t0)
+	if reg := s.rec.tel; reg != nil {
+		reg.ObserveSpan("slice/"+s.name, elapsed)
+		reg.Counter("slice.queries").Inc()
+		reg.Histogram("slice.size").Observe(int64(raw.Len()))
+		if stats != nil {
+			reg.Counter("slice.instances").Add(stats.Instances)
+			reg.Counter("slice.label_probes").Add(stats.LabelProbes)
+		}
 	}
 	return &Slice{
 		Lines: raw.Lines(s.rec.p.ir),
 		Stmts: raw.Len(),
-		Time:  time.Since(t0),
+		Time:  elapsed,
 		raw:   raw,
 	}, nil
 }

@@ -1,6 +1,8 @@
 package slicer_test
 
 import (
+	"os"
+	"path/filepath"
 	"testing"
 
 	slicer "dynslice"
@@ -116,5 +118,77 @@ func TestFacadeDumpIR(t *testing.T) {
 	}
 	if out := p.DumpIR(); len(out) == 0 {
 		t.Fatal("empty IR dump")
+	}
+}
+
+func TestRecordingCloseRemovesArtifacts(t *testing.T) {
+	p, err := slicer.Compile(facadeSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := p.Record(slicer.RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := rec.TracePath()
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("trace file missing after Record: %v", err)
+	}
+	rec.Close()
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatalf("trace file survived Close: %v", err)
+	}
+	if _, err := os.Stat(filepath.Dir(path)); !os.IsNotExist(err) {
+		t.Fatalf("temp dir survived Close: %v", err)
+	}
+	rec.Close() // second Close must be a no-op, not a panic or re-remove
+}
+
+func TestRecordingCloseKeepsCallerDir(t *testing.T) {
+	p, err := slicer.Compile(facadeSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	rec, err := p.Record(slicer.RunOptions{TraceDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec.Close()
+	if _, err := os.Stat(filepath.Join(dir, "run.trace")); !os.IsNotExist(err) {
+		t.Fatalf("trace file survived Close in caller dir: %v", err)
+	}
+	if _, err := os.Stat(dir); err != nil {
+		t.Fatalf("Close removed the caller-supplied directory: %v", err)
+	}
+}
+
+func TestRecordFailureLeavesNothing(t *testing.T) {
+	p, err := slicer.Compile(facadeSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Failure after the cleanup handler is armed: TraceDir names a regular
+	// file, so creating run.trace under it fails partway through Record.
+	dir := t.TempDir()
+	notADir := filepath.Join(dir, "occupied")
+	if err := os.WriteFile(notADir, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Record(slicer.RunOptions{TraceDir: notADir}); err == nil {
+		t.Fatal("Record with a file as TraceDir must fail")
+	}
+	if _, err := os.Stat(notADir); err != nil {
+		t.Fatalf("error-path cleanup removed the caller's file: %v", err)
+	}
+
+	// Failure before any artifact exists: the aborted run must not leave a
+	// trace file in the caller's directory.
+	if _, err := p.Record(slicer.RunOptions{TraceDir: dir, MaxSteps: 1}); err == nil {
+		t.Fatal("Record with MaxSteps=1 must fail")
+	}
+	if _, err := os.Stat(filepath.Join(dir, "run.trace")); !os.IsNotExist(err) {
+		t.Fatalf("failed Record left run.trace behind: %v", err)
 	}
 }
