@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: ci build vet fmt test overhead bench experiments
+.PHONY: ci build vet fmt test test-race overhead bench bench-parallel experiments
 
-ci: build vet fmt test overhead
+ci: build vet fmt test test-race overhead
 
 build:
 	$(GO) build ./...
@@ -18,12 +18,22 @@ fmt:
 test:
 	$(GO) test ./...
 
+# Race detection over the concurrent paths: the pipelined builders, the
+# batched slicers, the QueryEngine, and the root façade.
+test-race:
+	$(GO) test -race . ./internal/slicing/... ./internal/trace/...
+
 # Guard: a disabled telemetry registry may cost at most 5% over none.
 overhead:
 	$(GO) test -run TestOverhead -bench BenchmarkTelemetryOverhead -benchtime 5x .
 
 bench:
 	$(GO) test -bench . -benchmem .
+
+# Parallel-engine speedups: pipelined builds, batched + concurrent
+# slicing vs the sequential GOMAXPROCS=1 baseline -> BENCH_parallel.json.
+bench-parallel:
+	$(GO) run ./cmd/experiments -exp parallel
 
 experiments:
 	$(GO) run ./cmd/experiments -exp all

@@ -208,6 +208,71 @@ func BenchmarkFig18(b *testing.B) {
 	})
 }
 
+// BenchmarkBuild compares graph construction: per-sink sequential trace
+// replays versus one shared pipelined pass feeding FP and OPT together.
+func BenchmarkBuild(b *testing.B) {
+	res := build(b, bench.Options{WithFP: true, WithOPT: true})
+	prof, cuts := bench.Reprofile(b, res)
+	b.Run("sequential", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for _, g := range []trace.Sink{bench.NewFPGraph(res.P), bench.NewOPTGraph(res.P, prof, cuts)} {
+				f, err := os.Open(res.TracePath)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := trace.Replay(res.P, f, g); err != nil {
+					b.Fatal(err)
+				}
+				f.Close()
+			}
+		}
+	})
+	b.Run("pipelined", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			f, err := os.Open(res.TracePath)
+			if err != nil {
+				b.Fatal(err)
+			}
+			err = trace.ParallelReplay(res.P, f, trace.PipelineConfig{},
+				bench.NewFPGraph(res.P), bench.NewOPTGraph(res.P, prof, cuts))
+			f.Close()
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkSlice measures single-criterion OPT queries; allocation counts
+// show the pooled worklist state being reused across queries.
+func BenchmarkSlice(b *testing.B) {
+	res := build(b, bench.Options{WithOPT: true})
+	b.ReportAllocs()
+	sliceLoop(b, res.OPT, res.Crit)
+}
+
+// BenchmarkSliceAll measures the full 25-criteria batch as ONE shared
+// traversal per algorithm — the batched counterpart of BenchmarkSlice.
+func BenchmarkSliceAll(b *testing.B) {
+	res := build(b, bench.Options{WithFP: true, WithOPT: true})
+	for _, alg := range []struct {
+		name string
+		s    slicing.MultiSlicer
+	}{{"opt", res.OPT}, {"fp", res.FP}} {
+		b.Run(alg.name, func(b *testing.B) {
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, _, err := bench.SliceBatch(alg.s, res.Crit); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkSequitur measures grammar compression of the full graph's
 // label stream and reports both compression factors (§4.1: the paper
 // reports 9.18x for SEQUITUR vs 23.4x for OPT).

@@ -3,14 +3,17 @@
 //
 // Usage:
 //
-//	experiments [-exp all|1|2|3|4|5|6|7|8|15|16|17|18|sequitur|telemetry] [-workload name] [-scale n]
-//	            [-telemetry-out BENCH_telemetry.json]
+//	experiments [-exp all|1|2|3|4|5|6|7|8|15|16|17|18|sequitur|telemetry|parallel] [-workload name] [-scale n]
+//	            [-telemetry-out BENCH_telemetry.json] [-parallel-out BENCH_parallel.json]
 //
 // Numbers 1-8 are tables, 15-18 figures, matching the paper's numbering.
 // -scale multiplies each workload's default input size. The telemetry
 // experiment builds every workload with metrics attached and writes
 // per-benchmark graph sizes, per-optimization label-elimination counts,
-// and slice times to -telemetry-out.
+// and slice times to -telemetry-out. The parallel experiment compares the
+// pipelined build and the batched/concurrent 25-criteria query paths
+// against their sequential GOMAXPROCS=1 baselines and writes per-workload
+// speedups to -parallel-out (see docs/PERFORMANCE.md).
 package main
 
 import (
@@ -23,10 +26,11 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: all, 1-8 (tables), 15-18 (figures), sequitur, ablation, forward, telemetry")
+	exp := flag.String("exp", "all", "experiment to run: all, 1-8 (tables), 15-18 (figures), sequitur, ablation, forward, telemetry, parallel")
 	workload := flag.String("workload", "", "restrict to one workload (e.g. 164.gzip or gzip)")
 	scale := flag.Int64("scale", 1, "input-size multiplier for every workload")
 	telemetryOut := flag.String("telemetry-out", "BENCH_telemetry.json", "output file for -exp telemetry")
+	parallelOut := flag.String("parallel-out", "BENCH_parallel.json", "output file for -exp parallel")
 	flag.Parse()
 
 	wls := bench.Workloads()
@@ -109,6 +113,9 @@ func main() {
 	}
 	if want("telemetry") {
 		run("telemetry", func() error { return bench.RunTelemetry(w, wls, *telemetryOut) })
+	}
+	if want("parallel") {
+		run("parallel", func() error { return bench.RunParallel(w, wls, *parallelOut) })
 	}
 }
 

@@ -4,12 +4,15 @@
 // Usage:
 //
 //	slicer -src prog.mc [-input 1,2,3] [-algo opt|fp|lp] [-var g] [-addr n]
-//	       [-ir] [-stats] [-repl] [-metrics out.json] [-pprof localhost:6060]
+//	       [-vars a,b,c] [-workers n] [-ir] [-stats] [-repl]
+//	       [-metrics out.json] [-pprof localhost:6060]
 //
 // With -var (a global variable) or -addr (a raw address), the tool prints
 // the dynamic slice of that location's final value: the source lines it
 // transitively depends on, via data and control dependences actually
-// exercised in this run.
+// exercised in this run. -vars takes a comma-separated list of globals
+// and answers them as ONE batched query (shared backward traversal),
+// dispatched over -workers concurrent workers (see docs/PERFORMANCE.md).
 //
 // -metrics writes a telemetry snapshot (phase spans, algorithm counters;
 // see docs/OBSERVABILITY.md) as JSON when the tool exits. -pprof serves
@@ -36,6 +39,8 @@ func main() {
 	inputCSV := flag.String("input", "", "comma-separated input() values")
 	algo := flag.String("algo", "opt", "slicing algorithm: opt, fp, or lp")
 	varName := flag.String("var", "", "slice on the final value of this global variable")
+	varsCSV := flag.String("vars", "", "comma-separated globals: answer all of them as one batched query")
+	workers := flag.Int("workers", 0, "concurrent query workers for -vars (default 4)")
 	addr := flag.Int64("addr", -1, "slice on the final definition of this address")
 	dumpIR := flag.Bool("ir", false, "dump the lowered IR and exit")
 	stats := flag.Bool("stats", false, "print graph statistics")
@@ -118,6 +123,24 @@ func main() {
 
 	if *repl {
 		runREPL(rec, s, string(src))
+		return
+	}
+
+	if *varsCSV != "" {
+		names := strings.Split(*varsCSV, ",")
+		addrs := make([]int64, len(names))
+		for i, n := range names {
+			a, err := prog.GlobalAddr(strings.TrimSpace(n))
+			check(err)
+			addrs[i] = a
+		}
+		eng := s.Engine(slicer.EngineOptions{Workers: *workers})
+		slices, err := eng.SliceAddrs(addrs)
+		check(err)
+		for i, sl := range slices {
+			fmt.Printf("--- %s\n", strings.TrimSpace(names[i]))
+			printSlice(s, sl, string(src))
+		}
 		return
 	}
 

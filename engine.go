@@ -1,0 +1,196 @@
+package slicer
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+)
+
+// EngineOptions configures a QueryEngine.
+type EngineOptions struct {
+	// Workers is the number of goroutines answering uncached queries in
+	// SliceAddrs (default: 4). Post-build graphs are frozen, so queries
+	// from multiple workers never race.
+	Workers int
+	// CacheSize is the number of slices the LRU cache retains, keyed by
+	// criterion address (default: 64; negative disables caching).
+	CacheSize int
+}
+
+const (
+	defaultEngineWorkers = 4
+	defaultEngineCache   = 64
+)
+
+// QueryEngine answers slicing queries concurrently with a small LRU
+// result cache. It wraps one Slicer; all its methods are safe for
+// concurrent use. Repeated criteria — common when a user explores a
+// fault from several variables that share dependences — hit the cache
+// and cost one map lookup.
+type QueryEngine struct {
+	s       *Slicer
+	workers int
+
+	mu    sync.Mutex
+	cache map[int64]*list.Element // addr -> entry; nil when disabled
+	lru   list.List               // front = most recent
+	max   int
+
+	hits, misses atomic.Int64
+}
+
+type cacheEntry struct {
+	addr int64
+	sl   *Slice
+}
+
+// Engine wraps the slicer in a concurrent query engine.
+func (s *Slicer) Engine(o EngineOptions) *QueryEngine {
+	e := &QueryEngine{s: s, workers: o.Workers, max: o.CacheSize}
+	if e.workers <= 0 {
+		e.workers = defaultEngineWorkers
+	}
+	if e.max == 0 {
+		e.max = defaultEngineCache
+	}
+	if e.max > 0 {
+		e.cache = make(map[int64]*list.Element, e.max)
+	}
+	return e
+}
+
+// CacheStats reports cache hits and misses since the engine was created.
+func (e *QueryEngine) CacheStats() (hits, misses int64) {
+	return e.hits.Load(), e.misses.Load()
+}
+
+func (e *QueryEngine) lookup(addr int64) (*Slice, bool) {
+	if e.cache == nil {
+		return nil, false
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	el, ok := e.cache[addr]
+	if !ok {
+		return nil, false
+	}
+	e.lru.MoveToFront(el)
+	return el.Value.(*cacheEntry).sl, true
+}
+
+func (e *QueryEngine) insert(addr int64, sl *Slice) {
+	if e.cache == nil {
+		return
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if el, ok := e.cache[addr]; ok {
+		e.lru.MoveToFront(el)
+		return
+	}
+	e.cache[addr] = e.lru.PushFront(&cacheEntry{addr: addr, sl: sl})
+	if e.lru.Len() > e.max {
+		old := e.lru.Back()
+		e.lru.Remove(old)
+		delete(e.cache, old.Value.(*cacheEntry).addr)
+	}
+}
+
+func (e *QueryEngine) tally(hits, misses int64) {
+	e.hits.Add(hits)
+	e.misses.Add(misses)
+	if reg := e.s.rec.tel; reg != nil {
+		reg.Counter("engine.cache.hits").Add(hits)
+		reg.Counter("engine.cache.misses").Add(misses)
+	}
+}
+
+// SliceAddr answers one address criterion, consulting the cache first.
+func (e *QueryEngine) SliceAddr(addr int64) (*Slice, error) {
+	if sl, ok := e.lookup(addr); ok {
+		e.tally(1, 0)
+		return sl, nil
+	}
+	e.tally(0, 1)
+	sl, err := e.s.SliceAddr(addr)
+	if err != nil {
+		return nil, err
+	}
+	e.insert(addr, sl)
+	return sl, nil
+}
+
+// SliceVar is SliceAddr on a global scalar variable.
+func (e *QueryEngine) SliceVar(name string) (*Slice, error) {
+	addr, err := e.s.rec.p.GlobalAddr(name)
+	if err != nil {
+		return nil, err
+	}
+	return e.SliceAddr(addr)
+}
+
+// SliceAddrs answers a batch of criteria: cached results are returned
+// directly; the distinct misses are split across the engine's workers,
+// each answering its share in one batched traversal (SliceAddrs on the
+// underlying slicer). Results are positionally aligned with addrs.
+func (e *QueryEngine) SliceAddrs(addrs []int64) ([]*Slice, error) {
+	outs := make([]*Slice, len(addrs))
+	var missSet = make(map[int64][]int) // addr -> positions in addrs
+	var hits int64
+	for i, a := range addrs {
+		if sl, ok := e.lookup(a); ok {
+			outs[i] = sl
+			hits++
+			continue
+		}
+		missSet[a] = append(missSet[a], i)
+	}
+	e.tally(hits, int64(len(missSet)))
+	if len(missSet) == 0 {
+		return outs, nil
+	}
+	miss := make([]int64, 0, len(missSet))
+	for a := range missSet {
+		miss = append(miss, a)
+	}
+
+	// Partition the misses into one contiguous chunk per worker; each
+	// worker answers its chunk as one batched traversal.
+	workers := e.workers
+	if workers > len(miss) {
+		workers = len(miss)
+	}
+	chunk := (len(miss) + workers - 1) / workers
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := min(lo+chunk, len(miss))
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			slices, err := e.s.SliceAddrs(miss[lo:hi])
+			if err != nil {
+				errs[w] = err
+				return
+			}
+			for k, sl := range slices {
+				addr := miss[lo+k]
+				e.insert(addr, sl)
+				for _, pos := range missSet[addr] {
+					outs[pos] = sl
+				}
+			}
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return outs, nil
+}

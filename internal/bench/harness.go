@@ -31,6 +31,12 @@ type Options struct {
 	TraceDir   string              // directory for the LP trace file (default: temp)
 	SegBlocks  int                 // trace segment granularity (default 4096)
 	Telemetry  *telemetry.Registry // optional; phase spans + pipeline counters
+	// Pipeline builds all requested graphs from ONE pipelined trace pass
+	// (trace.ParallelReplayTimed) instead of one sequential replay per
+	// graph: decode overlaps graph construction, and FP/OPT/stage builders
+	// run concurrently on the shared decoded-batch feed. FPBuild/OPTBuild
+	// then report per-sink busy time (cost net of pipeline idle).
+	Pipeline bool
 }
 
 // Result bundles everything built for one workload, with the preprocessing
@@ -227,37 +233,43 @@ func Build(w Workload, o Options) (*Result, error) {
 		return time.Since(start), nil
 	}
 
-	if o.WithFP {
-		res.FP = fp.NewGraph(p)
-		res.FP.SetTelemetry(reg)
-		sp = span.Child("fp-build")
-		res.FPBuild, err = replay(res.FP)
-		sp.End()
-		if err != nil {
-			return nil, fmt.Errorf("bench %s fp build: %w", w.Name, err)
+	if o.Pipeline {
+		if err := buildPipelined(res, o, hot, col.Cuts(), rmet, span); err != nil {
+			return nil, fmt.Errorf("bench %s pipelined build: %w", w.Name, err)
 		}
-	}
-	if o.WithOPT {
-		cfg := opt.Full()
-		if o.OptConfig != nil {
-			cfg = *o.OptConfig
-		}
-		res.OPT = opt.NewGraph(p, cfg, hot, col.Cuts())
-		res.OPT.SetTelemetry(reg)
-		sp = span.Child("opt-build")
-		res.OPTBuild, err = replay(res.OPT)
-		sp.End()
-		if err != nil {
-			return nil, fmt.Errorf("bench %s opt build: %w", w.Name, err)
-		}
-	}
-	if o.WithStages {
-		for stage := 0; stage <= 7; stage++ {
-			g := opt.NewGraph(p, opt.Stage(stage), hot, col.Cuts())
-			if _, err = replay(g); err != nil {
-				return nil, fmt.Errorf("bench %s stage %d build: %w", w.Name, stage, err)
+	} else {
+		if o.WithFP {
+			res.FP = fp.NewGraph(p)
+			res.FP.SetTelemetry(reg)
+			sp = span.Child("fp-build")
+			res.FPBuild, err = replay(res.FP)
+			sp.End()
+			if err != nil {
+				return nil, fmt.Errorf("bench %s fp build: %w", w.Name, err)
 			}
-			res.Stages = append(res.Stages, g)
+		}
+		if o.WithOPT {
+			cfg := opt.Full()
+			if o.OptConfig != nil {
+				cfg = *o.OptConfig
+			}
+			res.OPT = opt.NewGraph(p, cfg, hot, col.Cuts())
+			res.OPT.SetTelemetry(reg)
+			sp = span.Child("opt-build")
+			res.OPTBuild, err = replay(res.OPT)
+			sp.End()
+			if err != nil {
+				return nil, fmt.Errorf("bench %s opt build: %w", w.Name, err)
+			}
+		}
+		if o.WithStages {
+			for stage := 0; stage <= 7; stage++ {
+				g := opt.NewGraph(p, opt.Stage(stage), hot, col.Cuts())
+				if _, err = replay(g); err != nil {
+					return nil, fmt.Errorf("bench %s stage %d build: %w", w.Name, stage, err)
+				}
+				res.Stages = append(res.Stages, g)
+			}
 		}
 	}
 	if o.WithLP {
@@ -265,6 +277,60 @@ func Build(w Workload, o Options) (*Result, error) {
 		res.LP.SetTelemetry(reg)
 	}
 	return res, nil
+}
+
+// buildPipelined constructs every requested graph from one pipelined
+// trace pass: the decode stage runs once and fans pooled record batches
+// out to the FP, OPT, and stage builders concurrently. FPBuild/OPTBuild
+// are the per-sink busy times (apply cost net of pipeline idle time).
+func buildPipelined(res *Result, o Options, hot []*profile.PathProfile, cuts *profile.Cuts, rmet *trace.Metrics, span *telemetry.Span) error {
+	reg := o.Telemetry
+	var sinks []trace.Sink
+	fpIdx, optIdx := -1, -1
+	if o.WithFP {
+		res.FP = fp.NewGraph(res.P)
+		res.FP.SetTelemetry(reg)
+		fpIdx = len(sinks)
+		sinks = append(sinks, res.FP)
+	}
+	if o.WithOPT {
+		cfg := opt.Full()
+		if o.OptConfig != nil {
+			cfg = *o.OptConfig
+		}
+		res.OPT = opt.NewGraph(res.P, cfg, hot, cuts)
+		res.OPT.SetTelemetry(reg)
+		optIdx = len(sinks)
+		sinks = append(sinks, res.OPT)
+	}
+	if o.WithStages {
+		for stage := 0; stage <= 7; stage++ {
+			g := opt.NewGraph(res.P, opt.Stage(stage), hot, cuts)
+			res.Stages = append(res.Stages, g)
+			sinks = append(sinks, g)
+		}
+	}
+	if len(sinks) == 0 {
+		return nil
+	}
+	f, err := os.Open(res.TracePath)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	sp := span.Child("pipelined-build")
+	busy, err := trace.ParallelReplayTimed(res.P, f, trace.PipelineConfig{}, rmet, sinks...)
+	sp.End()
+	if err != nil {
+		return err
+	}
+	if fpIdx >= 0 {
+		res.FPBuild = busy[fpIdx]
+	}
+	if optIdx >= 0 {
+		res.OPTBuild = busy[optIdx]
+	}
+	return nil
 }
 
 func sanitize(s string) string {
@@ -302,6 +368,30 @@ func SliceAll(s slicing.Slicer, crit []int64) (time.Duration, float64, *slicing.
 		return 0, 0, agg, nil
 	}
 	return total, float64(sizeSum) / float64(len(crit)), agg, nil
+}
+
+// SliceBatch answers every criterion through one batched SliceAll call
+// (slicing.MultiSlicer), returning the same quantities as SliceAll: wall
+// time, mean slice size, and the batch's aggregate stats.
+func SliceBatch(s slicing.MultiSlicer, crit []int64) (time.Duration, float64, *slicing.Stats, error) {
+	cs := make([]slicing.Criterion, len(crit))
+	for i, a := range crit {
+		cs[i] = slicing.AddrCriterion(a)
+	}
+	t0 := time.Now()
+	outs, stats, err := s.SliceAll(cs)
+	total := time.Since(t0)
+	if err != nil {
+		return 0, 0, nil, err
+	}
+	if len(crit) == 0 {
+		return 0, 0, stats, nil
+	}
+	var sizeSum int64
+	for _, sl := range outs {
+		sizeSum += int64(sl.Len())
+	}
+	return total, float64(sizeSum) / float64(len(crit)), stats, nil
 }
 
 // Reprofile reruns the profiling pass for a built workload (benchmark

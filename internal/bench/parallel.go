@@ -1,0 +1,299 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dynslice/internal/slicing"
+	"dynslice/internal/slicing/fp"
+	"dynslice/internal/slicing/opt"
+	"dynslice/internal/trace"
+)
+
+// ParallelBench is one workload's parallel-engine record: pipelined vs
+// sequential graph construction, and the paper's 25-criteria experiment
+// answered three ways — a sequential loop (the GOMAXPROCS=1 baseline),
+// one batched SliceAll traversal, and a concurrent worker pool — on both
+// the OPT graph and the demand-driven LP slicer. Batching is the
+// designed win for LP (one shared backward trace scan instead of one per
+// criterion); for OPT the sequential loop already shares the graph's
+// memoized shortcut closures, so batch and loop run close. See
+// docs/PERFORMANCE.md for how to read these numbers.
+type ParallelBench struct {
+	Name       string `json:"name"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	NCriteria  int    `json:"n_criteria"`
+
+	SeqBuildMs   float64 `json:"seq_build_ms"`       // FP then OPT, one trace replay each
+	PipeBuildMs  float64 `json:"pipelined_build_ms"` // both graphs, one shared pipelined pass
+	BuildSpeedup float64 `json:"build_speedup"`
+
+	OPTSeqMs      float64 `json:"opt_seq_slice_ms"`   // criterion loop under GOMAXPROCS=1
+	OPTBatchMs    float64 `json:"opt_batch_slice_ms"` // one SliceAll call
+	OPTConcMs     float64 `json:"opt_conc_slice_ms"`  // worker-pool independent queries
+	OPTBatchSpeed float64 `json:"opt_batch_speedup"`  // opt seq / batch
+	OPTConcSpeed  float64 `json:"opt_conc_speedup"`   // opt seq / conc
+
+	LPSeqMs      float64 `json:"lp_seq_slice_ms"`   // criterion loop under GOMAXPROCS=1
+	LPBatchMs    float64 `json:"lp_batch_slice_ms"` // one SliceAll (one shared scan)
+	LPBatchSpeed float64 `json:"lp_batch_speedup"`  // lp seq / batch
+
+	// Speedup is the headline: the batched+parallel path against the
+	// sequential baseline, taken where batching is load-bearing (LP).
+	Speedup float64 `json:"speedup"`
+
+	IdenticalSlices bool `json:"identical_slices"`
+}
+
+const parallelReps = 3
+
+// RunParallel measures the parallel slicing engine against its sequential
+// baselines and writes per-workload records to outPath
+// (cmd/experiments -exp parallel).
+func RunParallel(w io.Writer, workloads []Workload, outPath string) error {
+	header(w, "Parallel engine: pipelined builds and batched/concurrent slicing",
+		fmt.Sprintf("%-12s %9s %9s %10s %10s %10s %10s %10s %8s\n",
+			"Program", "build", "build|", "opt", "opt[]", "opt||", "lp", "lp[]", "speedup"))
+	procs := runtime.GOMAXPROCS(0)
+	var out []ParallelBench
+	for _, wl := range workloads {
+		res, err := Build(wl, Options{WithFP: true, WithOPT: true, WithLP: true, SegBlocks: 512})
+		if err != nil {
+			return err
+		}
+		pb, err := measureParallel(res, procs)
+		res.Close()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%-12s %7.0fms %7.0fms %8.1fms %8.1fms %8.1fms %8.1fms %8.1fms %7.2fx\n",
+			wl.Name, pb.SeqBuildMs, pb.PipeBuildMs,
+			pb.OPTSeqMs, pb.OPTBatchMs, pb.OPTConcMs,
+			pb.LPSeqMs, pb.LPBatchMs, pb.Speedup)
+		if !pb.IdenticalSlices {
+			return fmt.Errorf("parallel %s: batched/concurrent slices diverge from sequential", wl.Name)
+		}
+		out = append(out, pb)
+	}
+	if outPath != "" {
+		data, err := json.MarshalIndent(out, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "\nwrote %s\n", outPath)
+	}
+	return nil
+}
+
+func measureParallel(res *Result, procs int) (ParallelBench, error) {
+	pb := ParallelBench{Name: res.W.Name, GOMAXPROCS: procs, NCriteria: len(res.Crit)}
+
+	hot, cuts, err := reprofile(res)
+	if err != nil {
+		return pb, err
+	}
+
+	// Graph construction: two sequential replays (FP then OPT) vs one
+	// shared pipelined pass. Best-of-N to damp scheduler noise.
+	seqBuild, pipeBuild := time.Duration(1<<62), time.Duration(1<<62)
+	for rep := 0; rep < parallelReps; rep++ {
+		t0 := time.Now()
+		fpg := fp.NewGraph(res.P)
+		if err := replayFile(res, fpg); err != nil {
+			return pb, err
+		}
+		og := opt.NewGraph(res.P, opt.Full(), hot, cuts)
+		if err := replayFile(res, og); err != nil {
+			return pb, err
+		}
+		seqBuild = min(seqBuild, time.Since(t0))
+
+		t0 = time.Now()
+		fpg = fp.NewGraph(res.P)
+		og = opt.NewGraph(res.P, opt.Full(), hot, cuts)
+		f, err := os.Open(res.TracePath)
+		if err != nil {
+			return pb, err
+		}
+		err = trace.ParallelReplay(res.P, f, trace.PipelineConfig{}, fpg, og)
+		f.Close()
+		if err != nil {
+			return pb, err
+		}
+		pipeBuild = min(pipeBuild, time.Since(t0))
+	}
+	pb.SeqBuildMs, pb.PipeBuildMs = ms(seqBuild), ms(pipeBuild)
+	pb.BuildSpeedup = ratio(seqBuild, pipeBuild)
+
+	// OPT slicing. Warm up once so the lazily memoized shortcut closures
+	// don't bias whichever contender runs first.
+	crit := res.Crit
+	want, err := sliceLoop(res.OPT, crit)
+	if err != nil {
+		return pb, err
+	}
+	optSeq, optSlices, err := timeSliceLoopPinned(res.OPT, crit, parallelReps)
+	if err != nil {
+		return pb, err
+	}
+	optBatch, optBatchSlices, err := timeSliceBatch(res.OPT, crit, parallelReps)
+	if err != nil {
+		return pb, err
+	}
+	optConc := time.Duration(1 << 62)
+	var optConcSlices []*slicing.Slice
+	for rep := 0; rep < parallelReps; rep++ {
+		t0 := time.Now()
+		outs, err := concurrentSlices(res.OPT, crit, procs)
+		if err != nil {
+			return pb, err
+		}
+		optConc = min(optConc, time.Since(t0))
+		optConcSlices = outs
+	}
+	pb.OPTSeqMs, pb.OPTBatchMs, pb.OPTConcMs = ms(optSeq), ms(optBatch), ms(optConc)
+	pb.OPTBatchSpeed = ratio(optSeq, optBatch)
+	pb.OPTConcSpeed = ratio(optSeq, optConc)
+
+	// LP slicing: the sequential loop re-scans the trace per criterion,
+	// so one timed pass suffices (and keeps the experiment tractable);
+	// the batch answers all criteria in one shared backward scan.
+	lpSeq, lpSlices, err := timeSliceLoopPinned(res.LP, crit, 1)
+	if err != nil {
+		return pb, err
+	}
+	lpBatch, lpBatchSlices, err := timeSliceBatch(res.LP, crit, parallelReps)
+	if err != nil {
+		return pb, err
+	}
+	pb.LPSeqMs, pb.LPBatchMs = ms(lpSeq), ms(lpBatch)
+	pb.LPBatchSpeed = ratio(lpSeq, lpBatch)
+	pb.Speedup = pb.LPBatchSpeed
+
+	pb.IdenticalSlices = true
+	for i := range want {
+		for _, got := range [][]*slicing.Slice{optSlices, optBatchSlices, optConcSlices, lpSlices, lpBatchSlices} {
+			if !want[i].Equal(got[i]) {
+				pb.IdenticalSlices = false
+			}
+		}
+	}
+	return pb, nil
+}
+
+// replayFile replays the recorded trace into one sink.
+func replayFile(res *Result, sink trace.Sink) error {
+	f, err := os.Open(res.TracePath)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return trace.Replay(res.P, f, sink)
+}
+
+// sliceLoop is the sequential baseline: one Slice call per criterion.
+func sliceLoop(s slicing.Slicer, crit []int64) ([]*slicing.Slice, error) {
+	outs := make([]*slicing.Slice, len(crit))
+	for i, a := range crit {
+		sl, _, err := s.Slice(slicing.AddrCriterion(a))
+		if err != nil {
+			return nil, err
+		}
+		outs[i] = sl
+	}
+	return outs, nil
+}
+
+// timeSliceLoopPinned times the sequential loop under GOMAXPROCS=1,
+// best of reps.
+func timeSliceLoopPinned(s slicing.Slicer, crit []int64, reps int) (time.Duration, []*slicing.Slice, error) {
+	old := runtime.GOMAXPROCS(1)
+	defer runtime.GOMAXPROCS(old)
+	best := time.Duration(1 << 62)
+	var outs []*slicing.Slice
+	for rep := 0; rep < reps; rep++ {
+		t0 := time.Now()
+		o, err := sliceLoop(s, crit)
+		if err != nil {
+			return 0, nil, err
+		}
+		best = min(best, time.Since(t0))
+		outs = o
+	}
+	return best, outs, nil
+}
+
+// timeSliceBatch times one batched SliceAll, best of reps.
+func timeSliceBatch(s slicing.MultiSlicer, crit []int64, reps int) (time.Duration, []*slicing.Slice, error) {
+	cs := make([]slicing.Criterion, len(crit))
+	for i, a := range crit {
+		cs[i] = slicing.AddrCriterion(a)
+	}
+	best := time.Duration(1 << 62)
+	var outs []*slicing.Slice
+	for rep := 0; rep < reps; rep++ {
+		t0 := time.Now()
+		o, _, err := s.SliceAll(cs)
+		if err != nil {
+			return 0, nil, err
+		}
+		best = min(best, time.Since(t0))
+		outs = o
+	}
+	return best, outs, nil
+}
+
+// concurrentSlices answers each criterion independently on a worker pool.
+func concurrentSlices(s slicing.Slicer, crit []int64, workers int) ([]*slicing.Slice, error) {
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(crit) {
+		workers = len(crit)
+	}
+	outs := make([]*slicing.Slice, len(crit))
+	errs := make([]error, workers)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				i := next.Add(1) - 1
+				if i >= int64(len(crit)) {
+					return
+				}
+				sl, _, err := s.Slice(slicing.AddrCriterion(crit[i]))
+				if err != nil {
+					errs[w] = err
+					return
+				}
+				outs[i] = sl
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return outs, nil
+}
+
+func ratio(a, b time.Duration) float64 {
+	if b <= 0 {
+		return 0
+	}
+	return float64(a) / float64(b)
+}

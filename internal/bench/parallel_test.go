@@ -1,0 +1,97 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"dynslice/internal/slicing"
+)
+
+// TestPipelinedBuildMatchesSequential: graphs built from one shared
+// pipelined trace pass must answer every criterion identically to graphs
+// built by per-sink sequential replays.
+func TestPipelinedBuildMatchesSequential(t *testing.T) {
+	w, ok := ByName("181.mcf")
+	if !ok {
+		t.Fatal("workload 181.mcf missing")
+	}
+	seq, err := Build(w, Options{WithFP: true, WithOPT: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer seq.Close()
+	pipe, err := Build(w, Options{WithFP: true, WithOPT: true, Pipeline: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pipe.Close()
+	if pipe.FPBuild <= 0 || pipe.OPTBuild <= 0 {
+		t.Errorf("pipelined build must report per-sink busy times, got fp=%v opt=%v",
+			pipe.FPBuild, pipe.OPTBuild)
+	}
+	for _, a := range seq.Crit {
+		c := slicing.AddrCriterion(a)
+		want, _, err := seq.FP.Slice(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotFP, _, err := pipe.FP.Slice(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !want.Equal(gotFP) {
+			t.Errorf("criterion %d: pipelined FP slice diverges", a)
+		}
+		gotOPT, _, err := pipe.OPT.Slice(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !want.Equal(gotOPT) {
+			t.Errorf("criterion %d: pipelined OPT slice diverges", a)
+		}
+	}
+}
+
+// TestRunParallelSmoke runs the parallel experiment end to end on one
+// workload and checks the JSON it emits.
+func TestRunParallelSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("parallel experiment is slow; run without -short")
+	}
+	w, ok := ByName("164.gzip")
+	if !ok {
+		t.Fatal("workload 164.gzip missing")
+	}
+	out := filepath.Join(t.TempDir(), "BENCH_parallel.json")
+	var buf bytes.Buffer
+	if err := RunParallel(&buf, []Workload{w}, out); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var recs []ParallelBench
+	if err := json.Unmarshal(data, &recs); err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 {
+		t.Fatalf("want 1 record, got %d", len(recs))
+	}
+	r := recs[0]
+	if !r.IdenticalSlices {
+		t.Error("batched/concurrent slices diverged from sequential")
+	}
+	if r.NCriteria != 25 {
+		t.Errorf("want 25 criteria, got %d", r.NCriteria)
+	}
+	if r.Speedup <= 0 || r.OPTBatchSpeed <= 0 || r.OPTConcSpeed <= 0 || r.BuildSpeedup <= 0 {
+		t.Errorf("speedups must be positive: %+v", r)
+	}
+	if r.Speedup < 1.5 {
+		t.Errorf("batched+parallel speedup = %.2fx, want >= 1.5x", r.Speedup)
+	}
+}

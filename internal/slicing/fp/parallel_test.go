@@ -1,0 +1,123 @@
+package fp
+
+import (
+	"sort"
+	"sync"
+	"testing"
+
+	"dynslice/internal/slicing"
+)
+
+const batchSrc = `
+var total = 0;
+var arr[80];
+
+func addup(k) {
+	var j = 0;
+	var acc = 0;
+	while (j < k) {
+		acc = acc + arr[j];
+		j = j + 1;
+	}
+	return acc;
+}
+
+func main() {
+	var i = 0;
+	while (i < 80) {
+		arr[i] = i * 3;
+		if (i % 4 == 0) {
+			total = total + addup(i);
+		}
+		i = i + 1;
+	}
+	print(total);
+}
+`
+
+func definedAddrs(g *Graph) []int64 {
+	addrs := make([]int64, 0, len(g.lastDef))
+	for a := range g.lastDef {
+		addrs = append(addrs, a)
+	}
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+	return addrs
+}
+
+// TestSliceAllMatchesSequential: the batched FP traversal must reproduce
+// the sequential slice for every defined address, crossing the
+// 64-criterion chunk boundary.
+func TestSliceAllMatchesSequential(t *testing.T) {
+	g, _ := build(t, batchSrc)
+	addrs := definedAddrs(g)
+	if len(addrs) <= 64 {
+		t.Fatalf("want >64 criteria, have %d", len(addrs))
+	}
+	cs := make([]slicing.Criterion, len(addrs))
+	for i, a := range addrs {
+		cs[i] = slicing.AddrCriterion(a)
+	}
+	batched, _, err := g.SliceAll(cs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, a := range addrs {
+		seq, _, err := g.Slice(slicing.AddrCriterion(a))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !seq.Equal(batched[i]) {
+			t.Fatalf("addr %d: batched (%d stmts) != sequential (%d stmts)",
+				a, batched[i].Len(), seq.Len())
+		}
+	}
+	if _, _, err := g.SliceAll([]slicing.Criterion{slicing.AddrCriterion(1 << 40)}); err == nil {
+		t.Error("undefined address: want error")
+	}
+}
+
+// TestConcurrentSlice checks the FP graph is safe for parallel post-build
+// queries (meaningful under -race).
+func TestConcurrentSlice(t *testing.T) {
+	g, _ := build(t, batchSrc)
+	addrs := definedAddrs(g)
+	cs := make([]slicing.Criterion, len(addrs))
+	want := make([]*slicing.Slice, len(addrs))
+	for i, a := range addrs {
+		cs[i] = slicing.AddrCriterion(a)
+		sl, _, err := g.Slice(cs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = sl
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 6; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			if w%2 == 0 {
+				for i, c := range cs {
+					sl, _, err := g.Slice(c)
+					if err != nil || !sl.Equal(want[i]) {
+						t.Errorf("worker %d: addr %d diverged (err=%v)", w, c.Addr, err)
+						return
+					}
+				}
+			} else {
+				outs, _, err := g.SliceAll(cs)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				for i := range outs {
+					if !outs[i].Equal(want[i]) {
+						t.Errorf("worker %d: batched addr %d diverged", w, cs[i].Addr)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}

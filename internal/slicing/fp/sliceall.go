@@ -1,0 +1,92 @@
+package fp
+
+import (
+	"fmt"
+	"math/bits"
+
+	"dynslice/internal/slicing"
+)
+
+// SliceAll implements slicing.MultiSlicer: N criteria are answered in one
+// traversal per 64-criterion chunk. Each statement instance carries a
+// bitmask of the criteria whose slices reach it, so a subgraph shared by
+// several slices is walked — and its per-slot binary searches performed —
+// once instead of once per criterion. Every returned slice is identical
+// to what Slice would produce; the aggregate stats count each unique
+// instance and label probe once.
+func (g *Graph) SliceAll(cs []slicing.Criterion) ([]*slicing.Slice, *slicing.Stats, error) {
+	stats := &slicing.Stats{}
+	outs := make([]*slicing.Slice, len(cs))
+	seeds := make([]instRef, len(cs))
+	for i, c := range cs {
+		if c.Stmt >= 0 {
+			seeds[i] = instRef{stmt: c.Stmt, ts: c.TS}
+		} else {
+			d, ok := g.lastDef[c.Addr]
+			if !ok {
+				return nil, nil, fmt.Errorf("fp: address %d was never defined", c.Addr)
+			}
+			seeds[i] = d
+		}
+		outs[i] = slicing.NewSlice()
+	}
+	type btask struct {
+		in   instRef
+		mask uint64
+	}
+	for base := 0; base < len(cs); base += 64 {
+		chunk := min(64, len(cs)-base)
+		couts := outs[base : base+chunk]
+		visited := map[instKey]uint64{}
+		memo := map[instKey][]instRef{}
+		var work []btask
+		push := func(in instRef, mask uint64) {
+			k := instKey{in.stmt, in.ts}
+			nv := mask &^ visited[k]
+			if nv == 0 {
+				return
+			}
+			visited[k] |= nv
+			work = append(work, btask{in: in, mask: nv})
+		}
+		for j := 0; j < chunk; j++ {
+			push(seeds[base+j], uint64(1)<<j)
+		}
+		for len(work) > 0 {
+			t := work[len(work)-1]
+			work = work[:len(work)-1]
+			k := instKey{t.in.stmt, t.in.ts}
+			targets, ok := memo[k]
+			if !ok {
+				stats.Instances++
+				s := g.p.Stmt(t.in.stmt)
+				for i := range s.Uses {
+					slots := g.useEdges[t.in.stmt]
+					if slots == nil {
+						continue
+					}
+					edges := slots[i]
+					j, probes := searchTu(edges, t.in.ts)
+					stats.LabelProbes += probes
+					if j >= 0 {
+						targets = append(targets, instRef{stmt: edges[j].Def, ts: edges[j].Td})
+					}
+				}
+				cds := g.cdEdges[s.Block.ID]
+				j, probes := searchTb(cds, t.in.ts)
+				stats.LabelProbes += probes
+				if j >= 0 {
+					targets = append(targets, instRef{stmt: cds[j].Anc, ts: cds[j].Ta})
+				}
+				memo[k] = targets
+			}
+			for m := t.mask; m != 0; m &= m - 1 {
+				couts[bits.TrailingZeros64(m)].Add(t.in.stmt)
+			}
+			for _, tg := range targets {
+				push(tg, t.mask)
+			}
+		}
+	}
+	return outs, stats, nil
+}

@@ -13,11 +13,19 @@
 // ancestors are matched in the correct frame even under recursion; a
 // pending control need disables segment skipping (its counter must observe
 // every call and return).
+//
+// Queries are batched natively: every need and every admitted instance
+// carries a bitmask of the criteria it serves, so SliceAll answers up to
+// 64 criteria per backward pass over the trace — the dominant cost —
+// instead of one pass per criterion. Slice is the single-criterion
+// special case of the same traversal.
 package lp
 
 import (
 	"fmt"
+	"math/bits"
 	"os"
+	"sync"
 
 	"dynslice/internal/ir"
 	"dynslice/internal/slicing"
@@ -25,19 +33,24 @@ import (
 	"dynslice/internal/trace"
 )
 
-// Slicer answers slicing queries from an on-disk trace.
+// Slicer answers slicing queries from an on-disk trace. Queries may run
+// concurrently: each opens its own file handle, and the shared caches
+// below are lock-guarded.
 type Slicer struct {
 	p    *ir.Program
 	path string
 	segs []*trace.Segment
 
 	// offsets caches, per block, the cumulative record layout used to
-	// iterate a block execution's flat address array.
-	offsets map[*ir.Block]blockLayout
+	// iterate a block execution's flat address array (layoutMu-guarded).
+	offsets  map[*ir.Block]blockLayout
+	layoutMu sync.RWMutex
 
 	// MaxSubgraphEdges tracks the largest demand-built subgraph (in
 	// resolved dependence edges) over all queries, for the paper's Table 6.
+	// Guarded by statMu; read it only after queries complete.
 	MaxSubgraphEdges int64
+	statMu           sync.Mutex
 
 	// Telemetry (nil counters are inert); see SetTelemetry.
 	met       *trace.Metrics
@@ -71,10 +84,13 @@ func (s *Slicer) SetTelemetry(reg *telemetry.Registry) {
 }
 
 func (s *Slicer) layout(b *ir.Block) blockLayout {
-	if l, ok := s.offsets[b]; ok {
+	s.layoutMu.RLock()
+	l, ok := s.offsets[b]
+	s.layoutMu.RUnlock()
+	if ok {
 		return l
 	}
-	l := blockLayout{useOff: make([]int, len(b.Stmts)), defOff: make([]int, len(b.Stmts))}
+	l = blockLayout{useOff: make([]int, len(b.Stmts)), defOff: make([]int, len(b.Stmts))}
 	off := 0
 	for i, st := range b.Stmts {
 		l.useOff[i] = off
@@ -88,7 +104,9 @@ func (s *Slicer) layout(b *ir.Block) blockLayout {
 		off += st.NumDefs
 	}
 	l.total = off
+	s.layoutMu.Lock()
 	s.offsets[b] = l
+	s.layoutMu.Unlock()
 	return l
 }
 
@@ -105,8 +123,13 @@ func (a pos) before(b pos) bool {
 	return a.idx < b.idx
 }
 
+// seedOrd is the sentinel ordinal of criterion seed needs ("the last
+// definition anywhere in the trace"), past every real position.
+const seedOrd = int64(1) << 62
+
 type defNeed struct {
-	use pos // the definition must precede this position
+	use  pos    // the definition must precede this position
+	mask uint64 // criteria awaiting this definition
 }
 
 type cdNeed struct {
@@ -115,6 +138,7 @@ type cdNeed struct {
 	entryLike bool  // no intraprocedural ancestors: resolve at the frame-creating call
 	startOrd  int64 // only consider block executions strictly before this
 	depth     int
+	mask      uint64
 	done      bool
 }
 
@@ -123,54 +147,93 @@ type instKey struct {
 	ord  int64
 }
 
+// locCrit is a pending statement-instance criterion (mode B).
+type locCrit struct {
+	stmt ir.StmtID
+	ord  int64
+	mask uint64
+	done bool
+}
+
 type query struct {
 	s        *Slicer
-	slice    *slicing.Slice
+	outs     []*slicing.Slice // one per criterion bit
 	stats    *slicing.Stats
 	needDefs map[int64][]defNeed
 	needCDs  []*cdNeed
-	cdSeen   map[instKey]bool // block-instance keys with a cd need already created
-	visited  map[instKey]bool
+	cdSeen   map[instKey]uint64 // criteria bits whose cd need exists for a block instance
+	visited  map[instKey]uint64
 	edges    int64
 
 	// Criterion plumbing.
-	wantAddr    int64 // address whose last definition starts the slice (mode A)
-	wantAddrHit bool
-	locStmt     ir.StmtID // instance to locate (mode B)
-	locOrd      int64
-	locPending  bool
+	seedAddrs map[int64]uint64 // address -> criteria bits seeded on it (mode A)
+	hitMask   uint64           // bits whose seed address was defined somewhere
+	locs      []locCrit
 }
 
-// Slice implements slicing.Slicer.
+// Slice implements slicing.Slicer as the single-criterion case of the
+// batched traversal.
 func (s *Slicer) Slice(c slicing.Criterion) (*slicing.Slice, *slicing.Stats, error) {
-	q := &query{
-		s:        s,
-		slice:    slicing.NewSlice(),
-		stats:    &slicing.Stats{},
-		needDefs: map[int64][]defNeed{},
-		cdSeen:   map[instKey]bool{},
-		visited:  map[instKey]bool{},
-	}
-	if c.Stmt >= 0 {
-		q.locStmt, q.locOrd, q.locPending = c.Stmt, c.TS, true
-	} else {
-		q.wantAddr = c.Addr
-		q.needDefs[c.Addr] = append(q.needDefs[c.Addr], defNeed{use: pos{ord: 1 << 62, idx: 0}})
-	}
-	if err := q.scan(); err != nil {
+	outs, stats, err := s.SliceAll([]slicing.Criterion{c})
+	if err != nil {
 		return nil, nil, err
 	}
-	if c.Stmt < 0 && !q.wantAddrHit {
-		return nil, nil, fmt.Errorf("lp: address %d was never defined", c.Addr)
+	return outs[0], stats, nil
+}
+
+// SliceAll implements slicing.MultiSlicer: one backward trace scan per
+// 64-criterion chunk, with per-criterion bitmasks on every need. Each
+// returned slice is identical to what Slice would produce; stats
+// aggregate the batch (a segment scanned once for 25 criteria counts
+// once).
+func (s *Slicer) SliceAll(cs []slicing.Criterion) ([]*slicing.Slice, *slicing.Stats, error) {
+	outs := make([]*slicing.Slice, len(cs))
+	stats := &slicing.Stats{}
+	var edges int64
+	for base := 0; base < len(cs); base += 64 {
+		chunk := min(64, len(cs)-base)
+		q := &query{
+			s:         s,
+			outs:      make([]*slicing.Slice, chunk),
+			stats:     stats,
+			needDefs:  map[int64][]defNeed{},
+			cdSeen:    map[instKey]uint64{},
+			visited:   map[instKey]uint64{},
+			seedAddrs: map[int64]uint64{},
+		}
+		for j := 0; j < chunk; j++ {
+			c := cs[base+j]
+			q.outs[j] = slicing.NewSlice()
+			bit := uint64(1) << j
+			if c.Stmt >= 0 {
+				q.locs = append(q.locs, locCrit{stmt: c.Stmt, ord: c.TS, mask: bit})
+				q.hitMask |= bit // mode B has no never-defined failure case
+			} else {
+				q.seedAddrs[c.Addr] |= bit
+				q.needDefs[c.Addr] = append(q.needDefs[c.Addr], defNeed{use: pos{ord: seedOrd}, mask: bit})
+			}
+		}
+		if err := q.scan(); err != nil {
+			return nil, nil, err
+		}
+		for j := 0; j < chunk; j++ {
+			if q.hitMask&(uint64(1)<<j) == 0 {
+				return nil, nil, fmt.Errorf("lp: address %d was never defined", cs[base+j].Addr)
+			}
+			outs[base+j] = q.outs[j]
+		}
+		edges += q.edges
 	}
-	if q.edges > s.MaxSubgraphEdges {
-		s.MaxSubgraphEdges = q.edges
+	s.statMu.Lock()
+	if edges > s.MaxSubgraphEdges {
+		s.MaxSubgraphEdges = edges
 	}
-	s.cQueries.Inc()
-	s.cSegScans.Add(q.stats.SegScans)
-	s.cSegSkips.Add(q.stats.SegSkips)
-	s.cEdges.Add(q.edges)
-	return q.slice, q.stats, nil
+	s.statMu.Unlock()
+	s.cQueries.Add(int64(len(cs)))
+	s.cSegScans.Add(stats.SegScans)
+	s.cSegSkips.Add(stats.SegSkips)
+	s.cEdges.Add(edges)
+	return outs, stats, nil
 }
 
 // blockExec is one buffered block execution.
@@ -211,7 +274,15 @@ func (q *query) scan() error {
 
 // idle reports whether no needs remain.
 func (q *query) idle() bool {
-	return len(q.needDefs) == 0 && len(q.needCDs) == 0 && !q.locPending
+	if len(q.needDefs) != 0 || len(q.needCDs) != 0 {
+		return false
+	}
+	for i := range q.locs {
+		if !q.locs[i].done {
+			return false
+		}
+	}
+	return true
 }
 
 // canSkip decides from the segment summary whether scanning it can be
@@ -221,8 +292,11 @@ func (q *query) canSkip(seg *trace.Segment) bool {
 	if len(q.needCDs) > 0 {
 		return false
 	}
-	if q.locPending && q.locOrd >= seg.StartOrd && q.locOrd < seg.EndOrd {
-		return false
+	for i := range q.locs {
+		lc := &q.locs[i]
+		if !lc.done && lc.ord >= seg.StartOrd && lc.ord < seg.EndOrd {
+			return false
+		}
 	}
 	for a := range q.needDefs {
 		if seg.MayDefine(a) {
@@ -296,12 +370,16 @@ func (q *query) decodeSegment(f *os.File, seg *trace.Segment) ([]blockExec, erro
 func (q *query) processBlockExec(be *blockExec) {
 	lay := q.s.layout(be.b)
 
-	// Locate a criterion instance.
-	if q.locPending && be.ord == q.locOrd {
-		st := q.s.p.Stmt(q.locStmt)
+	// Locate criterion instances.
+	for i := range q.locs {
+		lc := &q.locs[i]
+		if lc.done || be.ord != lc.ord {
+			continue
+		}
+		st := q.s.p.Stmt(lc.stmt)
 		if st.Block == be.b {
-			q.locPending = false
-			q.admit(st, be, lay)
+			lc.done = true
+			q.admit(st, be, lay, lc.mask)
 		}
 	}
 
@@ -335,11 +413,14 @@ func (q *query) resolveDefs(st *ir.Stmt, be *blockExec, lay blockLayout, here po
 		return
 	}
 	kept := needs[:0]
-	hit := false
+	var hit uint64
 	for _, n := range needs {
 		if here.before(n.use) {
-			hit = true
+			hit |= n.mask
 			q.edges++
+			if n.use.ord == seedOrd {
+				q.hitMask |= n.mask
+			}
 		} else {
 			kept = append(kept, n)
 		}
@@ -349,16 +430,13 @@ func (q *query) resolveDefs(st *ir.Stmt, be *blockExec, lay blockLayout, here po
 	} else {
 		q.needDefs[a] = kept
 	}
-	if hit {
-		if a == q.wantAddr {
-			q.wantAddrHit = true
-		}
-		q.admit(st, be, lay)
+	if hit != 0 {
+		q.admit(st, be, lay, hit)
 	}
 }
 
 func (q *query) resolveRegion(st *ir.Stmt, be *blockExec, lay blockLayout, here pos, start, length int64) {
-	hit := false
+	var hit uint64
 	for a := range q.needDefs {
 		if a < start || a >= start+length {
 			continue
@@ -367,8 +445,11 @@ func (q *query) resolveRegion(st *ir.Stmt, be *blockExec, lay blockLayout, here 
 		kept := needs[:0]
 		for _, n := range needs {
 			if here.before(n.use) {
-				hit = true
+				hit |= n.mask
 				q.edges++
+				if n.use.ord == seedOrd {
+					q.hitMask |= n.mask
+				}
 			} else {
 				kept = append(kept, n)
 			}
@@ -378,39 +459,44 @@ func (q *query) resolveRegion(st *ir.Stmt, be *blockExec, lay blockLayout, here 
 		} else {
 			q.needDefs[a] = kept
 		}
-		if a == q.wantAddr && hit {
-			q.wantAddrHit = true
-		}
 	}
-	if hit {
-		q.admit(st, be, lay)
+	if hit != 0 {
+		q.admit(st, be, lay, hit)
 	}
 }
 
-// admit adds a statement instance to the slice and queues its needs.
-func (q *query) admit(st *ir.Stmt, be *blockExec, lay blockLayout) {
+// admit adds a statement instance to the slices in mask and queues its
+// needs for the criteria bits that reach it for the first time.
+func (q *query) admit(st *ir.Stmt, be *blockExec, lay blockLayout, mask uint64) {
 	k := instKey{stmt: st.ID, ord: be.ord}
-	if q.visited[k] {
+	nv := mask &^ q.visited[k]
+	if nv == 0 {
 		return
 	}
-	q.visited[k] = true
-	q.stats.Instances++
-	q.slice.Add(st.ID)
+	if q.visited[k] == 0 {
+		q.stats.Instances++
+	}
+	q.visited[k] |= nv
+	for m := nv; m != 0; m &= m - 1 {
+		q.outs[bits.TrailingZeros64(m)].Add(st.ID)
+	}
 
 	// Data needs: one per use slot, at this instance's position.
 	if st.Op != ir.OpDeclArr {
 		for ui := 0; ui < len(st.Uses); ui++ {
 			a := be.addrs[lay.useOff[st.Idx]+ui]
-			q.needDefs[a] = append(q.needDefs[a], defNeed{use: pos{ord: be.ord, idx: st.Idx}})
+			q.needDefs[a] = append(q.needDefs[a], defNeed{use: pos{ord: be.ord, idx: st.Idx}, mask: nv})
 		}
 	}
 
-	// Control need for the enclosing block instance (once per instance).
+	// Control need for the enclosing block instance (once per instance and
+	// criterion bit).
 	bk := instKey{stmt: ir.StmtID(st.Block.ID), ord: be.ord}
-	if q.cdSeen[bk] {
+	cnv := nv &^ q.cdSeen[bk]
+	if cnv == 0 {
 		return
 	}
-	q.cdSeen[bk] = true
+	q.cdSeen[bk] |= cnv
 	ancs := st.Block.CDAncestors
 	if len(ancs) == 0 {
 		// Only function entries carry the interprocedural (call-site)
@@ -420,7 +506,7 @@ func (q *query) admit(st *ir.Stmt, be *blockExec, lay blockLayout) {
 			return
 		}
 	}
-	n := &cdNeed{fn: st.Block.Fn, ancestors: map[ir.BlockID]bool{}, startOrd: be.ord}
+	n := &cdNeed{fn: st.Block.Fn, ancestors: map[ir.BlockID]bool{}, startOrd: be.ord, mask: cnv}
 	for _, ab := range ancs {
 		n.ancestors[ab.ID] = true
 	}
@@ -445,7 +531,7 @@ func (q *query) updateCDs(be *blockExec, lay blockLayout) {
 				// procedural needs cannot match beyond this boundary.
 				if n.entryLike {
 					q.edges++
-					q.admit(term, be, lay)
+					q.admit(term, be, lay, n.mask)
 				}
 				n.done = true
 				continue
@@ -457,7 +543,7 @@ func (q *query) updateCDs(be *blockExec, lay blockLayout) {
 		}
 		if n.depth == 0 && n.ancestors[be.b.ID] {
 			q.edges++
-			q.admit(be.b.Terminator(), be, lay)
+			q.admit(be.b.Terminator(), be, lay, n.mask)
 			n.done = true
 		}
 	}

@@ -167,6 +167,7 @@ func (g *Graph) End() {
 	if len(g.buf) > 0 {
 		g.flush()
 	}
+	g.Finalize()
 	g.flushTelemetry()
 }
 

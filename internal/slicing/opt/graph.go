@@ -2,6 +2,7 @@ package opt
 
 import (
 	"sort"
+	"sync"
 
 	"dynslice/internal/ir"
 	"dynslice/internal/profile"
@@ -362,8 +363,10 @@ type Graph struct {
 	arena       []int64
 	pendingCont *contBuf
 
-	// Shortcut closures, computed lazily after building.
-	shortcuts map[InstLoc]*closure
+	// Shortcut closures, computed lazily after building. The memo is the
+	// one graph structure concurrent queries write; shortcutMu guards it.
+	shortcuts  map[InstLoc]*closure
+	shortcutMu sync.Mutex
 
 	// §4.2 hybrid disk-epoch mode (nil when disabled); see hybrid.go.
 	hybrid *hybridState
@@ -468,6 +471,16 @@ func (g *Graph) SizeBytes() int64 {
 	sz += (g.StaticEdges() + g.AdaptiveEdges()) * 8
 	sz += stmtCopies * 16
 	return sz
+}
+
+// Finalize freezes the graph for concurrent queries: every label list is
+// eagerly sorted (and, for shared lists, deduped), so Find never mutates
+// shared state afterwards. End calls it automatically; calling it again
+// is a cheap no-op.
+func (g *Graph) Finalize() {
+	for _, l := range g.allLabels {
+		l.ensureSorted()
+	}
 }
 
 // LastDefOf returns the instance that last defined addr.

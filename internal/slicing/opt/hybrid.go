@@ -8,6 +8,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"sync"
 )
 
 // Hybrid mode implements the algorithm sketched in the paper's §4.2
@@ -41,7 +42,8 @@ type hybridState struct {
 	epochs     []epoch
 	flushed    int64
 
-	// One-epoch cache for slicing.
+	// One-epoch cache for slicing, shared by concurrent queries.
+	mu          sync.Mutex
 	cachedEpoch int
 	cache       map[int32][]Pair
 	loads       int64
@@ -185,6 +187,10 @@ func (g *Graph) findLabel(l *Labels, id int32, tu int64) (int64, int64, bool) {
 	if ei >= len(h.epochs) || h.epochs[ei].tsStart > tu {
 		return 0, probes, false
 	}
+	// The one-slot cache is shared mutable state: serialize the load and
+	// the probe so a concurrent load cannot swap the cache mid-search.
+	h.mu.Lock()
+	defer h.mu.Unlock()
 	if err := h.load(ei); err != nil {
 		return 0, probes, false
 	}

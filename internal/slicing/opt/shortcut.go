@@ -25,8 +25,11 @@ type closure struct {
 }
 
 // closureFor returns (computing and memoizing on first use) the static
-// closure of the statement copy at loc.
+// closure of the statement copy at loc. The memo is shared by concurrent
+// queries; the lock covers the computation so a closure is built once.
 func (g *Graph) closureFor(loc InstLoc) *closure {
+	g.shortcutMu.Lock()
+	defer g.shortcutMu.Unlock()
 	if c, ok := g.shortcuts[loc]; ok {
 		return c
 	}

@@ -2,6 +2,7 @@ package opt
 
 import (
 	"fmt"
+	"sync"
 
 	"dynslice/internal/slicing"
 )
@@ -13,6 +14,11 @@ import (
 // control edges, tc = tb - delta for distance-inferred control edges).
 // Use-use edges redirect resolution to the earlier use without adding its
 // statement to the slice.
+//
+// The label-vs-static decision logic lives in resolveUseDep/resolveCDDep,
+// shared verbatim by the sequential traversal below and the batched
+// multi-criterion traversal in sliceall.go, so the two paths cannot
+// diverge.
 
 type instKey struct {
 	loc InstLoc
@@ -41,6 +47,48 @@ type task struct {
 	isUse bool // resolve a single use slot without adding the statement
 }
 
+// statePool recycles traversal state (visited/seen maps and the worklist)
+// across queries; the maps dominate per-query allocation on warm graphs.
+var statePool = sync.Pool{New: func() any {
+	return &sliceState{visited: map[instKey]bool{}, seenUse: map[useKey]bool{}}
+}}
+
+func getSliceState(g *Graph) *sliceState {
+	st := statePool.Get().(*sliceState)
+	st.g = g
+	st.out = slicing.NewSlice()
+	st.stats = &slicing.Stats{}
+	return st
+}
+
+// releaseSliceState returns st to the pool. The slice and stats escape to
+// the caller; only the traversal bookkeeping is recycled.
+func (st *sliceState) release() {
+	clear(st.visited)
+	clear(st.seenUse)
+	st.work = st.work[:0]
+	st.g, st.out, st.stats = nil, nil, nil
+	statePool.Put(st)
+}
+
+// dep is the resolved dependence of one use slot or control edge: nothing
+// (depNone), a producing statement instance to slice in (depInst), or a
+// redirect to an earlier use of the same value (depUse).
+type dep struct {
+	kind depKind
+	loc  InstLoc
+	ts   int64
+	slot int32 // depUse only
+}
+
+type depKind uint8
+
+const (
+	depNone depKind = iota
+	depInst
+	depUse
+)
+
 // Slice implements slicing.Slicer. Address criteria resolve against the
 // graph's final last-definition table; statement-instance criteria are
 // supported through SliceAt (OPT timestamps are node ordinals, which are
@@ -59,13 +107,7 @@ func (g *Graph) Slice(c slicing.Criterion) (*slicing.Slice, *slicing.Stats, erro
 // SliceAt computes the dynamic slice of the statement-copy instance at loc
 // with node timestamp ts.
 func (g *Graph) SliceAt(loc InstLoc, ts int64) (*slicing.Slice, *slicing.Stats, error) {
-	st := &sliceState{
-		g:       g,
-		out:     slicing.NewSlice(),
-		stats:   &slicing.Stats{},
-		visited: map[instKey]bool{},
-		seenUse: map[useKey]bool{},
-	}
+	st := getSliceState(g)
 	st.pushInstance(loc, ts)
 	for len(st.work) > 0 {
 		t := st.work[len(st.work)-1]
@@ -76,7 +118,9 @@ func (g *Graph) SliceAt(loc InstLoc, ts int64) (*slicing.Slice, *slicing.Stats, 
 			st.processInstance(t.loc, t.ts)
 		}
 	}
-	return st.out, st.stats, nil
+	out, stats := st.out, st.stats
+	st.release()
+	return out, stats, nil
 }
 
 func (st *sliceState) pushInstance(loc InstLoc, ts int64) {
@@ -129,68 +173,84 @@ func (st *sliceState) processInstance(loc InstLoc, ts int64) {
 	st.resolveCD(loc.Node, sc.OccIdx, ts)
 }
 
-// resolveUse locates the dependence of one use slot at time ts and
-// enqueues the producing instance. Dynamic labels take precedence; the
-// static edge is the fallback (paper Fig. 13, cases (a) and (c)).
 func (st *sliceState) resolveUse(loc InstLoc, slot int32, ts int64) {
-	g := st.g
+	switch d := st.g.resolveUseDep(loc, slot, ts, st.stats); d.kind {
+	case depInst:
+		st.pushInstance(d.loc, d.ts)
+	case depUse:
+		st.pushUse(d.loc, d.slot, d.ts)
+	}
+}
+
+func (st *sliceState) resolveCD(node NodeID, occIdx int32, ts int64) {
+	if d := st.g.resolveCDDep(node, occIdx, ts, st.stats); d.kind == depInst {
+		st.pushInstance(d.loc, d.ts)
+	}
+}
+
+// resolveUseDep locates the dependence of one use slot at time ts.
+// Dynamic labels take precedence; the static edge is the fallback (paper
+// Fig. 13, cases (a) and (c)). Read-only on the graph after Finalize.
+func (g *Graph) resolveUseDep(loc InstLoc, slot int32, ts int64, stats *slicing.Stats) dep {
 	us := &g.nodes[loc.Node].Stmts[loc.Stmt].Uses[slot]
 	for i := range us.Dyn {
 		td, probes, found := g.findLabel(us.Dyn[i].L, us.Dyn[i].L.id, ts)
-		st.stats.LabelProbes += probes
+		stats.LabelProbes += probes
 		if found {
 			if td < 0 {
-				return // tombstone: this execution had no producer
+				return dep{} // tombstone: this execution had no producer
 			}
-			st.pushInstance(us.Dyn[i].Tgt, td)
-			return
+			return dep{kind: depInst, loc: us.Dyn[i].Tgt, ts: td}
 		}
 	}
 	switch us.Static {
 	case SDU, SDUPartial:
-		st.pushInstance(InstLoc{Node: loc.Node, Stmt: us.StTgtStmt}, ts)
+		return dep{kind: depInst, loc: InstLoc{Node: loc.Node, Stmt: us.StTgtStmt}, ts: ts}
 	case SUU:
 		// Redirect to the earlier use at the same timestamp; its statement
 		// is not added to the slice.
-		st.pushUse(InstLoc{Node: loc.Node, Stmt: us.StTgtStmt}, us.StTgtSlot, ts)
+		return dep{kind: depUse, loc: InstLoc{Node: loc.Node, Stmt: us.StTgtStmt}, slot: us.StTgtSlot, ts: ts}
 	case SNone:
 		if tgt, td, ok := us.Default.Resolve(ts); ok {
-			st.pushInstance(tgt, td)
+			return dep{kind: depInst, loc: tgt, ts: td}
 		}
 	}
+	return dep{}
 }
 
-// resolveCD locates the controlling instance of a block occurrence at time
-// ts and enqueues the branch (or call) statement instance.
-func (st *sliceState) resolveCD(node NodeID, occIdx int32, ts int64) {
-	g := st.g
-	occ := &g.nodes[node].Occs[occIdx]
-	for i := range occ.CD.Dyn {
-		ta, probes, found := g.findLabel(occ.CD.Dyn[i].L, occ.CD.Dyn[i].L.id, ts)
-		st.stats.LabelProbes += probes
-		if found {
-			if ta < 0 {
-				return // tombstone: this execution had no controlling instance
+// resolveCDDep locates the controlling instance of a block occurrence at
+// time ts. CDSame chains (control-equivalent occurrences of superblock
+// nodes) are followed iteratively.
+func (g *Graph) resolveCDDep(node NodeID, occIdx int32, ts int64, stats *slicing.Stats) dep {
+	for {
+		occ := &g.nodes[node].Occs[occIdx]
+		for i := range occ.CD.Dyn {
+			ta, probes, found := g.findLabel(occ.CD.Dyn[i].L, occ.CD.Dyn[i].L.id, ts)
+			stats.LabelProbes += probes
+			if found {
+				if ta < 0 {
+					return dep{} // tombstone: no controlling instance
+				}
+				return dep{kind: depInst, loc: occ.CD.Dyn[i].Tgt, ts: ta}
 			}
-			st.pushInstance(occ.CD.Dyn[i].Tgt, ta)
-			return
 		}
-	}
-	switch occ.CD.Static {
-	case CDLocal:
-		tgtOcc := g.nodes[node].Occs[occ.CD.StTgtOcc]
-		termIdx := tgtOcc.StmtOff + int32(len(tgtOcc.B.Stmts)) - 1
-		st.pushInstance(InstLoc{Node: node, Stmt: termIdx}, ts)
-	case CDDelta:
-		st.pushInstance(occ.CD.StTgt, ts-occ.CD.Delta)
-	case CDSame:
-		// Control equivalent to an earlier occurrence of the same node
-		// execution: resolve that occurrence's control edge at the same
-		// timestamp.
-		st.resolveCD(node, occ.CD.StTgtOcc, ts)
-	case CDNone:
-		if tgt, ta, ok := occ.CD.Default.Resolve(ts); ok {
-			st.pushInstance(tgt, ta)
+		switch occ.CD.Static {
+		case CDLocal:
+			tgtOcc := g.nodes[node].Occs[occ.CD.StTgtOcc]
+			termIdx := tgtOcc.StmtOff + int32(len(tgtOcc.B.Stmts)) - 1
+			return dep{kind: depInst, loc: InstLoc{Node: node, Stmt: termIdx}, ts: ts}
+		case CDDelta:
+			return dep{kind: depInst, loc: occ.CD.StTgt, ts: ts - occ.CD.Delta}
+		case CDSame:
+			// Control equivalent to an earlier occurrence of the same node
+			// execution: resolve that occurrence's edge at the same time.
+			occIdx = occ.CD.StTgtOcc
+			continue
+		case CDNone:
+			if tgt, ta, ok := occ.CD.Default.Resolve(ts); ok {
+				return dep{kind: depInst, loc: tgt, ts: ta}
+			}
 		}
+		return dep{}
 	}
 }

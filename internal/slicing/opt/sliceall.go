@@ -1,0 +1,180 @@
+package opt
+
+import (
+	"fmt"
+	"math/bits"
+	"sync"
+
+	"dynslice/internal/ir"
+	"dynslice/internal/slicing"
+)
+
+// Batched multi-criterion slicing: N criteria are answered in one shared
+// traversal. Each traversal point — a statement instance or a pending
+// use-slot redirect — carries a bitmask of the criteria whose slices it
+// belongs to, so a subgraph shared by several slices (the common case:
+// the paper's 25 criteria are all end-of-run definitions that converge on
+// the program's core) is walked once instead of once per criterion, and
+// its dependence resolution (label probes, default-edge inference) is
+// memoized once per unique (location, timestamp) rather than recomputed
+// for every criterion that reaches it.
+
+// bkey identifies one traversal point: a statement instance (slot == -1)
+// or a use-slot redirect introduced by a use-use edge.
+type bkey struct {
+	loc  InstLoc
+	ts   int64
+	slot int32
+}
+
+// bdeps is the memoized expansion of a traversal point: the statements it
+// contributes (instances only) and the downstream points it reaches.
+type bdeps struct {
+	stmts   []ir.StmtID
+	targets []bkey
+}
+
+type btask struct {
+	k    bkey
+	mask uint64
+}
+
+type batchState struct {
+	g       *Graph
+	stats   *slicing.Stats
+	visited map[bkey]uint64 // criteria bits already propagated through key
+	memo    map[bkey]*bdeps // dependence resolution, once per unique key
+	work    []btask
+}
+
+// batchPool recycles the batched-traversal maps and worklist (satellite of
+// the sliceState pool in slice.go).
+var batchPool = sync.Pool{New: func() any {
+	return &batchState{visited: map[bkey]uint64{}, memo: map[bkey]*bdeps{}}
+}}
+
+func getBatchState(g *Graph, stats *slicing.Stats) *batchState {
+	st := batchPool.Get().(*batchState)
+	st.g = g
+	st.stats = stats
+	return st
+}
+
+func (st *batchState) release() {
+	clear(st.visited)
+	clear(st.memo)
+	st.work = st.work[:0]
+	st.g, st.stats = nil, nil
+	batchPool.Put(st)
+}
+
+// SliceAll implements slicing.MultiSlicer: it answers every criterion with
+// the slice Slice would produce, in one traversal per 64-criterion chunk.
+// The aggregate stats count each unique instance and label probe once,
+// not once per criterion that reaches it — that sharing is the point.
+func (g *Graph) SliceAll(cs []slicing.Criterion) ([]*slicing.Slice, *slicing.Stats, error) {
+	outs := make([]*slicing.Slice, len(cs))
+	stats := &slicing.Stats{}
+	type seed struct {
+		loc InstLoc
+		ts  int64
+	}
+	seeds := make([]seed, len(cs))
+	for i, c := range cs {
+		if c.Stmt >= 0 {
+			return nil, nil, fmt.Errorf("opt: statement-instance criteria require SliceAt (OPT timestamps are node ordinals)")
+		}
+		d, ok := g.lastDef[c.Addr]
+		if !ok {
+			return nil, nil, fmt.Errorf("opt: address %d was never defined", c.Addr)
+		}
+		seeds[i] = seed{loc: d.Loc, ts: d.Ts}
+		outs[i] = slicing.NewSlice()
+	}
+	for base := 0; base < len(cs); base += 64 {
+		chunk := min(64, len(cs)-base)
+		st := getBatchState(g, stats)
+		for j := 0; j < chunk; j++ {
+			st.push(bkey{loc: seeds[base+j].loc, ts: seeds[base+j].ts, slot: -1}, uint64(1)<<j)
+		}
+		st.run(outs[base : base+chunk])
+		st.release()
+	}
+	return outs, stats, nil
+}
+
+// push enqueues the criteria bits of mask not yet propagated through k.
+func (st *batchState) push(k bkey, mask uint64) {
+	if k.slot < 0 && (k.ts < 0 || k.ts >= st.g.ts) {
+		// Same guard as the sequential pushInstance: no fabricated
+		// instances outside the executed timestamp range.
+		return
+	}
+	nv := mask &^ st.visited[k]
+	if nv == 0 {
+		return
+	}
+	st.visited[k] |= nv
+	st.work = append(st.work, btask{k: k, mask: nv})
+}
+
+func (st *batchState) run(outs []*slicing.Slice) {
+	for len(st.work) > 0 {
+		t := st.work[len(st.work)-1]
+		st.work = st.work[:len(st.work)-1]
+		d, ok := st.memo[t.k]
+		if !ok {
+			d = st.compute(t.k)
+			st.memo[t.k] = d
+		}
+		for _, id := range d.stmts {
+			for m := t.mask; m != 0; m &= m - 1 {
+				outs[bits.TrailingZeros64(m)].Add(id)
+			}
+		}
+		for _, tk := range d.targets {
+			st.push(tk, t.mask)
+		}
+	}
+}
+
+// compute expands a traversal point through the exact resolvers the
+// sequential path uses (resolveUseDep/resolveCDDep in slice.go).
+func (st *batchState) compute(k bkey) *bdeps {
+	g := st.g
+	d := &bdeps{}
+	if k.slot >= 0 {
+		d.add(g.resolveUseDep(k.loc, k.slot, k.ts, st.stats))
+		return d
+	}
+	st.stats.Instances++
+	if g.cfg.Shortcuts {
+		g.cShortcut.Inc()
+		cl := g.closureFor(k.loc)
+		d.stmts = cl.stmts // shared read-only with the closure memo
+		for _, u := range cl.uFront {
+			d.add(g.resolveUseDep(InstLoc{Node: k.loc.Node, Stmt: u.stmt}, u.slot, k.ts, st.stats))
+		}
+		for _, occIdx := range cl.cFront {
+			d.add(g.resolveCDDep(k.loc.Node, occIdx, k.ts, st.stats))
+		}
+		return d
+	}
+	n := g.nodes[k.loc.Node]
+	sc := &n.Stmts[k.loc.Stmt]
+	d.stmts = append(d.stmts, sc.S.ID)
+	for slot := range sc.Uses {
+		d.add(g.resolveUseDep(k.loc, int32(slot), k.ts, st.stats))
+	}
+	d.add(g.resolveCDDep(k.loc.Node, sc.OccIdx, k.ts, st.stats))
+	return d
+}
+
+func (d *bdeps) add(dp dep) {
+	switch dp.kind {
+	case depInst:
+		d.targets = append(d.targets, bkey{loc: dp.loc, ts: dp.ts, slot: -1})
+	case depUse:
+		d.targets = append(d.targets, bkey{loc: dp.loc, ts: dp.ts, slot: dp.slot})
+	}
+}

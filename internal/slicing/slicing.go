@@ -93,3 +93,12 @@ type Slicer interface {
 	// Slice computes the dynamic slice for the criterion.
 	Slice(c Criterion) (*Slice, *Stats, error)
 }
+
+// MultiSlicer is implemented by algorithms that can answer many criteria
+// in one shared traversal. SliceAll returns one slice per criterion, in
+// order, each identical to what Slice would produce; the stats aggregate
+// the whole batch, counting work shared between criteria once.
+type MultiSlicer interface {
+	Slicer
+	SliceAll(cs []Criterion) ([]*Slice, *Stats, error)
+}

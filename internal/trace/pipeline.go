@@ -1,0 +1,314 @@
+package trace
+
+import (
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dynslice/internal/ir"
+)
+
+// Pipelined trace consumption. Two building blocks:
+//
+//   - ParallelReplay decodes a stream once on the calling goroutine and
+//     fans pooled record batches out to one goroutine per sink over
+//     bounded channels, so I/O + varint decode overlap with graph
+//     construction and several builders share a single pass.
+//   - Async wraps one Sink so that events arriving from a producer (the
+//     interpreter, a decoder) are applied on a background goroutine,
+//     letting the producer run ahead by a bounded number of batches.
+//
+// Both copy the per-event use/def address slices into a flat per-batch
+// arena (the Sink contract only guarantees them during the call) and
+// recycle batches through a sync.Pool, so steady-state operation
+// allocates only when the pool is cold.
+
+// PipelineConfig tunes the batching knobs shared by ParallelReplay and
+// Async. The zero value selects the defaults, which are documented in
+// docs/PERFORMANCE.md along with guidance for changing them.
+type PipelineConfig struct {
+	// BatchBlocks is the number of block records per batch (default 256).
+	// Larger batches amortize channel hand-off; smaller ones reduce the
+	// latency before consumers see the first events.
+	BatchBlocks int
+	// Depth is the per-consumer channel depth in batches (default 4): how
+	// far the producer may run ahead of the slowest consumer.
+	Depth int
+}
+
+const (
+	defaultBatchBlocks = 256
+	defaultDepth       = 4
+)
+
+func (c PipelineConfig) batchBlocks() int {
+	if c.BatchBlocks <= 0 {
+		return defaultBatchBlocks
+	}
+	return c.BatchBlocks
+}
+
+func (c PipelineConfig) depth() int {
+	if c.Depth <= 0 {
+		return defaultDepth
+	}
+	return c.Depth
+}
+
+// rec is one decoded event inside a batch. Use and def addresses live in
+// the batch arena at [off, off+nUses) and [off+nUses, off+nUses+nDefs).
+type rec struct {
+	kind     EventKind
+	block    *ir.Block
+	stmt     *ir.Stmt
+	ord      int64
+	off      int32
+	nUses    int32
+	nDefs    int32
+	regStart int64
+	regLen   int64
+}
+
+// batch is a run of decoded events plus their flat address arena,
+// refcounted across consumers and recycled through batchPool.
+type batch struct {
+	recs   []rec
+	arena  []int64
+	blocks int
+	refs   atomic.Int32
+}
+
+var batchPool = sync.Pool{New: func() any { return new(batch) }}
+
+func getBatch() *batch {
+	b := batchPool.Get().(*batch)
+	b.recs = b.recs[:0]
+	b.arena = b.arena[:0]
+	b.blocks = 0
+	return b
+}
+
+// release returns the batch to the pool once every consumer is done.
+func (b *batch) release() {
+	if b.refs.Add(-1) == 0 {
+		batchPool.Put(b)
+	}
+}
+
+// addBlock appends a block record.
+func (b *batch) addBlock(blk *ir.Block, ord int64) {
+	b.recs = append(b.recs, rec{kind: EvBlock, block: blk, ord: ord})
+	b.blocks++
+}
+
+// addStmt appends a statement record, copying addresses into the arena.
+func (b *batch) addStmt(s *ir.Stmt, uses, defs []int64) {
+	off := int32(len(b.arena))
+	b.arena = append(b.arena, uses...)
+	b.arena = append(b.arena, defs...)
+	b.recs = append(b.recs, rec{
+		kind: EvStmt, stmt: s,
+		off: off, nUses: int32(len(uses)), nDefs: int32(len(defs)),
+	})
+}
+
+// addRegion appends an array-declaration record.
+func (b *batch) addRegion(s *ir.Stmt, start, length int64) {
+	b.recs = append(b.recs, rec{kind: EvRegion, stmt: s, regStart: start, regLen: length})
+}
+
+// addEnd appends the end-of-trace marker.
+func (b *batch) addEnd() {
+	b.recs = append(b.recs, rec{kind: EvEnd})
+}
+
+// apply replays the batch into a sink, in order.
+func (b *batch) apply(s Sink) {
+	for i := range b.recs {
+		r := &b.recs[i]
+		switch r.kind {
+		case EvBlock:
+			s.Block(r.block)
+		case EvStmt:
+			u := b.arena[r.off : r.off+r.nUses]
+			d := b.arena[r.off+r.nUses : r.off+r.nUses+r.nDefs]
+			s.Stmt(r.stmt, u, d)
+		case EvRegion:
+			s.RegionDef(r.stmt, r.regStart, r.regLen)
+		case EvEnd:
+			s.End()
+		}
+	}
+}
+
+// ParallelReplay decodes the whole stream (header included) once and
+// drives every sink on its own goroutine, connected by bounded channels
+// of pooled record batches. Each sink observes exactly the event sequence
+// Replay would deliver, in order; only the interleaving across sinks is
+// concurrent. On a decode error the sinks stop without receiving End,
+// exactly as Replay leaves them.
+func ParallelReplay(p *ir.Program, r io.Reader, cfg PipelineConfig, sinks ...Sink) error {
+	_, err := ParallelReplayTimed(p, r, cfg, nil, sinks...)
+	return err
+}
+
+// ParallelReplayTimed is ParallelReplay with a metrics bundle and
+// per-sink busy-time accounting: the i-th duration is the wall time sink
+// i spent applying batches (its build cost net of pipeline idle time).
+func ParallelReplayTimed(p *ir.Program, r io.Reader, cfg PipelineConfig, m *Metrics, sinks ...Sink) ([]time.Duration, error) {
+	busy := make([]time.Duration, len(sinks))
+	if len(sinks) == 0 {
+		return busy, nil
+	}
+	chans := make([]chan *batch, len(sinks))
+	var wg sync.WaitGroup
+	for i := range sinks {
+		chans[i] = make(chan *batch, cfg.depth())
+		wg.Add(1)
+		go func(ch chan *batch, s Sink, slot *time.Duration) {
+			defer wg.Done()
+			for b := range ch {
+				t0 := time.Now()
+				b.apply(s)
+				*slot += time.Since(t0)
+				b.release()
+			}
+		}(chans[i], sinks[i], &busy[i])
+	}
+	finish := func() {
+		for _, ch := range chans {
+			close(ch)
+		}
+		wg.Wait()
+	}
+
+	dispatch := func(b *batch) {
+		b.refs.Store(int32(len(sinks)))
+		for _, ch := range chans {
+			ch <- b
+		}
+	}
+
+	d := NewDecoder(p, r, 0)
+	d.SetMetrics(m)
+	if err := d.ReadHeader(); err != nil {
+		finish()
+		return busy, err
+	}
+	maxBlocks := cfg.batchBlocks()
+	cur := getBatch()
+	for {
+		ev, err := d.Next()
+		if err != nil {
+			// Drop the partial batch (never dispatched, so never pooled).
+			finish()
+			return busy, err
+		}
+		switch ev.Kind {
+		case EvBlock:
+			if cur.blocks >= maxBlocks {
+				dispatch(cur)
+				cur = getBatch()
+			}
+			cur.addBlock(ev.Block, ev.Ord)
+		case EvStmt:
+			cur.addStmt(ev.Stmt, ev.Uses, ev.Defs)
+		case EvRegion:
+			cur.addRegion(ev.Stmt, ev.RegStart, ev.RegLen)
+		case EvEnd:
+			cur.addEnd()
+			dispatch(cur)
+			finish()
+			return busy, nil
+		}
+	}
+}
+
+// Async wraps a Sink so events are applied on a background goroutine fed
+// by bounded batches, overlapping event production (interpretation,
+// decoding) with consumption (graph building). It implements Sink and is
+// one-shot: End flushes, drains, and joins the worker, so when End
+// returns the underlying sink is fully caught up. Producers that can
+// fail before delivering End must call Close to reclaim the worker.
+type Async struct {
+	sink   Sink
+	ch     chan *batch
+	cur    *batch
+	max    int
+	wg     sync.WaitGroup
+	closed bool
+	busy   time.Duration
+}
+
+// NewAsync returns an Async applying events to sink on its own goroutine.
+func NewAsync(sink Sink, cfg PipelineConfig) *Async {
+	a := &Async{sink: sink, ch: make(chan *batch, cfg.depth()), max: cfg.batchBlocks(), cur: getBatch()}
+	a.wg.Add(1)
+	go func() {
+		defer a.wg.Done()
+		for b := range a.ch {
+			t0 := time.Now()
+			b.apply(sink)
+			a.busy += time.Since(t0)
+			b.release()
+		}
+	}()
+	return a
+}
+
+func (a *Async) flush() {
+	if len(a.cur.recs) == 0 {
+		return
+	}
+	b := a.cur
+	b.refs.Store(1)
+	a.cur = getBatch()
+	a.ch <- b
+}
+
+// Block implements Sink.
+func (a *Async) Block(b *ir.Block) {
+	if a.cur.blocks >= a.max {
+		a.flush()
+	}
+	a.cur.addBlock(b, 0)
+}
+
+// Stmt implements Sink.
+func (a *Async) Stmt(s *ir.Stmt, uses, defs []int64) { a.cur.addStmt(s, uses, defs) }
+
+// RegionDef implements Sink.
+func (a *Async) RegionDef(s *ir.Stmt, start, length int64) { a.cur.addRegion(s, start, length) }
+
+// End implements Sink: it forwards End and blocks until the underlying
+// sink has consumed every event.
+func (a *Async) End() {
+	if a.closed {
+		return
+	}
+	a.cur.addEnd()
+	a.flush()
+	a.join()
+}
+
+// Close drains and joins the worker without delivering End (no-op after
+// End). It makes Async safe on error paths where the producer stops
+// mid-trace.
+func (a *Async) Close() {
+	if a.closed {
+		return
+	}
+	a.flush()
+	a.join()
+}
+
+func (a *Async) join() {
+	a.closed = true
+	close(a.ch)
+	a.wg.Wait()
+}
+
+// Busy reports the wall time the worker spent applying batches (valid
+// after End or Close).
+func (a *Async) Busy() time.Duration { return a.busy }

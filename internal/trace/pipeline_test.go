@@ -1,0 +1,115 @@
+package trace_test
+
+import (
+	"bytes"
+	"testing"
+
+	"dynslice/internal/interp"
+	"dynslice/internal/trace"
+)
+
+// traceBytes records srcLoop into an in-memory trace once per test.
+func traceBytes(t *testing.T) ([]byte, *recorder) {
+	t.Helper()
+	p := prog(t, srcLoop)
+	var buf bytes.Buffer
+	w := trace.NewWriter(p, &buf, 7)
+	direct := &recorder{}
+	if _, err := interp.Run(p, interp.Options{Sink: trace.Multi{w, direct}}); err != nil {
+		t.Fatal(err)
+	}
+	if w.Err() != nil {
+		t.Fatal(w.Err())
+	}
+	return buf.Bytes(), direct
+}
+
+func sameEvents(t *testing.T, name string, want, got *recorder) {
+	t.Helper()
+	if len(want.events) != len(got.events) {
+		t.Fatalf("%s: event counts differ: %d vs %d", name, len(want.events), len(got.events))
+	}
+	for i := range want.events {
+		if want.events[i] != got.events[i] {
+			t.Fatalf("%s: event %d differs: %q vs %q", name, i, want.events[i], got.events[i])
+		}
+	}
+}
+
+// TestParallelReplay checks that every sink of a pipelined replay observes
+// the exact event stream a sequential Replay delivers, across batch-size
+// extremes (single-block batches force maximal hand-off).
+func TestParallelReplay(t *testing.T) {
+	p := prog(t, srcLoop)
+	raw, direct := traceBytes(t)
+	for _, cfg := range []trace.PipelineConfig{
+		{},                               // defaults
+		{BatchBlocks: 1, Depth: 1},       // worst-case hand-off
+		{BatchBlocks: 3, Depth: 2},       // tiny batches
+		{BatchBlocks: 1 << 20, Depth: 8}, // one giant batch
+	} {
+		sinks := []*recorder{{}, {}, {}}
+		if err := trace.ParallelReplay(p, bytes.NewReader(raw), cfg,
+			sinks[0], sinks[1], sinks[2]); err != nil {
+			t.Fatal(err)
+		}
+		for i, s := range sinks {
+			sameEvents(t, "sink", direct, s)
+			_ = i
+		}
+	}
+}
+
+// TestParallelReplayTimed checks busy-time accounting and the no-sink and
+// decode-error edge cases.
+func TestParallelReplayTimed(t *testing.T) {
+	p := prog(t, srcLoop)
+	raw, _ := traceBytes(t)
+
+	busy, err := trace.ParallelReplayTimed(p, bytes.NewReader(raw), trace.PipelineConfig{}, nil, &recorder{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(busy) != 1 {
+		t.Fatalf("busy slice has %d entries, want 1", len(busy))
+	}
+
+	if _, err := trace.ParallelReplayTimed(p, bytes.NewReader(raw), trace.PipelineConfig{}, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	// Truncated stream: must return an error, not hang.
+	if err := trace.ParallelReplay(p, bytes.NewReader(raw[:len(raw)/2]), trace.PipelineConfig{}, &recorder{}); err == nil {
+		t.Fatal("truncated stream: expected error")
+	}
+}
+
+// TestAsyncSink checks that driving a sink through Async delivers the same
+// stream, End acts as the drain barrier, and Close is safe on error paths.
+func TestAsyncSink(t *testing.T) {
+	p := prog(t, srcLoop)
+	direct := &recorder{}
+	if _, err := interp.Run(p, interp.Options{Sink: direct}); err != nil {
+		t.Fatal(err)
+	}
+
+	async := &recorder{}
+	a := trace.NewAsync(async, trace.PipelineConfig{BatchBlocks: 2, Depth: 2})
+	if _, err := interp.Run(p, interp.Options{Sink: a}); err != nil {
+		t.Fatal(err)
+	}
+	// interp delivered End; the wrapper must have fully drained.
+	sameEvents(t, "async", direct, async)
+	a.Close() // idempotent after End
+	a.End()   // and End after close is a no-op
+
+	// Abort path: stop producing mid-trace, Close must drain what was sent.
+	partial := &recorder{}
+	a2 := trace.NewAsync(partial, trace.PipelineConfig{BatchBlocks: 1})
+	a2.Block(p.Blocks[0])
+	a2.Close()
+	if len(partial.events) != 1 {
+		t.Fatalf("abort drain: got %d events, want 1", len(partial.events))
+	}
+	a2.Close() // idempotent
+}

@@ -73,6 +73,11 @@ type RunOptions struct {
 	TraceDir string  // where the trace file is written (default: temp dir)
 	// OptConfig overrides the OPT configuration (default: opt.Full()).
 	OptConfig *opt.Config
+	// SequentialBuild disables the pipelined build: graph builders run
+	// inline on the interpreter's goroutine instead of concurrently on
+	// batched event feeds. The graphs are identical either way (see
+	// docs/PERFORMANCE.md).
+	SequentialBuild bool
 	// Telemetry receives phase spans and pipeline counters for this
 	// recording and its slicers. Nil disables collection at near-zero
 	// cost (see docs/OBSERVABILITY.md).
@@ -158,15 +163,32 @@ func (p *Program) Record(o RunOptions) (*Recording, error) {
 	rec.fpG.SetTelemetry(o.Telemetry)
 	rec.optG = opt.NewGraph(p.ir, rec.optCfg, rec.hot, rec.cuts)
 	rec.optG.SetTelemetry(o.Telemetry)
+	// By default the graph builders run as pipelined Async sinks: the
+	// interpreter batches events into pooled buffers and each builder
+	// consumes its own feed concurrently. The trace writer stays inline
+	// so trace I/O errors surface synchronously.
+	sink := trace.Multi{tw, rec.fpG, rec.optG}
+	var asyncs []*trace.Async
+	if !o.SequentialBuild {
+		afp := trace.NewAsync(rec.fpG, trace.PipelineConfig{})
+		aopt := trace.NewAsync(rec.optG, trace.PipelineConfig{})
+		asyncs = []*trace.Async{afp, aopt}
+		sink = trace.Multi{tw, afp, aopt}
+	}
 	sp = span.Child("interp")
 	res, err := interp.Run(p.ir, interp.Options{
 		Input:     o.Input,
 		MaxSteps:  o.MaxSteps,
-		Sink:      trace.Multi{tw, rec.fpG, rec.optG},
+		Sink:      sink,
 		Telemetry: o.Telemetry,
 	})
 	sp.End()
 	if err != nil {
+		// The interpreter never delivered End; drain the async builders
+		// so their goroutines exit before we tear the recording down.
+		for _, a := range asyncs {
+			a.Close()
+		}
 		f.Close()
 		return nil, err
 	}
@@ -231,7 +253,7 @@ func (s *Slice) Raw() *slicing.Slice { return s.raw }
 type Slicer struct {
 	rec  *Recording
 	name string
-	impl slicing.Slicer
+	impl slicing.MultiSlicer
 }
 
 // FP returns the full-graph slicer.
@@ -269,6 +291,47 @@ func (s *Slicer) SliceAddr(addr int64) (*Slice, error) {
 		Time:  elapsed,
 		raw:   raw,
 	}, nil
+}
+
+// SliceAddrs answers a batch of address criteria in one shared backward
+// traversal (slicing.MultiSlicer): results are identical to calling
+// SliceAddr per address, but visited state, label resolution, and — for
+// LP — trace segment scans are shared across the whole batch.
+func (s *Slicer) SliceAddrs(addrs []int64) ([]*Slice, error) {
+	if len(addrs) == 0 {
+		return nil, nil
+	}
+	cs := make([]slicing.Criterion, len(addrs))
+	for i, a := range addrs {
+		cs[i] = slicing.AddrCriterion(a)
+	}
+	t0 := time.Now()
+	raws, stats, err := s.impl.SliceAll(cs)
+	if err != nil {
+		return nil, err
+	}
+	elapsed := time.Since(t0)
+	if reg := s.rec.tel; reg != nil {
+		reg.ObserveSpan("slice/"+s.name, elapsed)
+		reg.Counter("slice.queries").Add(int64(len(addrs)))
+		if stats != nil {
+			reg.Counter("slice.instances").Add(stats.Instances)
+			reg.Counter("slice.label_probes").Add(stats.LabelProbes)
+		}
+	}
+	outs := make([]*Slice, len(raws))
+	for i, raw := range raws {
+		if reg := s.rec.tel; reg != nil {
+			reg.Histogram("slice.size").Observe(int64(raw.Len()))
+		}
+		outs[i] = &Slice{
+			Lines: raw.Lines(s.rec.p.ir),
+			Stmts: raw.Len(),
+			Time:  elapsed / time.Duration(len(raws)),
+			raw:   raw,
+		}
+	}
+	return outs, nil
 }
 
 // SliceVar slices on the last definition of a global scalar variable.
