@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: ci build vet fmt test test-race overhead bench bench-parallel experiments
+.PHONY: ci build vet fmt test test-race overhead bench bench-parallel bench-mem experiments
 
-ci: build vet fmt test test-race overhead
+ci: build vet fmt test test-race bench-mem overhead
 
 build:
 	$(GO) build ./...
@@ -34,6 +34,13 @@ bench:
 # slicing vs the sequential GOMAXPROCS=1 baseline -> BENCH_parallel.json.
 bench-parallel:
 	$(GO) run ./cmd/experiments -exp parallel
+
+# Memory-layout comparison: delta-varint label blocks vs the flat
+# -compact=false layout -> BENCH_memory.json. RunMemory fails the target
+# if OPT's compact resident label bytes exceed 0.5x the uncompacted
+# baseline or any slice differs between layouts.
+bench-mem:
+	$(GO) run ./cmd/experiments -exp memory
 
 experiments:
 	$(GO) run ./cmd/experiments -exp all

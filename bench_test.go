@@ -213,8 +213,14 @@ func BenchmarkFig18(b *testing.B) {
 func BenchmarkBuild(b *testing.B) {
 	res := build(b, bench.Options{WithFP: true, WithOPT: true})
 	prof, cuts := bench.Reprofile(b, res)
+	bytesPerDep := func(b *testing.B) {
+		if deps := res.FP.LabelPairs() + res.OPT.LabelPairs(); deps > 0 {
+			b.ReportMetric(float64(res.FP.ResidentBytes()+res.OPT.ResidentBytes())/float64(deps), "bytes/dep")
+		}
+	}
 	b.Run("sequential", func(b *testing.B) {
 		b.ReportAllocs()
+		bytesPerDep(b)
 		for i := 0; i < b.N; i++ {
 			for _, g := range []trace.Sink{bench.NewFPGraph(res.P), bench.NewOPTGraph(res.P, prof, cuts)} {
 				f, err := os.Open(res.TracePath)
@@ -230,6 +236,7 @@ func BenchmarkBuild(b *testing.B) {
 	})
 	b.Run("pipelined", func(b *testing.B) {
 		b.ReportAllocs()
+		bytesPerDep(b)
 		for i := 0; i < b.N; i++ {
 			f, err := os.Open(res.TracePath)
 			if err != nil {
@@ -251,6 +258,10 @@ func BenchmarkSlice(b *testing.B) {
 	res := build(b, bench.Options{WithOPT: true})
 	b.ReportAllocs()
 	sliceLoop(b, res.OPT, res.Crit)
+	// After sliceLoop's ResetTimer: ResetTimer deletes user metrics.
+	if deps := res.OPT.LabelPairs(); deps > 0 {
+		b.ReportMetric(float64(res.OPT.ResidentBytes())/float64(deps), "bytes/dep")
+	}
 }
 
 // BenchmarkSliceAll measures the full 25-criteria batch as ONE shared
@@ -258,12 +269,19 @@ func BenchmarkSlice(b *testing.B) {
 func BenchmarkSliceAll(b *testing.B) {
 	res := build(b, bench.Options{WithFP: true, WithOPT: true})
 	for _, alg := range []struct {
-		name string
-		s    slicing.MultiSlicer
-	}{{"opt", res.OPT}, {"fp", res.FP}} {
+		name        string
+		s           slicing.MultiSlicer
+		bytes, deps int64
+	}{
+		{"opt", res.OPT, res.OPT.ResidentBytes(), res.OPT.LabelPairs()},
+		{"fp", res.FP, res.FP.ResidentBytes(), res.FP.LabelPairs()},
+	} {
 		b.Run(alg.name, func(b *testing.B) {
 			b.ReportAllocs()
 			b.ResetTimer()
+			if alg.deps > 0 {
+				b.ReportMetric(float64(alg.bytes)/float64(alg.deps), "bytes/dep")
+			}
 			for i := 0; i < b.N; i++ {
 				if _, _, _, err := bench.SliceBatch(alg.s, res.Crit); err != nil {
 					b.Fatal(err)
@@ -280,9 +298,10 @@ func BenchmarkSequitur(b *testing.B) {
 	res := build(b, bench.Options{WithFP: true, WithOPT: true})
 	stream := res.FP.DeltaStream()
 	_, out, _ := sequitur.Compress(stream)
+	b.ResetTimer()
+	// After ResetTimer: ResetTimer deletes user metrics.
 	b.ReportMetric(float64(res.FP.LabelPairs())/float64(out), "sequitur-x")
 	b.ReportMetric(float64(res.FP.LabelPairs())/float64(res.OPT.LabelPairs()), "opt-x")
-	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		sequitur.Compress(stream)
 	}

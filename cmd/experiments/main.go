@@ -3,8 +3,9 @@
 //
 // Usage:
 //
-//	experiments [-exp all|1|2|3|4|5|6|7|8|15|16|17|18|sequitur|telemetry|parallel] [-workload name] [-scale n]
+//	experiments [-exp all|1|2|3|4|5|6|7|8|15|16|17|18|sequitur|telemetry|parallel|memory] [-workload name] [-scale n]
 //	            [-telemetry-out BENCH_telemetry.json] [-parallel-out BENCH_parallel.json]
+//	            [-memory-out BENCH_memory.json]
 //
 // Numbers 1-8 are tables, 15-18 figures, matching the paper's numbering.
 // -scale multiplies each workload's default input size. The telemetry
@@ -13,7 +14,10 @@
 // and slice times to -telemetry-out. The parallel experiment compares the
 // pipelined build and the batched/concurrent 25-criteria query paths
 // against their sequential GOMAXPROCS=1 baselines and writes per-workload
-// speedups to -parallel-out (see docs/PERFORMANCE.md).
+// speedups to -parallel-out (see docs/PERFORMANCE.md). The memory
+// experiment builds each workload's FP and OPT graphs under both label
+// layouts (flat -compact=false pairs vs delta-varint blocks), checks the
+// slices agree, and writes resident-bytes comparisons to -memory-out.
 package main
 
 import (
@@ -26,11 +30,12 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: all, 1-8 (tables), 15-18 (figures), sequitur, ablation, forward, telemetry, parallel")
+	exp := flag.String("exp", "all", "experiment to run: all, 1-8 (tables), 15-18 (figures), sequitur, ablation, forward, telemetry, parallel, memory")
 	workload := flag.String("workload", "", "restrict to one workload (e.g. 164.gzip or gzip)")
 	scale := flag.Int64("scale", 1, "input-size multiplier for every workload")
 	telemetryOut := flag.String("telemetry-out", "BENCH_telemetry.json", "output file for -exp telemetry")
 	parallelOut := flag.String("parallel-out", "BENCH_parallel.json", "output file for -exp parallel")
+	memoryOut := flag.String("memory-out", "BENCH_memory.json", "output file for -exp memory")
 	flag.Parse()
 
 	wls := bench.Workloads()
@@ -116,6 +121,9 @@ func main() {
 	}
 	if want("parallel") {
 		run("parallel", func() error { return bench.RunParallel(w, wls, *parallelOut) })
+	}
+	if want("memory") {
+		run("memory", func() error { return bench.RunMemory(w, wls, *memoryOut) })
 	}
 }
 

@@ -4,7 +4,7 @@
 // Usage:
 //
 //	slicer -src prog.mc [-input 1,2,3] [-algo opt|fp|lp] [-var g] [-addr n]
-//	       [-vars a,b,c] [-workers n] [-ir] [-stats] [-repl]
+//	       [-vars a,b,c] [-workers n] [-ir] [-stats] [-repl] [-compact=false]
 //	       [-metrics out.json] [-pprof localhost:6060]
 //
 // With -var (a global variable) or -addr (a raw address), the tool prints
@@ -45,6 +45,7 @@ func main() {
 	dumpIR := flag.Bool("ir", false, "dump the lowered IR and exit")
 	stats := flag.Bool("stats", false, "print graph statistics")
 	repl := flag.Bool("repl", false, "interactive mode: read criteria from stdin (var NAME | addr N | algo opt|fp|lp | quit)")
+	compact := flag.Bool("compact", true, "store dependence labels as delta-varint blocks (-compact=false keeps flat pairs)")
 	metricsOut := flag.String("metrics", "", "write a telemetry JSON snapshot to this file on exit")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof and expvar on this address (e.g. localhost:6060)")
 	flag.Parse()
@@ -95,7 +96,7 @@ func main() {
 			input = append(input, v)
 		}
 	}
-	rec, err := prog.Record(slicer.RunOptions{Input: input, Telemetry: reg})
+	rec, err := prog.Record(slicer.RunOptions{Input: input, Telemetry: reg, PlainLabels: !*compact})
 	check(err)
 	defer rec.Close()
 

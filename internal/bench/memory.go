@@ -1,0 +1,230 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"time"
+
+	"dynslice/internal/slicing"
+	"dynslice/internal/slicing/fp"
+	"dynslice/internal/slicing/opt"
+)
+
+// MemoryAlg is one algorithm's old-vs-new layout comparison: the same
+// trace built twice, once with the flat pre-compaction label layout
+// (-compact=false) and once with the delta-varint block layout, measuring
+// what the labels actually occupy rather than the paper's 16-bytes/pair
+// accounting model.
+type MemoryAlg struct {
+	LabelPairs int64 `json:"label_pairs"`
+
+	PlainLabelBytes   int64   `json:"plain_label_bytes"`
+	CompactLabelBytes int64   `json:"compact_label_bytes"`
+	LabelRatio        float64 `json:"label_ratio"` // plain / compact, the headline
+
+	PlainResidentBytes   int64   `json:"plain_resident_bytes"` // labels + edge/slot tables
+	CompactResidentBytes int64   `json:"compact_resident_bytes"`
+	PlainBytesPerDep     float64 `json:"plain_bytes_per_dep"`
+	CompactBytesPerDep   float64 `json:"compact_bytes_per_dep"`
+
+	PlainHeapMB   float64 `json:"plain_heap_mb"` // live heap after build, a peak-RSS proxy
+	CompactHeapMB float64 `json:"compact_heap_mb"`
+
+	PlainBuildMs   float64 `json:"plain_build_ms"`
+	CompactBuildMs float64 `json:"compact_build_ms"`
+	BuildOverhead  float64 `json:"build_overhead"` // compact / plain wall time
+
+	IdenticalSlices bool `json:"identical_slices"`
+}
+
+// MemoryBench is one workload's record in BENCH_memory.json.
+type MemoryBench struct {
+	Name      string    `json:"name"`
+	NCriteria int       `json:"n_criteria"`
+	FP        MemoryAlg `json:"fp"`
+	OPT       MemoryAlg `json:"opt"`
+}
+
+const memoryReps = 3
+
+// RunMemory compares the compact dependence storage against the flat
+// escape-hatch layout on every workload and writes per-workload records
+// to outPath (cmd/experiments -exp memory). It fails if OPT's compact
+// resident label bytes exceed half the uncompacted baseline, or if any
+// slice differs between the two layouts.
+func RunMemory(w io.Writer, workloads []Workload, outPath string) error {
+	header(w, "Memory layout: delta-varint label blocks vs flat pairs",
+		fmt.Sprintf("%-12s %12s %12s %7s %9s %9s %12s %12s %7s\n",
+			"Program", "fp-plain", "fp-compact", "fp-x", "B/dep", "opt-B/dep", "opt-plain", "opt-compact", "opt-x"))
+	var out []MemoryBench
+	for _, wl := range workloads {
+		res, err := Build(wl, Options{})
+		if err != nil {
+			return err
+		}
+		mb, err := measureMemory(res)
+		res.Close()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%-12s %11dB %11dB %6.2fx %8.2fB %8.2fB %11dB %11dB %6.2fx\n",
+			wl.Name, mb.FP.PlainLabelBytes, mb.FP.CompactLabelBytes, mb.FP.LabelRatio,
+			mb.FP.CompactBytesPerDep, mb.OPT.CompactBytesPerDep,
+			mb.OPT.PlainLabelBytes, mb.OPT.CompactLabelBytes, mb.OPT.LabelRatio)
+		for _, alg := range []struct {
+			name string
+			m    *MemoryAlg
+		}{{"fp", &mb.FP}, {"opt", &mb.OPT}} {
+			if !alg.m.IdenticalSlices {
+				return fmt.Errorf("memory %s: %s slices diverge between -compact on and off", wl.Name, alg.name)
+			}
+		}
+		if mb.OPT.LabelPairs > 0 && float64(mb.OPT.CompactLabelBytes) > 0.5*float64(mb.OPT.PlainLabelBytes) {
+			return fmt.Errorf("memory %s: opt compact label bytes %d > 0.5x plain %d",
+				wl.Name, mb.OPT.CompactLabelBytes, mb.OPT.PlainLabelBytes)
+		}
+		out = append(out, mb)
+	}
+	if outPath != "" {
+		data, err := json.MarshalIndent(out, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "\nwrote %s\n", outPath)
+	}
+	return nil
+}
+
+// graphStats is the accounting surface both graph types expose.
+type graphStats interface {
+	slicing.Slicer
+	LabelPairs() int64
+	LabelBytes() int64
+	ResidentBytes() int64
+}
+
+func measureMemory(res *Result) (MemoryBench, error) {
+	mb := MemoryBench{Name: res.W.Name, NCriteria: len(res.Crit)}
+
+	hot, cuts, err := reprofile(res)
+	if err != nil {
+		return mb, err
+	}
+
+	buildFP := func(plain bool) (graphStats, time.Duration, error) {
+		g := fp.NewGraph(res.P)
+		g.SetPlainLabels(plain)
+		t0 := time.Now()
+		if err := replayFile(res, g); err != nil {
+			return nil, 0, err
+		}
+		return g, time.Since(t0), nil
+	}
+	buildOPT := func(plain bool) (graphStats, time.Duration, error) {
+		cfg := opt.Full()
+		cfg.PlainLabels = plain
+		g := opt.NewGraph(res.P, cfg, hot, cuts)
+		t0 := time.Now()
+		if err := replayFile(res, g); err != nil {
+			return nil, 0, err
+		}
+		return g, time.Since(t0), nil
+	}
+
+	if mb.FP, err = compareLayouts(res, buildFP); err != nil {
+		return mb, err
+	}
+	if mb.OPT, err = compareLayouts(res, buildOPT); err != nil {
+		return mb, err
+	}
+	return mb, nil
+}
+
+// compareLayouts builds the plain and compact variants of one algorithm's
+// graph and fills a MemoryAlg. Timing reps interleave the two layouts
+// (best-of-memoryReps each, GC before every rep, no graph retained across
+// a timed build) so clock drift and GC debt land on both sides equally;
+// byte and heap figures then come from one untimed build per layout, the
+// plain graph released before the compact one so the two heap readings
+// are comparable.
+func compareLayouts(res *Result, build func(plain bool) (graphStats, time.Duration, error)) (MemoryAlg, error) {
+	var m MemoryAlg
+
+	plainTime := time.Duration(1 << 62)
+	compactTime := time.Duration(1 << 62)
+	for rep := 0; rep < memoryReps; rep++ {
+		for _, plainRep := range []bool{true, false} {
+			runtime.GC()
+			_, d, err := build(plainRep)
+			if err != nil {
+				return m, err
+			}
+			if plainRep {
+				plainTime = min(plainTime, d)
+			} else {
+				compactTime = min(compactTime, d)
+			}
+		}
+	}
+
+	plain, _, err := build(true)
+	if err != nil {
+		return m, err
+	}
+	m.LabelPairs = plain.LabelPairs()
+	m.PlainLabelBytes = plain.LabelBytes()
+	m.PlainResidentBytes = plain.ResidentBytes()
+	m.PlainBuildMs = ms(plainTime)
+	m.PlainHeapMB = liveHeapMB()
+	plainSlices, err := sliceLoop(plain, res.Crit)
+	if err != nil {
+		return m, err
+	}
+	plain = nil
+
+	compact, _, err := build(false)
+	if err != nil {
+		return m, err
+	}
+	m.CompactLabelBytes = compact.LabelBytes()
+	m.CompactResidentBytes = compact.ResidentBytes()
+	m.CompactBuildMs = ms(compactTime)
+	m.CompactHeapMB = liveHeapMB()
+	compactSlices, err := sliceLoop(compact, res.Crit)
+	if err != nil {
+		return m, err
+	}
+
+	if m.CompactLabelBytes > 0 {
+		m.LabelRatio = float64(m.PlainLabelBytes) / float64(m.CompactLabelBytes)
+	}
+	if m.LabelPairs > 0 {
+		m.PlainBytesPerDep = float64(m.PlainResidentBytes) / float64(m.LabelPairs)
+		m.CompactBytesPerDep = float64(m.CompactResidentBytes) / float64(m.LabelPairs)
+	}
+	if plainTime > 0 {
+		m.BuildOverhead = float64(compactTime) / float64(plainTime)
+	}
+	m.IdenticalSlices = true
+	for i := range plainSlices {
+		if !plainSlices[i].Equal(compactSlices[i]) {
+			m.IdenticalSlices = false
+		}
+	}
+	return m, nil
+}
+
+// liveHeapMB forces a GC and returns the live heap in MiB — the closest
+// portable stand-in for peak RSS attributable to the graph just built.
+func liveHeapMB() float64 {
+	runtime.GC()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return float64(ms.HeapAlloc) / (1 << 20)
+}

@@ -8,14 +8,21 @@
 // one of its static control-dependence ancestors), and function entries
 // are treated as control dependent on their call site, so slices follow
 // both data and control across calls.
+//
+// Dependence storage is columnar: each use slot (and each block's control
+// edges) owns one labelblock.List whose aux column carries the producing
+// statement, instead of a []struct of 24-byte edges. Block ordinals only
+// grow, so every list is append-sorted and seals into delta-varint blocks
+// as it fills.
 package fp
 
 import (
 	"fmt"
-	"sort"
+	"unsafe"
 
 	"dynslice/internal/ir"
 	"dynslice/internal/slicing"
+	"dynslice/internal/slicing/labelblock"
 	"dynslice/internal/telemetry"
 )
 
@@ -24,13 +31,15 @@ type instRef struct {
 	ts   int64
 }
 
-// DataEdge is one exercised data dependence instance of a use slot.
+// DataEdge is one exercised data dependence instance of a use slot
+// (decoded view; storage is columnar).
 type DataEdge struct {
 	Td, Tu int64
 	Def    ir.StmtID
 }
 
-// CDEdge is one exercised control dependence instance of a block.
+// CDEdge is one exercised control dependence instance of a block
+// (decoded view; storage is columnar).
 type CDEdge struct {
 	Ta, Tb int64
 	Anc    ir.StmtID // the controlling branch or call statement
@@ -48,11 +57,15 @@ type Graph struct {
 	lastDef map[int64]instRef
 	frames  []*frameCtx
 
-	// Graph proper.
-	useEdges  [][][]DataEdge // [stmtID][slot] -> edges ordered by Tu
-	cdEdges   [][]CDEdge     // [blockID] -> edges ordered by Tb
+	// Graph proper: per use slot / per block, a compressed (Td, Tu) list
+	// whose aux column is the producing statement ID.
+	useEdges  [][]labelblock.List // [stmtID][slot] -> pairs ordered by Tu
+	cdEdges   []labelblock.List   // [blockID] -> pairs ordered by Tb
 	dataPairs int64
 	cdPairs   int64
+
+	mem   *labelblock.Arena
+	plain bool // -compact=false escape hatch: flat []Pair tails, no blocks
 
 	tel *telemetry.Registry // optional; flushed once at End
 }
@@ -66,11 +79,27 @@ type frameCtx struct {
 
 // NewGraph returns an empty graph/builder for p.
 func NewGraph(p *ir.Program) *Graph {
-	return &Graph{
+	g := &Graph{
 		p:        p,
 		lastDef:  map[int64]instRef{},
-		useEdges: make([][][]DataEdge, len(p.Stmts)),
-		cdEdges:  make([][]CDEdge, len(p.Blocks)),
+		useEdges: make([][]labelblock.List, len(p.Stmts)),
+		cdEdges:  make([]labelblock.List, len(p.Blocks)),
+		mem:      labelblock.NewArena(),
+	}
+	for i := range g.cdEdges {
+		g.cdEdges[i] = labelblock.NewList(false, true)
+	}
+	return g
+}
+
+// SetPlainLabels disables block compaction (the -compact=false escape
+// hatch): labels stay in flat uncompressed slices laid out exactly as the
+// previous representation stored them. Must be called before feeding the
+// trace.
+func (g *Graph) SetPlainLabels(on bool) {
+	g.plain = on
+	for i := range g.cdEdges {
+		g.cdEdges[i] = labelblock.NewList(on, true)
 	}
 }
 
@@ -95,7 +124,7 @@ func (g *Graph) Block(b *ir.Block) {
 	}
 	if bestAnc != nil {
 		term := bestAnc.Terminator()
-		g.cdEdges[b.ID] = append(g.cdEdges[b.ID], CDEdge{Ta: bestTs, Tb: g.curTs, Anc: term.ID})
+		g.cdEdges[b.ID].Append(g.mem, labelblock.Pair{Td: bestTs, Tu: g.curTs}, int32(term.ID))
 		g.cdPairs++
 	} else if fr.hasCallSite && b == b.Fn.Entry() {
 		// Interprocedural control dependence: the function entry depends on
@@ -103,7 +132,7 @@ func (g *Graph) Block(b *ir.Block) {
 		// without intraprocedural ancestors execute unconditionally within
 		// the frame, and the call statement still enters slices through
 		// parameter data dependences.
-		g.cdEdges[b.ID] = append(g.cdEdges[b.ID], CDEdge{Ta: fr.callSite.ts, Tb: g.curTs, Anc: fr.callSite.stmt})
+		g.cdEdges[b.ID].Append(g.mem, labelblock.Pair{Td: fr.callSite.ts, Tu: g.curTs}, int32(fr.callSite.stmt))
 		g.cdPairs++
 	}
 	fr.lastExec[b.ID] = g.curTs
@@ -112,11 +141,15 @@ func (g *Graph) Block(b *ir.Block) {
 // Stmt implements trace.Sink.
 func (g *Graph) Stmt(s *ir.Stmt, uses, defs []int64) {
 	if g.useEdges[s.ID] == nil && len(s.Uses) > 0 {
-		g.useEdges[s.ID] = make([][]DataEdge, len(s.Uses))
+		slots := make([]labelblock.List, len(s.Uses))
+		for i := range slots {
+			slots[i] = labelblock.NewList(g.plain, true)
+		}
+		g.useEdges[s.ID] = slots
 	}
 	for i, a := range uses {
 		if d, ok := g.lastDef[a]; ok {
-			g.useEdges[s.ID][i] = append(g.useEdges[s.ID][i], DataEdge{Td: d.ts, Tu: g.curTs, Def: d.stmt})
+			g.useEdges[s.ID][i].Append(g.mem, labelblock.Pair{Td: d.ts, Tu: g.curTs}, int32(d.stmt))
 			g.dataPairs++
 		}
 	}
@@ -149,13 +182,26 @@ func (g *Graph) RegionDef(s *ir.Stmt, start, length int64) {
 // flushes them when the trace ends.
 func (g *Graph) SetTelemetry(reg *telemetry.Registry) { g.tel = reg }
 
-// End implements trace.Sink.
+// End implements trace.Sink. Every list is compacted (short clean tails
+// sealed) so the frozen graph sits at maximum compression and lookups
+// never mutate it — required for concurrent SliceAll.
 func (g *Graph) End() {
+	for _, slots := range g.useEdges {
+		for i := range slots {
+			slots[i].Compact(g.mem, false)
+		}
+	}
+	for i := range g.cdEdges {
+		g.cdEdges[i].Compact(g.mem, false)
+	}
 	if reg := g.tel; reg != nil {
 		reg.Counter("fp.labels.data").Add(g.dataPairs)
 		reg.Counter("fp.labels.cd").Add(g.cdPairs)
 		reg.Counter("fp.block_execs").Add(g.ts)
 		reg.Gauge("fp.graph.size_bytes").Set(g.SizeBytes())
+		reg.Gauge("fp.graph.bytes.labels").Set(g.LabelBytes())
+		reg.Gauge("fp.graph.bytes.edges").Set(g.EdgeBytes())
+		reg.Gauge("fp.graph.bytes.resident").Set(g.ResidentBytes())
 	}
 }
 
@@ -176,7 +222,8 @@ func (g *Graph) LabelPairs() int64 { return g.dataPairs + g.cdPairs }
 
 // SizeBytes estimates the in-memory size of the graph the way the paper
 // reports graph sizes: 16 bytes per timestamp pair plus edge and node
-// overheads.
+// overheads. (This is the Table 2 accounting model; ResidentBytes reports
+// what the compact representation actually occupies.)
 func (g *Graph) SizeBytes() int64 {
 	var sz int64
 	sz += g.LabelPairs() * 24 // pair + source statement per instance
@@ -186,6 +233,38 @@ func (g *Graph) SizeBytes() int64 {
 	}
 	return sz
 }
+
+// LabelBytes reports the actual resident bytes of label storage: encoded
+// block payloads, headers, and uncompressed tails across every list.
+func (g *Graph) LabelBytes() int64 {
+	var sz int64
+	for _, slots := range g.useEdges {
+		for i := range slots {
+			sz += slots[i].MemBytes()
+		}
+	}
+	for i := range g.cdEdges {
+		sz += g.cdEdges[i].MemBytes()
+	}
+	return sz
+}
+
+// EdgeBytes reports the columnar slot-table overhead: one List header per
+// use slot and per block, plus the per-statement spine.
+func (g *Graph) EdgeBytes() int64 {
+	listSz := int64(unsafe.Sizeof(labelblock.List{}))
+	var sz int64
+	sz += int64(len(g.useEdges)) * int64(unsafe.Sizeof([]labelblock.List{}))
+	for _, slots := range g.useEdges {
+		sz += int64(cap(slots)) * listSz
+	}
+	sz += int64(cap(g.cdEdges)) * listSz
+	return sz
+}
+
+// ResidentBytes is the actual footprint of the frozen graph: labels plus
+// the slot tables.
+func (g *Graph) ResidentBytes() int64 { return g.LabelBytes() + g.EdgeBytes() }
 
 type instKey struct {
 	stmt ir.StmtID
@@ -226,69 +305,44 @@ func (g *Graph) Slice(c slicing.Criterion) (*slicing.Slice, *slicing.Stats, erro
 			if slots == nil {
 				continue
 			}
-			edges := slots[i]
-			j, probes := searchTu(edges, in.ts)
+			td, def, probes, found := slots[i].Find(in.ts)
 			stats.LabelProbes += probes
-			if j >= 0 {
-				work = append(work, instRef{stmt: edges[j].Def, ts: edges[j].Td})
+			if found {
+				work = append(work, instRef{stmt: ir.StmtID(def), ts: td})
 			}
 		}
 		// Control dependence of the enclosing block instance.
-		cds := g.cdEdges[s.Block.ID]
-		j, probes := searchTb(cds, in.ts)
+		ta, anc, probes, found := g.cdEdges[s.Block.ID].Find(in.ts)
 		stats.LabelProbes += probes
-		if j >= 0 {
-			work = append(work, instRef{stmt: cds[j].Anc, ts: cds[j].Ta})
+		if found {
+			work = append(work, instRef{stmt: ir.StmtID(anc), ts: ta})
 		}
 	}
 	return out, stats, nil
 }
 
-// searchTu locates the edge with Tu == ts by binary search (edges are
-// appended in increasing Tu order). Returns -1 when absent.
-func searchTu(edges []DataEdge, ts int64) (int, int64) {
-	lo, hi := 0, len(edges)
-	var probes int64
-	for lo < hi {
-		mid := (lo + hi) / 2
-		probes++
-		if edges[mid].Tu < ts {
-			lo = mid + 1
-		} else {
-			hi = mid
-		}
-	}
-	if lo < len(edges) && edges[lo].Tu == ts {
-		return lo, probes
-	}
-	return -1, probes
-}
-
-func searchTb(edges []CDEdge, ts int64) (int, int64) {
-	lo, hi := 0, len(edges)
-	var probes int64
-	for lo < hi {
-		mid := (lo + hi) / 2
-		probes++
-		if edges[mid].Tb < ts {
-			lo = mid + 1
-		} else {
-			hi = mid
-		}
-	}
-	if lo < len(edges) && edges[lo].Tb == ts {
-		return lo, probes
-	}
-	return -1, probes
-}
-
-// sortCheck verifies the edge ordering invariant (used by tests).
+// sortCheck verifies the edge ordering invariant on the decoded lists
+// (used by tests).
 func (g *Graph) sortCheck() bool {
-	for _, slots := range g.useEdges {
-		for _, edges := range slots {
-			if !sort.SliceIsSorted(edges, func(i, j int) bool { return edges[i].Tu < edges[j].Tu }) {
+	sorted := func(l *labelblock.List) bool {
+		pairs := l.Pairs(nil)
+		for i := 1; i < len(pairs); i++ {
+			if pairs[i].Tu < pairs[i-1].Tu {
 				return false
 			}
+		}
+		return true
+	}
+	for _, slots := range g.useEdges {
+		for i := range slots {
+			if !sorted(&slots[i]) {
+				return false
+			}
+		}
+	}
+	for i := range g.cdEdges {
+		if !sorted(&g.cdEdges[i]) {
+			return false
 		}
 	}
 	return true
@@ -302,25 +356,24 @@ func (g *Graph) sortCheck() bool {
 func (g *Graph) DeltaStream() []int64 {
 	const sep = int64(1) << 40
 	var out []int64
-	for _, slots := range g.useEdges {
-		for _, edges := range slots {
-			if len(edges) == 0 {
-				continue
-			}
-			for _, e := range edges {
-				out = append(out, e.Tu-e.Td)
-			}
-			out = append(out, sep)
+	var pairs []labelblock.Pair
+	emit := func(l *labelblock.List) {
+		if l.Len() == 0 {
+			return
 		}
-	}
-	for _, edges := range g.cdEdges {
-		if len(edges) == 0 {
-			continue
-		}
-		for _, e := range edges {
-			out = append(out, e.Tb-e.Ta)
+		pairs = l.Pairs(pairs[:0])
+		for _, e := range pairs {
+			out = append(out, e.Tu-e.Td)
 		}
 		out = append(out, sep)
+	}
+	for _, slots := range g.useEdges {
+		for i := range slots {
+			emit(&slots[i])
+		}
+	}
+	for i := range g.cdEdges {
+		emit(&g.cdEdges[i])
 	}
 	return out
 }

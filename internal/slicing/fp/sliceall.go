@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/bits"
 
+	"dynslice/internal/ir"
 	"dynslice/internal/slicing"
 )
 
@@ -65,18 +66,16 @@ func (g *Graph) SliceAll(cs []slicing.Criterion) ([]*slicing.Slice, *slicing.Sta
 					if slots == nil {
 						continue
 					}
-					edges := slots[i]
-					j, probes := searchTu(edges, t.in.ts)
+					td, def, probes, found := slots[i].Find(t.in.ts)
 					stats.LabelProbes += probes
-					if j >= 0 {
-						targets = append(targets, instRef{stmt: edges[j].Def, ts: edges[j].Td})
+					if found {
+						targets = append(targets, instRef{stmt: ir.StmtID(def), ts: td})
 					}
 				}
-				cds := g.cdEdges[s.Block.ID]
-				j, probes := searchTb(cds, t.in.ts)
+				ta, anc, probes, found := g.cdEdges[s.Block.ID].Find(t.in.ts)
 				stats.LabelProbes += probes
-				if j >= 0 {
-					targets = append(targets, instRef{stmt: cds[j].Anc, ts: cds[j].Ta})
+				if found {
+					targets = append(targets, instRef{stmt: ir.StmtID(anc), ts: ta})
 				}
 				memo[k] = targets
 			}

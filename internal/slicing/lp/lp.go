@@ -169,6 +169,38 @@ type query struct {
 	seedAddrs map[int64]uint64 // address -> criteria bits seeded on it (mode A)
 	hitMask   uint64           // bits whose seed address was defined somewhere
 	locs      []locCrit
+
+	// Free list of blockExec address buffers: a segment's buffers are
+	// recycled into the next segment's decode (same idea as the pooled
+	// record batches in trace.ParallelReplay), so a backward scan reaches
+	// steady state after one segment instead of allocating one slice per
+	// block execution for the whole trace.
+	bufFree [][]int64
+}
+
+// getBuf returns an empty address buffer with capacity >= n, reusing a
+// recycled one when possible.
+func (q *query) getBuf(n int) []int64 {
+	for len(q.bufFree) > 0 {
+		b := q.bufFree[len(q.bufFree)-1]
+		q.bufFree = q.bufFree[:len(q.bufFree)-1]
+		if cap(b) >= n {
+			return b[:0]
+		}
+	}
+	return make([]int64, 0, n)
+}
+
+// recycleBufs returns a processed segment's address buffers to the free
+// list (bounded so one giant segment cannot pin memory).
+func (q *query) recycleBufs(execs []blockExec) {
+	for i := range execs {
+		if execs[i].addrs == nil || len(q.bufFree) >= 4096 {
+			break
+		}
+		q.bufFree = append(q.bufFree, execs[i].addrs)
+		execs[i].addrs = nil
+	}
 }
 
 // Slice implements slicing.Slicer as the single-criterion case of the
@@ -267,6 +299,7 @@ func (q *query) scan() error {
 		for i := len(execs) - 1; i >= 0; i-- {
 			q.processBlockExec(&execs[i])
 		}
+		q.recycleBufs(execs)
 		q.compactCDs()
 	}
 	return nil
@@ -324,7 +357,7 @@ func (q *query) decodeSegment(f *os.File, seg *trace.Segment) ([]blockExec, erro
 		case trace.EvBlock:
 			execs = append(execs, blockExec{b: ev.Block, ord: ev.Ord})
 			cur = &execs[len(execs)-1]
-			cur.addrs = make([]int64, 0, q.s.layout(ev.Block).total)
+			cur.addrs = q.getBuf(q.s.layout(ev.Block).total)
 		case trace.EvStmt:
 			cur.addrs = append(cur.addrs, ev.Uses...)
 			cur.addrs = append(cur.addrs, ev.Defs...)

@@ -280,7 +280,7 @@ func (g *Graph) processNode(nid NodeID, startOcc int32, entries []bufEntry, ts i
 				continue
 			}
 			for k := int32(0); k < rec.useLen; k++ {
-				g.processUse(nid, si, int(k), g.arena[rec.useOff+k], ts, sc, ctx)
+				g.processUse(nid, n, si, k, g.arena[rec.useOff+k], ts, ctx)
 			}
 			ref := DefRef{Loc: InstLoc{Node: nid, Stmt: si}, Ts: ts, Live: true}
 			for k := int32(0); k < rec.defLen; k++ {
@@ -313,13 +313,13 @@ func (g *Graph) processNode(nid NodeID, startOcc int32, entries []bufEntry, ts i
 
 // processUse handles one use-slot execution: verify static coverage, else
 // record an explicit label.
-func (g *Graph) processUse(nid NodeID, si int32, slot int, addr int64, ts int64, sc *StmtCopy, ctx *execCtx) {
+func (g *Graph) processUse(nid NodeID, n *Node, si, slot int32, addr int64, ts int64, ctx *execCtx) {
 	g.elim.UseSlots++
 	d, ok := g.lastDef[addr]
-	if sc.ResolveTrack != nil && sc.ResolveTrack[slot] {
-		ctx.track[si<<8|int32(slot)] = trackVal{d: d, ok: ok}
+	if n.tracked(si, slot) {
+		ctx.track[si<<8|slot] = trackVal{d: d, ok: ok}
 	}
-	us := &sc.Uses[slot]
+	us := n.useSet(si, slot)
 	if !ok {
 		// A use with no producer: an adaptive default would wrongly infer
 		// one for this timestamp. Tombstone (Td < 0) the timestamp if a
@@ -382,7 +382,7 @@ func (g *Graph) appendDataLabel(us *UseEdgeSet, tgt InstLoc, p Pair) {
 		us.Dyn = append(us.Dyn, DynEdge{Tgt: tgt, L: l})
 		edge = &us.Dyn[len(us.Dyn)-1]
 	}
-	if !edge.L.Append(p) {
+	if !edge.L.Append(g.mem, p) {
 		g.elim.OPT3Dedup++
 	}
 }
@@ -486,7 +486,7 @@ func (g *Graph) appendCDLabel(cd *CDEdgeSet, tgt InstLoc, p Pair) {
 		cd.Dyn = append(cd.Dyn, CDDynEdge{Tgt: tgt, L: l})
 		edge = &cd.Dyn[len(cd.Dyn)-1]
 	}
-	if !edge.L.Append(p) {
+	if !edge.L.Append(g.mem, p) {
 		g.elim.OPT6Dedup++
 	}
 }

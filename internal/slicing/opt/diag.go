@@ -19,8 +19,8 @@ func (g *Graph) Diagnose(topK int) (map[string]int64, []string) {
 	for _, n := range g.nodes {
 		for si := range n.Stmts {
 			sc := &n.Stmts[si]
-			for k := range sc.Uses {
-				us := &sc.Uses[k]
+			for k := range sc.S.Uses {
+				us := n.useSet(int32(si), int32(k))
 				var total int64
 				for i := range us.Dyn {
 					l := us.Dyn[i].L

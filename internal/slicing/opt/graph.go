@@ -1,11 +1,12 @@
 package opt
 
 import (
-	"sort"
 	"sync"
+	"unsafe"
 
 	"dynslice/internal/ir"
 	"dynslice/internal/profile"
+	"dynslice/internal/slicing/labelblock"
 	"dynslice/internal/telemetry"
 )
 
@@ -22,75 +23,58 @@ type Pair struct {
 // Labels is an append-ordered list of pairs, possibly shared between edges
 // of a simultaneity cluster (OPT-3 / OPT-6). Pairs arrive in Tu order
 // except when a recursive call suspends and resumes a superblock-node
-// execution, so lookups sort lazily on first use after an out-of-order
-// append. A shared list dedupes repeated pairs.
+// execution, so lookups seal lazily on first use after an out-of-order
+// append. A shared list dedupes repeated pairs. Storage is the delta-varint
+// block encoding of labelblock (a plain flat []Pair under
+// Config.PlainLabels, the -compact=false escape hatch).
 type Labels struct {
-	id     int32 // index in the graph's label registry (epoch file key)
-	pairs  []Pair
-	count  int64 // total pairs ever stored (flushing does not reduce this)
-	shared bool
-	isCD   bool // tagged control-side for the dyDDG/dyCDG size split
-	dirty  bool // a pair arrived out of Tu order; sort before lookup
+	id      int32 // index in the graph's label registry (epoch file key)
+	list    labelblock.List
+	flushed int64 // pairs moved to disk epochs; Len includes them
+	last    Pair  // most recent append, for shared-list dedupe (survives flushes)
+	hasLast bool
+	shared  bool
+	isCD    bool // tagged control-side for the dyDDG/dyCDG size split
 }
 
 // Append records a pair, deduping an immediate repeat on shared lists.
-// It reports whether the pair was stored (false = deduped).
-func (l *Labels) Append(p Pair) bool {
-	if n := len(l.pairs); n > 0 {
-		if l.shared && l.pairs[n-1] == p {
-			return false
-		}
-		if l.pairs[n-1].Tu > p.Tu {
-			l.dirty = true
-		}
+// It reports whether the pair was stored (false = deduped). Pairs land in
+// ar-backed storage; a nil arena falls back to the heap.
+func (l *Labels) Append(ar *labelblock.Arena, p Pair) bool {
+	if l.shared && l.hasLast && l.last == p {
+		return false
 	}
-	l.pairs = append(l.pairs, p)
-	l.count++
+	l.last, l.hasLast = p, true
+	l.list.Append(ar, labelblock.Pair(p), 0)
 	return true
 }
 
+// ensureSorted seals the list after out-of-order appends (deduping shared
+// lists, whose append-time dedupe out-of-order arrivals can defeat). A
+// no-op on clean lists, so post-Finalize lookups never mutate.
 func (l *Labels) ensureSorted() {
-	if !l.dirty {
-		return
-	}
-	l.dirty = false
-	sort.Slice(l.pairs, func(i, j int) bool { return l.pairs[i].Tu < l.pairs[j].Tu })
-	if l.shared {
-		// Out-of-order arrivals can defeat the append-time dedupe.
-		out := l.pairs[:1]
-		for _, p := range l.pairs[1:] {
-			if p != out[len(out)-1] {
-				out = append(out, p)
-			}
-		}
-		l.count -= int64(len(l.pairs) - len(out))
-		l.pairs = out
+	if l.list.Dirty() {
+		l.list.Seal(l.shared)
 	}
 }
 
-// Find returns the Td paired with tu, using binary search. The second
-// result counts label probes (for traversal-cost accounting); found
-// reports success.
+// Find returns the Td paired with tu: binary search over sealed blocks,
+// then a scan within one block. The second result counts label probes
+// (for traversal-cost accounting); found reports success.
 func (l *Labels) Find(tu int64) (td int64, probes int64, found bool) {
 	l.ensureSorted()
-	lo, hi := 0, len(l.pairs)
-	for lo < hi {
-		mid := (lo + hi) / 2
-		probes++
-		if l.pairs[mid].Tu < tu {
-			lo = mid + 1
-		} else {
-			hi = mid
-		}
-	}
-	if lo < len(l.pairs) && l.pairs[lo].Tu == tu {
-		return l.pairs[lo].Td, probes, true
-	}
-	return 0, probes, false
+	td, _, probes, found = l.list.Find(tu)
+	return td, probes, found
 }
 
-// Len returns the number of stored pairs (resident plus flushed).
-func (l *Labels) Len() int { return int(l.count) }
+// Len returns the number of stored pairs, resident plus flushed — derived
+// from the two stores rather than adjusted in place, so epoch flushing and
+// sort-time dedupe cannot drift it.
+func (l *Labels) Len() int { return int(l.flushed) + l.list.Len() }
+
+// MemBytes reports the resident bytes of the list's label storage plus
+// the Labels bookkeeping itself.
+func (l *Labels) MemBytes() int64 { return l.list.MemBytes() + int64(unsafe.Sizeof(*l)) }
 
 // InstLoc addresses one statement copy: a node and the copy's index within
 // the node.
@@ -304,21 +288,52 @@ type Occ struct {
 	CD      CDEdgeSet
 }
 
-// StmtCopy is one copy of an IR statement within a node, carrying its
-// backward data edge sets.
+// StmtCopy is one copy of an IR statement within a node. Its backward data
+// edge sets live columnar in Node.UseSets at [UseOff, UseOff+len(S.Uses)),
+// so a copy is a fixed 16 bytes instead of carrying two slice headers.
 type StmtCopy struct {
-	S            *ir.Stmt
-	OccIdx       int32
-	Uses         []UseEdgeSet
-	ResolveTrack []bool // per slot: record resolutions (targets of use-use edges)
+	S      *ir.Stmt
+	OccIdx int32
+	UseOff int32 // index of the copy's first use slot in Node.UseSets
 }
 
-// Node is a graph node: a standalone block or a specialized path.
+// Node is a graph node: a standalone block or a specialized path. The use
+// edge sets of all statement copies are stored structure-of-arrays in one
+// UseSets column; resolution tracking (targets of use-use edges) is a
+// bitset over the same index space.
 type Node struct {
-	ID     NodeID
-	IsPath bool
-	Occs   []Occ
-	Stmts  []StmtCopy
+	ID      NodeID
+	IsPath  bool
+	Occs    []Occ
+	Stmts   []StmtCopy
+	UseSets []UseEdgeSet
+	track   []uint64 // bitset over UseSets indices; nil = nothing tracked
+}
+
+// useSet returns the edge set of one use slot of one statement copy.
+func (n *Node) useSet(si, slot int32) *UseEdgeSet {
+	return &n.UseSets[n.Stmts[si].UseOff+slot]
+}
+
+// nUses returns the number of use slots of a statement copy.
+func (n *Node) nUses(si int32) int { return len(n.Stmts[si].S.Uses) }
+
+// tracked reports whether a use slot records its resolutions.
+func (n *Node) tracked(si, slot int32) bool {
+	if n.track == nil {
+		return false
+	}
+	i := n.Stmts[si].UseOff + slot
+	return n.track[i>>6]&(1<<(uint(i)&63)) != 0
+}
+
+// setTracked marks a use slot for resolution tracking.
+func (n *Node) setTracked(si, slot int32) {
+	if n.track == nil {
+		n.track = make([]uint64, (len(n.UseSets)+63)/64)
+	}
+	i := n.Stmts[si].UseOff + slot
+	n.track[i>>6] |= 1 << (uint(i) & 63)
 }
 
 // DefRef identifies the statement instance that last defined an address.
@@ -375,6 +390,12 @@ type Graph struct {
 	framePool  []*frameCtx
 	keyScratch []byte
 
+	// Label storage: block payloads and recycled tails come from mem;
+	// Labels structs themselves are slab-allocated in chunks so a build
+	// does hundreds of allocations instead of millions.
+	mem       *labelblock.Arena
+	labelSlab []Labels
+
 	// Telemetry (see telemetry.go). elim is always maintained (plain
 	// increments on paths already taken); tel/cShortcut are nil unless a
 	// registry is attached.
@@ -386,8 +407,24 @@ type Graph struct {
 
 func (g *Graph) node(id NodeID) *Node { return g.nodes[id] }
 
+const labelSlabSize = 256
+
 func (g *Graph) newLabels(shared, isCD bool) *Labels {
-	l := &Labels{id: int32(len(g.allLabels)), shared: shared, isCD: isCD}
+	if len(g.labelSlab) == cap(g.labelSlab) {
+		// Full (or first use): start a fresh slab. Taken pointers into the
+		// old slab stay valid because the slice is never grown in place.
+		g.labelSlab = make([]Labels, 0, labelSlabSize)
+	}
+	g.labelSlab = append(g.labelSlab, Labels{
+		id:     int32(len(g.allLabels)),
+		list:   labelblock.NewList(g.cfg.PlainLabels, false),
+		shared: shared,
+		isCD:   isCD,
+	})
+	l := &g.labelSlab[len(g.labelSlab)-1]
+	if shared {
+		l.list.SetDedupe()
+	}
 	g.allLabels = append(g.allLabels, l)
 	return l
 }
@@ -458,10 +495,8 @@ func (g *Graph) SizeBytes() int64 {
 	for _, n := range g.nodes {
 		sz += 32
 		stmtCopies += int64(len(n.Stmts))
-		for i := range n.Stmts {
-			for k := range n.Stmts[i].Uses {
-				dynEdges += int64(len(n.Stmts[i].Uses[k].Dyn))
-			}
+		for k := range n.UseSets {
+			dynEdges += int64(len(n.UseSets[k].Dyn))
 		}
 		for i := range n.Occs {
 			dynEdges += int64(len(n.Occs[i].CD.Dyn))
@@ -474,14 +509,57 @@ func (g *Graph) SizeBytes() int64 {
 }
 
 // Finalize freezes the graph for concurrent queries: every label list is
-// eagerly sorted (and, for shared lists, deduped), so Find never mutates
-// shared state afterwards. End calls it automatically; calling it again
-// is a cheap no-op.
+// compacted — out-of-order or straddling lists are repacked into globally
+// sorted blocks (deduped when shared), clean tails worth sealing are
+// sealed — so Find never mutates shared state afterwards. End calls it
+// automatically; calling it again is a cheap no-op.
 func (g *Graph) Finalize() {
 	for _, l := range g.allLabels {
-		l.ensureSorted()
+		l.list.Compact(g.mem, l.shared)
 	}
 }
+
+// LabelBytes reports the actual resident bytes of label storage — encoded
+// block payloads and uncompressed tails. Unlike SizeBytes (the paper's
+// 16-bytes-per-pair model, kept for the Table 2 ratios), this measures
+// the Go heap the pairs really hold. The fixed Labels registry entries
+// exist identically under either layout and count as edge-table overhead
+// (EdgeBytes), matching FP's split.
+func (g *Graph) LabelBytes() int64 {
+	var sz int64
+	for _, l := range g.allLabels {
+		sz += l.list.MemBytes()
+	}
+	return sz
+}
+
+// EdgeBytes reports the resident bytes of the graph's edge and node
+// tables: statement-copy rows, columnar use edge sets, occurrence rows,
+// and dynamic edge vectors.
+func (g *Graph) EdgeBytes() int64 {
+	var sz int64
+	for _, n := range g.nodes {
+		sz += int64(unsafe.Sizeof(*n))
+		sz += int64(cap(n.Stmts)) * int64(unsafe.Sizeof(StmtCopy{}))
+		sz += int64(cap(n.UseSets)) * int64(unsafe.Sizeof(UseEdgeSet{}))
+		sz += int64(cap(n.Occs)) * int64(unsafe.Sizeof(Occ{}))
+		sz += int64(cap(n.track)) * 8
+		for k := range n.UseSets {
+			sz += int64(cap(n.UseSets[k].Dyn)) * int64(unsafe.Sizeof(DynEdge{}))
+		}
+		for i := range n.Occs {
+			sz += int64(cap(n.Occs[i].CD.Dyn)) * int64(unsafe.Sizeof(CDDynEdge{}))
+		}
+	}
+	// The label registry: one bookkeeping struct plus one registry pointer
+	// per list, layout-independent.
+	sz += int64(len(g.allLabels)) * (int64(unsafe.Sizeof(Labels{})) + 8)
+	return sz
+}
+
+// ResidentBytes reports the total resident bytes of the dependence
+// representation: labels plus edge/node tables.
+func (g *Graph) ResidentBytes() int64 { return g.LabelBytes() + g.EdgeBytes() }
 
 // LastDefOf returns the instance that last defined addr.
 func (g *Graph) LastDefOf(addr int64) (DefRef, bool) {

@@ -9,6 +9,8 @@ import (
 	"path/filepath"
 	"sort"
 	"sync"
+
+	"dynslice/internal/slicing/labelblock"
 )
 
 // Hybrid mode implements the algorithm sketched in the paper's §4.2
@@ -21,10 +23,13 @@ import (
 // memory ceiling, which is what lets the representation scale to runs
 // whose compacted labels still exceed RAM.
 //
-// Labels appended out of timestamp order by suspended superblock
-// executions (recursion) would fall outside their epoch's range; the
-// flush keeps such stragglers in memory, so every pair lives in exactly
-// one place: the in-memory list or its epoch's file.
+// Epoch files carry the same delta-varint block framing the in-memory
+// lists use (labelblock.WriteBlocks), so flushing moves sealed blocks to
+// disk mostly verbatim and on-disk epochs shrink by the same factor as
+// the resident graph. Labels appended out of timestamp order by suspended
+// superblock executions (recursion) would fall outside their epoch's
+// range; the flush keeps such stragglers in memory, so every pair lives
+// in exactly one place: the in-memory list or its epoch's file.
 
 // epoch is one flushed label block.
 type epoch struct {
@@ -42,10 +47,11 @@ type hybridState struct {
 	epochs     []epoch
 	flushed    int64
 
-	// One-epoch cache for slicing, shared by concurrent queries.
+	// One-epoch cache for slicing, shared by concurrent queries. Entries
+	// stay block-encoded; lookups search them in place.
 	mu          sync.Mutex
 	cachedEpoch int
-	cache       map[int32][]Pair
+	cache       map[int32][]labelblock.Block
 	loads       int64
 }
 
@@ -83,7 +89,7 @@ func (g *Graph) HybridLoads() int64 {
 func (g *Graph) ResidentPairs() int64 {
 	var n int64
 	for _, l := range g.allLabels {
-		n += int64(len(l.pairs))
+		n += int64(l.list.Len())
 	}
 	return n
 }
@@ -110,7 +116,9 @@ func (g *Graph) maybeFlush() {
 	}
 }
 
-// flushEpoch writes every in-range resident pair to a new epoch file.
+// flushEpoch writes every in-range resident pair to a new epoch file:
+// per label, the list is split at the epoch start timestamp and the
+// in-range blocks stream out through the shared block codec.
 func (g *Graph) flushEpoch() error {
 	h := g.hybrid
 	start, end := h.tsStart, g.ts
@@ -124,41 +132,28 @@ func (g *Graph) flushEpoch() error {
 	}
 	bw := bufio.NewWriterSize(f, 1<<16)
 	var scratch [binary.MaxVarintLen64]byte
-	put := func(v uint64) error {
-		n := binary.PutUvarint(scratch[:], v)
-		_, err := bw.Write(scratch[:n])
-		return err
-	}
 	var written int64
 	for id, l := range g.allLabels {
-		if len(l.pairs) == 0 {
+		if l.list.Len() == 0 {
 			continue
 		}
-		l.ensureSorted()
-		// Partition: in-range pairs go to disk, stragglers stay.
-		lo := sort.Search(len(l.pairs), func(i int) bool { return l.pairs[i].Tu >= start })
-		out := l.pairs[lo:]
-		if len(out) == 0 {
+		blocks := l.list.Split(g.mem, start)
+		if len(blocks) == 0 {
 			continue
 		}
-		if err := put(uint64(id)); err != nil {
+		n := binary.PutUvarint(scratch[:], uint64(id))
+		if _, err := bw.Write(scratch[:n]); err != nil {
 			return err
 		}
-		if err := put(uint64(len(out))); err != nil {
+		if err := labelblock.WriteBlocks(bw, blocks); err != nil {
 			return err
 		}
-		for _, p := range out {
-			if err := put(uint64(p.Tu)); err != nil {
-				return err
-			}
-			// Td can precede Tu by an arbitrary amount but is never
-			// negative except tombstones (-1): zig-zag encode.
-			if err := put(zigzag(p.Td)); err != nil {
-				return err
-			}
+		var moved int64
+		for i := range blocks {
+			moved += int64(blocks[i].N)
 		}
-		written += int64(len(out))
-		l.pairs = l.pairs[:lo]
+		l.flushed += moved
+		written += moved
 	}
 	if err := bw.Flush(); err != nil {
 		return err
@@ -171,9 +166,6 @@ func (g *Graph) flushEpoch() error {
 	h.tsStart = end
 	return nil
 }
-
-func zigzag(v int64) uint64 { return uint64((v << 1) ^ (v >> 63)) }
-func unzig(u uint64) int64  { return int64(u>>1) ^ -int64(u&1) }
 
 // findLabel searches l for tu: resident pairs first, then the epoch file
 // whose range contains tu (loaded on demand, one-epoch cache).
@@ -194,24 +186,12 @@ func (g *Graph) findLabel(l *Labels, id int32, tu int64) (int64, int64, bool) {
 	if err := h.load(ei); err != nil {
 		return 0, probes, false
 	}
-	pairs := h.cache[id]
-	lo, hi := 0, len(pairs)
-	for lo < hi {
-		mid := (lo + hi) / 2
-		probes++
-		if pairs[mid].Tu < tu {
-			lo = mid + 1
-		} else {
-			hi = mid
-		}
-	}
-	if lo < len(pairs) && pairs[lo].Tu == tu {
-		return pairs[lo].Td, probes, true
-	}
-	return 0, probes, false
+	td, _, p, ok := labelblock.FindBlocks(h.cache[id], tu)
+	return td, probes + p, ok
 }
 
-// load reads an epoch file into the single-slot cache.
+// load reads an epoch file into the single-slot cache, keeping each
+// label's blocks encoded.
 func (h *hybridState) load(ei int) error {
 	if h.cachedEpoch == ei {
 		return nil
@@ -222,7 +202,7 @@ func (h *hybridState) load(ei int) error {
 	}
 	defer f.Close()
 	br := bufio.NewReaderSize(f, 1<<16)
-	cache := map[int32][]Pair{}
+	cache := map[int32][]labelblock.Block{}
 	for {
 		id, err := binary.ReadUvarint(br)
 		if err == io.EOF {
@@ -231,23 +211,11 @@ func (h *hybridState) load(ei int) error {
 		if err != nil {
 			return err
 		}
-		n, err := binary.ReadUvarint(br)
+		blocks, err := labelblock.ReadBlocks(br, false)
 		if err != nil {
 			return err
 		}
-		pairs := make([]Pair, n)
-		for i := range pairs {
-			tu, err := binary.ReadUvarint(br)
-			if err != nil {
-				return err
-			}
-			tdz, err := binary.ReadUvarint(br)
-			if err != nil {
-				return err
-			}
-			pairs[i] = Pair{Tu: int64(tu), Td: unzig(tdz)}
-		}
-		cache[int32(id)] = pairs
+		cache[int32(id)] = blocks
 	}
 	h.cache = cache
 	h.cachedEpoch = ei

@@ -8,7 +8,7 @@ import (
 func TestLabelsFindSorted(t *testing.T) {
 	l := &Labels{}
 	for i := int64(0); i < 100; i += 2 {
-		l.Append(Pair{Td: i * 10, Tu: i})
+		l.Append(nil, Pair{Td: i * 10, Tu: i})
 	}
 	for i := int64(0); i < 100; i += 2 {
 		td, _, ok := l.Find(i)
@@ -25,9 +25,9 @@ func TestLabelsFindSorted(t *testing.T) {
 // superblock suspension.
 func TestLabelsOutOfOrder(t *testing.T) {
 	l := &Labels{}
-	l.Append(Pair{Td: 1, Tu: 10})
-	l.Append(Pair{Td: 2, Tu: 30})
-	l.Append(Pair{Td: 3, Tu: 20}) // out of order
+	l.Append(nil, Pair{Td: 1, Tu: 10})
+	l.Append(nil, Pair{Td: 2, Tu: 30})
+	l.Append(nil, Pair{Td: 3, Tu: 20}) // out of order
 	for _, c := range []struct{ tu, td int64 }{{10, 1}, {20, 3}, {30, 2}} {
 		td, _, ok := l.Find(c.tu)
 		if !ok || td != c.td {
@@ -38,15 +38,15 @@ func TestLabelsOutOfOrder(t *testing.T) {
 
 func TestLabelsSharedDedupe(t *testing.T) {
 	l := &Labels{shared: true}
-	l.Append(Pair{Td: 5, Tu: 7})
-	l.Append(Pair{Td: 5, Tu: 7}) // cluster partner appends the same pair
-	l.Append(Pair{Td: 6, Tu: 9})
+	l.Append(nil, Pair{Td: 5, Tu: 7})
+	l.Append(nil, Pair{Td: 5, Tu: 7}) // cluster partner appends the same pair
+	l.Append(nil, Pair{Td: 6, Tu: 9})
 	if l.Len() != 2 {
 		t.Fatalf("shared list has %d pairs, want 2", l.Len())
 	}
 	// Out-of-order duplicates get deduped during the lazy sort.
-	l.Append(Pair{Td: 1, Tu: 3})
-	l.Append(Pair{Td: 5, Tu: 7})
+	l.Append(nil, Pair{Td: 1, Tu: 3})
+	l.Append(nil, Pair{Td: 5, Tu: 7})
 	l.ensureSorted()
 	if l.Len() != 3 {
 		t.Fatalf("after sort-dedupe: %d pairs, want 3", l.Len())
@@ -67,7 +67,7 @@ func TestLabelsFindProperty(t *testing.T) {
 				continue
 			}
 			seen[tu] = int64(i)
-			l.Append(Pair{Td: int64(i), Tu: tu})
+			l.Append(nil, Pair{Td: int64(i), Tu: tu})
 		}
 		for tu, td := range seen {
 			got, _, ok := l.Find(tu)

@@ -49,7 +49,7 @@ func (g *Graph) closureFor(loc InstLoc) *closure {
 			return
 		}
 		seenUse[r] = true
-		us := &n.Stmts[si].Uses[slot]
+		us := n.useSet(si, slot)
 		if len(us.Dyn) > 0 || us.Default.Mode != DefNone {
 			c.uFront = append(c.uFront, r)
 			return
@@ -89,7 +89,7 @@ func (g *Graph) closureFor(loc InstLoc) *closure {
 		seenStmt[si] = true
 		sc := &n.Stmts[si]
 		c.stmts = append(c.stmts, sc.S.ID)
-		for k := range sc.Uses {
+		for k := range sc.S.Uses {
 			visitUse(si, int32(k))
 		}
 		visitOcc(sc.OccIdx)

@@ -167,7 +167,7 @@ func (st *sliceState) processInstance(loc InstLoc, ts int64) {
 	n := g.nodes[loc.Node]
 	sc := &n.Stmts[loc.Stmt]
 	st.out.Add(sc.S.ID)
-	for k := range sc.Uses {
+	for k := range sc.S.Uses {
 		st.resolveUse(loc, int32(k), ts)
 	}
 	st.resolveCD(loc.Node, sc.OccIdx, ts)
@@ -192,7 +192,7 @@ func (st *sliceState) resolveCD(node NodeID, occIdx int32, ts int64) {
 // Dynamic labels take precedence; the static edge is the fallback (paper
 // Fig. 13, cases (a) and (c)). Read-only on the graph after Finalize.
 func (g *Graph) resolveUseDep(loc InstLoc, slot int32, ts int64, stats *slicing.Stats) dep {
-	us := &g.nodes[loc.Node].Stmts[loc.Stmt].Uses[slot]
+	us := g.nodes[loc.Node].useSet(loc.Stmt, slot)
 	for i := range us.Dyn {
 		td, probes, found := g.findLabel(us.Dyn[i].L, us.Dyn[i].L.id, ts)
 		stats.LabelProbes += probes

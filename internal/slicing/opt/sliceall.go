@@ -163,7 +163,7 @@ func (st *batchState) compute(k bkey) *bdeps {
 	n := g.nodes[k.loc.Node]
 	sc := &n.Stmts[k.loc.Stmt]
 	d.stmts = append(d.stmts, sc.S.ID)
-	for slot := range sc.Uses {
+	for slot := range sc.S.Uses {
 		d.add(g.resolveUseDep(k.loc, int32(slot), k.ts, st.stats))
 	}
 	d.add(g.resolveCDDep(k.loc.Node, sc.OccIdx, k.ts, st.stats))

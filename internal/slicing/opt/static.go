@@ -6,6 +6,7 @@ import (
 	"dynslice/internal/dataflow"
 	"dynslice/internal/ir"
 	"dynslice/internal/profile"
+	"dynslice/internal/slicing/labelblock"
 )
 
 // NewGraph constructs the static component of the compacted graph: one
@@ -29,6 +30,7 @@ func NewGraph(p *ir.Program, cfg Config, paths []*profile.PathProfile, cuts *pro
 		occCopies:     map[ir.BlockID][]occLoc{},
 		shortcuts:     map[InstLoc]*closure{},
 		cuts:          cuts,
+		mem:           labelblock.NewArena(),
 	}
 	if g.cuts == nil {
 		g.cuts = profile.NewCuts(p)
@@ -84,9 +86,9 @@ func (g *Graph) addNode(isPath bool, blocks []*ir.Block) NodeID {
 		n.Occs = append(n.Occs, Occ{B: b, StmtOff: int32(len(n.Stmts))})
 		g.occCopies[b.ID] = append(g.occCopies[b.ID], occLoc{node: id, occ: int32(oi)})
 		for _, s := range b.Stmts {
-			sc := StmtCopy{S: s, OccIdx: int32(oi), Uses: make([]UseEdgeSet, len(s.Uses))}
-			for k := range sc.Uses {
-				sc.Uses[k].ClusterID = -1
+			sc := StmtCopy{S: s, OccIdx: int32(oi), UseOff: int32(len(n.UseSets))}
+			for range s.Uses {
+				n.UseSets = append(n.UseSets, UseEdgeSet{ClusterID: -1})
 			}
 			g.copies[s.ID] = append(g.copies[s.ID], InstLoc{Node: id, Stmt: int32(len(n.Stmts))})
 			n.Stmts = append(n.Stmts, sc)
@@ -107,11 +109,12 @@ func (g *Graph) addNode(isPath bool, blocks []*ir.Block) NodeID {
 func (g *Graph) buildStaticData(n *Node) {
 	for i := range n.Stmts {
 		sc := &n.Stmts[i]
-		for k := range sc.Uses {
+		for k := range sc.S.Uses {
 			us := sc.S.Uses[k]
 			if !us.Scalar() {
 				continue
 			}
+			slotSet := n.useSet(int32(i), int32(k))
 			x := us.Obj
 			// Nearest preceding must-def (must-aliases get priority over
 			// may-aliases, as in the paper's OPT-1b policy).
@@ -133,8 +136,8 @@ func (g *Graph) buildStaticData(n *Node) {
 						if interference {
 							kind = SDUPartial
 						}
-						sc.Uses[k].Static = kind
-						sc.Uses[k].StTgtStmt = int32(j)
+						slotSet.Static = kind
+						slotSet.StTgtStmt = int32(j)
 						g.staticDU++
 						foundDU = true
 					}
@@ -144,7 +147,7 @@ func (g *Graph) buildStaticData(n *Node) {
 					interference = true
 				}
 			}
-			if foundDU || sc.Uses[k].Static != SNone {
+			if foundDU || slotSet.Static != SNone {
 				continue
 			}
 			// No preceding local must-def: try a use-use edge to the
@@ -164,9 +167,9 @@ func (g *Graph) buildStaticData(n *Node) {
 							allowed = g.cfg.UseUse && g.cfg.PathSpec
 						}
 						if allowed {
-							sc.Uses[k].Static = SUU
-							sc.Uses[k].StTgtStmt = int32(j)
-							sc.Uses[k].StTgtSlot = int32(k2)
+							slotSet.Static = SUU
+							slotSet.StTgtStmt = int32(j)
+							slotSet.StTgtSlot = int32(k2)
 							g.staticUU++
 							hit = true
 						}
@@ -276,18 +279,12 @@ func blockIn(bs []*ir.Block, b *ir.Block) bool {
 // edge, so the builder records its resolution during each node execution.
 func (g *Graph) markResolveTracks() {
 	for _, n := range g.nodes {
-		for i := range n.Stmts {
-			for k := range n.Stmts[i].Uses {
-				us := &n.Stmts[i].Uses[k]
-				if us.Static != SUU {
-					continue
-				}
-				tgt := &n.Stmts[us.StTgtStmt]
-				if tgt.ResolveTrack == nil {
-					tgt.ResolveTrack = make([]bool, len(tgt.S.Uses))
-				}
-				tgt.ResolveTrack[us.StTgtSlot] = true
+		for k := range n.UseSets {
+			us := &n.UseSets[k]
+			if us.Static != SUU {
+				continue
 			}
+			n.setTracked(us.StTgtStmt, us.StTgtSlot)
 		}
 	}
 }
@@ -640,12 +637,12 @@ func (g *Graph) buildArrayClusters(f *ir.Func, nextID int32) int32 {
 func (g *Graph) assignDataCluster(u *ir.Stmt, slot int, id int32, def ir.StmtID) bool {
 	locs := g.copies[u.ID]
 	for _, loc := range locs {
-		if g.nodes[loc.Node].Stmts[loc.Stmt].Uses[slot].ClusterID >= 0 {
+		if g.nodes[loc.Node].useSet(loc.Stmt, int32(slot)).ClusterID >= 0 {
 			return false
 		}
 	}
 	for _, loc := range locs {
-		us := &g.nodes[loc.Node].Stmts[loc.Stmt].Uses[slot]
+		us := g.nodes[loc.Node].useSet(loc.Stmt, int32(slot))
 		us.ClusterID = id
 		us.ClusterDef = def
 	}

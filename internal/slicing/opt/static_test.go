@@ -39,7 +39,7 @@ func slotOf(t *testing.T, g *Graph, p *ir.Program, line int, varName string) *Us
 		for k, us := range s.Uses {
 			if us.Obj != ir.NoObj && p.Obj(us.Obj).Name == varName && us.Scalar() {
 				loc := g.standaloneLoc(s)
-				return &g.nodes[loc.Node].Stmts[loc.Stmt].Uses[k]
+				return g.nodes[loc.Node].useSet(loc.Stmt, int32(k))
 			}
 		}
 	}
@@ -111,12 +111,10 @@ func main() {
 	}
 	// The target slot must be marked for resolution tracking.
 	loc := g.standaloneLoc(stmtAtLine(p, 5))
-	sc := &g.nodes[loc.Node].Stmts[loc.Stmt]
+	n := g.nodes[loc.Node]
 	marked := false
-	if sc.ResolveTrack != nil {
-		for _, b := range sc.ResolveTrack {
-			marked = marked || b
-		}
+	for k := 0; k < n.nUses(loc.Stmt); k++ {
+		marked = marked || n.tracked(loc.Stmt, int32(k))
 	}
 	if !marked {
 		t.Error("use-use target slot not marked for resolution tracking")

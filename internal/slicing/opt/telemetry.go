@@ -87,4 +87,10 @@ func (g *Graph) flushTelemetry() {
 	reg.Gauge("opt.graph.static_edges").Set(g.StaticEdges())
 	reg.Gauge("opt.graph.adaptive_edges").Set(g.AdaptiveEdges())
 	reg.Gauge("opt.graph.size_bytes").Set(g.SizeBytes())
+
+	// Actual resident bytes of the compact representation (SizeBytes above
+	// is the paper's 16-bytes-per-pair model, kept for Table 2 ratios).
+	reg.Gauge("opt.graph.bytes.labels").Set(g.LabelBytes())
+	reg.Gauge("opt.graph.bytes.edges").Set(g.EdgeBytes())
+	reg.Gauge("opt.graph.bytes.resident").Set(g.ResidentBytes())
 }

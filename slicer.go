@@ -73,6 +73,11 @@ type RunOptions struct {
 	TraceDir string  // where the trace file is written (default: temp dir)
 	// OptConfig overrides the OPT configuration (default: opt.Full()).
 	OptConfig *opt.Config
+	// PlainLabels disables the delta-varint block compaction of dependence
+	// labels in the FP and OPT graphs (the -compact=false escape hatch;
+	// see docs/PERFORMANCE.md "Memory layout"). Slices are identical either
+	// way.
+	PlainLabels bool
 	// SequentialBuild disables the pipelined build: graph builders run
 	// inline on the interpreter's goroutine instead of concurrently on
 	// batched event feeds. The graphs are identical either way (see
@@ -112,6 +117,9 @@ func (p *Program) Record(o RunOptions) (*Recording, error) {
 	rec := &Recording{p: p, optCfg: opt.Full(), tel: o.Telemetry}
 	if o.OptConfig != nil {
 		rec.optCfg = *o.OptConfig
+	}
+	if o.PlainLabels {
+		rec.optCfg.PlainLabels = true
 	}
 	span := o.Telemetry.StartSpan("record")
 	defer span.End()
@@ -160,6 +168,7 @@ func (p *Program) Record(o RunOptions) (*Recording, error) {
 	tw := trace.NewWriter(p.ir, f, 4096)
 	tw.SetMetrics(trace.NewMetrics(o.Telemetry))
 	rec.fpG = fp.NewGraph(p.ir)
+	rec.fpG.SetPlainLabels(o.PlainLabels)
 	rec.fpG.SetTelemetry(o.Telemetry)
 	rec.optG = opt.NewGraph(p.ir, rec.optCfg, rec.hot, rec.cuts)
 	rec.optG.SetTelemetry(o.Telemetry)
