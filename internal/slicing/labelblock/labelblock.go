@@ -21,6 +21,7 @@ package labelblock
 
 import (
 	"bufio"
+	"cmp"
 	"encoding/binary"
 	"slices"
 	"sort"
@@ -86,9 +87,11 @@ func EncodeBlock(ar *Arena, pairs []Pair, aux []int32) Block {
 }
 
 // Find locates the pair with the exact consumer timestamp tu by decoding
-// the block until the running Tu reaches tu. probes counts entries
-// examined, mirroring the label-probe accounting of the uncompressed
-// search.
+// the block until the running Tu reaches tu. probes counts decoded
+// entries — the unit of search work in this layout. Note this differs
+// from the flat layout, which counts binary-search comparisons, so probe
+// totals are not comparable across -compact modes (documented in
+// docs/PERFORMANCE.md).
 func (b *Block) Find(tu int64) (td int64, aux int32, probes int64, found bool) {
 	if tu < b.FirstTu || tu > b.LastTu {
 		return 0, 0, 0, false
@@ -275,13 +278,10 @@ func (l *List) compressTail(ar *Arena, dedupe bool) {
 func (l *List) sortTail(dedupe bool) {
 	if l.flags&flagDirty != 0 {
 		order := func(a, b Pair) int {
-			switch {
-			case a.Tu != b.Tu:
-				return int(a.Tu - b.Tu)
-			case a.Td != b.Td:
-				return int(a.Td - b.Td)
+			if c := cmp.Compare(a.Tu, b.Tu); c != 0 {
+				return c
 			}
-			return 0
+			return cmp.Compare(a.Td, b.Td)
 		}
 		if l.hasAux() {
 			// Keep the aux column aligned through the permutation.
@@ -470,9 +470,16 @@ func (l *List) MemBytes() int64 {
 // stragglers from suspended executions stay resident). The list keeps only
 // pairs with Tu < cut. Returns nil when nothing is in range.
 func (l *List) Split(ar *Arena, cut int64) []Block {
-	l.Seal(false)
-	if l.flags&flagStraddle != 0 {
-		l.Repack(ar, false)
+	dedupe := l.flags&flagDedupe != 0
+	l.Seal(dedupe)
+	// flagStraddle is only raised when a full tail fails to seal, so also
+	// check the tail's actual overlap with the sealed range: a straggler
+	// sitting in a short tail would otherwise be encoded after the moved
+	// sealed blocks, leaving the returned sequence unsorted/overlapping —
+	// unsearchable by FindBlocks once written to an epoch file.
+	if l.flags&flagStraddle != 0 ||
+		(len(l.blocks) > 0 && len(l.tail) > 0 && l.tail[0].Tu <= l.blocks[len(l.blocks)-1].LastTu) {
+		l.Repack(ar, dedupe)
 	}
 	var out []Block
 	// Whole blocks at or past the cut move out; one block may straddle.

@@ -206,6 +206,39 @@ func TestListSplit(t *testing.T) {
 	}
 }
 
+func TestListSplitShortTailStraddler(t *testing.T) {
+	// A straggler landing in a *short* tail after a block has sealed never
+	// sets flagStraddle (that only happens when a full tail fails to
+	// seal). Split must detect the overlap anyway, or the tail-derived
+	// blocks are appended after the moved sealed blocks and the flushed
+	// sequence is unsorted and overlapping — FindBlocks then misses the
+	// straggler's pair permanently.
+	l := NewList(false, false)
+	for i := 0; i < BlockSize; i++ {
+		l.Append(nil, Pair{Td: int64(i), Tu: 1100 + int64(i)}, 0)
+	}
+	// Short tail: one straggler below the sealed range, one past it.
+	l.Append(nil, Pair{Td: 42, Tu: 1050}, 0)
+	l.Append(nil, Pair{Td: 7, Tu: 1300}, 0)
+
+	out := l.Split(nil, 1000) // everything is past the cut and moves out
+	if l.Len() != 0 {
+		t.Fatalf("resident Len = %d want 0", l.Len())
+	}
+	for i := 1; i < len(out); i++ {
+		if out[i].FirstTu <= out[i-1].LastTu {
+			t.Fatalf("blocks overlap at %d: [%d..%d] then [%d..%d]",
+				i, out[i-1].FirstTu, out[i-1].LastTu, out[i].FirstTu, out[i].LastTu)
+		}
+	}
+	for _, c := range []struct{ tu, td int64 }{{1050, 42}, {1100, 0}, {1227, 127}, {1300, 7}} {
+		td, _, _, ok := FindBlocks(out, c.tu)
+		if !ok || td != c.td {
+			t.Fatalf("FindBlocks(%d) = %d,%v want %d,true", c.tu, td, ok, c.td)
+		}
+	}
+}
+
 func TestWriteReadBlocks(t *testing.T) {
 	l := NewList(false, true)
 	n := BlockSize + 30

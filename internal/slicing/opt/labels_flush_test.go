@@ -25,33 +25,40 @@ func TestLabelsLenAfterFlush(t *testing.T) {
 	// an exact duplicate a cluster partner would append.
 	l.Append(ar, Pair{Td: 3, Tu: 1006})
 	l.Append(ar, Pair{Td: 3, Tu: 1006})
-	if l.Len() != 201 { // 200 + straggler; duplicate deduped on append
-		t.Fatalf("pre-flush Len = %d, want 201", l.Len())
+	// Non-immediate duplicate of pair i=150 (Td 150, Tu 1300): append-time
+	// dedupe only catches immediate repeats, so this sits in the dirty
+	// tail until the flush, which must drop it rather than write it to the
+	// epoch file and count it into flushed.
+	l.Append(ar, Pair{Td: 150, Tu: 1300})
+	if l.Len() != 202 { // 200 + straggler + tail dup; immediate dup deduped on append
+		t.Fatalf("pre-flush Len = %d, want 202", l.Len())
 	}
 
 	// Simulate a hybrid epoch flush at Tu >= 1200 (exactly what
-	// flushEpoch does per label).
+	// flushEpoch does per label). Split applies the shared-list dedupe
+	// policy: both lingering duplicates — the straggler copy of (3, 1006)
+	// and the tail copy of (150, 1300) — are dropped here.
 	blocks := l.list.Split(ar, 1200)
 	var moved int64
 	for i := range blocks {
 		moved += int64(blocks[i].N)
 	}
-	if moved == 0 {
-		t.Fatal("flush moved nothing")
+	if moved != 100 { // pairs with Tu in [1200, 1398], duplicate excluded
+		t.Fatalf("flush moved %d pairs, want 100", moved)
 	}
 	l.flushed += moved
-	if l.Len() != 201 {
-		t.Fatalf("post-flush Len = %d, want 201 (flushed %d)", l.Len(), moved)
+	if l.Len() != 200 {
+		t.Fatalf("post-flush Len = %d, want 200 (flushed %d)", l.Len(), moved)
 	}
 
-	// Out-of-order append + dedupe after the flush: the straggler's
+	// Out-of-order append + dedupe after the flush: the non-immediate
 	// duplicate must be dropped without double-counting flushed pairs.
 	l.Append(ar, Pair{Td: 7, Tu: 1014})
 	l.Append(ar, Pair{Td: 50, Tu: 1100})
-	l.Append(ar, Pair{Td: 7, Tu: 1014}) // immediate duplicate: append-time dedupe
+	l.Append(ar, Pair{Td: 7, Tu: 1014}) // non-immediate: survives until ensureSorted
 	l.ensureSorted()
-	if l.Len() != 203 {
-		t.Fatalf("post-flush dedupe Len = %d, want 203", l.Len())
+	if l.Len() != 202 {
+		t.Fatalf("post-flush dedupe Len = %d, want 202", l.Len())
 	}
 
 	// Resident pairs below the cut stay findable.
@@ -68,6 +75,9 @@ func TestLabelsLenAfterFlush(t *testing.T) {
 	}
 	if td, _, _, ok := labelblock.FindBlocks(blocks, 1398); !ok || td != 199 {
 		t.Fatalf("flushed blocks Find(1398) = %d,%v want 199", td, ok)
+	}
+	if td, _, _, ok := labelblock.FindBlocks(blocks, 1300); !ok || td != 150 {
+		t.Fatalf("flushed blocks Find(1300) = %d,%v want 150", td, ok)
 	}
 }
 
