@@ -199,11 +199,17 @@ func (g *Graph) buildStaticCD(n *Node) {
 			// to the head (same ancestors, and nothing of this frame runs
 			// in between), so its control dependence is the head's
 			// resolution at the same timestamp (OPT-5a's control
-			// equivalence rule).
-			occ.CD.Static = CDSame
-			occ.CD.StTgtOcc = 0
-			g.staticCD++
-			continue
+			// equivalence rule). Entry chains are the exception: the head
+			// resolves to the interprocedural call-site attachment, which
+			// belongs to the entry block alone — its continuations have no
+			// controlling instance, so inferring the head's resolution
+			// would drag the call site into their slices.
+			if n.Occs[0].B != b.Fn.Entry() {
+				occ.CD.Static = CDSame
+				occ.CD.StTgtOcc = 0
+				g.staticCD++
+				continue
+			}
 		}
 		if g.cfg.SpecCD && n.IsPath {
 			// Latest earlier occurrence that is a static ancestor.

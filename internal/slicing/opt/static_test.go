@@ -157,6 +157,41 @@ func main() {
 	}
 }
 
+func TestStaticCDSameSkipsEntryChains(t *testing.T) {
+	// A call in the function's entry block splits it into an entry chain.
+	// The head's control dependence is the interprocedural call-site
+	// attachment, which belongs to the entry block alone: a CDSame edge on
+	// the continuation would drag the call site into every slice through
+	// the continuation (the return-value hand-off), where the reference
+	// slicers put none.
+	src := `
+func g(v) { return v + 1; }
+func f(v) { return g(v); }
+func main() {
+	print(f(input()));
+}`
+	gr, p := buildStatic(t, src, Config{SpecCD: true}, false)
+	checked := 0
+	for _, fn := range p.Funcs {
+		for _, b := range fn.Blocks {
+			if !b.IsContinuation() {
+				continue
+			}
+			loc := gr.blockLoc[b.ID]
+			occ := &gr.nodes[loc.node].Occs[loc.occ]
+			if gr.nodes[loc.node].Occs[0].B == fn.Entry() {
+				if occ.CD.Static != CDNone {
+					t.Errorf("entry-chain continuation %s: cd kind %v, want CDNone", b, occ.CD.Static)
+				}
+				checked++
+			}
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no entry-chain continuation occurrences found")
+	}
+}
+
 func TestStaticCDDeltaUniqueAncestor(t *testing.T) {
 	src := `
 func main() {
