@@ -338,6 +338,18 @@ func (g *Graph) buildDataClusters(f *ir.Func, nextID int32) int32 {
 				if anyMayDefBefore(bu, i, x) {
 					continue
 				}
+				// A may-def of x at or after the use in this very block —
+				// a call whose callee writes x, say — is harmless in
+				// straight line, but when the block lies on a cycle it
+				// flows around the back edge into the next iteration's
+				// use, making the edge's producer vary even though the
+				// chop interior below is spotless (the chop scan excludes
+				// its endpoint blocks). Every other cyclic path back to
+				// the use runs through chop-interior blocks, which the
+				// InteriorClean check covers.
+				if blockOnCycle(bu) && mayDefAtOrAfterIdx(bu.Stmts, i, x) {
+					continue
+				}
 				for _, ds := range rd.DefsReaching(bu, x) {
 					if !ds.Must || ds.Stmt.Block == bu {
 						continue
@@ -577,6 +589,15 @@ func (g *Graph) buildArrayClusters(f *ir.Func, nextID int32) int32 {
 				if mayDefBeforeIdx(chu.stmts, i, arr) {
 					continue
 				}
+				// When the reading chain lies on a CFG cycle, a write to
+				// the array at or after the read (including a call whose
+				// callee stores to it) reaches the next iteration's read,
+				// so the read element's producer can be that write rather
+				// than the paired store. Harmless in straight line,
+				// disqualifying on a cycle.
+				if blockOnCycle(chu.head) && mayDefAtOrAfterIdx(chu.stmts, i, arr) {
+					continue
+				}
 				for ci, chd := range chains {
 					if chd.head == chu.head {
 						continue
@@ -681,6 +702,15 @@ func (g *Graph) buildCDClusters(f *ir.Func, nextID int32) int32 {
 				if d == nil {
 					continue
 				}
+				// Same back-edge screen as the OPT-3 clusters: a may-def
+				// of x at or after the use (a callee's MOD write, in
+				// particular) reaches the next iteration's use when b sits
+				// on a cycle, letting the data edge's producer differ from
+				// the controlling h execution — its labels then cannot
+				// stand in for the control labels.
+				if blockOnCycle(b) && mayDefAtOrAfterIdx(b.Stmts, i, x) {
+					continue
+				}
 				if !dataflow.InteriorClean(f, h, b, x) {
 					continue
 				}
@@ -699,6 +729,36 @@ func (g *Graph) buildCDClusters(f *ir.Func, nextID int32) int32 {
 		}
 	}
 	return nextID
+}
+
+// mayDefAtOrAfterIdx reports whether stmts[i:] contains a statement that
+// may define o.
+func mayDefAtOrAfterIdx(stmts []*ir.Stmt, i int, o ir.ObjID) bool {
+	for j := i; j < len(stmts); j++ {
+		if dataflow.MayDefines(stmts[j], o) {
+			return true
+		}
+	}
+	return false
+}
+
+// blockOnCycle reports whether some CFG path leads from b back to b.
+func blockOnCycle(b *ir.Block) bool {
+	seen := map[*ir.Block]bool{}
+	stack := append([]*ir.Block{}, b.Succs...)
+	for len(stack) > 0 {
+		x := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if x == b {
+			return true
+		}
+		if seen[x] {
+			continue
+		}
+		seen[x] = true
+		stack = append(stack, x.Succs...)
+	}
+	return false
 }
 
 // anyMayDefBefore reports whether any statement of b before index i may

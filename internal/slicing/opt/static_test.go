@@ -281,6 +281,37 @@ func main() {
 	}
 }
 
+func TestDataClustersSkipBackEdgeCalleeWrites(t *testing.T) {
+	// Both x and y reach the loop body's uses from main's entry defs, so
+	// the pair looks like an OPT-3 cluster — but the call after the uses
+	// writes x (via its MOD set), and around the loop's back edge that
+	// write becomes the next iteration's producer of x while y still
+	// flows from the entry. The labels of the two edges therefore differ
+	// and no cluster may form. The chop-interior scan alone cannot see
+	// this: the call sits in the use block itself, which the chop
+	// excludes as an endpoint.
+	src := `
+var x = 0;
+var y = 0;
+func touch(a, b) {
+	x = x + 1;
+}
+func main() {
+	var i = 0;
+	while (i < 4) {
+		touch(x, y);
+		i = i + 1;
+	}
+	print(x);
+}`
+	g, _ := buildStatic(t, src, Config{ShareData: true}, false)
+	for id, isCD := range g.clusterIsCD {
+		if !isCD {
+			t.Errorf("data cluster %d formed across a back edge with a callee write of a member object", id)
+		}
+	}
+}
+
 func TestStageZeroHasNoStaticEdges(t *testing.T) {
 	g, _ := buildStatic(t, `
 func main() {
