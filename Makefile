@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: ci build vet fmt test test-race overhead bench bench-parallel bench-mem experiments
+.PHONY: ci build vet fmt test test-race fuzz-smoke fuzz-native overhead bench bench-parallel bench-mem experiments
 
-ci: build vet fmt test test-race bench-mem overhead
+ci: build vet fmt test test-race fuzz-smoke bench-mem overhead
 
 build:
 	$(GO) build ./...
@@ -22,6 +22,20 @@ test:
 # batched slicers, the QueryEngine, and the root façade.
 test-race:
 	$(GO) test -race . ./internal/slicing/... ./internal/trace/...
+
+# Differential smoke gate: 500 generated programs, every sampled
+# criterion sliced through the full configuration matrix and compared
+# against the brute-force oracle. Deterministic: any failure prints the
+# exact replay command (see docs/TESTING.md).
+fuzz-smoke:
+	$(GO) run ./cmd/fuzzgen -seed 1 -n 500
+
+# Coverage-guided native fuzzing, a short burst per target. Unbounded
+# sessions: go test -fuzz FuzzX -fuzztime 10m <pkg>.
+fuzz-native:
+	$(GO) test -fuzz FuzzSlicerEquivalence -fuzztime 10s ./internal/fuzzgen/
+	$(GO) test -fuzz FuzzGeneratedEquivalence -fuzztime 10s ./internal/fuzzgen/
+	$(GO) test -fuzz FuzzTraceReader -fuzztime 10s ./internal/trace/
 
 # Guard: a disabled telemetry registry may cost at most 5% over none.
 overhead:

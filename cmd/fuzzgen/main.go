@@ -1,0 +1,151 @@
+// Command fuzzgen soaks the slicing stack with generated MiniC programs:
+// each seed becomes a random program that is run once under
+// instrumentation and sliced through the full configuration matrix, with
+// every answer compared against the brute-force oracle.
+//
+// Usage:
+//
+//	fuzzgen [-seed 1] [-n 500] [-matrix full|quick] [-criteria 8]
+//	        [-keep-going] [-out dir] [-v] [-dump]
+//
+// Seeds base..base+n-1 are checked in order; progress and the exact
+// replay command for the current seed are printed as the run advances.
+// On a divergence the failing program is minimized (while preserving the
+// divergence) and written as a standalone .minic repro with the failing
+// configuration tuple in its header — ready to check into
+// internal/fuzzgen/testdata/regressions/ once the bug is fixed.
+//
+//	fuzzgen -seed 42 -n 1        # replay one seed exactly
+//	fuzzgen -seed 42 -dump       # print the generated program + input
+//
+// Exit status: 0 when every seed is clean, 1 when any diverged.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"dynslice/internal/fuzzgen"
+)
+
+func main() {
+	seed := flag.Uint64("seed", 1, "first generator seed")
+	n := flag.Uint64("n", 500, "number of seeds to check")
+	matrix := flag.String("matrix", "full", "configuration matrix: full or quick")
+	criteria := flag.Int("criteria", 8, "slicing criteria sampled per program")
+	keepGoing := flag.Bool("keep-going", false, "check every seed even after divergences")
+	outDir := flag.String("out", ".", "directory for minimized .minic repros")
+	verbose := flag.Bool("v", false, "print every seed, not just a progress line")
+	dump := flag.Bool("dump", false, "print the generated program for -seed and exit")
+	flag.Parse()
+
+	if *dump {
+		pr := fuzzgen.Generate(*seed)
+		fmt.Printf("// seed %d, input:", *seed)
+		for _, v := range pr.Input {
+			fmt.Printf(" %d", v)
+		}
+		fmt.Printf("\n%s", pr.Src)
+		return
+	}
+
+	var variants []fuzzgen.Variant
+	switch *matrix {
+	case "full":
+		variants = fuzzgen.FullMatrix()
+	case "quick":
+		variants = fuzzgen.QuickMatrix()
+	default:
+		fmt.Fprintf(os.Stderr, "fuzzgen: unknown matrix %q (want full or quick)\n", *matrix)
+		os.Exit(2)
+	}
+	opts := fuzzgen.Options{Criteria: *criteria, Variants: variants}
+
+	checked, skipped, failures := 0, 0, 0
+	var stmts, crits int
+	for i := uint64(0); i < *n; i++ {
+		s := *seed + i
+		pr := fuzzgen.Generate(s)
+		if *verbose {
+			fmt.Printf("seed %d: %d bytes, %d inputs\n", s, len(pr.Src), len(pr.Input))
+		}
+		res, err := fuzzgen.Check(pr.Src, pr.Input, opts)
+		if err != nil {
+			if fuzzgen.IsSubjectError(err) {
+				// Step-budget blowups are the only legitimate reason a
+				// generated program is not a differential subject.
+				if strings.Contains(err.Error(), "step limit") {
+					skipped++
+					continue
+				}
+				fmt.Fprintf(os.Stderr, "seed %d: generator produced an invalid program: %v\n%s", s, err, pr.Src)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "seed %d: harness failure: %v\n", s, err)
+			os.Exit(1)
+		}
+		checked++
+		stmts += res.Stmts
+		crits += res.Criteria
+		if len(res.Divergences) == 0 {
+			if (i+1)%100 == 0 {
+				fmt.Printf("%d/%d seeds clean (%d stmts executed, %d criteria checked, %d step-limit skips)\n",
+					checked, *n, stmts, crits, skipped)
+			}
+			continue
+		}
+
+		failures++
+		fmt.Fprintf(os.Stderr, "seed %d DIVERGED (replay: go run ./cmd/fuzzgen -seed %d -n 1 -matrix %s -criteria %d)\n",
+			s, s, *matrix, *criteria)
+		for _, d := range res.Divergences {
+			fmt.Fprintf(os.Stderr, "  %s\n", d)
+		}
+		path, err := writeRepro(*outDir, s, pr, res, opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "seed %d: writing repro: %v\n", s, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "  minimized repro: %s\n", path)
+		if !*keepGoing {
+			os.Exit(1)
+		}
+	}
+	fmt.Printf("%d/%d seeds clean, %d step-limit skips, %d divergent (%d stmts executed, %d criteria checked)\n",
+		checked-failures, *n, skipped, failures, stmts, crits)
+	if failures > 0 {
+		os.Exit(1)
+	}
+}
+
+// writeRepro minimizes the divergent program (preserving the divergence)
+// and writes it as a standalone .minic file with the failing variants in
+// its header.
+func writeRepro(dir string, seed uint64, pr *fuzzgen.Prog, res *fuzzgen.Result, opts fuzzgen.Options) (string, error) {
+	diverges := func(src string, input []int64) bool {
+		r, err := fuzzgen.Check(src, input, opts)
+		return err == nil && len(r.Divergences) > 0
+	}
+	src, input := fuzzgen.Shrink(pr.Src, pr.Input, diverges)
+
+	seen := map[string]bool{}
+	var hdr strings.Builder
+	fmt.Fprintf(&hdr, "// Minimized from generator seed %d. Divergent configurations:\n", seed)
+	for _, d := range res.Divergences {
+		if !seen[d.Variant] {
+			seen[d.Variant] = true
+			fmt.Fprintf(&hdr, "//   %s\n", d.Variant)
+		}
+	}
+	hdr.WriteString("// input:")
+	for _, v := range input {
+		fmt.Fprintf(&hdr, " %d", v)
+	}
+	hdr.WriteString("\n")
+
+	path := filepath.Join(dir, fmt.Sprintf("divergence_seed%d.minic", seed))
+	return path, os.WriteFile(path, []byte(hdr.String()+src), 0o644)
+}

@@ -1,0 +1,105 @@
+package slicer_test
+
+import (
+	"sync"
+	"testing"
+
+	slicer "dynslice"
+)
+
+// TestEngineConcurrentHammer drives one frozen recording from many
+// goroutines at once — single queries, batched queries, and direct
+// Slicer batches, across all three algorithms — with a deliberately
+// tiny LRU so insertion and eviction churn constantly. Every answer
+// must equal the sequential baseline. The test exists to run under
+// `make test-race`: it covers the engine's cache locking, its worker
+// fan-out, and the graphs' memoized label resolution, none of which
+// the sequential tests stress concurrently.
+func TestEngineConcurrentHammer(t *testing.T) {
+	rec := record(t, engineSrc)
+	addrs := engineAddrs(t, rec)
+
+	for _, s := range []*slicer.Slicer{rec.OPT(), rec.FP(), rec.LP()} {
+		s := s
+		t.Run(s.Name(), func(t *testing.T) {
+			// Sequential baseline, one query at a time, before any
+			// concurrent traffic touches the graph.
+			want := make(map[int64]*slicer.Slice, len(addrs))
+			for _, a := range addrs {
+				sl, err := s.SliceAddr(a)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want[a] = sl
+			}
+
+			// CacheSize 4 over 25 criteria: nearly every batch both hits
+			// and evicts; Workers 8 keeps several batched traversals of
+			// the same frozen graph in flight.
+			e := s.Engine(slicer.EngineOptions{Workers: 8, CacheSize: 4})
+
+			const goroutines = 16
+			const rounds = 6
+			var wg sync.WaitGroup
+			errCh := make(chan error, goroutines)
+			for gi := 0; gi < goroutines; gi++ {
+				wg.Add(1)
+				go func(gi int) {
+					defer wg.Done()
+					for r := 0; r < rounds; r++ {
+						switch (gi + r) % 3 {
+						case 0: // single queries, rotated start point
+							for k := range addrs {
+								a := addrs[(k+gi)%len(addrs)]
+								sl, err := e.SliceAddr(a)
+								if err != nil {
+									errCh <- err
+									return
+								}
+								if !sl.Raw().Equal(want[a].Raw()) {
+									t.Errorf("%s: concurrent SliceAddr(%d) diverged from baseline", s.Name(), a)
+									return
+								}
+							}
+						case 1: // engine batch, with duplicates
+							batch := append(append([]int64{}, addrs...), addrs[gi%len(addrs)])
+							sls, err := e.SliceAddrs(batch)
+							if err != nil {
+								errCh <- err
+								return
+							}
+							for k, sl := range sls {
+								if !sl.Raw().Equal(want[batch[k]].Raw()) {
+									t.Errorf("%s: concurrent SliceAddrs[%d] diverged from baseline", s.Name(), k)
+									return
+								}
+							}
+						case 2: // direct batched traversal, bypassing the cache
+							sls, err := s.SliceAddrs(addrs)
+							if err != nil {
+								errCh <- err
+								return
+							}
+							for k, sl := range sls {
+								if !sl.Raw().Equal(want[addrs[k]].Raw()) {
+									t.Errorf("%s: concurrent Slicer.SliceAddrs[%d] diverged from baseline", s.Name(), k)
+									return
+								}
+							}
+						}
+					}
+				}(gi)
+			}
+			wg.Wait()
+			close(errCh)
+			for err := range errCh {
+				t.Fatal(err)
+			}
+
+			hits, misses := e.CacheStats()
+			if hits == 0 || misses == 0 {
+				t.Errorf("%s: cache not exercised under contention (hits=%d misses=%d)", s.Name(), hits, misses)
+			}
+		})
+	}
+}

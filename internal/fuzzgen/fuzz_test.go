@@ -1,0 +1,84 @@
+package fuzzgen
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// FuzzSlicerEquivalence feeds arbitrary MiniC source text (corpus-seeded
+// from testdata/corpus, which mirrors the examples and differential
+// suites) through the differential driver: anything that compiles and
+// runs must slice identically to the brute-force oracle under every
+// matrix variant. Inputs that fail the front end or fault at runtime are
+// uninteresting, not failures — the interesting property is that no
+// input can make the slicers disagree (or panic).
+func FuzzSlicerEquivalence(f *testing.F) {
+	paths, err := filepath.Glob(filepath.Join("testdata", "corpus", "*.minic"))
+	if err != nil {
+		f.Fatal(err)
+	}
+	for _, path := range paths {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(string(data), []byte{6, 3, 9, 4, 1})
+	}
+	// A couple of generated programs widen the seed corpus beyond the
+	// hand-written shapes.
+	for seed := uint64(1); seed <= 4; seed++ {
+		f.Add(Generate(seed).Src, []byte{2, 5})
+	}
+	f.Fuzz(func(t *testing.T, src string, inputRaw []byte) {
+		if len(src) > 8<<10 || len(inputRaw) > 32 {
+			t.Skip("oversized input")
+		}
+		input := make([]int64, len(inputRaw))
+		for i, b := range inputRaw {
+			input[i] = int64(int8(b))
+		}
+		res, err := Check(src, input, Options{
+			Variants: QuickMatrix(),
+			Criteria: 4,
+			MaxSteps: 150_000,
+		})
+		if err != nil {
+			if IsSubjectError(err) {
+				t.Skip()
+			}
+			t.Fatalf("harness failure: %v\nprogram:\n%s", err, src)
+		}
+		for _, d := range res.Divergences {
+			t.Errorf("%s\nprogram:\n%s", d, src)
+		}
+	})
+}
+
+// FuzzGeneratedEquivalence drives the structured generator from a fuzzed
+// seed: every generated program must compile, terminate, and slice
+// identically to the oracle. Unlike FuzzSlicerEquivalence, a compile or
+// runtime error here is a generator bug and fails the target — except
+// step-budget exhaustion, which deep call chains can legitimately hit.
+func FuzzGeneratedEquivalence(f *testing.F) {
+	for seed := uint64(1); seed <= 8; seed++ {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, seed uint64) {
+		pr := Generate(seed)
+		res, err := Check(pr.Src, pr.Input, Options{
+			Variants: QuickMatrix(),
+			Criteria: 4,
+		})
+		if err != nil {
+			if strings.Contains(err.Error(), "step limit") {
+				t.Skip("step budget exhausted")
+			}
+			t.Fatalf("seed %d: %v\nprogram:\n%s", seed, err, pr.Src)
+		}
+		for _, d := range res.Divergences {
+			t.Errorf("seed %d: %s\nprogram:\n%s", seed, d, pr.Src)
+		}
+	})
+}

@@ -1,0 +1,268 @@
+package fuzzgen
+
+import (
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+
+	"dynslice/internal/compile"
+	"dynslice/internal/interp"
+	"dynslice/internal/lang"
+	"dynslice/internal/slicing"
+)
+
+// TestGenerateDeterministic checks the replayability contract: a seed
+// fully determines the program and its input vector.
+func TestGenerateDeterministic(t *testing.T) {
+	for seed := uint64(1); seed <= 20; seed++ {
+		a := Generate(seed)
+		b := Generate(seed)
+		if a.Src != b.Src {
+			t.Fatalf("seed %d: source differs between generations", seed)
+		}
+		if len(a.Input) != len(b.Input) {
+			t.Fatalf("seed %d: input differs between generations", seed)
+		}
+		for i := range a.Input {
+			if a.Input[i] != b.Input[i] {
+				t.Fatalf("seed %d: input differs at %d", seed, i)
+			}
+		}
+	}
+	if Generate(1).Src == Generate(2).Src {
+		t.Fatal("distinct seeds produced identical programs")
+	}
+}
+
+// TestGeneratedProgramsValid checks the generator's fault-freedom
+// invariant over a seed range: every program compiles, and no program
+// hits a runtime fault (bad index, bad address). Step-limit exhaustion
+// is tolerated in a small fraction of seeds — call chains through
+// helpers with loops can multiply — but anything more means the
+// termination patterns regressed.
+func TestGeneratedProgramsValid(t *testing.T) {
+	const seeds = 150
+	limited := 0
+	for seed := uint64(1); seed <= seeds; seed++ {
+		pr := Generate(seed)
+		p, err := compile.Source(pr.Src)
+		if err != nil {
+			t.Fatalf("seed %d: generated program does not compile: %v\n%s", seed, err, pr.Src)
+		}
+		if _, err := interp.Run(p, interp.Options{Input: pr.Input, MaxSteps: 2_000_000}); err != nil {
+			if strings.Contains(err.Error(), "step limit") {
+				limited++
+				continue
+			}
+			t.Fatalf("seed %d: generated program faulted: %v\n%s", seed, err, pr.Src)
+		}
+	}
+	if limited*20 > seeds { // >5%
+		t.Errorf("%d/%d seeds exhausted the step budget", limited, seeds)
+	}
+}
+
+// TestRenderRoundTrip checks the shrinker's foundation: rendering a
+// parsed program yields a program that parses, compiles, and re-renders
+// to the same text (fixpoint after one normalization).
+func TestRenderRoundTrip(t *testing.T) {
+	for seed := uint64(1); seed <= 40; seed++ {
+		pr := Generate(seed)
+		ast, err := lang.Parse(pr.Src)
+		if err != nil {
+			t.Fatalf("seed %d: parse: %v", seed, err)
+		}
+		once := Render(ast)
+		if _, err := compile.Source(once); err != nil {
+			t.Fatalf("seed %d: rendered program does not compile: %v\n%s", seed, err, once)
+		}
+		ast2, err := lang.Parse(once)
+		if err != nil {
+			t.Fatalf("seed %d: rendered program does not re-parse: %v", seed, err)
+		}
+		if twice := Render(ast2); twice != once {
+			t.Fatalf("seed %d: render not a fixpoint\n--- once ---\n%s\n--- twice ---\n%s", seed, once, twice)
+		}
+	}
+}
+
+// TestCheckCleanOnGenerated is the in-process miniature of the smoke
+// gate: a band of generated programs through the full matrix with zero
+// divergences.
+func TestCheckCleanOnGenerated(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-matrix differential sweep")
+	}
+	for seed := uint64(1); seed <= 25; seed++ {
+		pr := Generate(seed)
+		res, err := Check(pr.Src, pr.Input, Options{})
+		if err != nil {
+			if IsSubjectError(err) {
+				t.Fatalf("seed %d: generated program rejected by the harness: %v\n%s", seed, err, pr.Src)
+			}
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		for _, d := range res.Divergences {
+			t.Errorf("seed %d: %s\nprogram:\n%s", seed, d, pr.Src)
+		}
+	}
+}
+
+// TestShrinkPlantedBug plants a divergence — a tampering hook that
+// deletes one statement from every OPT answer once slices are
+// non-trivial — and requires the shrinker to minimize a generated
+// program to a repro under 30 statements that still exhibits it.
+func TestShrinkPlantedBug(t *testing.T) {
+	tamper := func(variant string, s *slicing.Slice) {
+		if !strings.HasPrefix(variant, "OPT") || s.Len() < 3 {
+			return
+		}
+		// Drop the highest statement: a wrong-answer bug the differential
+		// driver must catch on any criterion with a non-trivial slice.
+		ids := s.Stmts()
+		*s = *slicing.NewSlice()
+		for _, id := range ids[:len(ids)-1] {
+			s.Add(id)
+		}
+	}
+	failing := func(src string, input []int64) bool {
+		res, err := Check(src, input, Options{
+			Variants: []Variant{{Alg: "OPT"}},
+			Criteria: 6,
+			Tamper:   tamper,
+		})
+		return err == nil && len(res.Divergences) > 0
+	}
+
+	// Find a generated program the planted bug fires on.
+	var pr *Prog
+	for seed := uint64(1); seed <= 50; seed++ {
+		cand := Generate(seed)
+		if failing(cand.Src, cand.Input) {
+			pr = cand
+			break
+		}
+	}
+	if pr == nil {
+		t.Fatal("no generated program triggered the planted bug")
+	}
+
+	src, input := Shrink(pr.Src, pr.Input, failing)
+	if !failing(src, input) {
+		t.Fatal("shrunk program no longer reproduces the planted bug")
+	}
+	n := CountStmts(src)
+	if n < 0 {
+		t.Fatalf("shrunk program does not parse:\n%s", src)
+	}
+	if n >= 30 {
+		t.Errorf("shrunk repro still has %d statements (want < 30):\n%s", n, src)
+	}
+	if before := CountStmts(pr.Src); n >= before {
+		t.Errorf("shrinker made no progress: %d -> %d statements", before, n)
+	}
+}
+
+// TestShrinkStructural exercises the structural edits in isolation with
+// a cheap predicate: minimize while preserving "compiles and still
+// contains a while loop".
+func TestShrinkStructural(t *testing.T) {
+	pr := Generate(7)
+	if !strings.Contains(pr.Src, "while") {
+		t.Skip("seed 7 generated no while loop")
+	}
+	keep := func(src string, _ []int64) bool {
+		if _, err := compile.Source(src); err != nil {
+			return false
+		}
+		return strings.Contains(src, "while")
+	}
+	src, _ := Shrink(pr.Src, pr.Input, keep)
+	if !keep(src, nil) {
+		t.Fatal("shrunk program lost the predicate")
+	}
+	if n, before := CountStmts(src), CountStmts(pr.Src); n >= before {
+		t.Errorf("no structural progress: %d -> %d statements", before, n)
+	}
+}
+
+// readRepro loads a checked-in .minic repro. A leading "// input: 1 2 3"
+// comment line supplies the input vector.
+func readRepro(t *testing.T, path string) (string, []int64) {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := string(data)
+	var input []int64
+	for _, line := range strings.Split(src, "\n") {
+		line = strings.TrimSpace(line)
+		if !strings.HasPrefix(line, "// input:") {
+			continue
+		}
+		for _, f := range strings.Fields(strings.TrimPrefix(line, "// input:")) {
+			v, err := strconv.ParseInt(f, 10, 64)
+			if err != nil {
+				t.Fatalf("%s: bad input vector element %q", path, f)
+			}
+			input = append(input, v)
+		}
+		break
+	}
+	return src, input
+}
+
+// TestRegressionsReplayGreen replays every checked-in minimized repro
+// through the full configuration matrix: all of them must slice
+// identically to the oracle now that their bugs are fixed.
+func TestRegressionsReplayGreen(t *testing.T) {
+	paths, err := filepath.Glob(filepath.Join("testdata", "regressions", "*.minic"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) == 0 {
+		t.Fatal("no regression repros checked in")
+	}
+	for _, path := range paths {
+		t.Run(filepath.Base(path), func(t *testing.T) {
+			src, input := readRepro(t, path)
+			res, err := Check(src, input, Options{Criteria: 16})
+			if err != nil {
+				t.Fatalf("%v\n%s", err, src)
+			}
+			for _, d := range res.Divergences {
+				t.Errorf("%s", d)
+			}
+		})
+	}
+}
+
+// TestCorpusClean replays every corpus seed program through the full
+// matrix; the native fuzz target seeds from the same files.
+func TestCorpusClean(t *testing.T) {
+	paths, err := filepath.Glob(filepath.Join("testdata", "corpus", "*.minic"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) == 0 {
+		t.Fatal("no corpus programs checked in")
+	}
+	for _, path := range paths {
+		t.Run(filepath.Base(path), func(t *testing.T) {
+			src, input := readRepro(t, path)
+			if input == nil {
+				input = []int64{6, 3, -2, 9, 4, 9, 1}
+			}
+			res, err := Check(src, input, Options{Criteria: 12})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, d := range res.Divergences {
+				t.Errorf("%s", d)
+			}
+		})
+	}
+}

@@ -1,0 +1,593 @@
+// Package fuzzgen is the differential fuzzing harness for the slicing
+// stack: a seeded, deterministic random MiniC program generator, a
+// config-matrix differential driver that checks every slicer variant
+// against the brute-force oracle, and a shrinker that minimizes failing
+// programs into standalone repros.
+//
+// The generator is biased toward the shapes that stress the paper's
+// optimizations: counted loops with branchy bodies (OPT-2c path
+// specialization, OPT-4/5 control inference), pointer stores through
+// may-alias pointers (OPT-1b partial edges), repeated non-local uses
+// (OPT-2b use-use edges), multi-variable assignments fed from one block
+// (OPT-3/6 label sharing), and call chains with bounded recursion
+// (superblock suspension, the hybrid flusher's straggler path).
+//
+// Every generated program terminates: while loops use a dedicated
+// counter that the body never reassigns (and which continue cannot
+// skip — continue is only emitted inside for loops, whose post statement
+// always runs), and recursive calls decrement a guard parameter checked
+// on entry. Array indices are reduced modulo the array length with a
+// non-negativity correction, and pointers only ever hold addresses taken
+// with &, so generated programs are free of runtime faults by
+// construction. A statement-budget backstop in the driver catches any
+// violation of these invariants as a harness failure rather than a hang.
+package fuzzgen
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"strings"
+)
+
+// Prog is one generated program plus the input vector to run it with.
+type Prog struct {
+	Seed  uint64
+	Src   string
+	Input []int64
+}
+
+// GenOptions bounds the generator. The zero value selects defaults.
+type GenOptions struct {
+	// MaxStmts caps the number of generated executable statements
+	// (default 48). The rendered program may be slightly larger because
+	// loop scaffolding (counter declaration and increment) is not
+	// counted against the budget.
+	MaxStmts int
+}
+
+func (o GenOptions) maxStmts() int {
+	if o.MaxStmts <= 0 {
+		return 48
+	}
+	return o.MaxStmts
+}
+
+// Variable kinds tracked by the generator's scopes.
+const (
+	kScalar  = iota // ordinary integer scalar (assignable)
+	kArray          // fixed-size array
+	kPtr            // scalar that only ever holds &x / &a[i] addresses
+	kCounter        // loop counter: readable, never reassigned, non-negative
+	kParam          // function parameter: readable scalar
+	kGuard          // recursion guard parameter: readable, never reassigned,
+	//                 but may be negative (self-calls pass guard-k)
+)
+
+type genVar struct {
+	name string
+	kind int
+	size int64 // array length for kArray
+}
+
+type genFunc struct {
+	name      string
+	arity     int
+	recursive bool // first argument is a decreasing termination guard
+}
+
+// loop kinds for the break/continue legality stack.
+const (
+	loopWhile = iota // continue is illegal (would skip the counter step)
+	loopFor          // continue is legal (the post statement still runs)
+)
+
+type generator struct {
+	r      *rand.Rand
+	b      strings.Builder
+	indent int
+	budget int
+
+	nextID    int
+	globals   []genVar
+	scopes    [][]genVar // current function's scope stack (innermost last)
+	funcs     []genFunc
+	curFn     *genFunc
+	selfCalls int   // self-recursive call sites emitted in curFn
+	loops     []int // stack of loop kinds
+	inputs    int   // number of input() sites emitted
+}
+
+// Generate produces the program for a seed. The same seed always yields
+// byte-identical source and input (rand/v2's PCG is a fixed algorithm,
+// stable across Go releases and platforms).
+func Generate(seed uint64) *Prog { return GenerateWith(seed, GenOptions{}) }
+
+// GenerateWith is Generate with explicit bounds.
+func GenerateWith(seed uint64, o GenOptions) *Prog {
+	g := &generator{
+		r:      rand.New(rand.NewPCG(seed, 0x9e3779b97f4a7c15)),
+		budget: o.maxStmts(),
+	}
+	g.program()
+	in := g.input()
+	return &Prog{Seed: seed, Src: g.b.String(), Input: in}
+}
+
+func (g *generator) n(max int) int { return g.r.IntN(max) }
+func (g *generator) chance(p float64) bool {
+	return g.r.Float64() < p
+}
+
+func (g *generator) name(prefix string) string {
+	g.nextID++
+	return fmt.Sprintf("%s%d", prefix, g.nextID)
+}
+
+func (g *generator) line(format string, args ...any) {
+	g.b.WriteString(strings.Repeat("\t", g.indent))
+	fmt.Fprintf(&g.b, format, args...)
+	g.b.WriteByte('\n')
+}
+
+// ---- scopes ----
+
+func (g *generator) pushScope() { g.scopes = append(g.scopes, nil) }
+func (g *generator) popScope()  { g.scopes = g.scopes[:len(g.scopes)-1] }
+func (g *generator) declare(v genVar) {
+	g.scopes[len(g.scopes)-1] = append(g.scopes[len(g.scopes)-1], v)
+}
+
+// visible returns every variable of the given kinds reachable from the
+// current scope: the globals plus the current function's scope stack.
+func (g *generator) visible(kinds ...int) []genVar {
+	var out []genVar
+	match := func(v genVar) {
+		for _, k := range kinds {
+			if v.kind == k {
+				out = append(out, v)
+			}
+		}
+	}
+	for _, v := range g.globals {
+		match(v)
+	}
+	for _, sc := range g.scopes {
+		for _, v := range sc {
+			match(v)
+		}
+	}
+	return out
+}
+
+func (g *generator) pick(vs []genVar) genVar { return vs[g.n(len(vs))] }
+
+// ---- program structure ----
+
+func (g *generator) program() {
+	// Globals: 1-3 scalars, 0-2 arrays. Global pointers are not generated;
+	// pointers are locals so their targets are always initialized first.
+	for i, n := 0, 1+g.n(3); i < n; i++ {
+		v := genVar{name: g.name("g"), kind: kScalar}
+		g.globals = append(g.globals, v)
+		g.line("var %s = %d;", v.name, g.n(19)-9)
+	}
+	for i, n := 0, g.n(3); i < n; i++ {
+		v := genVar{name: g.name("arr"), kind: kArray, size: int64(2 + g.n(7))}
+		g.globals = append(g.globals, v)
+		g.line("var %s[%d];", v.name, v.size)
+	}
+	g.b.WriteByte('\n')
+
+	// Helper functions, callable by later functions and main.
+	for i, n := 0, g.n(4); i < n; i++ {
+		g.function()
+		g.b.WriteByte('\n')
+	}
+
+	// main — guarantee it a reasonable share of the statement budget even
+	// when the helpers were greedy.
+	if g.budget < 16 {
+		g.budget = 16
+	}
+	g.line("func main() {")
+	g.indent++
+	g.pushScope()
+	g.block(2 + g.n(3))
+	// Print every global scalar so the trace always has criteria rooted
+	// in long dependence chains.
+	for _, v := range g.globals {
+		if v.kind == kScalar {
+			g.line("print(%s);", v.name)
+		}
+	}
+	g.popScope()
+	g.indent--
+	g.line("}")
+}
+
+func (g *generator) function() {
+	fn := genFunc{name: g.name("f"), arity: 1 + g.n(3), recursive: g.chance(0.35)}
+	params := make([]string, fn.arity)
+	for i := range params {
+		params[i] = g.name("p")
+	}
+	g.line("func %s(%s) {", fn.name, strings.Join(params, ", "))
+	g.indent++
+	g.pushScope()
+	for i, p := range params {
+		kind := kParam
+		if i == 0 && fn.recursive {
+			kind = kGuard // never reassigned, but not provably non-negative
+		}
+		g.declare(genVar{name: p, kind: kind})
+	}
+	if fn.recursive {
+		// Termination guard first, then the function becomes visible to
+		// its own body so expressions can self-recurse on params[0]-k.
+		g.line("if (%s < 1) { return %s; }", params[0], g.leafExpr())
+		g.funcs = append(g.funcs, fn)
+	}
+	g.curFn = &fn
+	g.selfCalls = 0
+	g.block(1 + g.n(3))
+	g.line("return %s;", g.expr(1+g.n(2)))
+	g.curFn = nil
+	g.popScope()
+	g.indent--
+	g.line("}")
+	if !fn.recursive {
+		g.funcs = append(g.funcs, fn)
+	}
+}
+
+// input returns the generated input vector (non-empty iff the program
+// contains input() sites, plus slack so late reads see real values).
+func (g *generator) input() []int64 {
+	if g.inputs == 0 {
+		return nil
+	}
+	n := g.inputs + g.n(4)
+	in := make([]int64, n)
+	for i := range in {
+		in[i] = int64(g.n(41) - 20)
+	}
+	return in
+}
+
+// ---- statements ----
+
+// block emits 1..max statements (budget permitting).
+func (g *generator) block(max int) {
+	n := 1 + g.n(max)
+	for i := 0; i < n; i++ {
+		if g.budget <= 0 {
+			return
+		}
+		g.stmt()
+	}
+}
+
+func (g *generator) stmt() {
+	g.budget--
+	type cand struct {
+		w  int
+		fn func()
+	}
+	var cs []cand
+	add := func(w int, fn func()) { cs = append(cs, cand{w, fn}) }
+
+	scalars := g.visible(kScalar)
+	arrays := g.visible(kArray)
+	ptrs := g.visible(kPtr)
+	inLoop := len(g.loops) > 0
+	deep := g.loopDepth() >= 2 || g.indent >= 5
+
+	add(6, g.declScalar)
+	if len(scalars) > 0 {
+		add(18, g.assignScalar)
+	}
+	if len(arrays) > 0 {
+		add(8, g.assignArray)
+	}
+	if len(scalars) > 0 || len(arrays) > 0 {
+		add(5, g.declPtr)
+	}
+	if len(ptrs) > 0 {
+		add(7, g.assignDeref)
+		add(3, g.assignPtr)
+	}
+	if !deep {
+		add(9, g.ifStmt)
+		add(6, g.whileStmt)
+		add(6, g.forStmt)
+	}
+	if len(g.funcs) > 0 {
+		add(5, g.callStmt)
+	}
+	add(3, func() { g.line("print(%s);", g.expr(1)) })
+	if g.chance(0.2) {
+		add(2, g.declArray)
+	}
+	if inLoop {
+		add(2, func() { g.line("if (%s) { break; }", g.cond()) })
+		if g.loops[len(g.loops)-1] == loopFor {
+			add(2, func() { g.line("if (%s) { continue; }", g.cond()) })
+		}
+	}
+	if g.curFn != nil && g.chance(0.3) {
+		add(1, func() { g.line("if (%s) { return %s; }", g.cond(), g.expr(1)) })
+	}
+
+	total := 0
+	for _, c := range cs {
+		total += c.w
+	}
+	pickAt := g.n(total)
+	for _, c := range cs {
+		if pickAt < c.w {
+			c.fn()
+			return
+		}
+		pickAt -= c.w
+	}
+}
+
+func (g *generator) loopDepth() int { return len(g.loops) }
+
+func (g *generator) declScalar() {
+	v := genVar{name: g.name("x"), kind: kScalar}
+	g.line("var %s = %s;", v.name, g.expr(1+g.n(2)))
+	g.declare(v)
+}
+
+// declArray declares a fresh array in the current scope; inside a loop
+// body this re-executes the RegionDef every iteration.
+func (g *generator) declArray() {
+	v := genVar{name: g.name("arr"), kind: kArray, size: int64(2 + g.n(5))}
+	g.line("var %s[%d];", v.name, v.size)
+	g.declare(v)
+}
+
+func (g *generator) assignScalar() {
+	v := g.pick(g.visible(kScalar))
+	g.line("%s = %s;", v.name, g.expr(1+g.n(3)))
+}
+
+func (g *generator) assignArray() {
+	a := g.pick(g.visible(kArray))
+	g.line("%s[%s] = %s;", a.name, g.index(a), g.expr(1+g.n(2)))
+}
+
+func (g *generator) declPtr() {
+	v := genVar{name: g.name("ptr"), kind: kPtr}
+	g.line("var %s = %s;", v.name, g.address())
+	g.declare(v)
+}
+
+func (g *generator) assignPtr() {
+	p := g.pick(g.visible(kPtr))
+	// Occasionally copy another pointer instead of taking a fresh address
+	// (keeps the may-alias sets overlapping).
+	if ptrs := g.visible(kPtr); len(ptrs) > 1 && g.chance(0.3) {
+		q := g.pick(ptrs)
+		g.line("%s = %s;", p.name, q.name)
+		return
+	}
+	g.line("%s = %s;", p.name, g.address())
+}
+
+func (g *generator) assignDeref() {
+	p := g.pick(g.visible(kPtr))
+	g.line("*%s = %s;", p.name, g.expr(1+g.n(2)))
+}
+
+func (g *generator) callStmt() {
+	if f, ok := g.pickCallee(); ok {
+		g.line("%s;", g.call(f, 1))
+	}
+}
+
+// pickCallee chooses a callable function. Self-recursive calls are only
+// legal outside loops and at most twice per function body: recursion
+// depth is bounded by the guard, so the cost of a recursive function is
+// (self call sites)^depth — loop-hosted or plentiful self-calls would
+// make that exponential in the trace.
+func (g *generator) pickCallee() (genFunc, bool) {
+	f := g.funcs[g.n(len(g.funcs))]
+	if g.curFn != nil && f.name == g.curFn.name {
+		if len(g.loops) > 0 || g.selfCalls >= 2 {
+			return genFunc{}, false
+		}
+		g.selfCalls++
+	}
+	return f, true
+}
+
+func (g *generator) ifStmt() {
+	g.line("if (%s) {", g.cond())
+	g.indent++
+	g.pushScope()
+	g.block(2)
+	g.popScope()
+	g.indent--
+	if g.chance(0.5) {
+		g.line("} else {")
+		g.indent++
+		g.pushScope()
+		g.block(2)
+		g.popScope()
+		g.indent--
+	}
+	g.line("}")
+}
+
+// whileStmt emits the counted-loop pattern: the counter is declared just
+// before the loop, bodies never reassign counters (kCounter is excluded
+// from assignment targets), and continue is never emitted inside a while,
+// so the increment always runs.
+func (g *generator) whileStmt() {
+	c := genVar{name: g.name("i"), kind: kCounter}
+	bound := 1 + g.n(8)
+	g.line("var %s = 0;", c.name)
+	g.line("while (%s < %d) {", c.name, bound)
+	g.indent++
+	g.pushScope()
+	g.declare(c)
+	g.loops = append(g.loops, loopWhile)
+	g.block(3)
+	g.loops = g.loops[:len(g.loops)-1]
+	g.line("%s = %s + 1;", c.name, c.name)
+	g.popScope()
+	g.indent--
+	g.line("}")
+}
+
+func (g *generator) forStmt() {
+	c := genVar{name: g.name("i"), kind: kCounter}
+	bound := 1 + g.n(8)
+	step := 1 + g.n(2)
+	g.line("for (var %s = 0; %s < %d; %s = %s + %d) {", c.name, c.name, bound, c.name, c.name, step)
+	g.indent++
+	g.pushScope()
+	g.declare(c)
+	g.loops = append(g.loops, loopFor)
+	g.block(3)
+	g.loops = g.loops[:len(g.loops)-1]
+	g.popScope()
+	g.indent--
+	g.line("}")
+}
+
+// ---- expressions ----
+
+var binops = []string{"+", "-", "*", "/", "%", "<", "<=", ">", ">=", "==", "!=", "&&", "||"}
+
+// expr renders an expression of bounded depth.
+func (g *generator) expr(depth int) string {
+	if depth <= 0 {
+		return g.leafExpr()
+	}
+	switch {
+	case g.chance(0.62):
+		op := binops[g.n(len(binops))]
+		return fmt.Sprintf("(%s %s %s)", g.expr(depth-1), op, g.expr(depth-1))
+	case g.chance(0.18):
+		if g.chance(0.5) {
+			return fmt.Sprintf("(-%s)", g.expr(depth-1))
+		}
+		return fmt.Sprintf("(!%s)", g.expr(depth-1))
+	case len(g.funcs) > 0 && g.chance(0.4):
+		if f, ok := g.pickCallee(); ok {
+			return g.call(f, depth-1)
+		}
+		return g.leafExpr()
+	default:
+		return g.leafExpr()
+	}
+}
+
+// cond is a comparison-shaped expression for branch conditions.
+func (g *generator) cond() string {
+	ops := []string{"<", "<=", ">", ">=", "==", "!="}
+	return fmt.Sprintf("%s %s %s", g.expr(1), ops[g.n(len(ops))], g.expr(1))
+}
+
+// leafExpr renders an atom. Reads are weighted toward scalar variables
+// and loop counters so dependence chains stay long.
+func (g *generator) leafExpr() string {
+	readable := g.visible(kScalar, kCounter, kParam, kGuard)
+	arrays := g.visible(kArray)
+	ptrs := g.visible(kPtr)
+	type cand struct {
+		w int
+		s func() string
+	}
+	cs := []cand{
+		{7, func() string { return fmt.Sprintf("%d", g.n(19)-9) }},
+	}
+	if len(readable) > 0 {
+		cs = append(cs, cand{14, func() string { return g.pick(readable).name }})
+	}
+	if len(arrays) > 0 {
+		cs = append(cs, cand{5, func() string {
+			a := g.pick(arrays)
+			return fmt.Sprintf("%s[%s]", a.name, g.index(a))
+		}})
+	}
+	if len(ptrs) > 0 {
+		cs = append(cs, cand{4, func() string { return "*" + g.pick(ptrs).name }})
+		cs = append(cs, cand{1, func() string { return g.pick(ptrs).name }})
+	}
+	cs = append(cs, cand{1, func() string { g.inputs++; return "input()" }})
+	total := 0
+	for _, c := range cs {
+		total += c.w
+	}
+	pickAt := g.n(total)
+	for _, c := range cs {
+		if pickAt < c.w {
+			return c.s()
+		}
+		pickAt -= c.w
+	}
+	return "0"
+}
+
+// index renders a provably in-range index for array a: either a loop
+// counter reduced modulo the length (counters are non-negative) or an
+// arbitrary expression with the full sign-correcting reduction.
+func (g *generator) index(a genVar) string {
+	if counters := g.visible(kCounter); len(counters) > 0 && g.chance(0.6) {
+		return fmt.Sprintf("%s %% %d", g.pick(counters).name, a.size)
+	}
+	return fmt.Sprintf("((%s %% %d + %d) %% %d)", g.expr(1), a.size, a.size, a.size)
+}
+
+// address renders an address-of expression over a visible scalar or
+// array element.
+func (g *generator) address() string {
+	scalars := g.visible(kScalar)
+	arrays := g.visible(kArray)
+	if len(arrays) > 0 && (len(scalars) == 0 || g.chance(0.4)) {
+		a := g.pick(arrays)
+		return fmt.Sprintf("&%s[%s]", a.name, g.index(a))
+	}
+	return "&" + g.pick(scalars).name
+}
+
+// call renders a call to f. For recursive callees the first argument is
+// always a small bounded value (or guard-1 when self-recursing), so
+// recursion depth is bounded by a constant.
+func (g *generator) call(f genFunc, depth int) string {
+	args := make([]string, f.arity)
+	for i := range args {
+		if i == 0 && f.recursive {
+			args[i] = g.boundedGuard(f)
+			continue
+		}
+		args[i] = g.expr(depth)
+	}
+	return fmt.Sprintf("%s(%s)", f.name, strings.Join(args, ", "))
+}
+
+func (g *generator) boundedGuard(f genFunc) string {
+	// Self-recursion: strictly decrease the incoming guard.
+	if g.curFn != nil && g.curFn.name == f.name {
+		guard := g.scopes[0][0].name // params live in the function's first scope
+		return fmt.Sprintf("%s - %d", guard, 1+g.n(2))
+	}
+	switch g.n(3) {
+	case 0:
+		return fmt.Sprintf("%d", g.n(7))
+	case 1:
+		if counters := g.visible(kCounter); len(counters) > 0 {
+			return g.pick(counters).name
+		}
+		return fmt.Sprintf("%d", g.n(7))
+	default:
+		if scalars := g.visible(kScalar); len(scalars) > 0 {
+			return fmt.Sprintf("(%s %% 6)", g.pick(scalars).name)
+		}
+		return fmt.Sprintf("%d", g.n(7))
+	}
+}

@@ -1,0 +1,192 @@
+package fuzzgen
+
+import (
+	"fmt"
+	"strings"
+
+	"dynslice/internal/lang"
+)
+
+// Render prints a parsed MiniC program back to source text. The output
+// re-parses to a structurally identical tree (expressions are emitted
+// fully parenthesized, so operator precedence never shifts), which is
+// what lets the shrinker edit the AST and re-validate each candidate.
+func Render(p *lang.Program) string {
+	var b strings.Builder
+	for _, g := range p.Globals {
+		renderVarDecl(&b, 0, g)
+	}
+	for _, f := range p.Funcs {
+		b.WriteByte('\n')
+		fmt.Fprintf(&b, "func %s(%s) ", f.Name, strings.Join(f.Params, ", "))
+		renderBlock(&b, 0, f.Body)
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func ind(b *strings.Builder, depth int) {
+	for i := 0; i < depth; i++ {
+		b.WriteByte('\t')
+	}
+}
+
+func renderVarDecl(b *strings.Builder, depth int, d *lang.VarDecl) {
+	ind(b, depth)
+	if d.Size > 0 {
+		fmt.Fprintf(b, "var %s[%d];\n", d.Name, d.Size)
+		return
+	}
+	if d.Init != nil {
+		fmt.Fprintf(b, "var %s = %s;\n", d.Name, renderExpr(d.Init))
+		return
+	}
+	fmt.Fprintf(b, "var %s;\n", d.Name)
+}
+
+func renderBlock(b *strings.Builder, depth int, blk *lang.BlockStmt) {
+	b.WriteString("{\n")
+	for _, s := range blk.Stmts {
+		renderStmt(b, depth+1, s)
+	}
+	ind(b, depth)
+	b.WriteString("}")
+}
+
+func renderStmt(b *strings.Builder, depth int, s lang.Stmt) {
+	switch s := s.(type) {
+	case *lang.VarDecl:
+		renderVarDecl(b, depth, s)
+	case *lang.AssignStmt:
+		ind(b, depth)
+		b.WriteString(renderSimple(s))
+		b.WriteString(";\n")
+	case *lang.IfStmt:
+		ind(b, depth)
+		renderIf(b, depth, s)
+		b.WriteByte('\n')
+	case *lang.WhileStmt:
+		ind(b, depth)
+		fmt.Fprintf(b, "while (%s) ", renderExpr(s.Cond))
+		renderBlock(b, depth, s.Body)
+		b.WriteByte('\n')
+	case *lang.ForStmt:
+		ind(b, depth)
+		b.WriteString("for (")
+		if s.Init != nil {
+			b.WriteString(renderForSimple(s.Init))
+		}
+		b.WriteString("; ")
+		if s.Cond != nil {
+			b.WriteString(renderExpr(s.Cond))
+		}
+		b.WriteString("; ")
+		if s.Post != nil {
+			b.WriteString(renderForSimple(s.Post))
+		}
+		b.WriteString(") ")
+		renderBlock(b, depth, s.Body)
+		b.WriteByte('\n')
+	case *lang.ReturnStmt:
+		ind(b, depth)
+		if s.Value != nil {
+			fmt.Fprintf(b, "return %s;\n", renderExpr(s.Value))
+		} else {
+			b.WriteString("return;\n")
+		}
+	case *lang.BreakStmt:
+		ind(b, depth)
+		b.WriteString("break;\n")
+	case *lang.ContinueStmt:
+		ind(b, depth)
+		b.WriteString("continue;\n")
+	case *lang.PrintStmt:
+		ind(b, depth)
+		fmt.Fprintf(b, "print(%s);\n", renderExpr(s.Arg))
+	case *lang.ExprStmt:
+		ind(b, depth)
+		fmt.Fprintf(b, "%s;\n", renderExpr(s.Call))
+	case *lang.BlockStmt:
+		ind(b, depth)
+		renderBlock(b, depth, s)
+		b.WriteByte('\n')
+	default:
+		panic(fmt.Sprintf("fuzzgen: render: unknown statement %T", s))
+	}
+}
+
+func renderIf(b *strings.Builder, depth int, s *lang.IfStmt) {
+	fmt.Fprintf(b, "if (%s) ", renderExpr(s.Cond))
+	renderBlock(b, depth, s.Then)
+	switch e := s.Else.(type) {
+	case nil:
+	case *lang.BlockStmt:
+		b.WriteString(" else ")
+		renderBlock(b, depth, e)
+	case *lang.IfStmt:
+		b.WriteString(" else ")
+		renderIf(b, depth, e)
+	default:
+		panic(fmt.Sprintf("fuzzgen: render: unknown else arm %T", e))
+	}
+}
+
+// renderSimple prints an assignment without trailing punctuation.
+func renderSimple(s *lang.AssignStmt) string {
+	switch {
+	case s.Deref:
+		return fmt.Sprintf("*%s = %s", renderExpr(s.Addr), renderExpr(s.Rhs))
+	case s.Index != nil:
+		return fmt.Sprintf("%s[%s] = %s", s.Name, renderExpr(s.Index), renderExpr(s.Rhs))
+	default:
+		return fmt.Sprintf("%s = %s", s.Name, renderExpr(s.Rhs))
+	}
+}
+
+// renderForSimple prints a for-clause simple statement (init or post):
+// either a declaration or an assignment, with no trailing semicolon.
+func renderForSimple(s lang.Stmt) string {
+	switch s := s.(type) {
+	case *lang.VarDecl:
+		if s.Init != nil {
+			return fmt.Sprintf("var %s = %s", s.Name, renderExpr(s.Init))
+		}
+		return fmt.Sprintf("var %s", s.Name)
+	case *lang.AssignStmt:
+		return renderSimple(s)
+	default:
+		panic(fmt.Sprintf("fuzzgen: render: unknown for-clause %T", s))
+	}
+}
+
+func renderExpr(e lang.Expr) string {
+	switch e := e.(type) {
+	case *lang.NumLit:
+		return fmt.Sprintf("%d", e.Value)
+	case *lang.VarRef:
+		return e.Name
+	case *lang.IndexExpr:
+		return fmt.Sprintf("%s[%s]", e.Array, renderExpr(e.Index))
+	case *lang.DerefExpr:
+		return fmt.Sprintf("(*%s)", renderExpr(e.Addr))
+	case *lang.AddrOfExpr:
+		if e.Index != nil {
+			return fmt.Sprintf("(&%s[%s])", e.Name, renderExpr(e.Index))
+		}
+		return fmt.Sprintf("(&%s)", e.Name)
+	case *lang.UnaryExpr:
+		return fmt.Sprintf("(%s%s)", e.Op, renderExpr(e.X))
+	case *lang.BinaryExpr:
+		return fmt.Sprintf("(%s %s %s)", renderExpr(e.X), e.Op, renderExpr(e.Y))
+	case *lang.CallExpr:
+		args := make([]string, len(e.Args))
+		for i, a := range e.Args {
+			args[i] = renderExpr(a)
+		}
+		return fmt.Sprintf("%s(%s)", e.Callee, strings.Join(args, ", "))
+	case *lang.InputExpr:
+		return "input()"
+	default:
+		panic(fmt.Sprintf("fuzzgen: render: unknown expression %T", e))
+	}
+}

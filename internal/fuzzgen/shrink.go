@@ -1,0 +1,325 @@
+package fuzzgen
+
+import (
+	"dynslice/internal/lang"
+)
+
+// Predicate reports whether a candidate program still reproduces the
+// failure being minimized. Candidates that fail to compile or run simply
+// make the predicate return false; the shrinker treats them as invalid
+// edits and moves on.
+type Predicate func(src string, input []int64) bool
+
+// Shrink greedily minimizes a failing program: it repeatedly tries
+// statement deletions, control-structure unwrapping, constant reduction
+// (loop bounds included), global/function deletion, and input-vector
+// element drops, re-validating every candidate with keep and accepting
+// any edit that preserves the failure. The returned program still
+// satisfies keep (or equals the input if the original never did).
+//
+// The candidate space is enumerated from a fresh parse for every edit,
+// so the walk order is deterministic and an accepted edit restarts
+// enumeration on the smaller program — the classic greedy ddmin loop.
+func Shrink(src string, input []int64, keep Predicate) (string, []int64) {
+	cur := src
+	curIn := append([]int64(nil), input...)
+	if !keep(cur, curIn) {
+		return cur, curIn
+	}
+	// Normalize through the printer once so rendered candidates differ
+	// from cur only by the applied edit.
+	if p, err := lang.Parse(cur); err == nil {
+		if norm := Render(p); keep(norm, curIn) {
+			cur = norm
+		}
+	}
+	const maxRounds = 400
+	for round := 0; round < maxRounds; round++ {
+		progress := false
+		for i := 0; i < len(curIn); i++ {
+			cand := make([]int64, 0, len(curIn)-1)
+			cand = append(cand, curIn[:i]...)
+			cand = append(cand, curIn[i+1:]...)
+			if keep(cur, cand) {
+				curIn = cand
+				progress = true
+				i--
+			}
+		}
+		n := countEdits(cur)
+		for k := 0; k < n; k++ {
+			cand, ok := applyEdit(cur, k)
+			if !ok || cand == cur {
+				continue
+			}
+			if keep(cand, curIn) {
+				cur = cand
+				progress = true
+				break
+			}
+		}
+		if !progress {
+			break
+		}
+	}
+	return cur, curIn
+}
+
+// CountStmts returns the number of executable statements in the program
+// (declarations, assignments, control headers, calls, prints, jumps —
+// everything except the block braces themselves). Used to judge repro
+// size.
+func CountStmts(src string) int {
+	p, err := lang.Parse(src)
+	if err != nil {
+		return -1
+	}
+	n := len(p.Globals)
+	var walk func(list []lang.Stmt)
+	count := func(s lang.Stmt) {
+		switch s := s.(type) {
+		case *lang.BlockStmt:
+			// braces only
+		case *lang.IfStmt:
+			n++
+		case *lang.WhileStmt:
+			n++
+		case *lang.ForStmt:
+			n++
+			if s.Init != nil {
+				n++
+			}
+			if s.Post != nil {
+				n++
+			}
+		default:
+			n++
+		}
+	}
+	walk = func(list []lang.Stmt) {
+		for _, s := range list {
+			count(s)
+			switch s := s.(type) {
+			case *lang.BlockStmt:
+				walk(s.Stmts)
+			case *lang.IfStmt:
+				walk(s.Then.Stmts)
+				for el := s.Else; el != nil; {
+					switch e := el.(type) {
+					case *lang.BlockStmt:
+						walk(e.Stmts)
+						el = nil
+					case *lang.IfStmt:
+						n++
+						walk(e.Then.Stmts)
+						el = e.Else
+					default:
+						el = nil
+					}
+				}
+			case *lang.WhileStmt:
+				walk(s.Body.Stmts)
+			case *lang.ForStmt:
+				walk(s.Body.Stmts)
+			}
+		}
+	}
+	for _, f := range p.Funcs {
+		walk(f.Body.Stmts)
+	}
+	return n
+}
+
+// editor walks a parsed program enumerating edit points. The k-th call
+// to hit() (counting from 0) returns true exactly when k == target, and
+// at most one edit is ever applied per walk. Counting mode uses
+// target = -1.
+type editor struct {
+	target  int
+	count   int
+	applied bool
+}
+
+func (e *editor) hit() bool {
+	if e.applied {
+		e.count++
+		return false
+	}
+	h := e.count == e.target
+	e.count++
+	if h {
+		e.applied = true
+	}
+	return h
+}
+
+func countEdits(src string) int {
+	p, err := lang.Parse(src)
+	if err != nil {
+		return 0
+	}
+	e := &editor{target: -1}
+	e.program(p)
+	return e.count
+}
+
+func applyEdit(src string, k int) (string, bool) {
+	p, err := lang.Parse(src)
+	if err != nil {
+		return "", false
+	}
+	e := &editor{target: k}
+	e.program(p)
+	if !e.applied {
+		return "", false
+	}
+	return Render(p), true
+}
+
+func (e *editor) program(p *lang.Program) {
+	for i := 0; i < len(p.Globals); i++ {
+		if e.hit() {
+			p.Globals = append(p.Globals[:i:i], p.Globals[i+1:]...)
+			i--
+			continue
+		}
+		if p.Globals[i].Init != nil {
+			e.expr(p.Globals[i].Init)
+		}
+	}
+	for i := 0; i < len(p.Funcs); i++ {
+		f := p.Funcs[i]
+		if f.Name != "main" && e.hit() {
+			p.Funcs = append(p.Funcs[:i:i], p.Funcs[i+1:]...)
+			i--
+			continue
+		}
+		f.Body.Stmts = e.stmts(f.Body.Stmts)
+	}
+}
+
+// splice replaces list[i] with the given replacement statements.
+func splice(list []lang.Stmt, i int, repl []lang.Stmt) []lang.Stmt {
+	out := make([]lang.Stmt, 0, len(list)-1+len(repl))
+	out = append(out, list[:i]...)
+	out = append(out, repl...)
+	out = append(out, list[i+1:]...)
+	return out
+}
+
+func (e *editor) stmts(list []lang.Stmt) []lang.Stmt {
+	out := list
+	for i := 0; i < len(out); i++ {
+		if e.hit() { // delete the statement outright
+			out = append(out[:i:i], out[i+1:]...)
+			i--
+			continue
+		}
+		switch s := out[i].(type) {
+		case *lang.VarDecl:
+			if s.Init != nil {
+				e.expr(s.Init)
+			}
+		case *lang.AssignStmt:
+			if s.Index != nil {
+				e.expr(s.Index)
+			}
+			if s.Addr != nil {
+				e.expr(s.Addr)
+			}
+			e.expr(s.Rhs)
+		case *lang.IfStmt:
+			if e.hit() { // unwrap: replace the if by its then-contents
+				out = splice(out, i, s.Then.Stmts)
+				i--
+				continue
+			}
+			if blk, ok := s.Else.(*lang.BlockStmt); ok && e.hit() {
+				// unwrap to the else-contents instead
+				out = splice(out, i, blk.Stmts)
+				i--
+				continue
+			}
+			if s.Else != nil && e.hit() { // drop the else arm
+				s.Else = nil
+			}
+			e.ifChain(s)
+		case *lang.WhileStmt:
+			if e.hit() { // unwrap: hoist the body out of the loop
+				out = splice(out, i, s.Body.Stmts)
+				i--
+				continue
+			}
+			e.expr(s.Cond)
+			s.Body.Stmts = e.stmts(s.Body.Stmts)
+		case *lang.ForStmt:
+			if e.hit() {
+				out = splice(out, i, s.Body.Stmts)
+				i--
+				continue
+			}
+			if s.Cond != nil {
+				e.expr(s.Cond)
+			}
+			s.Body.Stmts = e.stmts(s.Body.Stmts)
+		case *lang.ReturnStmt:
+			if s.Value != nil {
+				e.expr(s.Value)
+			}
+		case *lang.PrintStmt:
+			e.expr(s.Arg)
+		case *lang.ExprStmt:
+			e.expr(s.Call)
+		case *lang.BlockStmt:
+			s.Stmts = e.stmts(s.Stmts)
+		}
+	}
+	return out
+}
+
+// ifChain walks the condition, arms, and any else-if chain of an if.
+func (e *editor) ifChain(s *lang.IfStmt) {
+	e.expr(s.Cond)
+	s.Then.Stmts = e.stmts(s.Then.Stmts)
+	switch el := s.Else.(type) {
+	case *lang.BlockStmt:
+		el.Stmts = e.stmts(el.Stmts)
+	case *lang.IfStmt:
+		e.ifChain(el)
+	}
+}
+
+func (e *editor) expr(x lang.Expr) {
+	switch x := x.(type) {
+	case *lang.NumLit:
+		if x.Value != 0 {
+			if e.hit() {
+				x.Value = 0
+				return
+			}
+		}
+		if x.Value > 1 || x.Value < -1 {
+			if e.hit() {
+				x.Value /= 2
+				return
+			}
+		}
+	case *lang.IndexExpr:
+		e.expr(x.Index)
+	case *lang.DerefExpr:
+		e.expr(x.Addr)
+	case *lang.AddrOfExpr:
+		if x.Index != nil {
+			e.expr(x.Index)
+		}
+	case *lang.UnaryExpr:
+		e.expr(x.X)
+	case *lang.BinaryExpr:
+		e.expr(x.X)
+		e.expr(x.Y)
+	case *lang.CallExpr:
+		for _, a := range x.Args {
+			e.expr(a)
+		}
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"dynslice/internal/compile"
+	"dynslice/internal/fuzzgen"
 	"dynslice/internal/interp"
 	"dynslice/internal/ir"
 	"dynslice/internal/profile"
@@ -349,6 +350,31 @@ func TestDifferentialSlices(t *testing.T) {
 		t.Run(name, func(t *testing.T) {
 			h := buildHarness(t, tc.src, tc.input, 12)
 			h.checkAll(t)
+		})
+	}
+}
+
+// TestFullMatrixAgainstOracle runs every differential program through the
+// fuzzing harness's comparison helper: the complete configuration matrix —
+// FP and OPT each as {compact,plain} x {sequential,pipelined}, OPT
+// additionally x {resident,hybrid}, plus LP and the forward slicer — all
+// compared against the brute-force oracle on every sampled criterion. The
+// harness-based tests above pin the per-stage structure; this one pins
+// the full cross product, including the storage and build-mode axes the
+// local harness does not multiply out.
+func TestFullMatrixAgainstOracle(t *testing.T) {
+	for name, tc := range differentialPrograms {
+		t.Run(name, func(t *testing.T) {
+			res, err := fuzzgen.Check(tc.src, tc.input, fuzzgen.Options{Criteria: 12})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Variants < len(fuzzgen.FullMatrix()) {
+				t.Fatalf("only %d variants compared, want %d", res.Variants, len(fuzzgen.FullMatrix()))
+			}
+			for _, d := range res.Divergences {
+				t.Errorf("%s", d)
+			}
 		})
 	}
 }

@@ -126,6 +126,20 @@ func TestReaderErrorCounters(t *testing.T) {
 		t.Fatalf("bogus block id: err=%v bad_block=%d", err, count(reg, "trace.read.err.bad_block"))
 	}
 
+	// Overlong varint (10 continuation bytes) where a block record is
+	// expected: malformed payload, classified as bad_record. Found by
+	// FuzzTraceReader — the overflow error previously escaped the
+	// counter taxonomy entirely.
+	over := append([]byte(nil), good[:trace.HeaderSize]...)
+	for i := 0; i < 10; i++ {
+		over = append(over, 0x80)
+	}
+	over = append(over, 0x01)
+	reg, err = replay(over)
+	if err == nil || count(reg, "trace.read.err.bad_record") != 1 {
+		t.Fatalf("varint overflow: err=%v bad_record=%d", err, count(reg, "trace.read.err.bad_record"))
+	}
+
 	// Truncation mid-record: every short prefix past the header must
 	// classify as truncated (never silently succeed, never misclassify).
 	for cut := trace.HeaderSize + 1; cut < len(good)-1; cut += 5 {

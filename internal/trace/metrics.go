@@ -20,6 +20,7 @@ type Metrics struct {
 	ErrTruncated *telemetry.Counter // stream ended mid-record
 	ErrBadMagic  *telemetry.Counter // header magic/version mismatch
 	ErrBadBlock  *telemetry.Counter // block id out of range
+	ErrBadRecord *telemetry.Counter // malformed record payload (e.g. varint overflow)
 	ErrDesync    *telemetry.Counter // segment decoding desynchronized
 }
 
@@ -39,6 +40,7 @@ func NewMetrics(reg *telemetry.Registry) *Metrics {
 		ErrTruncated:    reg.Counter("trace.read.err.truncated"),
 		ErrBadMagic:     reg.Counter("trace.read.err.bad_magic"),
 		ErrBadBlock:     reg.Counter("trace.read.err.bad_block"),
+		ErrBadRecord:    reg.Counter("trace.read.err.bad_record"),
 		ErrDesync:       reg.Counter("trace.read.err.desync"),
 	}
 }

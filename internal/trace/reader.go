@@ -83,13 +83,16 @@ func (d *Decoder) ReadHeader() error {
 }
 
 // countErr classifies a decode error into the metrics bundle. EOF-family
-// errors mean the stream ended mid-record (truncation).
+// errors mean the stream ended mid-record (truncation); anything else is
+// a malformed record payload (e.g. a varint overflowing 64 bits).
 func (d *Decoder) countErr(err error) {
 	if d.met == nil {
 		return
 	}
 	if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
 		d.met.ErrTruncated.Inc()
+	} else {
+		d.met.ErrBadRecord.Inc()
 	}
 }
 
