@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: ci build vet fmt test test-race fuzz-smoke fuzz-native overhead bench bench-parallel bench-mem experiments
+.PHONY: ci build vet fmt test test-race fuzz-smoke fuzz-native overhead bench bench-parallel bench-mem bench-explain experiments
 
-ci: build vet fmt test test-race fuzz-smoke bench-mem overhead
+ci: build vet fmt test test-race fuzz-smoke bench-mem bench-explain overhead
 
 build:
 	$(GO) build ./...
@@ -26,9 +26,11 @@ test-race:
 # Differential smoke gate: 500 generated programs, every sampled
 # criterion sliced through the full configuration matrix and compared
 # against the brute-force oracle. Deterministic: any failure prints the
-# exact replay command (see docs/TESTING.md).
+# exact replay command (see docs/TESTING.md). -witness additionally
+# replays each OPT query observed and checks every dependence-path
+# witness hop against the oracle's dynamic dependences (docs/EXPLAIN.md).
 fuzz-smoke:
-	$(GO) run ./cmd/fuzzgen -seed 1 -n 500
+	$(GO) run ./cmd/fuzzgen -seed 1 -n 500 -witness
 
 # Coverage-guided native fuzzing, a short burst per target. Unbounded
 # sessions: go test -fuzz FuzzX -fuzztime 10m <pkg>.
@@ -55,6 +57,13 @@ bench-parallel:
 # baseline or any slice differs between layouts.
 bench-mem:
 	$(GO) run ./cmd/experiments -exp memory
+
+# Observed-query breakdown: every criterion explained on FP/OPT/LP,
+# explicit-vs-inferred edge attribution -> BENCH_explain.json. RunExplain
+# fails the target if any workload's OPT traversal reports zero inferred
+# edges (the optimizations would not be exercised).
+bench-explain:
+	$(GO) run ./cmd/experiments -exp explain
 
 experiments:
 	$(GO) run ./cmd/experiments -exp all

@@ -3,9 +3,9 @@
 //
 // Usage:
 //
-//	experiments [-exp all|1|2|3|4|5|6|7|8|15|16|17|18|sequitur|telemetry|parallel|memory] [-workload name] [-scale n]
+//	experiments [-exp all|1|2|3|4|5|6|7|8|15|16|17|18|sequitur|telemetry|parallel|memory|explain] [-workload name] [-scale n]
 //	            [-telemetry-out BENCH_telemetry.json] [-parallel-out BENCH_parallel.json]
-//	            [-memory-out BENCH_memory.json]
+//	            [-memory-out BENCH_memory.json] [-explain-out BENCH_explain.json]
 //
 // Numbers 1-8 are tables, 15-18 figures, matching the paper's numbering.
 // -scale multiplies each workload's default input size. The telemetry
@@ -18,6 +18,11 @@
 // experiment builds each workload's FP and OPT graphs under both label
 // layouts (flat -compact=false pairs vs delta-varint blocks), checks the
 // slices agree, and writes resident-bytes comparisons to -memory-out.
+// The explain experiment runs every criterion as an observed query on
+// FP, OPT, and LP, and writes the aggregate explicit-vs-inferred edge
+// resolution breakdown (the measurable counterpart of the paper's
+// Table 4 label-elimination accounting; see docs/EXPLAIN.md) to
+// -explain-out.
 package main
 
 import (
@@ -30,12 +35,13 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: all, 1-8 (tables), 15-18 (figures), sequitur, ablation, forward, telemetry, parallel, memory")
+	exp := flag.String("exp", "all", "experiment to run: all, 1-8 (tables), 15-18 (figures), sequitur, ablation, forward, telemetry, parallel, memory, explain")
 	workload := flag.String("workload", "", "restrict to one workload (e.g. 164.gzip or gzip)")
 	scale := flag.Int64("scale", 1, "input-size multiplier for every workload")
 	telemetryOut := flag.String("telemetry-out", "BENCH_telemetry.json", "output file for -exp telemetry")
 	parallelOut := flag.String("parallel-out", "BENCH_parallel.json", "output file for -exp parallel")
 	memoryOut := flag.String("memory-out", "BENCH_memory.json", "output file for -exp memory")
+	explainOut := flag.String("explain-out", "BENCH_explain.json", "output file for -exp explain")
 	flag.Parse()
 
 	wls := bench.Workloads()
@@ -124,6 +130,9 @@ func main() {
 	}
 	if want("memory") {
 		run("memory", func() error { return bench.RunMemory(w, wls, *memoryOut) })
+	}
+	if want("explain") {
+		run("explain", func() error { return bench.RunExplain(w, wls, *explainOut) })
 	}
 }
 

@@ -6,7 +6,16 @@
 // Usage:
 //
 //	fuzzgen [-seed 1] [-n 500] [-matrix full|quick] [-criteria 8]
-//	        [-keep-going] [-out dir] [-v] [-dump]
+//	        [-witness] [-keep-going] [-out dir] [-metrics out.json]
+//	        [-v] [-dump]
+//
+// -witness additionally reruns each criterion as an observed query on
+// the OPT resident/hybrid variants and validates every hop of every
+// slice member's dependence-path witness against the oracle's exercised
+// dependence pairs (docs/EXPLAIN.md) — catching a wrong inferred edge
+// even when the slice sets agree. -metrics writes a telemetry snapshot
+// of the campaign (per-seed check spans, subject/criteria counters) on
+// exit.
 //
 // Seeds base..base+n-1 are checked in order; progress and the exact
 // replay command for the current seed are printed as the run advances.
@@ -27,8 +36,10 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"dynslice/internal/fuzzgen"
+	"dynslice/internal/telemetry"
 )
 
 func main() {
@@ -36,8 +47,10 @@ func main() {
 	n := flag.Uint64("n", 500, "number of seeds to check")
 	matrix := flag.String("matrix", "full", "configuration matrix: full or quick")
 	criteria := flag.Int("criteria", 8, "slicing criteria sampled per program")
+	witness := flag.Bool("witness", false, "validate dependence-path witnesses on OPT variants against the oracle's exercised dependences")
 	keepGoing := flag.Bool("keep-going", false, "check every seed even after divergences")
 	outDir := flag.String("out", ".", "directory for minimized .minic repros")
+	metricsOut := flag.String("metrics", "", "write a telemetry JSON snapshot of the campaign to this file on exit")
 	verbose := flag.Bool("v", false, "print every seed, not just a progress line")
 	dump := flag.Bool("dump", false, "print the generated program for -seed and exit")
 	flag.Parse()
@@ -62,7 +75,18 @@ func main() {
 		fmt.Fprintf(os.Stderr, "fuzzgen: unknown matrix %q (want full or quick)\n", *matrix)
 		os.Exit(2)
 	}
-	opts := fuzzgen.Options{Criteria: *criteria, Variants: variants}
+	opts := fuzzgen.Options{Criteria: *criteria, Variants: variants, Witness: *witness}
+
+	var reg *telemetry.Registry
+	if *metricsOut != "" {
+		reg = telemetry.New()
+		exit = func(code int) {
+			if err := reg.WriteFile(*metricsOut); err != nil {
+				fmt.Fprintln(os.Stderr, "fuzzgen: metrics:", err)
+			}
+			os.Exit(code)
+		}
+	}
 
 	checked, skipped, failures := 0, 0, 0
 	var stmts, crits int
@@ -72,24 +96,30 @@ func main() {
 		if *verbose {
 			fmt.Printf("seed %d: %d bytes, %d inputs\n", s, len(pr.Src), len(pr.Input))
 		}
+		t0 := time.Now()
 		res, err := fuzzgen.Check(pr.Src, pr.Input, opts)
+		reg.ObserveSpan("fuzz/check", time.Since(t0))
 		if err != nil {
 			if fuzzgen.IsSubjectError(err) {
 				// Step-budget blowups are the only legitimate reason a
 				// generated program is not a differential subject.
 				if strings.Contains(err.Error(), "step limit") {
 					skipped++
+					reg.Counter("fuzz.seeds.skipped").Inc()
 					continue
 				}
 				fmt.Fprintf(os.Stderr, "seed %d: generator produced an invalid program: %v\n%s", s, err, pr.Src)
-				os.Exit(1)
+				exit(1)
 			}
 			fmt.Fprintf(os.Stderr, "seed %d: harness failure: %v\n", s, err)
-			os.Exit(1)
+			exit(1)
 		}
 		checked++
 		stmts += res.Stmts
 		crits += res.Criteria
+		reg.Counter("fuzz.seeds.checked").Inc()
+		reg.Counter("fuzz.stmts").Add(int64(res.Stmts))
+		reg.Counter("fuzz.criteria").Add(int64(res.Criteria))
 		if len(res.Divergences) == 0 {
 			if (i+1)%100 == 0 {
 				fmt.Printf("%d/%d seeds clean (%d stmts executed, %d criteria checked, %d step-limit skips)\n",
@@ -99,6 +129,7 @@ func main() {
 		}
 
 		failures++
+		reg.Counter("fuzz.divergences").Add(int64(len(res.Divergences)))
 		fmt.Fprintf(os.Stderr, "seed %d DIVERGED (replay: go run ./cmd/fuzzgen -seed %d -n 1 -matrix %s -criteria %d)\n",
 			s, s, *matrix, *criteria)
 		for _, d := range res.Divergences {
@@ -107,19 +138,24 @@ func main() {
 		path, err := writeRepro(*outDir, s, pr, res, opts)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "seed %d: writing repro: %v\n", s, err)
-			os.Exit(1)
+			exit(1)
 		}
 		fmt.Fprintf(os.Stderr, "  minimized repro: %s\n", path)
 		if !*keepGoing {
-			os.Exit(1)
+			exit(1)
 		}
 	}
 	fmt.Printf("%d/%d seeds clean, %d step-limit skips, %d divergent (%d stmts executed, %d criteria checked)\n",
 		checked-failures, *n, skipped, failures, stmts, crits)
 	if failures > 0 {
-		os.Exit(1)
+		exit(1)
 	}
+	exit(0)
 }
+
+// exit routes every termination through one hook so -metrics can flush
+// its snapshot first (os.Exit skips defers).
+var exit = os.Exit
 
 // writeRepro minimizes the divergent program (preserving the divergence)
 // and writes it as a standalone .minic file with the failing variants in

@@ -5,7 +5,8 @@
 //
 //	slicer -src prog.mc [-input 1,2,3] [-algo opt|fp|lp] [-var g] [-addr n]
 //	       [-vars a,b,c] [-workers n] [-ir] [-stats] [-repl] [-compact=false]
-//	       [-metrics out.json] [-pprof localhost:6060]
+//	       [-explain line|sID] [-metrics out.json] [-timeline out.json]
+//	       [-pprof localhost:6060]
 //
 // With -var (a global variable) or -addr (a raw address), the tool prints
 // the dynamic slice of that location's final value: the source lines it
@@ -14,8 +15,16 @@
 // and answers them as ONE batched query (shared backward traversal),
 // dispatched over -workers concurrent workers (see docs/PERFORMANCE.md).
 //
+// -explain runs the query as an observed traversal and additionally
+// prints the per-query profile (nodes visited, explicit vs inferred edge
+// resolutions per optimization family) and the dependence-path witness —
+// the concrete chain criterion ← dep ← … ← stmt — for the statement
+// named by its argument (a source line, or s<ID>). See docs/EXPLAIN.md.
+//
 // -metrics writes a telemetry snapshot (phase spans, algorithm counters;
-// see docs/OBSERVABILITY.md) as JSON when the tool exits. -pprof serves
+// see docs/OBSERVABILITY.md) as JSON when the tool exits. -timeline
+// writes the span tree and pipeline-worker activity as Chrome
+// trace-event JSON for chrome://tracing or Perfetto. -pprof serves
 // net/http/pprof and expvar (the live registry under the "dynslice" var)
 // for the life of the process — most useful together with -repl.
 package main
@@ -31,6 +40,8 @@ import (
 	"strings"
 
 	slicer "dynslice"
+	"dynslice/internal/ir"
+	"dynslice/internal/slicing/explain"
 	"dynslice/internal/telemetry"
 )
 
@@ -47,6 +58,8 @@ func main() {
 	repl := flag.Bool("repl", false, "interactive mode: read criteria from stdin (var NAME | addr N | algo opt|fp|lp | quit)")
 	compact := flag.Bool("compact", true, "store dependence labels as delta-varint blocks (-compact=false keeps flat pairs)")
 	metricsOut := flag.String("metrics", "", "write a telemetry JSON snapshot to this file on exit")
+	explainSpec := flag.String("explain", "", "with -var/-addr: print a dependence-path witness for this slice statement (source line number, or s<ID> for a statement id) plus the query's traversal profile")
+	timelineOut := flag.String("timeline", "", "write a Chrome trace-event timeline (phase spans + pipeline worker activity) to this file on exit; open in chrome://tracing or Perfetto")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof and expvar on this address (e.g. localhost:6060)")
 	flag.Parse()
 
@@ -55,19 +68,32 @@ func main() {
 		os.Exit(2)
 	}
 	var reg *telemetry.Registry
-	if *metricsOut != "" || *pprofAddr != "" {
+	if *metricsOut != "" || *pprofAddr != "" || *timelineOut != "" {
 		reg = telemetry.New()
 		reg.PublishExpvar("dynslice")
 	}
-	if *metricsOut != "" {
+	if *timelineOut != "" {
+		reg.AttachTimeline(telemetry.NewTimeline())
+	}
+	if *metricsOut != "" || *timelineOut != "" {
 		// Registered as both a defer and the check() exit hook: error
 		// exits are exactly when the interp.err.* counters matter.
+		metrics, timeline := *metricsOut, *timelineOut
 		onExit = func() {
-			if err := reg.WriteFile(*metricsOut); err != nil {
-				fmt.Fprintln(os.Stderr, "slicer: metrics:", err)
-				return
+			if metrics != "" {
+				if err := reg.WriteFile(metrics); err != nil {
+					fmt.Fprintln(os.Stderr, "slicer: metrics:", err)
+				} else {
+					fmt.Printf("wrote metrics to %s\n", metrics)
+				}
 			}
-			fmt.Printf("wrote metrics to %s\n", *metricsOut)
+			if timeline != "" {
+				if err := reg.Timeline().WriteFile(timeline); err != nil {
+					fmt.Fprintln(os.Stderr, "slicer: timeline:", err)
+				} else {
+					fmt.Printf("wrote timeline to %s\n", timeline)
+				}
+			}
 		}
 		defer onExit()
 	}
@@ -145,6 +171,22 @@ func main() {
 		return
 	}
 
+	if *explainSpec != "" {
+		var ex *slicer.Explanation
+		switch {
+		case *varName != "":
+			ex, err = s.ExplainVar(*varName)
+		case *addr >= 0:
+			ex, err = s.ExplainAddr(*addr)
+		default:
+			check(fmt.Errorf("-explain needs a criterion: pass -var or -addr"))
+		}
+		check(err)
+		printSlice(s, ex.Slice, string(src))
+		printExplanation(ex, *explainSpec)
+		return
+	}
+
 	var sl *slicer.Slice
 	switch {
 	case *varName != "":
@@ -156,6 +198,36 @@ func main() {
 	}
 	check(err)
 	printSlice(s, sl, string(src))
+}
+
+// printExplanation prints the traversal profile and the witness chain for
+// the statement named by spec ("s<ID>" or a source line number).
+func printExplanation(ex *slicer.Explanation, spec string) {
+	p := ex.Profile
+	fmt.Printf("profile: %d nodes visited, %d label probes, %d edges (%d explicit, %d inferred, %d shortcut)\n",
+		p.NodesVisited, p.LabelProbes, p.Edges, p.Explicit, p.Inferred, p.Shortcut)
+	for kind, n := range p.ByKind {
+		fmt.Printf("  %-18s %d\n", kind, n)
+	}
+
+	var (
+		w  *explain.Witness
+		ok bool
+	)
+	if rest, found := strings.CutPrefix(spec, "s"); found {
+		id, err := strconv.Atoi(rest)
+		check(err)
+		w, ok = ex.Witness(ir.StmtID(id))
+	} else {
+		line, err := strconv.Atoi(spec)
+		check(err)
+		w, ok = ex.WitnessAtLine(line)
+	}
+	if !ok {
+		fmt.Printf("no witness: %s is not in the slice\n", spec)
+		return
+	}
+	fmt.Print(ex.FormatWitness(w))
 }
 
 func printSlice(s *slicer.Slicer, sl *slicer.Slice, src string) {

@@ -129,6 +129,29 @@ func (e *QueryEngine) SliceVar(name string) (*Slice, error) {
 	return e.SliceAddr(addr)
 }
 
+// Explain answers one address criterion with provenance recording
+// (Slicer.ExplainAddr). Observed queries bypass the cache: the witness
+// and profile are products of an actual traversal, so a cached slice
+// cannot answer them. The slice itself is still inserted, so later
+// SliceAddr calls for the same address hit.
+func (e *QueryEngine) Explain(addr int64) (*Explanation, error) {
+	ex, err := e.s.ExplainAddr(addr)
+	if err != nil {
+		return nil, err
+	}
+	e.insert(addr, ex.Slice)
+	return ex, nil
+}
+
+// ExplainVar is Explain on a global scalar variable.
+func (e *QueryEngine) ExplainVar(name string) (*Explanation, error) {
+	addr, err := e.s.rec.p.GlobalAddr(name)
+	if err != nil {
+		return nil, err
+	}
+	return e.Explain(addr)
+}
+
 // SliceAddrs answers a batch of criteria: cached results are returned
 // directly; the distinct misses are split across the engine's workers,
 // each answering its share in one batched traversal (SliceAddrs on the

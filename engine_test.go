@@ -190,6 +190,75 @@ func TestQueryEngineConcurrent(t *testing.T) {
 	}
 }
 
+// TestEngineExplainConcurrent mixes observed queries with batched plain
+// queries on one engine (run with -race). Explain bypasses the cache
+// but inserts its slice, so a later SliceAddr for the same address must
+// hit and agree.
+func TestEngineExplainConcurrent(t *testing.T) {
+	rec := record(t, engineSrc)
+	addrs := engineAddrs(t, rec)
+	s := rec.OPT()
+	want := make(map[int64]*slicer.Slice, len(addrs))
+	for _, a := range addrs {
+		sl, err := s.SliceAddr(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[a] = sl
+	}
+	e := s.Engine(slicer.EngineOptions{Workers: 4, CacheSize: 8})
+	var wg sync.WaitGroup
+	for w := 0; w < 6; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			if w%2 == 0 {
+				for _, a := range addrs {
+					ex, err := e.Explain(a)
+					if err != nil {
+						t.Errorf("worker %d: explain %d: %v", w, a, err)
+						return
+					}
+					if !ex.Slice.Raw().Equal(want[a].Raw()) {
+						t.Errorf("worker %d: explained addr %d diverged", w, a)
+						return
+					}
+					if ex.Profile.Edges == 0 && ex.Slice.Stmts > 1 {
+						t.Errorf("worker %d: addr %d: no edges recorded", w, a)
+						return
+					}
+				}
+			} else {
+				outs, err := e.SliceAddrs(addrs)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				for i, a := range addrs {
+					if !outs[i].Raw().Equal(want[a].Raw()) {
+						t.Errorf("worker %d: batched addr %d diverged", w, a)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	// The explained slice is inserted: an immediately following plain
+	// query for the same address must hit the cache.
+	if _, err := e.Explain(addrs[0]); err != nil {
+		t.Fatal(err)
+	}
+	hitsBefore, _ := e.CacheStats()
+	if _, err := e.SliceAddr(addrs[0]); err != nil {
+		t.Fatal(err)
+	}
+	if hitsAfter, _ := e.CacheStats(); hitsAfter <= hitsBefore {
+		t.Error("slice produced by Explain was not cached")
+	}
+}
+
 // TestSequentialBuildMatchesPipelined: Record's default pipelined build
 // must produce the same graphs as the SequentialBuild opt-out.
 func TestSequentialBuildMatchesPipelined(t *testing.T) {

@@ -98,6 +98,11 @@ type Options struct {
 	HybridBudget int64
 	// Variants selects the matrix (default FullMatrix()).
 	Variants []Variant
+	// Witness additionally reruns each criterion as an observed query on
+	// the OPT resident/hybrid variants and validates every hop of every
+	// slice member's dependence-path witness against the oracle's
+	// exercised dependence pairs (see witness.go).
+	Witness bool
 	// Tamper, when non-nil, mutates a variant's computed slice before
 	// comparison. It exists so tests can plant a divergence and watch the
 	// harness catch and minimize it; it is never set in production runs.
@@ -339,6 +344,10 @@ func Check(src string, input []int64, o Options) (*Result, error) {
 
 	addrs := smp.sample(o.criteria())
 	out := &Result{Stmts: int(res.Steps), Criteria: len(addrs), Variants: len(variants)}
+	var deps *oracle.Deps
+	if o.Witness {
+		deps = ora.Deps()
+	}
 	for _, a := range addrs {
 		c := slicing.AddrCriterion(a)
 		want, _, err := ora.Slice(c)
@@ -361,6 +370,12 @@ func Check(src string, input []int64, o Options) (*Result, error) {
 					Variant: vs.v.Name(), Addr: a,
 					Want: Describe(p, want), Got: Describe(p, got),
 				})
+			}
+			if o.Witness && witnessTarget(vs.v) {
+				if ex, ok := vs.s.(slicing.Explainer); ok {
+					out.Divergences = append(out.Divergences,
+						checkWitnesses(p, deps, want, ex, c, vs.v.Name())...)
+				}
 			}
 		}
 	}

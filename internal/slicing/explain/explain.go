@@ -1,0 +1,382 @@
+// Package explain provides query-scoped introspection for the slicing
+// traversals: a Recorder that a single query threads through its
+// dependence resolution, capturing which edges were traversed (explicit
+// label hits vs statically inferred edges, attributed per optimization
+// family), how much work the traversal did, and — for every statement
+// that enters the slice — the predecessor edge used to first reach it.
+// From that predecessor relation the Recorder reconstructs a
+// dependence-path witness: the concrete chain
+//
+//	criterion ← dep ← … ← stmt
+//
+// with each hop tagged by its resolution kind and the timestamps it was
+// resolved at, answering "why is X in the slice?" with evidence that can
+// be checked against the execution trace (internal/fuzzgen does exactly
+// that in witness-validation mode).
+//
+// The package follows the internal/telemetry discipline: every Recorder
+// method is safe on a nil receiver and returns immediately, so the
+// traversal hooks in fp, lp, and opt cost one branch-predictable nil
+// check when no observer is attached.
+//
+// Timestamps in hops are the owning algorithm's own domain: block
+// ordinals for FP and LP, node ordinals for OPT. Within one recording
+// they are internally consistent; they are not comparable across
+// algorithms.
+package explain
+
+import (
+	"time"
+
+	"dynslice/internal/ir"
+)
+
+// Kind classifies how one dependence hop was resolved.
+type Kind uint8
+
+// Hop resolution kinds. Explicit kinds found a stored dynamic label;
+// inferred kinds fired a statically introduced unlabeled edge (the
+// paper's OPT-1…OPT-6 plus the adaptive-delta extension); KindShortcut
+// is a precomputed static-closure membership (paper §3.4 shortcuts).
+const (
+	// KindExplicit: a dynamic timestamp label on a private edge list.
+	KindExplicit Kind = iota
+	// KindExplicitOPT3: a label found on a shared data-cluster list
+	// (OPT-3/OPT-6 label sharing, data side).
+	KindExplicitOPT3
+	// KindExplicitOPT6: a label found on a shared control-cluster list.
+	KindExplicitOPT6
+	// KindInferredOPT1: static (full or partial) def-use edge, td = tu.
+	KindInferredOPT1
+	// KindInferredOPT2: static use-use redirect to an earlier use of the
+	// same value (the target statement does not enter the slice).
+	KindInferredOPT2
+	// KindInferredOPT4: control dependence inferred from a fixed
+	// timestamp distance, ta = tb - delta.
+	KindInferredOPT4
+	// KindInferredOPT5: control dependence on an earlier occurrence in
+	// the same node execution (control equivalence), ta = tb.
+	KindInferredOPT5
+	// KindInferredAdaptive: an adaptive default edge (constant producer
+	// or constant delta observed across the whole run).
+	KindInferredAdaptive
+	// KindShortcut: membership in the precomputed static closure of the
+	// consuming statement copy (chains of inferred edges collapsed).
+	KindShortcut
+
+	kindCount
+)
+
+var kindNames = [kindCount]string{
+	KindExplicit:         "explicit",
+	KindExplicitOPT3:     "explicit/OPT-3",
+	KindExplicitOPT6:     "explicit/OPT-6",
+	KindInferredOPT1:     "inferred/OPT-1",
+	KindInferredOPT2:     "inferred/OPT-2",
+	KindInferredOPT4:     "inferred/OPT-4",
+	KindInferredOPT5:     "inferred/OPT-5",
+	KindInferredAdaptive: "inferred/adaptive",
+	KindShortcut:         "shortcut",
+}
+
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return "unknown"
+}
+
+// Explicit reports whether the hop consumed a stored dynamic label.
+func (k Kind) Explicit() bool { return k <= KindExplicitOPT6 }
+
+// Inferred reports whether the hop fired a statically introduced edge.
+func (k Kind) Inferred() bool { return k >= KindInferredOPT1 && k <= KindInferredAdaptive }
+
+// Inst identifies one statement execution instance in the owning
+// algorithm's timestamp domain.
+type Inst struct {
+	Stmt ir.StmtID
+	TS   int64
+}
+
+// UsePoint identifies one use slot of a statement instance — the target
+// of an OPT-2 use-use redirect, which is resolved without adding its
+// statement to the slice.
+type UsePoint struct {
+	Stmt ir.StmtID
+	Slot int32
+	TS   int64
+}
+
+// edge is the recorded predecessor of a traversal point: the consumer
+// that first reached it and how.
+type edge struct {
+	from    Inst
+	slot    int32 // use slot on the consumer side (-1 for control hops)
+	fromUse bool  // the consumer is itself a use-point redirect target
+	kind    Kind
+	cd      bool
+}
+
+// Recorder captures one query's traversal. It is single-goroutine (one
+// query owns it); concurrent queries each use their own. The nil
+// Recorder ignores every call.
+type Recorder struct {
+	crit    Inst
+	hasCrit bool
+
+	visited int64
+	hybrid  int64
+	cdSame  int64
+	byKind  [kindCount]int64
+
+	instPred map[Inst]edge
+	usePred  map[UsePoint]edge
+	first    map[ir.StmtID]Inst
+}
+
+// NewRecorder returns an empty recorder for one query.
+func NewRecorder() *Recorder {
+	return &Recorder{
+		instPred: map[Inst]edge{},
+		usePred:  map[UsePoint]edge{},
+		first:    map[ir.StmtID]Inst{},
+	}
+}
+
+// Criterion records the query's root instance (the criterion itself; it
+// has no predecessor edge).
+func (r *Recorder) Criterion(stmt ir.StmtID, ts int64) {
+	if r == nil {
+		return
+	}
+	r.crit = Inst{Stmt: stmt, TS: ts}
+	r.hasCrit = true
+	if _, ok := r.first[stmt]; !ok {
+		r.first[stmt] = r.crit
+	}
+}
+
+// Root returns the recorded criterion instance.
+func (r *Recorder) Root() (Inst, bool) {
+	if r == nil {
+		return Inst{}, false
+	}
+	return r.crit, r.hasCrit
+}
+
+// Visit records that the traversal expanded one statement instance.
+func (r *Recorder) Visit(stmt ir.StmtID, ts int64) {
+	if r == nil {
+		return
+	}
+	r.visited++
+}
+
+// HybridLoad records one on-demand epoch-file load (OPT hybrid mode).
+func (r *Recorder) HybridLoad() {
+	if r == nil {
+		return
+	}
+	r.hybrid++
+}
+
+// CDSameDeferral records one control-equivalence deferral (a CDSame
+// chain step whose eventual resolution is attributed to the final hop).
+func (r *Recorder) CDSameDeferral() {
+	if r == nil {
+		return
+	}
+	r.cdSame++
+}
+
+// Edge records one resolved dependence whose target is a statement
+// instance. Every traversal of the edge is counted in the per-kind
+// attribution; only the first edge to reach each target is kept as its
+// witness predecessor.
+func (r *Recorder) Edge(fromStmt ir.StmtID, fromTS int64, fromUse bool, fromSlot int32,
+	toStmt ir.StmtID, toTS int64, kind Kind, cd bool) {
+	if r == nil {
+		return
+	}
+	r.byKind[kind]++
+	to := Inst{Stmt: toStmt, TS: toTS}
+	if _, ok := r.instPred[to]; ok {
+		return
+	}
+	r.instPred[to] = edge{from: Inst{Stmt: fromStmt, TS: fromTS}, slot: fromSlot, fromUse: fromUse, kind: kind, cd: cd}
+	if _, ok := r.first[toStmt]; !ok {
+		r.first[toStmt] = to
+	}
+}
+
+// EdgeUse records one resolved use-use redirect: the target is a
+// use-point, not a slice member.
+func (r *Recorder) EdgeUse(fromStmt ir.StmtID, fromTS int64, fromUse bool, fromSlot int32,
+	toStmt ir.StmtID, toSlot int32, toTS int64, kind Kind) {
+	if r == nil {
+		return
+	}
+	r.byKind[kind]++
+	to := UsePoint{Stmt: toStmt, Slot: toSlot, TS: toTS}
+	if _, ok := r.usePred[to]; ok {
+		return
+	}
+	r.usePred[to] = edge{from: Inst{Stmt: fromStmt, TS: fromTS}, slot: fromSlot, fromUse: fromUse, kind: kind}
+}
+
+// Hop is one link of a witness chain, read consumer → producer: the
+// From side needed a value (or a controlling branch) that the To side
+// supplied, resolved the way Kind describes.
+type Hop struct {
+	FromStmt ir.StmtID
+	FromTS   int64
+	FromUse  bool  // the consumer is a use-point redirect target
+	FromSlot int32 // consumer use slot (-1 for control hops)
+	ToStmt   ir.StmtID
+	ToTS     int64
+	ToUse    bool // the producer side is a use-point (OPT-2 redirect)
+	ToSlot   int32
+	CD       bool
+	Kind     Kind
+}
+
+// Witness is the dependence-path evidence for one slice member: the hop
+// chain from the criterion down to the target statement. Hops[0]'s From
+// side is the criterion instance; the last hop's To side is (an instance
+// of) Target. Complete reports that the backward walk reached the
+// criterion; an incomplete chain indicates recorder misuse (a member
+// with no recorded predecessor).
+type Witness struct {
+	Target   ir.StmtID
+	Hops     []Hop
+	Complete bool
+}
+
+// Witness reconstructs the dependence-path witness for a statement the
+// query placed in the slice. The second result is false when the
+// statement was never reached. The criterion statement itself yields an
+// empty, complete chain.
+func (r *Recorder) Witness(stmt ir.StmtID) (*Witness, bool) {
+	if r == nil {
+		return nil, false
+	}
+	start, ok := r.first[stmt]
+	if !ok {
+		return nil, false
+	}
+	w := &Witness{Target: stmt}
+	curInst := start
+	var curUP UsePoint
+	curIsUse := false
+	// The predecessor relation is acyclic (predecessors are always
+	// recorded before their targets are expanded), but cap the walk at
+	// the recorded edge count as insurance against recorder misuse.
+	maxHops := len(r.instPred) + len(r.usePred) + 1
+	for len(w.Hops) <= maxHops {
+		if !curIsUse && r.hasCrit && curInst == r.crit {
+			w.Complete = true
+			break
+		}
+		var e edge
+		var ok bool
+		if curIsUse {
+			e, ok = r.usePred[curUP]
+		} else {
+			e, ok = r.instPred[curInst]
+		}
+		if !ok {
+			break
+		}
+		h := Hop{
+			FromStmt: e.from.Stmt, FromTS: e.from.TS, FromUse: e.fromUse, FromSlot: e.slot,
+			CD: e.cd, Kind: e.kind, ToSlot: -1,
+		}
+		if curIsUse {
+			h.ToStmt, h.ToTS, h.ToUse, h.ToSlot = curUP.Stmt, curUP.TS, true, curUP.Slot
+		} else {
+			h.ToStmt, h.ToTS = curInst.Stmt, curInst.TS
+		}
+		w.Hops = append(w.Hops, h)
+		if e.fromUse {
+			curIsUse = true
+			curUP = UsePoint{Stmt: e.from.Stmt, Slot: e.slot, TS: e.from.TS}
+		} else {
+			curIsUse = false
+			curInst = e.from
+		}
+	}
+	// Reverse: criterion-side first.
+	for i, j := 0, len(w.Hops)-1; i < j; i, j = i+1, j-1 {
+		w.Hops[i], w.Hops[j] = w.Hops[j], w.Hops[i]
+	}
+	return w, true
+}
+
+// Profile summarizes one observed query's traversal effort and edge
+// attribution. LabelProbes, SegScans, SegSkips, SliceStmts, and Elapsed
+// are filled by the caller from the query's slicing.Stats; everything
+// else comes from the Recorder.
+type Profile struct {
+	NodesVisited    int64            `json:"nodes_visited"`
+	LabelProbes     int64            `json:"label_probes"`
+	SegScans        int64            `json:"seg_scans,omitempty"`
+	SegSkips        int64            `json:"seg_skips,omitempty"`
+	HybridLoads     int64            `json:"hybrid_loads,omitempty"`
+	CDSameDeferrals int64            `json:"cd_same_deferrals,omitempty"`
+	Edges           int64            `json:"edges"`
+	Explicit        int64            `json:"explicit"`
+	Inferred        int64            `json:"inferred"`
+	Shortcut        int64            `json:"shortcut"`
+	ByKind          map[string]int64 `json:"by_kind"`
+	SliceStmts      int              `json:"slice_stmts"`
+	Elapsed         time.Duration    `json:"elapsed_ns"`
+}
+
+// Profile snapshots the recorder's counters. Safe on nil (returns an
+// empty profile).
+func (r *Recorder) Profile() *Profile {
+	p := &Profile{ByKind: map[string]int64{}}
+	if r == nil {
+		return p
+	}
+	p.NodesVisited = r.visited
+	p.HybridLoads = r.hybrid
+	p.CDSameDeferrals = r.cdSame
+	for k := Kind(0); k < kindCount; k++ {
+		n := r.byKind[k]
+		if n == 0 {
+			continue
+		}
+		p.ByKind[k.String()] = n
+		p.Edges += n
+		switch {
+		case k.Explicit():
+			p.Explicit += n
+		case k == KindShortcut:
+			p.Shortcut += n
+		default:
+			p.Inferred += n
+		}
+	}
+	return p
+}
+
+// Add folds another profile into p (aggregation across criteria).
+func (p *Profile) Add(o *Profile) {
+	p.NodesVisited += o.NodesVisited
+	p.LabelProbes += o.LabelProbes
+	p.SegScans += o.SegScans
+	p.SegSkips += o.SegSkips
+	p.HybridLoads += o.HybridLoads
+	p.CDSameDeferrals += o.CDSameDeferrals
+	p.Edges += o.Edges
+	p.Explicit += o.Explicit
+	p.Inferred += o.Inferred
+	p.Shortcut += o.Shortcut
+	p.SliceStmts += o.SliceStmts
+	p.Elapsed += o.Elapsed
+	for k, v := range o.ByKind {
+		p.ByKind[k] += v
+	}
+}

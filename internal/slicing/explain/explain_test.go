@@ -1,0 +1,183 @@
+package explain
+
+import (
+	"testing"
+
+	"dynslice/internal/ir"
+)
+
+func TestNilRecorderIgnoresEverything(t *testing.T) {
+	var r *Recorder
+	r.Criterion(1, 10)
+	r.Visit(2, 11)
+	r.HybridLoad()
+	r.CDSameDeferral()
+	r.Edge(1, 10, false, 0, 2, 9, KindExplicit, false)
+	r.EdgeUse(1, 10, false, 0, 3, 1, 9, KindInferredOPT2)
+	if _, ok := r.Root(); ok {
+		t.Error("nil recorder reported a root")
+	}
+	if _, ok := r.Witness(2); ok {
+		t.Error("nil recorder reconstructed a witness")
+	}
+	p := r.Profile()
+	if p.Edges != 0 || p.NodesVisited != 0 || len(p.ByKind) != 0 {
+		t.Errorf("nil recorder profile not empty: %+v", p)
+	}
+}
+
+func TestKindClassification(t *testing.T) {
+	for k := Kind(0); k < kindCount; k++ {
+		if k.String() == "unknown" {
+			t.Errorf("kind %d has no name", k)
+		}
+		explicit := k == KindExplicit || k == KindExplicitOPT3 || k == KindExplicitOPT6
+		inferred := k >= KindInferredOPT1 && k <= KindInferredAdaptive
+		if k.Explicit() != explicit {
+			t.Errorf("%s: Explicit() = %v, want %v", k, k.Explicit(), explicit)
+		}
+		if k.Inferred() != inferred {
+			t.Errorf("%s: Inferred() = %v, want %v", k, k.Inferred(), inferred)
+		}
+	}
+	if KindShortcut.Explicit() || KindShortcut.Inferred() {
+		t.Error("shortcut classified as explicit or inferred")
+	}
+}
+
+func TestWitnessSimpleChain(t *testing.T) {
+	r := NewRecorder()
+	r.Criterion(10, 100)
+	// 10@100 --data--> 7@90 --ctrl--> 3@80
+	r.Edge(10, 100, false, 0, 7, 90, KindExplicit, false)
+	r.Edge(7, 90, false, -1, 3, 80, KindInferredOPT4, true)
+
+	w, ok := r.Witness(3)
+	if !ok || !w.Complete {
+		t.Fatalf("witness for s3: ok=%v w=%+v", ok, w)
+	}
+	if len(w.Hops) != 2 {
+		t.Fatalf("hops = %d, want 2", len(w.Hops))
+	}
+	// Criterion-side first.
+	if w.Hops[0].FromStmt != 10 || w.Hops[0].ToStmt != 7 || w.Hops[0].CD {
+		t.Errorf("hop 0 = %+v", w.Hops[0])
+	}
+	if w.Hops[1].FromStmt != 7 || w.Hops[1].ToStmt != 3 || !w.Hops[1].CD || w.Hops[1].Kind != KindInferredOPT4 {
+		t.Errorf("hop 1 = %+v", w.Hops[1])
+	}
+
+	// The criterion statement yields an empty complete chain.
+	w, ok = r.Witness(10)
+	if !ok || !w.Complete || len(w.Hops) != 0 {
+		t.Errorf("criterion witness = %+v ok=%v", w, ok)
+	}
+
+	// A statement never reached yields no witness.
+	if _, ok := r.Witness(99); ok {
+		t.Error("witness for unreached statement")
+	}
+}
+
+func TestWitnessThroughUsePoint(t *testing.T) {
+	r := NewRecorder()
+	r.Criterion(10, 100)
+	// The criterion's use redirects (OPT-2) to an earlier use point at
+	// s7 slot 1, which then resolves the actual definition at s3.
+	r.EdgeUse(10, 100, false, 0, 7, 1, 100, KindInferredOPT2)
+	r.Edge(7, 100, true, 1, 3, 80, KindExplicit, false)
+
+	w, ok := r.Witness(3)
+	if !ok || !w.Complete {
+		t.Fatalf("witness for s3: ok=%v w=%+v", ok, w)
+	}
+	if len(w.Hops) != 2 {
+		t.Fatalf("hops = %d, want 2: %+v", len(w.Hops), w.Hops)
+	}
+	if !w.Hops[0].ToUse || w.Hops[0].ToStmt != 7 || w.Hops[0].ToSlot != 1 || w.Hops[0].Kind != KindInferredOPT2 {
+		t.Errorf("hop 0 = %+v, want use-point target s7 slot 1", w.Hops[0])
+	}
+	if !w.Hops[1].FromUse || w.Hops[1].FromStmt != 7 || w.Hops[1].ToStmt != 3 {
+		t.Errorf("hop 1 = %+v, want from use point s7 to s3", w.Hops[1])
+	}
+	// s7 is a redirect target, not a slice member: no instance witness.
+	if _, ok := r.Witness(7); ok {
+		t.Error("use-point-only statement produced a witness")
+	}
+}
+
+func TestEdgeFirstWinsButCountsAll(t *testing.T) {
+	r := NewRecorder()
+	r.Criterion(10, 100)
+	r.Edge(10, 100, false, 0, 3, 80, KindExplicit, false)
+	// A later, different path to the same instance: counted, not kept.
+	r.Edge(10, 100, false, 1, 3, 80, KindInferredOPT1, false)
+
+	p := r.Profile()
+	if p.Edges != 2 || p.Explicit != 1 || p.Inferred != 1 {
+		t.Errorf("profile = %+v, want 2 edges split explicit/inferred", p)
+	}
+	w, _ := r.Witness(3)
+	if len(w.Hops) != 1 || w.Hops[0].Kind != KindExplicit {
+		t.Errorf("witness kept %+v, want the first (explicit) edge", w.Hops)
+	}
+}
+
+func TestWitnessIncompleteChainIsBounded(t *testing.T) {
+	r := NewRecorder()
+	r.Criterion(10, 100)
+	// An edge whose consumer was never itself given a predecessor and is
+	// not the criterion: the walk must stop and report incomplete.
+	r.Edge(8, 50, false, 0, 3, 40, KindExplicit, false)
+	w, ok := r.Witness(3)
+	if !ok {
+		t.Fatal("no witness")
+	}
+	if w.Complete {
+		t.Error("dangling chain reported complete")
+	}
+	if len(w.Hops) != 1 {
+		t.Errorf("hops = %d, want 1", len(w.Hops))
+	}
+}
+
+func TestProfileAggregation(t *testing.T) {
+	r := NewRecorder()
+	r.Criterion(1, 10)
+	r.Visit(1, 10)
+	r.Visit(2, 9)
+	r.HybridLoad()
+	r.CDSameDeferral()
+	r.Edge(1, 10, false, 0, 2, 9, KindExplicitOPT3, false)
+	r.Edge(2, 9, false, -1, 3, 8, KindShortcut, false)
+	p := r.Profile()
+	if p.NodesVisited != 2 || p.HybridLoads != 1 || p.CDSameDeferrals != 1 {
+		t.Errorf("profile counters = %+v", p)
+	}
+	if p.Explicit != 1 || p.Shortcut != 1 || p.Edges != 2 {
+		t.Errorf("attribution = %+v", p)
+	}
+	if p.ByKind["explicit/OPT-3"] != 1 || p.ByKind["shortcut"] != 1 {
+		t.Errorf("by-kind = %v", p.ByKind)
+	}
+
+	sum := NewRecorder().Profile()
+	sum.Add(p)
+	sum.Add(p)
+	if sum.Edges != 4 || sum.NodesVisited != 4 || sum.ByKind["shortcut"] != 2 {
+		t.Errorf("aggregated = %+v", sum)
+	}
+}
+
+func TestFirstWinsAcrossInstances(t *testing.T) {
+	r := NewRecorder()
+	r.Criterion(10, 100)
+	r.Edge(10, 100, false, 0, 3, 80, KindExplicit, false)
+	// The same statement reached again at another timestamp: the witness
+	// anchors at the first-reached instance.
+	r.Edge(10, 100, false, 1, 3, 60, KindExplicit, false)
+	w, ok := r.Witness(ir.StmtID(3))
+	if !ok || w.Hops[len(w.Hops)-1].ToTS != 80 {
+		t.Errorf("witness anchored at %+v, want ts 80", w.Hops)
+	}
+}

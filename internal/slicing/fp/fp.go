@@ -22,6 +22,7 @@ import (
 
 	"dynslice/internal/ir"
 	"dynslice/internal/slicing"
+	"dynslice/internal/slicing/explain"
 	"dynslice/internal/slicing/labelblock"
 	"dynslice/internal/telemetry"
 )
@@ -266,6 +267,8 @@ func (g *Graph) EdgeBytes() int64 {
 // the slot tables.
 func (g *Graph) ResidentBytes() int64 { return g.LabelBytes() + g.EdgeBytes() }
 
+var _ slicing.Explainer = (*Graph)(nil)
+
 type instKey struct {
 	stmt ir.StmtID
 	ts   int64
@@ -273,6 +276,15 @@ type instKey struct {
 
 // Slice implements slicing.Slicer.
 func (g *Graph) Slice(c slicing.Criterion) (*slicing.Slice, *slicing.Stats, error) {
+	return g.SliceObserved(c, nil)
+}
+
+// SliceObserved implements slicing.Explainer: the same traversal as
+// Slice, recording each traversed dependence into rec when non-nil.
+// Every FP dependence is an explicit stored label, so all hops carry
+// explain.KindExplicit — FP is the accounting baseline the OPT
+// attribution is compared against.
+func (g *Graph) SliceObserved(c slicing.Criterion, rec *explain.Recorder) (*slicing.Slice, *slicing.Stats, error) {
 	stats := &slicing.Stats{}
 	var start instRef
 	if c.Stmt >= 0 {
@@ -283,6 +295,9 @@ func (g *Graph) Slice(c slicing.Criterion) (*slicing.Slice, *slicing.Stats, erro
 			return nil, nil, fmt.Errorf("fp: address %d was never defined", c.Addr)
 		}
 		start = d
+	}
+	if rec != nil {
+		rec.Criterion(start.stmt, start.ts)
 	}
 	out := slicing.NewSlice()
 	visited := map[instKey]bool{}
@@ -296,6 +311,9 @@ func (g *Graph) Slice(c slicing.Criterion) (*slicing.Slice, *slicing.Stats, erro
 		}
 		visited[k] = true
 		stats.Instances++
+		if rec != nil {
+			rec.Visit(in.stmt, in.ts)
+		}
 		out.Add(in.stmt)
 		s := g.p.Stmt(in.stmt)
 
@@ -308,6 +326,9 @@ func (g *Graph) Slice(c slicing.Criterion) (*slicing.Slice, *slicing.Stats, erro
 			td, def, probes, found := slots[i].Find(in.ts)
 			stats.LabelProbes += probes
 			if found {
+				if rec != nil {
+					rec.Edge(in.stmt, in.ts, false, int32(i), ir.StmtID(def), td, explain.KindExplicit, false)
+				}
 				work = append(work, instRef{stmt: ir.StmtID(def), ts: td})
 			}
 		}
@@ -315,6 +336,9 @@ func (g *Graph) Slice(c slicing.Criterion) (*slicing.Slice, *slicing.Stats, erro
 		ta, anc, probes, found := g.cdEdges[s.Block.ID].Find(in.ts)
 		stats.LabelProbes += probes
 		if found {
+			if rec != nil {
+				rec.Edge(in.stmt, in.ts, false, -1, ir.StmtID(anc), ta, explain.KindExplicit, true)
+			}
 			work = append(work, instRef{stmt: ir.StmtID(anc), ts: ta})
 		}
 	}

@@ -29,6 +29,7 @@ import (
 
 	"dynslice/internal/ir"
 	"dynslice/internal/slicing"
+	"dynslice/internal/slicing/explain"
 	"dynslice/internal/telemetry"
 	"dynslice/internal/trace"
 )
@@ -130,6 +131,8 @@ const seedOrd = int64(1) << 62
 type defNeed struct {
 	use  pos    // the definition must precede this position
 	mask uint64 // criteria awaiting this definition
+	stmt ir.StmtID
+	slot int32 // consumer statement + use slot, for witness recording
 }
 
 type cdNeed struct {
@@ -140,6 +143,8 @@ type cdNeed struct {
 	depth     int
 	mask      uint64
 	done      bool
+	fromStmt  ir.StmtID // instance the control need was created for
+	fromOrd   int64
 }
 
 type instKey struct {
@@ -164,6 +169,7 @@ type query struct {
 	cdSeen   map[instKey]uint64 // criteria bits whose cd need exists for a block instance
 	visited  map[instKey]uint64
 	edges    int64
+	obs      *explain.Recorder // single-criterion observed queries only
 
 	// Criterion plumbing.
 	seedAddrs map[int64]uint64 // address -> criteria bits seeded on it (mode A)
@@ -203,10 +209,25 @@ func (q *query) recycleBufs(execs []blockExec) {
 	}
 }
 
+var _ slicing.Explainer = (*Slicer)(nil)
+
 // Slice implements slicing.Slicer as the single-criterion case of the
 // batched traversal.
 func (s *Slicer) Slice(c slicing.Criterion) (*slicing.Slice, *slicing.Stats, error) {
-	outs, stats, err := s.SliceAll([]slicing.Criterion{c})
+	outs, stats, err := s.sliceAll([]slicing.Criterion{c}, nil)
+	if err != nil {
+		return nil, nil, err
+	}
+	return outs[0], stats, nil
+}
+
+// SliceObserved implements slicing.Explainer: a single-criterion query
+// whose backward scan records every resolved dependence into rec. LP
+// materializes dependences on demand from the trace, so all hops carry
+// explain.KindExplicit; the traversal-effort counters (segment scans and
+// skips) land in the returned stats as usual.
+func (s *Slicer) SliceObserved(c slicing.Criterion, rec *explain.Recorder) (*slicing.Slice, *slicing.Stats, error) {
+	outs, stats, err := s.sliceAll([]slicing.Criterion{c}, rec)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -219,6 +240,12 @@ func (s *Slicer) Slice(c slicing.Criterion) (*slicing.Slice, *slicing.Stats, err
 // aggregate the batch (a segment scanned once for 25 criteria counts
 // once).
 func (s *Slicer) SliceAll(cs []slicing.Criterion) ([]*slicing.Slice, *slicing.Stats, error) {
+	return s.sliceAll(cs, nil)
+}
+
+// sliceAll is the shared batched traversal; obs is only ever non-nil for
+// single-criterion observed queries.
+func (s *Slicer) sliceAll(cs []slicing.Criterion, obs *explain.Recorder) ([]*slicing.Slice, *slicing.Stats, error) {
 	outs := make([]*slicing.Slice, len(cs))
 	stats := &slicing.Stats{}
 	var edges int64
@@ -232,6 +259,7 @@ func (s *Slicer) SliceAll(cs []slicing.Criterion) ([]*slicing.Slice, *slicing.St
 			cdSeen:    map[instKey]uint64{},
 			visited:   map[instKey]uint64{},
 			seedAddrs: map[int64]uint64{},
+			obs:       obs,
 		}
 		for j := 0; j < chunk; j++ {
 			c := cs[base+j]
@@ -412,6 +440,7 @@ func (q *query) processBlockExec(be *blockExec) {
 		st := q.s.p.Stmt(lc.stmt)
 		if st.Block == be.b {
 			lc.done = true
+			q.obs.Criterion(st.ID, be.ord)
 			q.admit(st, be, lay, lc.mask)
 		}
 	}
@@ -453,6 +482,9 @@ func (q *query) resolveDefs(st *ir.Stmt, be *blockExec, lay blockLayout, here po
 			q.edges++
 			if n.use.ord == seedOrd {
 				q.hitMask |= n.mask
+				q.obs.Criterion(st.ID, be.ord)
+			} else {
+				q.obs.Edge(n.stmt, n.use.ord, false, n.slot, st.ID, be.ord, explain.KindExplicit, false)
 			}
 		} else {
 			kept = append(kept, n)
@@ -482,6 +514,9 @@ func (q *query) resolveRegion(st *ir.Stmt, be *blockExec, lay blockLayout, here 
 				q.edges++
 				if n.use.ord == seedOrd {
 					q.hitMask |= n.mask
+					q.obs.Criterion(st.ID, be.ord)
+				} else {
+					q.obs.Edge(n.stmt, n.use.ord, false, n.slot, st.ID, be.ord, explain.KindExplicit, false)
 				}
 			} else {
 				kept = append(kept, n)
@@ -508,6 +543,7 @@ func (q *query) admit(st *ir.Stmt, be *blockExec, lay blockLayout, mask uint64) 
 	}
 	if q.visited[k] == 0 {
 		q.stats.Instances++
+		q.obs.Visit(st.ID, be.ord)
 	}
 	q.visited[k] |= nv
 	for m := nv; m != 0; m &= m - 1 {
@@ -518,7 +554,9 @@ func (q *query) admit(st *ir.Stmt, be *blockExec, lay blockLayout, mask uint64) 
 	if st.Op != ir.OpDeclArr {
 		for ui := 0; ui < len(st.Uses); ui++ {
 			a := be.addrs[lay.useOff[st.Idx]+ui]
-			q.needDefs[a] = append(q.needDefs[a], defNeed{use: pos{ord: be.ord, idx: st.Idx}, mask: nv})
+			q.needDefs[a] = append(q.needDefs[a], defNeed{
+				use: pos{ord: be.ord, idx: st.Idx}, mask: nv, stmt: st.ID, slot: int32(ui),
+			})
 		}
 	}
 
@@ -539,7 +577,8 @@ func (q *query) admit(st *ir.Stmt, be *blockExec, lay blockLayout, mask uint64) 
 			return
 		}
 	}
-	n := &cdNeed{fn: st.Block.Fn, ancestors: map[ir.BlockID]bool{}, startOrd: be.ord, mask: cnv}
+	n := &cdNeed{fn: st.Block.Fn, ancestors: map[ir.BlockID]bool{}, startOrd: be.ord, mask: cnv,
+		fromStmt: st.ID, fromOrd: be.ord}
 	for _, ab := range ancs {
 		n.ancestors[ab.ID] = true
 	}
@@ -564,6 +603,7 @@ func (q *query) updateCDs(be *blockExec, lay blockLayout) {
 				// procedural needs cannot match beyond this boundary.
 				if n.entryLike {
 					q.edges++
+					q.obs.Edge(n.fromStmt, n.fromOrd, false, -1, term.ID, be.ord, explain.KindExplicit, true)
 					q.admit(term, be, lay, n.mask)
 				}
 				n.done = true
@@ -576,7 +616,9 @@ func (q *query) updateCDs(be *blockExec, lay blockLayout) {
 		}
 		if n.depth == 0 && n.ancestors[be.b.ID] {
 			q.edges++
-			q.admit(be.b.Terminator(), be, lay, n.mask)
+			term := be.b.Terminator()
+			q.obs.Edge(n.fromStmt, n.fromOrd, false, -1, term.ID, be.ord, explain.KindExplicit, true)
+			q.admit(term, be, lay, n.mask)
 			n.done = true
 		}
 	}

@@ -10,6 +10,7 @@ import (
 	"sort"
 	"sync"
 
+	"dynslice/internal/slicing/explain"
 	"dynslice/internal/slicing/labelblock"
 )
 
@@ -168,8 +169,10 @@ func (g *Graph) flushEpoch() error {
 }
 
 // findLabel searches l for tu: resident pairs first, then the epoch file
-// whose range contains tu (loaded on demand, one-epoch cache).
-func (g *Graph) findLabel(l *Labels, id int32, tu int64) (int64, int64, bool) {
+// whose range contains tu (loaded on demand, one-epoch cache). An
+// observer is told about each actual epoch-file load charged to its
+// query.
+func (g *Graph) findLabel(l *Labels, id int32, tu int64, obs *explain.Recorder) (int64, int64, bool) {
 	td, probes, ok := l.Find(tu)
 	if ok || g.hybrid == nil {
 		return td, probes, ok
@@ -183,6 +186,9 @@ func (g *Graph) findLabel(l *Labels, id int32, tu int64) (int64, int64, bool) {
 	// the probe so a concurrent load cannot swap the cache mid-search.
 	h.mu.Lock()
 	defer h.mu.Unlock()
+	if obs != nil && h.cachedEpoch != ei {
+		obs.HybridLoad()
+	}
 	if err := h.load(ei); err != nil {
 		return 0, probes, false
 	}

@@ -18,10 +18,27 @@ type useRef struct {
 	stmt, slot int32
 }
 
+// useEntry is one use-frontier entry. member distinguishes uses owned by
+// a closure statement from uses reached through a use-to-use (SUU)
+// redirect chain, whose statement is skipped over rather than sliced in —
+// witnesses must anchor the latter at a use point, not an instance.
+type useEntry struct {
+	useRef
+	member bool
+}
+
+// cdRef is one control-dependence frontier entry: the occurrence whose
+// edge must be consulted dynamically, plus the statement copy whose
+// traversal reached it (the consumer side of the eventual witness hop).
+type cdRef struct {
+	occ int32
+	via int32
+}
+
 type closure struct {
 	stmts  []ir.StmtID
-	uFront []useRef
-	cFront []int32 // occurrence indices whose control dependence is dynamic
+	uFront []useEntry
+	cFront []cdRef
 }
 
 // closureFor returns (computing and memoizing on first use) the static
@@ -41,7 +58,7 @@ func (g *Graph) closureFor(loc InstLoc) *closure {
 
 	var visitStmt func(si int32)
 	var visitUse func(si, slot int32)
-	var visitOcc func(occIdx int32)
+	var visitOcc func(occIdx, via int32)
 
 	visitUse = func(si, slot int32) {
 		r := useRef{si, slot}
@@ -51,7 +68,7 @@ func (g *Graph) closureFor(loc InstLoc) *closure {
 		seenUse[r] = true
 		us := n.useSet(si, slot)
 		if len(us.Dyn) > 0 || us.Default.Mode != DefNone {
-			c.uFront = append(c.uFront, r)
+			c.uFront = append(c.uFront, useEntry{useRef: r})
 			return
 		}
 		switch us.Static {
@@ -61,7 +78,7 @@ func (g *Graph) closureFor(loc InstLoc) *closure {
 			visitUse(us.StTgtStmt, us.StTgtSlot)
 		}
 	}
-	visitOcc = func(occIdx int32) {
+	visitOcc = func(occIdx, via int32) {
 		if seenOcc[occIdx] {
 			return
 		}
@@ -74,13 +91,14 @@ func (g *Graph) closureFor(loc InstLoc) *closure {
 				visitStmt(tgtOcc.StmtOff + int32(len(tgtOcc.B.Stmts)) - 1)
 				return
 			case CDSame:
-				visitOcc(cd.StTgtOcc)
+				// The deferral keeps the statement that initiated the chain.
+				visitOcc(cd.StTgtOcc, via)
 				return
 			case CDNone:
 				return
 			}
 		}
-		c.cFront = append(c.cFront, occIdx)
+		c.cFront = append(c.cFront, cdRef{occ: occIdx, via: via})
 	}
 	visitStmt = func(si int32) {
 		if seenStmt[si] {
@@ -92,10 +110,15 @@ func (g *Graph) closureFor(loc InstLoc) *closure {
 		for k := range sc.S.Uses {
 			visitUse(si, int32(k))
 		}
-		visitOcc(sc.OccIdx)
+		visitOcc(sc.OccIdx, si)
 	}
 
 	visitStmt(loc.Stmt)
+	// Membership is settled only now: a frontier use recorded early may
+	// belong to a statement another path later pulled into the closure.
+	for i := range c.uFront {
+		c.uFront[i].member = seenStmt[c.uFront[i].stmt]
+	}
 	g.shortcuts[loc] = c
 	return c
 }

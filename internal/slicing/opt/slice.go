@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"dynslice/internal/slicing"
+	"dynslice/internal/slicing/explain"
 )
 
 // Slicing traversal (paper §3.4 "Dynamic Slicing" and Fig. 13): for each
@@ -20,6 +21,8 @@ import (
 // multi-criterion traversal in sliceall.go, so the two paths cannot
 // diverge.
 
+var _ slicing.Explainer = (*Graph)(nil)
+
 type instKey struct {
 	loc InstLoc
 	ts  int64
@@ -29,6 +32,7 @@ type sliceState struct {
 	g       *Graph
 	out     *slicing.Slice
 	stats   *slicing.Stats
+	obs     *explain.Recorder // nil for unobserved queries (the common case)
 	visited map[instKey]bool
 	seenUse map[useKey]bool
 	work    []task
@@ -67,7 +71,7 @@ func (st *sliceState) release() {
 	clear(st.visited)
 	clear(st.seenUse)
 	st.work = st.work[:0]
-	st.g, st.out, st.stats = nil, nil, nil
+	st.g, st.out, st.stats, st.obs = nil, nil, nil, nil
 	statePool.Put(st)
 }
 
@@ -78,7 +82,8 @@ type dep struct {
 	kind depKind
 	loc  InstLoc
 	ts   int64
-	slot int32 // depUse only
+	slot int32        // depUse only
+	why  explain.Kind // how the dependence was resolved (observed queries)
 }
 
 type depKind uint8
@@ -94,6 +99,12 @@ const (
 // supported through SliceAt (OPT timestamps are node ordinals, which are
 // not meaningful to callers holding FP ordinals).
 func (g *Graph) Slice(c slicing.Criterion) (*slicing.Slice, *slicing.Stats, error) {
+	return g.SliceObserved(c, nil)
+}
+
+// SliceObserved implements slicing.Explainer: the same traversal as
+// Slice, recording each resolved dependence hop into rec when non-nil.
+func (g *Graph) SliceObserved(c slicing.Criterion, rec *explain.Recorder) (*slicing.Slice, *slicing.Stats, error) {
 	if c.Stmt >= 0 {
 		return nil, nil, fmt.Errorf("opt: statement-instance criteria require SliceAt (OPT timestamps are node ordinals)")
 	}
@@ -101,19 +112,28 @@ func (g *Graph) Slice(c slicing.Criterion) (*slicing.Slice, *slicing.Stats, erro
 	if !ok {
 		return nil, nil, fmt.Errorf("opt: address %d was never defined", c.Addr)
 	}
-	return g.SliceAt(d.Loc, d.Ts)
+	return g.SliceAtObserved(d.Loc, d.Ts, rec)
 }
 
 // SliceAt computes the dynamic slice of the statement-copy instance at loc
 // with node timestamp ts.
 func (g *Graph) SliceAt(loc InstLoc, ts int64) (*slicing.Slice, *slicing.Stats, error) {
+	return g.SliceAtObserved(loc, ts, nil)
+}
+
+// SliceAtObserved is SliceAt with an optional provenance recorder.
+func (g *Graph) SliceAtObserved(loc InstLoc, ts int64, rec *explain.Recorder) (*slicing.Slice, *slicing.Stats, error) {
 	st := getSliceState(g)
+	st.obs = rec
+	if rec != nil {
+		rec.Criterion(g.StmtAt(loc).ID, ts)
+	}
 	st.pushInstance(loc, ts)
 	for len(st.work) > 0 {
 		t := st.work[len(st.work)-1]
 		st.work = st.work[:len(st.work)-1]
 		if t.isUse {
-			st.resolveUse(t.loc, t.slot, t.ts)
+			st.resolveUse(t.loc, t.slot, t.ts, true)
 		} else {
 			st.processInstance(t.loc, t.ts)
 		}
@@ -153,28 +173,72 @@ func (st *sliceState) processInstance(loc InstLoc, ts int64) {
 	if g.cfg.Shortcuts {
 		g.cShortcut.Inc()
 		cl := g.closureFor(loc)
+		if st.obs != nil {
+			st.observeClosure(loc, ts, cl)
+		}
 		for _, id := range cl.stmts {
 			st.out.Add(id)
 		}
 		for _, u := range cl.uFront {
-			st.resolveUse(InstLoc{Node: loc.Node, Stmt: u.stmt}, u.slot, ts)
+			st.resolveUse(InstLoc{Node: loc.Node, Stmt: u.stmt}, u.slot, ts, !u.member)
 		}
-		for _, occIdx := range cl.cFront {
-			st.resolveCD(loc.Node, occIdx, ts)
+		for _, cf := range cl.cFront {
+			st.resolveCD(loc.Node, cf.occ, ts, cf.via)
 		}
 		return
 	}
 	n := g.nodes[loc.Node]
 	sc := &n.Stmts[loc.Stmt]
 	st.out.Add(sc.S.ID)
-	for k := range sc.S.Uses {
-		st.resolveUse(loc, int32(k), ts)
+	if st.obs != nil {
+		st.obs.Visit(sc.S.ID, ts)
 	}
-	st.resolveCD(loc.Node, sc.OccIdx, ts)
+	for k := range sc.S.Uses {
+		st.resolveUse(loc, int32(k), ts, false)
+	}
+	st.resolveCD(loc.Node, sc.OccIdx, ts, loc.Stmt)
 }
 
-func (st *sliceState) resolveUse(loc InstLoc, slot int32, ts int64) {
-	switch d := st.g.resolveUseDep(loc, slot, ts, st.stats); d.kind {
+// observeClosure records shortcut membership: every closure statement
+// beyond the root is witnessed as one shortcut hop from the root
+// instance (all closure members share the root's timestamp — the
+// closure is the all-static, same-timestamp subgraph).
+func (st *sliceState) observeClosure(loc InstLoc, ts int64, cl *closure) {
+	n := st.g.nodes[loc.Node]
+	root := n.Stmts[loc.Stmt].S.ID
+	st.obs.Visit(root, ts)
+	for _, id := range cl.stmts {
+		if id == root {
+			continue
+		}
+		st.obs.Edge(root, ts, false, -1, id, ts, explain.KindShortcut, false)
+	}
+	// Frontier uses reached through SUU redirect chains belong to skipped
+	// statements: anchor them as use points so the dependence resolved
+	// there chains back to the root rather than dead-ending.
+	for _, u := range cl.uFront {
+		if u.member {
+			continue
+		}
+		st.obs.EdgeUse(root, ts, false, -1, n.Stmts[u.stmt].S.ID, u.slot, ts, explain.KindShortcut)
+	}
+}
+
+// resolveUse resolves one use slot; fromUse marks resolution on behalf of
+// a use-point redirect target (an OPT-2 chain) rather than an instance's
+// own use.
+func (st *sliceState) resolveUse(loc InstLoc, slot int32, ts int64, fromUse bool) {
+	d := st.g.resolveUseDep(loc, slot, ts, st.stats, st.obs)
+	if st.obs != nil && d.kind != depNone {
+		from := st.g.nodes[loc.Node].Stmts[loc.Stmt].S.ID
+		switch d.kind {
+		case depInst:
+			st.obs.Edge(from, ts, fromUse, slot, st.g.StmtAt(d.loc).ID, d.ts, d.why, false)
+		case depUse:
+			st.obs.EdgeUse(from, ts, fromUse, slot, st.g.StmtAt(d.loc).ID, d.slot, d.ts, d.why)
+		}
+	}
+	switch d.kind {
 	case depInst:
 		st.pushInstance(d.loc, d.ts)
 	case depUse:
@@ -182,37 +246,50 @@ func (st *sliceState) resolveUse(loc InstLoc, slot int32, ts int64) {
 	}
 }
 
-func (st *sliceState) resolveCD(node NodeID, occIdx int32, ts int64) {
-	if d := st.g.resolveCDDep(node, occIdx, ts, st.stats); d.kind == depInst {
-		st.pushInstance(d.loc, d.ts)
+// resolveCD resolves the control dependence of one occurrence; fromSi is
+// the statement copy the edge is traversed on behalf of (for witnesses).
+func (st *sliceState) resolveCD(node NodeID, occIdx int32, ts int64, fromSi int32) {
+	d := st.g.resolveCDDep(node, occIdx, ts, st.stats, st.obs)
+	if d.kind != depInst {
+		return
 	}
+	if st.obs != nil {
+		from := st.g.nodes[node].Stmts[fromSi].S.ID
+		st.obs.Edge(from, ts, false, -1, st.g.StmtAt(d.loc).ID, d.ts, d.why, true)
+	}
+	st.pushInstance(d.loc, d.ts)
 }
 
 // resolveUseDep locates the dependence of one use slot at time ts.
 // Dynamic labels take precedence; the static edge is the fallback (paper
 // Fig. 13, cases (a) and (c)). Read-only on the graph after Finalize.
-func (g *Graph) resolveUseDep(loc InstLoc, slot int32, ts int64, stats *slicing.Stats) dep {
+// The dep's why field classifies the resolution for observed queries.
+func (g *Graph) resolveUseDep(loc InstLoc, slot int32, ts int64, stats *slicing.Stats, obs *explain.Recorder) dep {
 	us := g.nodes[loc.Node].useSet(loc.Stmt, slot)
 	for i := range us.Dyn {
-		td, probes, found := g.findLabel(us.Dyn[i].L, us.Dyn[i].L.id, ts)
+		td, probes, found := g.findLabel(us.Dyn[i].L, us.Dyn[i].L.id, ts, obs)
 		stats.LabelProbes += probes
 		if found {
 			if td < 0 {
 				return dep{} // tombstone: this execution had no producer
 			}
-			return dep{kind: depInst, loc: us.Dyn[i].Tgt, ts: td}
+			why := explain.KindExplicit
+			if us.Dyn[i].L.shared {
+				why = explain.KindExplicitOPT3
+			}
+			return dep{kind: depInst, loc: us.Dyn[i].Tgt, ts: td, why: why}
 		}
 	}
 	switch us.Static {
 	case SDU, SDUPartial:
-		return dep{kind: depInst, loc: InstLoc{Node: loc.Node, Stmt: us.StTgtStmt}, ts: ts}
+		return dep{kind: depInst, loc: InstLoc{Node: loc.Node, Stmt: us.StTgtStmt}, ts: ts, why: explain.KindInferredOPT1}
 	case SUU:
 		// Redirect to the earlier use at the same timestamp; its statement
 		// is not added to the slice.
-		return dep{kind: depUse, loc: InstLoc{Node: loc.Node, Stmt: us.StTgtStmt}, slot: us.StTgtSlot, ts: ts}
+		return dep{kind: depUse, loc: InstLoc{Node: loc.Node, Stmt: us.StTgtStmt}, slot: us.StTgtSlot, ts: ts, why: explain.KindInferredOPT2}
 	case SNone:
 		if tgt, td, ok := us.Default.Resolve(ts); ok {
-			return dep{kind: depInst, loc: tgt, ts: td}
+			return dep{kind: depInst, loc: tgt, ts: td, why: explain.KindInferredAdaptive}
 		}
 	}
 	return dep{}
@@ -220,35 +297,41 @@ func (g *Graph) resolveUseDep(loc InstLoc, slot int32, ts int64, stats *slicing.
 
 // resolveCDDep locates the controlling instance of a block occurrence at
 // time ts. CDSame chains (control-equivalent occurrences of superblock
-// nodes) are followed iteratively.
-func (g *Graph) resolveCDDep(node NodeID, occIdx int32, ts int64, stats *slicing.Stats) dep {
+// nodes) are followed iteratively; an observer counts each deferral and
+// the eventual resolution is attributed to the final hop.
+func (g *Graph) resolveCDDep(node NodeID, occIdx int32, ts int64, stats *slicing.Stats, obs *explain.Recorder) dep {
 	for {
 		occ := &g.nodes[node].Occs[occIdx]
 		for i := range occ.CD.Dyn {
-			ta, probes, found := g.findLabel(occ.CD.Dyn[i].L, occ.CD.Dyn[i].L.id, ts)
+			ta, probes, found := g.findLabel(occ.CD.Dyn[i].L, occ.CD.Dyn[i].L.id, ts, obs)
 			stats.LabelProbes += probes
 			if found {
 				if ta < 0 {
 					return dep{} // tombstone: no controlling instance
 				}
-				return dep{kind: depInst, loc: occ.CD.Dyn[i].Tgt, ts: ta}
+				why := explain.KindExplicit
+				if occ.CD.Dyn[i].L.shared {
+					why = explain.KindExplicitOPT6
+				}
+				return dep{kind: depInst, loc: occ.CD.Dyn[i].Tgt, ts: ta, why: why}
 			}
 		}
 		switch occ.CD.Static {
 		case CDLocal:
 			tgtOcc := g.nodes[node].Occs[occ.CD.StTgtOcc]
 			termIdx := tgtOcc.StmtOff + int32(len(tgtOcc.B.Stmts)) - 1
-			return dep{kind: depInst, loc: InstLoc{Node: node, Stmt: termIdx}, ts: ts}
+			return dep{kind: depInst, loc: InstLoc{Node: node, Stmt: termIdx}, ts: ts, why: explain.KindInferredOPT5}
 		case CDDelta:
-			return dep{kind: depInst, loc: occ.CD.StTgt, ts: ts - occ.CD.Delta}
+			return dep{kind: depInst, loc: occ.CD.StTgt, ts: ts - occ.CD.Delta, why: explain.KindInferredOPT4}
 		case CDSame:
 			// Control equivalent to an earlier occurrence of the same node
 			// execution: resolve that occurrence's edge at the same time.
+			obs.CDSameDeferral()
 			occIdx = occ.CD.StTgtOcc
 			continue
 		case CDNone:
 			if tgt, ta, ok := occ.CD.Default.Resolve(ts); ok {
-				return dep{kind: depInst, loc: tgt, ts: ta}
+				return dep{kind: depInst, loc: tgt, ts: ta, why: explain.KindInferredAdaptive}
 			}
 		}
 		return dep{}

@@ -144,7 +144,7 @@ func (st *batchState) compute(k bkey) *bdeps {
 	g := st.g
 	d := &bdeps{}
 	if k.slot >= 0 {
-		d.add(g.resolveUseDep(k.loc, k.slot, k.ts, st.stats))
+		d.add(g.resolveUseDep(k.loc, k.slot, k.ts, st.stats, nil))
 		return d
 	}
 	st.stats.Instances++
@@ -153,10 +153,10 @@ func (st *batchState) compute(k bkey) *bdeps {
 		cl := g.closureFor(k.loc)
 		d.stmts = cl.stmts // shared read-only with the closure memo
 		for _, u := range cl.uFront {
-			d.add(g.resolveUseDep(InstLoc{Node: k.loc.Node, Stmt: u.stmt}, u.slot, k.ts, st.stats))
+			d.add(g.resolveUseDep(InstLoc{Node: k.loc.Node, Stmt: u.stmt}, u.slot, k.ts, st.stats, nil))
 		}
-		for _, occIdx := range cl.cFront {
-			d.add(g.resolveCDDep(k.loc.Node, occIdx, k.ts, st.stats))
+		for _, cf := range cl.cFront {
+			d.add(g.resolveCDDep(k.loc.Node, cf.occ, k.ts, st.stats, nil))
 		}
 		return d
 	}
@@ -164,9 +164,9 @@ func (st *batchState) compute(k bkey) *bdeps {
 	sc := &n.Stmts[k.loc.Stmt]
 	d.stmts = append(d.stmts, sc.S.ID)
 	for slot := range sc.S.Uses {
-		d.add(g.resolveUseDep(k.loc, int32(slot), k.ts, st.stats))
+		d.add(g.resolveUseDep(k.loc, int32(slot), k.ts, st.stats, nil))
 	}
-	d.add(g.resolveCDDep(k.loc.Node, sc.OccIdx, k.ts, st.stats))
+	d.add(g.resolveCDDep(k.loc.Node, sc.OccIdx, k.ts, st.stats, nil))
 	return d
 }
 

@@ -38,6 +38,8 @@ type Slicer struct {
 	// Builder state for control resolution.
 	frames  []*oframe
 	lastDef map[int64]int // addr -> log index of the defining event
+
+	deps *Deps // lazily built statement-level pairs (see Deps)
 }
 
 type oframe struct {
@@ -129,6 +131,110 @@ func (o *Slicer) resolveControl(b *ir.Block, fr *oframe) int {
 		return fr.callIdx
 	}
 	return -1
+}
+
+// Deps is the statement-level dependence relation recomputed from the
+// event log: which (dependent, dependency) statement pairs were actually
+// exercised during the run. Witness validation checks every hop of an
+// optimized slicer's dependence-path witness against these pairs, so an
+// inferred or shortcut edge that does not correspond to a real dynamic
+// dependence is caught even when the slice sets still agree.
+type Deps struct {
+	data    map[[2]ir.StmtID]bool
+	control map[[2]ir.StmtID]bool
+	useUse  map[[2]ir.StmtID]bool
+
+	adj   map[ir.StmtID][]ir.StmtID        // union graph, dependent -> dependency
+	reach map[ir.StmtID]map[ir.StmtID]bool // memoized BFS closures
+}
+
+// Deps replays the log once and returns the exercised dependence pairs.
+// The result is memoized on the slicer; call after the trace is complete.
+func (o *Slicer) Deps() *Deps {
+	if o.deps != nil {
+		return o.deps
+	}
+	d := &Deps{
+		data:    map[[2]ir.StmtID]bool{},
+		control: map[[2]ir.StmtID]bool{},
+		useUse:  map[[2]ir.StmtID]bool{},
+		adj:     map[ir.StmtID][]ir.StmtID{},
+		reach:   map[ir.StmtID]map[ir.StmtID]bool{},
+	}
+	lastDef := map[int64]ir.StmtID{} // addr -> statement of its live definition
+	users := map[int64][]ir.StmtID{} // addr -> statements that used the live value
+	for i := range o.log {
+		ev := &o.log[i]
+		id := ev.stmt.ID
+		// Uses before defs, so x = x + 1 depends on the previous definition.
+		for _, a := range ev.uses {
+			if def, ok := lastDef[a]; ok {
+				d.add(d.data, id, def)
+			}
+			for _, u := range users[a] {
+				d.add(d.useUse, id, u)
+			}
+			users[a] = append(users[a], id)
+		}
+		if ev.control >= 0 {
+			d.add(d.control, id, o.log[ev.control].stmt.ID)
+		}
+		for _, a := range ev.defs {
+			lastDef[a] = id
+			users[a] = users[a][:0]
+		}
+	}
+	o.deps = d
+	return d
+}
+
+func (d *Deps) add(m map[[2]ir.StmtID]bool, from, to ir.StmtID) {
+	k := [2]ir.StmtID{from, to}
+	if m[k] {
+		return
+	}
+	m[k] = true
+	d.adj[from] = append(d.adj[from], to)
+}
+
+// Data reports whether from took a value last defined by to at some point
+// in the run.
+func (d *Deps) Data(from, to ir.StmtID) bool { return d.data[[2]ir.StmtID{from, to}] }
+
+// Control reports whether an execution of from was governed by an
+// execution of to.
+func (d *Deps) Control(from, to ir.StmtID) bool { return d.control[[2]ir.StmtID{from, to}] }
+
+// UseUse reports whether from used a value that to had already used while
+// the same definition (or the same never-defined cell) was live — the
+// relation OPT-2 use-to-use redirection edges traverse.
+func (d *Deps) UseUse(from, to ir.StmtID) bool { return d.useUse[[2]ir.StmtID{from, to}] }
+
+// Reachable reports whether to is transitively reachable from from over
+// the union of the three relations — the justification for shortcut
+// (chain-collapsing) hops, which compress a multi-edge dependence chain
+// into one step.
+func (d *Deps) Reachable(from, to ir.StmtID) bool {
+	if from == to {
+		return true
+	}
+	set, ok := d.reach[from]
+	if !ok {
+		set = map[ir.StmtID]bool{from: true}
+		work := []ir.StmtID{from}
+		for len(work) > 0 {
+			n := work[len(work)-1]
+			work = work[:len(work)-1]
+			for _, m := range d.adj[n] {
+				if !set[m] {
+					set[m] = true
+					work = append(work, m)
+				}
+			}
+		}
+		d.reach[from] = set
+	}
+	return set[to]
 }
 
 // Slice implements slicing.Slicer: brute-force backward walk.

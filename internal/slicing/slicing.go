@@ -7,6 +7,7 @@ import (
 	"sort"
 
 	"dynslice/internal/ir"
+	"dynslice/internal/slicing/explain"
 )
 
 // Criterion selects what to slice on. Exactly one form is used:
@@ -101,4 +102,14 @@ type Slicer interface {
 type MultiSlicer interface {
 	Slicer
 	SliceAll(cs []Criterion) ([]*Slice, *Stats, error)
+}
+
+// Explainer is implemented by slicers that can record per-query
+// provenance: SliceObserved computes exactly the slice Slice would,
+// additionally threading every resolved dependence hop, traversal
+// counter, and predecessor edge through rec (which must not be shared
+// between concurrent queries). A nil rec makes it equivalent to Slice.
+type Explainer interface {
+	Slicer
+	SliceObserved(c Criterion, rec *explain.Recorder) (*Slice, *Stats, error)
 }

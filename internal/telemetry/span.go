@@ -85,14 +85,15 @@ func (s *Span) End() {
 	if s == nil {
 		return
 	}
-	nanos := time.Since(s.start).Nanoseconds()
+	d := time.Since(s.start)
 	var alloc int64
 	if s.trackAlloc {
 		var ms runtime.MemStats
 		runtime.ReadMemStats(&ms)
 		alloc = int64(ms.TotalAlloc - s.allocStart)
 	}
-	s.r.observe(s.path, 1, nanos, alloc)
+	s.r.observe(s.path, 1, d.Nanoseconds(), alloc)
+	s.r.Timeline().Event(s.path, "span", 0, s.start, d)
 }
 
 // ObserveSpan folds one duration-only occurrence into the aggregate for
@@ -103,6 +104,9 @@ func (r *Registry) ObserveSpan(path string, d time.Duration) {
 		return
 	}
 	r.observe(path, 1, d.Nanoseconds(), 0)
+	if tl := r.Timeline(); tl != nil {
+		tl.Event(path, "span", 0, time.Now().Add(-d), d)
+	}
 }
 
 func (r *Registry) observe(path string, count, nanos, alloc int64) {

@@ -19,6 +19,7 @@ import (
 	"io"
 	"math/bits"
 	"os"
+	"path/filepath"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -36,6 +37,10 @@ type Registry struct {
 
 	spanMu sync.Mutex
 	spans  map[string]*spanStats
+
+	// timeline, when attached, receives one trace event per completed
+	// span (see timeline.go).
+	timeline atomic.Pointer[Timeline]
 }
 
 // New returns an enabled registry.
@@ -283,17 +288,36 @@ func (r *Registry) WriteJSON(w io.Writer) error {
 	return enc.Encode(r.Snapshot())
 }
 
-// WriteFile snapshots the registry to a JSON file.
+// WriteFile snapshots the registry to a JSON file, atomically: the
+// snapshot goes to a temp file in the same directory which is renamed
+// over path, so a crash mid-export cannot leave a truncated file.
 func (r *Registry) WriteFile(path string) error {
-	f, err := os.Create(path)
+	return writeFileAtomic(path, r.WriteJSON)
+}
+
+// writeFileAtomic streams write into a temp file next to path and
+// renames it into place (same-directory rename is atomic on POSIX).
+func writeFileAtomic(path string, write func(io.Writer) error) error {
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
 	if err != nil {
 		return err
 	}
-	if err := r.WriteJSON(f); err != nil {
+	tmp := f.Name()
+	if err := write(f); err != nil {
 		f.Close()
+		os.Remove(tmp)
 		return err
 	}
-	return f.Close()
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
 }
 
 // CounterNames returns the registered counter names, sorted (test helper

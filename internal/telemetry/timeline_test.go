@@ -1,0 +1,183 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTimelineNilSafe(t *testing.T) {
+	var tl *Timeline
+	tl.Event("x", "span", 0, time.Now(), time.Millisecond)
+	if tl.Len() != 0 || tl.Events() != nil {
+		t.Error("nil timeline recorded events")
+	}
+	var r *Registry
+	r.AttachTimeline(NewTimeline())
+	if r.Timeline() != nil {
+		t.Error("nil registry returned a timeline")
+	}
+}
+
+func TestTimelineWriteJSONShape(t *testing.T) {
+	tl := NewTimeline()
+	start := time.Now()
+	tl.Event("compile", "span", 0, start, 2*time.Millisecond)
+	tl.Event("fp-build", "pipeline", 3, start.Add(time.Millisecond), 500*time.Microsecond)
+
+	var buf bytes.Buffer
+	if err := tl.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// The export must be loadable as the Trace Event Format object form.
+	var f struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+		Unit        string           `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &f); err != nil {
+		t.Fatalf("invalid trace-event JSON: %v\n%s", err, buf.String())
+	}
+	if f.Unit != "ms" || len(f.TraceEvents) != 2 {
+		t.Fatalf("unit=%q events=%d", f.Unit, len(f.TraceEvents))
+	}
+	for _, ev := range f.TraceEvents {
+		for _, key := range []string{"name", "cat", "ph", "ts", "dur", "pid", "tid"} {
+			if _, ok := ev[key]; !ok {
+				t.Errorf("event missing %q: %v", key, ev)
+			}
+		}
+		if ev["ph"] != "X" {
+			t.Errorf("ph = %v, want X", ev["ph"])
+		}
+	}
+	if f.TraceEvents[1]["name"] != "fp-build" || f.TraceEvents[1]["tid"] != float64(3) {
+		t.Errorf("second event = %v", f.TraceEvents[1])
+	}
+}
+
+func TestTimelineEmptyExportIsValid(t *testing.T) {
+	var buf bytes.Buffer
+	if err := NewTimeline().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"traceEvents": []`) {
+		t.Errorf("empty timeline must serialize an empty array, got %s", buf.String())
+	}
+}
+
+func TestSpanEmitsTimelineEvent(t *testing.T) {
+	r := New()
+	tl := NewTimeline()
+	r.AttachTimeline(tl)
+
+	sp := r.StartSpan("build")
+	sp.Child("opt").End()
+	sp.End()
+	r.ObserveSpan("slice/opt", 3*time.Millisecond)
+
+	evs := tl.Events()
+	if len(evs) != 3 {
+		t.Fatalf("events = %d, want 3 (%v)", len(evs), evs)
+	}
+	names := map[string]bool{}
+	for _, ev := range evs {
+		names[ev.Name] = true
+		if ev.Cat != "span" {
+			t.Errorf("cat = %q, want span", ev.Cat)
+		}
+	}
+	for _, want := range []string{"build", "build/opt", "slice/opt"} {
+		if !names[want] {
+			t.Errorf("missing span event %q in %v", want, names)
+		}
+	}
+
+	// Detaching stops emission without touching span aggregation.
+	r.AttachTimeline(nil)
+	r.ObserveSpan("slice/opt", time.Millisecond)
+	if tl.Len() != 3 {
+		t.Errorf("detached timeline still receiving events")
+	}
+	if r.SpanCount("slice/opt") != 2 {
+		t.Errorf("span aggregation lost: %d", r.SpanCount("slice/opt"))
+	}
+}
+
+func TestTimelineWriteFileAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "tl.json")
+	tl := NewTimeline()
+	tl.Event("a", "span", 0, time.Now(), time.Millisecond)
+	if err := tl.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	// Overwrite must go through a temp file + rename: afterwards only the
+	// target exists, with valid content.
+	tl.Event("b", "span", 0, time.Now(), time.Millisecond)
+	if err := tl.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 1 || ents[0].Name() != "tl.json" {
+		t.Fatalf("directory contents = %v, want only tl.json", ents)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var f struct {
+		TraceEvents []TimelineEvent `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &f); err != nil {
+		t.Fatal(err)
+	}
+	if len(f.TraceEvents) != 2 {
+		t.Errorf("events = %d, want 2", len(f.TraceEvents))
+	}
+}
+
+func TestRegistryWriteFileAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "metrics.json")
+	r := New()
+	r.Counter("x").Inc()
+	if err := r.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	r.Counter("x").Inc()
+	if err := r.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 1 {
+		t.Fatalf("leftover temp files: %v", ents)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap map[string]any
+	if err := json.Unmarshal(data, &snap); err != nil {
+		t.Fatalf("snapshot not valid JSON after rewrite: %v", err)
+	}
+
+	// Write into a missing directory: the target must not be created and
+	// no temp file may survive anywhere.
+	if err := r.WriteFile(filepath.Join(dir, "missing", "m.json")); err == nil {
+		t.Error("write into missing directory succeeded")
+	}
+	ents, _ = os.ReadDir(dir)
+	if len(ents) != 1 {
+		t.Errorf("failure left artifacts: %v", ents)
+	}
+}

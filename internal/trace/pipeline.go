@@ -1,12 +1,14 @@
 package trace
 
 import (
+	"fmt"
 	"io"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"dynslice/internal/ir"
+	"dynslice/internal/telemetry"
 )
 
 // Pipelined trace consumption. Two building blocks:
@@ -35,6 +37,14 @@ type PipelineConfig struct {
 	// Depth is the per-consumer channel depth in batches (default 4): how
 	// far the producer may run ahead of the slowest consumer.
 	Depth int
+	// Timeline, when non-nil, receives one Chrome trace event per applied
+	// batch from each worker, so pipeline utilization (worker busy vs
+	// idle) renders as per-stage rows in chrome://tracing / Perfetto.
+	Timeline *telemetry.Timeline
+	// TimelineNames labels the timeline row of each sink, in sink order
+	// (ParallelReplay) or for the single wrapped sink (Async); sinks
+	// without a name fall back to "sink-<i>".
+	TimelineNames []string
 }
 
 const (
@@ -55,6 +65,18 @@ func (c PipelineConfig) depth() int {
 	}
 	return c.Depth
 }
+
+func (c PipelineConfig) sinkName(i int) string {
+	if i < len(c.TimelineNames) && c.TimelineNames[i] != "" {
+		return c.TimelineNames[i]
+	}
+	return fmt.Sprintf("sink-%d", i)
+}
+
+// timelineTid hands each pipeline worker its own timeline row, so
+// concurrent workers (several Asyncs, or ParallelReplay fan-out) never
+// overlap events on one row.
+var timelineTid atomic.Int32
 
 // rec is one decoded event inside a batch. Use and def addresses live in
 // the batch arena at [off, off+nUses) and [off+nUses, off+nUses+nDefs).
@@ -166,15 +188,21 @@ func ParallelReplayTimed(p *ir.Program, r io.Reader, cfg PipelineConfig, m *Metr
 	for i := range sinks {
 		chans[i] = make(chan *batch, cfg.depth())
 		wg.Add(1)
-		go func(ch chan *batch, s Sink, slot *time.Duration) {
+		var tid int
+		if cfg.Timeline != nil {
+			tid = int(timelineTid.Add(1))
+		}
+		go func(ch chan *batch, s Sink, slot *time.Duration, name string, tid int) {
 			defer wg.Done()
 			for b := range ch {
 				t0 := time.Now()
 				b.apply(s)
-				*slot += time.Since(t0)
+				d := time.Since(t0)
+				*slot += d
+				cfg.Timeline.Event(name, "pipeline", tid, t0, d)
 				b.release()
 			}
-		}(chans[i], sinks[i], &busy[i])
+		}(chans[i], sinks[i], &busy[i], cfg.sinkName(i), tid)
 	}
 	finish := func() {
 		for _, ch := range chans {
@@ -244,13 +272,20 @@ type Async struct {
 // NewAsync returns an Async applying events to sink on its own goroutine.
 func NewAsync(sink Sink, cfg PipelineConfig) *Async {
 	a := &Async{sink: sink, ch: make(chan *batch, cfg.depth()), max: cfg.batchBlocks(), cur: getBatch()}
+	var tid int
+	if cfg.Timeline != nil {
+		tid = int(timelineTid.Add(1))
+	}
+	name := cfg.sinkName(0)
 	a.wg.Add(1)
 	go func() {
 		defer a.wg.Done()
 		for b := range a.ch {
 			t0 := time.Now()
 			b.apply(sink)
-			a.busy += time.Since(t0)
+			d := time.Since(t0)
+			a.busy += d
+			cfg.Timeline.Event(name, "pipeline", tid, t0, d)
 			b.release()
 		}
 	}()

@@ -1,0 +1,86 @@
+package trace_test
+
+import (
+	"bytes"
+	"testing"
+
+	"dynslice/internal/interp"
+	"dynslice/internal/telemetry"
+	"dynslice/internal/trace"
+)
+
+// TestParallelReplayTimeline checks that every pipeline worker emits at
+// least one trace event on its own timeline row, labeled per
+// TimelineNames (with the sink-index fallback).
+func TestParallelReplayTimeline(t *testing.T) {
+	p := prog(t, srcLoop)
+	raw, _ := traceBytes(t)
+
+	tl := telemetry.NewTimeline()
+	cfg := trace.PipelineConfig{
+		BatchBlocks:   2, // several batches -> several events per sink
+		Timeline:      tl,
+		TimelineNames: []string{"fp-build"}, // second sink falls back
+	}
+	if err := trace.ParallelReplay(p, bytes.NewReader(raw), cfg, &recorder{}, &recorder{}); err != nil {
+		t.Fatal(err)
+	}
+
+	perName := map[string]map[int]int{}
+	for _, ev := range tl.Events() {
+		if ev.Cat != "pipeline" {
+			t.Errorf("cat = %q, want pipeline", ev.Cat)
+		}
+		if perName[ev.Name] == nil {
+			perName[ev.Name] = map[int]int{}
+		}
+		perName[ev.Name][ev.Tid]++
+	}
+	for _, name := range []string{"fp-build", "sink-1"} {
+		rows := perName[name]
+		if len(rows) != 1 {
+			t.Fatalf("%s: events on %d rows, want exactly 1 (%v)", name, len(rows), perName)
+		}
+		for tid, n := range rows {
+			if tid == 0 || n < 1 {
+				t.Errorf("%s: tid=%d n=%d, want a dedicated nonzero row", name, tid, n)
+			}
+		}
+	}
+	// The two sinks must not share a row.
+	for tid := range perName["fp-build"] {
+		if _, shared := perName["sink-1"][tid]; shared {
+			t.Errorf("sinks share timeline row %d", tid)
+		}
+	}
+}
+
+// TestAsyncTimeline checks the Async wrapper's per-batch emission and
+// that an absent timeline costs no events (nil-safe path).
+func TestAsyncTimeline(t *testing.T) {
+	p := prog(t, srcLoop)
+
+	tl := telemetry.NewTimeline()
+	a := trace.NewAsync(&recorder{}, trace.PipelineConfig{
+		BatchBlocks:   2,
+		Timeline:      tl,
+		TimelineNames: []string{"opt-build"},
+	})
+	if _, err := interp.Run(p, interp.Options{Sink: a}); err != nil {
+		t.Fatal(err)
+	}
+	if tl.Len() < 1 {
+		t.Fatal("async worker emitted no timeline events")
+	}
+	for _, ev := range tl.Events() {
+		if ev.Name != "opt-build" || ev.Cat != "pipeline" || ev.Tid == 0 {
+			t.Errorf("event = %+v, want opt-build/pipeline on a worker row", ev)
+		}
+	}
+
+	// No timeline attached: same pipeline, zero emission, no panic.
+	a2 := trace.NewAsync(&recorder{}, trace.PipelineConfig{BatchBlocks: 2})
+	if _, err := interp.Run(p, interp.Options{Sink: a2}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -41,7 +41,10 @@ func main() {
 }`
 
 // pipeline runs the full instrumented path: record (profile + traced
-// interpretation + FP/OPT graph builds) and a slice per algorithm.
+// interpretation + FP/OPT graph builds) and a slice per algorithm. Every
+// slice routes through the observed traversal with a nil
+// explain.Recorder, so the ≤5% guard below also covers the provenance
+// hooks' disabled path.
 func pipeline(tb testing.TB, p *slicer.Program, reg *telemetry.Registry) {
 	rec, err := p.Record(slicer.RunOptions{Telemetry: reg})
 	if err != nil {
@@ -83,6 +86,38 @@ func BenchmarkTelemetryOverhead(b *testing.B) {
 			pipeline(b, p, reg)
 		}
 	})
+}
+
+// BenchmarkObserverOverhead compares plain and observed queries on one
+// frozen recording, per algorithm. The delta is the cost of live
+// provenance recording (predecessor maps, per-kind counters, witness
+// state); plain queries pay only a nil-receiver check per hook.
+func BenchmarkObserverOverhead(b *testing.B) {
+	p, err := slicer.Compile(overheadSrc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rec, err := p.Record(slicer.RunOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer rec.Close()
+	for _, s := range []*slicer.Slicer{rec.OPT(), rec.FP()} {
+		b.Run(s.Name()+"/plain", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := s.SliceVar("acc"); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(s.Name()+"/observed", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := s.ExplainVar("acc"); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }
 
 // measure interleaves rounds of the two configurations and returns each

@@ -179,8 +179,11 @@ func (p *Program) Record(o RunOptions) (*Recording, error) {
 	sink := trace.Multi{tw, rec.fpG, rec.optG}
 	var asyncs []*trace.Async
 	if !o.SequentialBuild {
-		afp := trace.NewAsync(rec.fpG, trace.PipelineConfig{})
-		aopt := trace.NewAsync(rec.optG, trace.PipelineConfig{})
+		// An attached timeline (telemetry.AttachTimeline) gives each
+		// builder worker its own named row of per-batch activity.
+		tl := o.Telemetry.Timeline()
+		afp := trace.NewAsync(rec.fpG, trace.PipelineConfig{Timeline: tl, TimelineNames: []string{"fp-build"}})
+		aopt := trace.NewAsync(rec.optG, trace.PipelineConfig{Timeline: tl, TimelineNames: []string{"opt-build"}})
 		asyncs = []*trace.Async{afp, aopt}
 		sink = trace.Multi{tw, afp, aopt}
 	}
