@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: ci build vet fmt test test-race fuzz-smoke fuzz-native overhead bench bench-parallel bench-mem bench-explain experiments
+.PHONY: ci build vet fmt test test-race fuzz-smoke fuzz-native overhead bench bench-parallel bench-mem bench-explain bench-queries bench-baseline bench-check experiments
 
-ci: build vet fmt test test-race fuzz-smoke bench-mem bench-explain overhead
+ci: build vet fmt test test-race fuzz-smoke bench-mem bench-explain bench-queries overhead bench-check
 
 build:
 	$(GO) build ./...
@@ -19,9 +19,10 @@ test:
 	$(GO) test ./...
 
 # Race detection over the concurrent paths: the pipelined builders, the
-# batched slicers, the QueryEngine, and the root façade.
+# batched slicers, the QueryEngine, the root façade, and the query
+# flight recorder.
 test-race:
-	$(GO) test -race . ./internal/slicing/... ./internal/trace/...
+	$(GO) test -race . ./internal/slicing/... ./internal/trace/... ./internal/telemetry/...
 
 # Differential smoke gate: 500 generated programs, every sampled
 # criterion sliced through the full configuration matrix and compared
@@ -64,6 +65,36 @@ bench-mem:
 # edges (the optimizations would not be exercised).
 bench-explain:
 	$(GO) run ./cmd/experiments -exp explain
+
+# Query flight-recorder smoke: replay the interactive query pattern on
+# one small workload with the audit log attached. RunQueries fails the
+# target if the log ends up empty or any record is malformed (missing
+# ID, unknown backend/kind, implausible latency, no cache hits).
+bench-queries:
+	$(GO) run ./cmd/experiments -exp queries -workload li -queries-out $$(mktemp -u)
+
+# Regression gate: regenerate the gated benchmark artifacts into a temp
+# directory and diff against bench/baselines (fails when the median
+# cross-workload delta of lp/opt batch speedup, compact resident label
+# bytes, or per-backend slice times exceeds the metric's allowance —
+# 20% base, scaled up for timing noise; see cmd/benchdiff). Baselines
+# are machine-dependent; refresh them on the gating machine with
+# `make bench-baseline`.
+bench-check:
+	@dir=$$(mktemp -d) && \
+	$(GO) run ./cmd/experiments -exp parallel,memory,telemetry \
+		-parallel-out $$dir/BENCH_parallel.json \
+		-memory-out $$dir/BENCH_memory.json \
+		-telemetry-out $$dir/BENCH_telemetry.json && \
+	$(GO) run ./cmd/benchdiff -current $$dir; \
+	st=$$?; rm -rf $$dir; exit $$st
+
+# Refresh the bench-check baselines (and the checked-in root artifacts)
+# from this machine.
+bench-baseline:
+	$(GO) run ./cmd/experiments -exp parallel,memory,telemetry,queries
+	mkdir -p bench/baselines
+	cp BENCH_parallel.json BENCH_memory.json BENCH_telemetry.json bench/baselines/
 
 experiments:
 	$(GO) run ./cmd/experiments -exp all

@@ -3,9 +3,10 @@
 //
 // Usage:
 //
-//	experiments [-exp all|1|2|3|4|5|6|7|8|15|16|17|18|sequitur|telemetry|parallel|memory|explain] [-workload name] [-scale n]
+//	experiments [-exp all|1|2|3|4|5|6|7|8|15|16|17|18|sequitur|telemetry|parallel|memory|explain|queries] [-workload name] [-scale n]
 //	            [-telemetry-out BENCH_telemetry.json] [-parallel-out BENCH_parallel.json]
 //	            [-memory-out BENCH_memory.json] [-explain-out BENCH_explain.json]
+//	            [-queries-out BENCH_queries.json]
 //
 // Numbers 1-8 are tables, 15-18 figures, matching the paper's numbering.
 // -scale multiplies each workload's default input size. The telemetry
@@ -22,7 +23,12 @@
 // FP, OPT, and LP, and writes the aggregate explicit-vs-inferred edge
 // resolution breakdown (the measurable counterpart of the paper's
 // Table 4 label-elimination accounting; see docs/EXPLAIN.md) to
-// -explain-out.
+// -explain-out. The queries experiment replays the interactive usage
+// pattern (batched criteria, repeat cached queries, observed queries)
+// through each backend's QueryEngine with the query flight recorder
+// attached, validates every audit record, and writes per-workload
+// latency quantiles and cache statistics to -queries-out (see
+// docs/OBSERVABILITY.md).
 package main
 
 import (
@@ -35,13 +41,14 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: all, 1-8 (tables), 15-18 (figures), sequitur, ablation, forward, telemetry, parallel, memory, explain")
+	exp := flag.String("exp", "all", "experiment to run: all, 1-8 (tables), 15-18 (figures), sequitur, ablation, forward, telemetry, parallel, memory, explain, queries")
 	workload := flag.String("workload", "", "restrict to one workload (e.g. 164.gzip or gzip)")
 	scale := flag.Int64("scale", 1, "input-size multiplier for every workload")
 	telemetryOut := flag.String("telemetry-out", "BENCH_telemetry.json", "output file for -exp telemetry")
 	parallelOut := flag.String("parallel-out", "BENCH_parallel.json", "output file for -exp parallel")
 	memoryOut := flag.String("memory-out", "BENCH_memory.json", "output file for -exp memory")
 	explainOut := flag.String("explain-out", "BENCH_explain.json", "output file for -exp explain")
+	queriesOut := flag.String("queries-out", "BENCH_queries.json", "output file for -exp queries")
 	flag.Parse()
 
 	wls := bench.Workloads()
@@ -133,6 +140,9 @@ func main() {
 	}
 	if want("explain") {
 		run("explain", func() error { return bench.RunExplain(w, wls, *explainOut) })
+	}
+	if want("queries") {
+		run("queries", func() error { return bench.RunQueries(w, wls, *queriesOut) })
 	}
 }
 

@@ -6,7 +6,7 @@
 //	slicer -src prog.mc [-input 1,2,3] [-algo opt|fp|lp] [-var g] [-addr n]
 //	       [-vars a,b,c] [-workers n] [-ir] [-stats] [-repl] [-compact=false]
 //	       [-explain line|sID] [-metrics out.json] [-timeline out.json]
-//	       [-pprof localhost:6060]
+//	       [-pprof localhost:6060] [-querylog out.jsonl] [-slowms n]
 //
 // With -var (a global variable) or -addr (a raw address), the tool prints
 // the dynamic slice of that location's final value: the source lines it
@@ -24,25 +24,45 @@
 // -metrics writes a telemetry snapshot (phase spans, algorithm counters;
 // see docs/OBSERVABILITY.md) as JSON when the tool exits. -timeline
 // writes the span tree and pipeline-worker activity as Chrome
-// trace-event JSON for chrome://tracing or Perfetto. -pprof serves
-// net/http/pprof and expvar (the live registry under the "dynslice" var)
-// for the life of the process — most useful together with -repl.
+// trace-event JSON for chrome://tracing or Perfetto.
+//
+// -querylog appends one JSONL audit record per slicing query (the query
+// flight recorder: query ID, backend, latency, cache attribution,
+// result size; see docs/OBSERVABILITY.md). -slowms N additionally logs
+// queries slower than N milliseconds as structured slog warnings on
+// stderr.
+//
+// -pprof serves an explicit-mux HTTP server for the life of the process
+// — most useful together with -repl:
+//
+//	/debug/pprof    net/http/pprof profiles
+//	/debug/vars     expvar (live registry under the "dynslice" var)
+//	/debug/queries  the recent-query ring as JSON
+//	/metrics        Prometheus text exposition: every registry
+//	                counter/gauge/histogram plus per-backend query
+//	                latency histograms and cache/batch series
 package main
 
 import (
 	"bufio"
+	"expvar"
 	"flag"
 	"fmt"
+	"log/slog"
+	"net"
 	"net/http"
-	_ "net/http/pprof"
+	"net/http/pprof"
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	slicer "dynslice"
 	"dynslice/internal/ir"
 	"dynslice/internal/slicing/explain"
 	"dynslice/internal/telemetry"
+	"dynslice/internal/telemetry/querylog"
+	"dynslice/internal/telemetry/stats"
 )
 
 func main() {
@@ -54,13 +74,15 @@ func main() {
 	workers := flag.Int("workers", 0, "concurrent query workers for -vars (default 4)")
 	addr := flag.Int64("addr", -1, "slice on the final definition of this address")
 	dumpIR := flag.Bool("ir", false, "dump the lowered IR and exit")
-	stats := flag.Bool("stats", false, "print graph statistics")
+	showStats := flag.Bool("stats", false, "print graph statistics")
 	repl := flag.Bool("repl", false, "interactive mode: read criteria from stdin (var NAME | addr N | algo opt|fp|lp | quit)")
 	compact := flag.Bool("compact", true, "store dependence labels as delta-varint blocks (-compact=false keeps flat pairs)")
 	metricsOut := flag.String("metrics", "", "write a telemetry JSON snapshot to this file on exit")
 	explainSpec := flag.String("explain", "", "with -var/-addr: print a dependence-path witness for this slice statement (source line number, or s<ID> for a statement id) plus the query's traversal profile")
 	timelineOut := flag.String("timeline", "", "write a Chrome trace-event timeline (phase spans + pipeline worker activity) to this file on exit; open in chrome://tracing or Perfetto")
-	pprofAddr := flag.String("pprof", "", "serve net/http/pprof and expvar on this address (e.g. localhost:6060)")
+	pprofAddr := flag.String("pprof", "", "serve pprof, expvar, /metrics (Prometheus), and /debug/queries on this address (e.g. localhost:6060)")
+	querylogOut := flag.String("querylog", "", "append one JSONL audit record per slicing query to this file")
+	slowMS := flag.Int("slowms", 0, "log queries slower than this many milliseconds as slog warnings on stderr")
 	flag.Parse()
 
 	if *srcPath == "" {
@@ -71,6 +93,29 @@ func main() {
 	if *metricsOut != "" || *pprofAddr != "" || *timelineOut != "" {
 		reg = telemetry.New()
 		reg.PublishExpvar("dynslice")
+	}
+	// The query flight recorder and workload statistics back -querylog,
+	// -slowms, and the -pprof server's /metrics and /debug/queries.
+	var qlog *querylog.Log
+	var qstats *stats.Recorder
+	if *querylogOut != "" || *slowMS > 0 || *pprofAddr != "" {
+		qlog = querylog.New(512)
+		qstats = stats.New()
+	}
+	if *querylogOut != "" {
+		qf, err := os.Create(*querylogOut)
+		check(err)
+		defer func() {
+			if err := qlog.SinkErr(); err != nil {
+				fmt.Fprintln(os.Stderr, "slicer: querylog:", err)
+			}
+			qf.Close()
+		}()
+		qlog.SetSink(qf)
+	}
+	if *slowMS > 0 {
+		qlog.SetSlowQuery(time.Duration(*slowMS)*time.Millisecond,
+			slog.New(slog.NewTextHandler(os.Stderr, nil)))
 	}
 	if *timelineOut != "" {
 		reg.AttachTimeline(telemetry.NewTimeline())
@@ -98,12 +143,20 @@ func main() {
 		defer onExit()
 	}
 	if *pprofAddr != "" {
+		// Listen synchronously so a bad address fails the run instead of
+		// printing from a goroutine after startup.
+		ln, err := net.Listen("tcp", *pprofAddr)
+		check(err)
+		srv := &http.Server{
+			Handler:           debugMux(reg, qlog, qstats),
+			ReadHeaderTimeout: 5 * time.Second,
+		}
 		go func() {
-			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+			if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
 				fmt.Fprintln(os.Stderr, "slicer: pprof:", err)
 			}
 		}()
-		fmt.Printf("pprof/expvar listening on http://%s/debug/pprof (vars at /debug/vars)\n", *pprofAddr)
+		fmt.Printf("debug server listening on http://%s (pprof at /debug/pprof, vars at /debug/vars, queries at /debug/queries, Prometheus at /metrics)\n", ln.Addr())
 	}
 	src, err := os.ReadFile(*srcPath)
 	check(err)
@@ -122,13 +175,16 @@ func main() {
 			input = append(input, v)
 		}
 	}
-	rec, err := prog.Record(slicer.RunOptions{Input: input, Telemetry: reg, PlainLabels: !*compact})
+	rec, err := prog.Record(slicer.RunOptions{
+		Input: input, Telemetry: reg, PlainLabels: !*compact,
+		QueryLog: qlog, QueryStats: qstats,
+	})
 	check(err)
 	defer rec.Close()
 
 	fmt.Printf("executed %d statements; output: %v; main returned %d\n",
 		rec.Steps, rec.Output, rec.Return)
-	if *stats {
+	if *showStats {
 		st := rec.Stats()
 		fmt.Printf("graphs: FP %d labels (%.2f MB), OPT %d labels (%.2f MB), %d static edges, %d path nodes\n",
 			st.FPLabelPairs, float64(st.FPSizeBytes)/(1<<20),
@@ -292,6 +348,37 @@ func runREPL(rec *slicer.Recording, s *slicer.Slicer, src string) {
 		}
 		fmt.Printf("[%s]> ", strings.ToLower(s.Name()))
 	}
+}
+
+// debugMux builds the -pprof server's handler: an explicit mux (not
+// http.DefaultServeMux, so nothing else in the process can silently
+// register handlers on it) carrying pprof, expvar, the query ring, and
+// the Prometheus text exposition.
+func debugMux(reg *telemetry.Registry, qlog *querylog.Log, qstats *stats.Recorder) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.Handle("/debug/queries", qlog)
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", telemetry.PromContentType)
+		if err := reg.WritePrometheus(w, "dynslice"); err != nil {
+			return
+		}
+		qstats.Snapshot().WritePrometheus(w, "dynslice")
+		if qlog != nil {
+			fmt.Fprintf(w, "# HELP dynslice_querylog_total Queries recorded by the flight recorder.\n")
+			fmt.Fprintf(w, "# TYPE dynslice_querylog_total counter\n")
+			fmt.Fprintf(w, "dynslice_querylog_total %d\n", qlog.Total())
+			fmt.Fprintf(w, "# HELP dynslice_querylog_slow_total Queries over the -slowms threshold.\n")
+			fmt.Fprintf(w, "# TYPE dynslice_querylog_slow_total counter\n")
+			fmt.Fprintf(w, "dynslice_querylog_slow_total %d\n", qlog.SlowQueries())
+		}
+	})
+	return mux
 }
 
 // onExit, when set, runs before an error exit (os.Exit skips defers).

@@ -4,6 +4,9 @@ import (
 	"container/list"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"dynslice/internal/telemetry/querylog"
 )
 
 // EngineOptions configures a QueryEngine.
@@ -105,10 +108,30 @@ func (e *QueryEngine) tally(hits, misses int64) {
 	}
 }
 
+// logHit audits one cache-served query: the flight recorder gets a
+// fresh query ID with CacheHit set, while the slice keeps the ID of the
+// query that originally computed it.
+func (e *QueryEngine) logHit(addr int64, sl *Slice, kind string, batch int, start time.Time) {
+	rec := e.s.rec
+	if !rec.queryObserved() {
+		return
+	}
+	rec.logQuery(querylog.Record{
+		ID: rec.qlog.NextID(), Start: start, Backend: e.s.name, Kind: kind,
+		Addr: addr, Batch: batch, Latency: time.Since(start), CacheHit: true,
+		Stmts: sl.Stmts, Lines: len(sl.Lines),
+	})
+}
+
 // SliceAddr answers one address criterion, consulting the cache first.
 func (e *QueryEngine) SliceAddr(addr int64) (*Slice, error) {
+	var start time.Time
+	if e.s.rec.queryObserved() {
+		start = time.Now()
+	}
 	if sl, ok := e.lookup(addr); ok {
 		e.tally(1, 0)
+		e.logHit(addr, sl, querylog.KindSlice, 0, start)
 		return sl, nil
 	}
 	e.tally(0, 1)
@@ -157,6 +180,10 @@ func (e *QueryEngine) ExplainVar(name string) (*Explanation, error) {
 // each answering its share in one batched traversal (SliceAddrs on the
 // underlying slicer). Results are positionally aligned with addrs.
 func (e *QueryEngine) SliceAddrs(addrs []int64) ([]*Slice, error) {
+	var start time.Time
+	if e.s.rec.queryObserved() {
+		start = time.Now()
+	}
 	outs := make([]*Slice, len(addrs))
 	var missSet = make(map[int64][]int) // addr -> positions in addrs
 	var hits int64
@@ -164,6 +191,7 @@ func (e *QueryEngine) SliceAddrs(addrs []int64) ([]*Slice, error) {
 		if sl, ok := e.lookup(a); ok {
 			outs[i] = sl
 			hits++
+			e.logHit(a, sl, querylog.KindBatch, len(addrs), start)
 			continue
 		}
 		missSet[a] = append(missSet[a], i)

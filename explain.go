@@ -17,6 +17,7 @@ import (
 	"dynslice/internal/ir"
 	"dynslice/internal/slicing"
 	"dynslice/internal/slicing/explain"
+	"dynslice/internal/telemetry/querylog"
 )
 
 // Explanation is the result of an observed slicing query: the slice, a
@@ -39,13 +40,24 @@ func (s *Slicer) ExplainAddr(addr int64) (*Explanation, error) {
 	if !ok {
 		return nil, fmt.Errorf("slicer: %s does not support observed queries", s.name)
 	}
+	var id uint64
+	obs := s.rec.queryObserved()
+	if obs {
+		id = s.rec.qlog.NextID()
+	}
 	rec := explain.NewRecorder()
 	t0 := time.Now()
 	raw, stats, err := ex.SliceObserved(slicing.AddrCriterion(addr), rec)
+	elapsed := time.Since(t0)
 	if err != nil {
+		if obs {
+			s.rec.logQuery(querylog.Record{
+				ID: id, Start: t0, Backend: s.name, Kind: querylog.KindExplain,
+				Addr: addr, Latency: elapsed, Err: querylog.Classify(err),
+			})
+		}
 		return nil, err
 	}
-	elapsed := time.Since(t0)
 	if reg := s.rec.tel; reg != nil {
 		reg.ObserveSpan("explain/"+s.name, elapsed)
 		reg.Counter("slice.queries").Inc()
@@ -64,13 +76,25 @@ func (s *Slicer) ExplainAddr(addr int64) (*Explanation, error) {
 		prof.SegScans = stats.SegScans
 		prof.SegSkips = stats.SegSkips
 	}
+	sl := &Slice{
+		Lines:   raw.Lines(s.rec.p.ir),
+		Stmts:   raw.Len(),
+		Time:    elapsed,
+		QueryID: id,
+		raw:     raw,
+	}
+	if obs {
+		// The observed query's audit record folds in the traversal
+		// profile's edge attribution (explicit vs inferred vs shortcut).
+		s.rec.logQuery(querylog.Record{
+			ID: id, Start: t0, Backend: s.name, Kind: querylog.KindExplain,
+			Addr: addr, Latency: elapsed, Stmts: sl.Stmts, Lines: len(sl.Lines),
+			Instances: prof.NodesVisited, LabelProbes: prof.LabelProbes,
+			Explicit: prof.Explicit, Inferred: prof.Inferred, Shortcut: prof.Shortcut,
+		})
+	}
 	return &Explanation{
-		Slice: &Slice{
-			Lines: raw.Lines(s.rec.p.ir),
-			Stmts: raw.Len(),
-			Time:  elapsed,
-			raw:   raw,
-		},
+		Slice:   sl,
 		Profile: prof,
 		rec:     rec,
 		prog:    s.rec.p.ir,

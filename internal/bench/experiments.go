@@ -182,7 +182,7 @@ func RunFig17(w io.Writer, workloads []Workload, checkpoints int) error {
 		}
 		total := res.RunInfo.Steps
 		interval := total / int64(checkpoints)
-		picker := newCritPicker()
+		picker := trace.NewCritPicker()
 		var stmts int64
 		fmt.Fprintf(w, "%-12s", wl.Name)
 		for cp := 1; cp <= checkpoints; cp++ {
@@ -217,7 +217,7 @@ func RunFig17(w io.Writer, workloads []Workload, checkpoints int) error {
 			// (path matching defers node resolution to the next cut), so
 			// keep only criteria it can already resolve.
 			var crit []int64
-			for _, a := range picker.pick(40) {
+			for _, a := range picker.Pick(40) {
 				if _, ok := g.LastDefOf(a); ok {
 					crit = append(crit, a)
 					if len(crit) == 25 {

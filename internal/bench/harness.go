@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
-	"sort"
 	"testing"
 	"time"
 
@@ -68,83 +67,6 @@ func (r *Result) Close() {
 	}
 }
 
-// critPicker selects slicing criteria the way the paper does: distinct
-// memory addresses defined during execution, preferring the most recently
-// defined (and distinct defining statements, for slice diversity).
-type critPicker struct {
-	lastOrd map[int64]int64
-	defStmt map[int64]ir.StmtID
-	ord     int64
-}
-
-func newCritPicker() *critPicker {
-	return &critPicker{lastOrd: map[int64]int64{}, defStmt: map[int64]ir.StmtID{}}
-}
-
-func (c *critPicker) Block(*ir.Block) { c.ord++ }
-func (c *critPicker) Stmt(s *ir.Stmt, _, defs []int64) {
-	for _, a := range defs {
-		c.lastOrd[a] = c.ord
-		c.defStmt[a] = s.ID
-	}
-}
-func (c *critPicker) RegionDef(s *ir.Stmt, start, length int64) {
-	for a := start; a < start+length; a++ {
-		c.lastOrd[a] = c.ord
-		c.defStmt[a] = s.ID
-	}
-}
-func (c *critPicker) End() {}
-
-// pick returns up to n addresses, most recently defined first, preferring
-// distinct defining statements.
-func (c *critPicker) pick(n int) []int64 {
-	type ent struct {
-		addr int64
-		ord  int64
-		stmt ir.StmtID
-	}
-	all := make([]ent, 0, len(c.lastOrd))
-	for a, o := range c.lastOrd {
-		all = append(all, ent{addr: a, ord: o, stmt: c.defStmt[a]})
-	}
-	sort.Slice(all, func(i, j int) bool {
-		if all[i].ord != all[j].ord {
-			return all[i].ord > all[j].ord
-		}
-		return all[i].addr < all[j].addr
-	})
-	var out []int64
-	seenStmt := map[ir.StmtID]bool{}
-	for _, e := range all {
-		if len(out) >= n {
-			return out
-		}
-		if seenStmt[e.stmt] {
-			continue
-		}
-		seenStmt[e.stmt] = true
-		out = append(out, e.addr)
-	}
-	// Not enough distinct defining statements: fill with remaining addrs.
-	for _, e := range all {
-		if len(out) >= n {
-			break
-		}
-		dup := false
-		for _, a := range out {
-			if a == e.addr {
-				dup = true
-				break
-			}
-		}
-		if !dup {
-			out = append(out, e.addr)
-		}
-	}
-	return out
-}
-
 // Build compiles and runs workload w, constructing the requested slicers.
 func Build(w Workload, o Options) (*Result, error) {
 	if o.NCriteria == 0 {
@@ -196,7 +118,7 @@ func Build(w Workload, o Options) (*Result, error) {
 	}
 	tw := trace.NewWriter(p, tf, o.SegBlocks)
 	tw.SetMetrics(trace.NewMetrics(reg))
-	picker := newCritPicker()
+	picker := trace.NewCritPicker()
 	counter := trace.NewCounting(p)
 	sinks := trace.Multi{tw, picker, counter}
 	sp = span.Child("trace-write")
@@ -215,7 +137,7 @@ func Build(w Workload, o Options) (*Result, error) {
 	}
 	res.RunInfo = run
 	res.USE = counter.USE()
-	res.Crit = picker.pick(o.NCriteria)
+	res.Crit = picker.Pick(o.NCriteria)
 
 	// Graph builds replay the trace from disk so preprocessing is measured
 	// uniformly (trace -> graph), as in the paper.

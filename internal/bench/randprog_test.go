@@ -114,11 +114,11 @@ func TestFuzzOracle(t *testing.T) {
 		}
 		fpg := fp.NewGraph(p)
 		ora := oracle.New(p)
-		picker := newCritPicker()
+		picker := trace.NewCritPicker()
 		if _, err := interp.Run(p, interp.Options{Sink: trace.Multi{fpg, ora, picker}}); err != nil {
 			t.Fatalf("seed %d: %v", seed, err)
 		}
-		for _, a := range picker.pick(6) {
+		for _, a := range picker.Pick(6) {
 			c := slicing.AddrCriterion(a)
 			want, _, err := ora.Slice(c)
 			if err != nil {

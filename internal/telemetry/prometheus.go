@@ -1,0 +1,193 @@
+package telemetry
+
+// Prometheus text-format exposition (version 0.0.4), hand-rolled so the
+// module stays dependency-free. WritePrometheus renders every registered
+// instrument:
+//
+//   - counters  -> TYPE counter
+//   - gauges    -> TYPE gauge
+//   - histograms-> TYPE histogram with cumulative le="..." buckets from
+//     the power-of-two layout, plus _sum/_count and derived _p50/_p90/
+//     _p99 gauge series (bucket-interpolated, see Pow2Quantile)
+//   - spans     -> two counter families with a span="path" label:
+//     <ns>_span_count and <ns>_span_seconds_total
+//
+// Instrument names are sanitized into the Prometheus grammar
+// ([a-zA-Z_:][a-zA-Z0-9_:]*) by mapping '.', '-', '/' and any other
+// illegal byte to '_'. Output is deterministic: families and series are
+// emitted in sorted order, so the format is locked by a golden test.
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+)
+
+// PromContentType is the Content-Type HTTP header value for the text
+// exposition format served at /metrics.
+const PromContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// WritePrometheus renders the registry in Prometheus text format under
+// the given namespace prefix (e.g. "dynslice"). Safe on a nil registry
+// (writes nothing).
+func (r *Registry) WritePrometheus(w io.Writer, namespace string) error {
+	if r == nil {
+		return nil
+	}
+	ew := &errWriter{w: w}
+
+	r.mu.Lock()
+	counters := make(map[string]int64, len(r.counters))
+	for name, c := range r.counters {
+		counters[name] = c.Value()
+	}
+	gauges := make(map[string]int64, len(r.gauges))
+	for name, g := range r.gauges {
+		gauges[name] = g.Value()
+	}
+	type histState struct {
+		count, sum int64
+		buckets    [histBuckets]int64
+	}
+	hists := make(map[string]*histState, len(r.hists))
+	for name, h := range r.hists {
+		st := &histState{count: h.count.Load(), sum: h.sum.Load()}
+		for i := range h.buckets {
+			st.buckets[i] = h.buckets[i].Load()
+		}
+		hists[name] = st
+	}
+	r.mu.Unlock()
+
+	for _, name := range sortedKeys(counters) {
+		fam := PromName(namespace, name)
+		fmt.Fprintf(ew, "# HELP %s Cumulative counter %q.\n", fam, name)
+		fmt.Fprintf(ew, "# TYPE %s counter\n", fam)
+		fmt.Fprintf(ew, "%s %d\n", fam, counters[name])
+	}
+	for _, name := range sortedKeys(gauges) {
+		fam := PromName(namespace, name)
+		fmt.Fprintf(ew, "# HELP %s Gauge %q.\n", fam, name)
+		fmt.Fprintf(ew, "# TYPE %s gauge\n", fam)
+		fmt.Fprintf(ew, "%s %d\n", fam, gauges[name])
+	}
+	for _, name := range sortedKeys(hists) {
+		st := hists[name]
+		fam := PromName(namespace, name)
+		fmt.Fprintf(ew, "# HELP %s Power-of-two histogram %q.\n", fam, name)
+		fmt.Fprintf(ew, "# TYPE %s histogram\n", fam)
+		var cum int64
+		for i, n := range st.buckets {
+			if n == 0 {
+				continue
+			}
+			cum += n
+			fmt.Fprintf(ew, "%s_bucket{le=\"%s\"} %d\n", fam, pow2UpperBound(i), cum)
+		}
+		fmt.Fprintf(ew, "%s_bucket{le=\"+Inf\"} %d\n", fam, st.count)
+		fmt.Fprintf(ew, "%s_sum %d\n", fam, st.sum)
+		fmt.Fprintf(ew, "%s_count %d\n", fam, st.count)
+		for _, q := range [...]struct {
+			suffix string
+			q      float64
+		}{{"p50", 0.50}, {"p90", 0.90}, {"p99", 0.99}} {
+			fmt.Fprintf(ew, "# TYPE %s_%s gauge\n", fam, q.suffix)
+			fmt.Fprintf(ew, "%s_%s %s\n", fam, q.suffix, promFloat(Pow2Quantile(st.buckets[:], q.q)))
+		}
+	}
+
+	r.spanMu.Lock()
+	spans := make(map[string]spanStats, len(r.spans))
+	for path, st := range r.spans {
+		spans[path] = *st
+	}
+	r.spanMu.Unlock()
+	if len(spans) > 0 {
+		paths := sortedKeys(spans)
+		countFam := PromName(namespace, "span.count")
+		fmt.Fprintf(ew, "# HELP %s Completed span occurrences by path.\n", countFam)
+		fmt.Fprintf(ew, "# TYPE %s counter\n", countFam)
+		for _, p := range paths {
+			fmt.Fprintf(ew, "%s{span=%q} %d\n", countFam, p, spans[p].count)
+		}
+		secsFam := PromName(namespace, "span.seconds.total")
+		fmt.Fprintf(ew, "# HELP %s Cumulative span wall time by path.\n", secsFam)
+		fmt.Fprintf(ew, "# TYPE %s counter\n", secsFam)
+		for _, p := range paths {
+			fmt.Fprintf(ew, "%s{span=%q} %s\n", secsFam, p, promFloat(float64(spans[p].nanos)/1e9))
+		}
+	}
+	return ew.err
+}
+
+// PromName joins a namespace and an instrument name into a legal
+// Prometheus metric name.
+func PromName(namespace, name string) string {
+	out := make([]byte, 0, len(namespace)+1+len(name))
+	appendSanitized := func(s string) {
+		for i := 0; i < len(s); i++ {
+			c := s[i]
+			switch {
+			case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+				out = append(out, c)
+			case c >= '0' && c <= '9':
+				if len(out) == 0 {
+					out = append(out, '_')
+				}
+				out = append(out, c)
+			default:
+				out = append(out, '_')
+			}
+		}
+	}
+	appendSanitized(namespace)
+	if namespace != "" && name != "" {
+		out = append(out, '_')
+	}
+	appendSanitized(name)
+	return string(out)
+}
+
+// pow2UpperBound renders the inclusive upper bound of power-of-two
+// bucket i (2^i - 1; bucket 0 holds exactly 0).
+func pow2UpperBound(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	if i >= 63 {
+		// 2^63 - 1 does not fit the int64 math below cleanly; render the
+		// exact value via float (bucket 63 is the open-ended top bucket).
+		return promFloat(math.Ldexp(1, i) - 1)
+	}
+	return formatUint(uint64(1)<<uint(i) - 1)
+}
+
+// promFloat renders a float sample value ('%g' keeps integers exact and
+// avoids trailing zeros).
+func promFloat(v float64) string { return fmt.Sprintf("%g", v) }
+
+// errWriter latches the first write error so exposition code can ignore
+// per-line errors.
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (e *errWriter) Write(p []byte) (int, error) {
+	if e.err != nil {
+		return len(p), nil
+	}
+	n, err := e.w.Write(p)
+	e.err = err
+	return n, nil
+}
+
+func sortedKeys[M ~map[string]V, V any](m M) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

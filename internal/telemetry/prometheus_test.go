@@ -1,0 +1,165 @@
+package telemetry
+
+import (
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestWritePrometheusGolden locks the exposition format: family order,
+// HELP/TYPE lines, cumulative buckets, quantile gauges, span series.
+// The histogram observations are chosen so every quantile lands in the
+// [1,1] bucket and interpolates to exactly 1 (no float noise).
+func TestWritePrometheusGolden(t *testing.T) {
+	r := New()
+	r.Counter("slice.queries").Add(42)
+	r.Gauge("pipeline.workers").Set(4)
+	h := r.Histogram("slice.size")
+	h.Observe(0)
+	h.Observe(0)
+	for i := 0; i < 8; i++ {
+		h.Observe(1)
+	}
+	r.ObserveSpan("build/fp", 1500*time.Millisecond)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b, "t"); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP t_slice_queries Cumulative counter "slice.queries".
+# TYPE t_slice_queries counter
+t_slice_queries 42
+# HELP t_pipeline_workers Gauge "pipeline.workers".
+# TYPE t_pipeline_workers gauge
+t_pipeline_workers 4
+# HELP t_slice_size Power-of-two histogram "slice.size".
+# TYPE t_slice_size histogram
+t_slice_size_bucket{le="0"} 2
+t_slice_size_bucket{le="1"} 10
+t_slice_size_bucket{le="+Inf"} 10
+t_slice_size_sum 8
+t_slice_size_count 10
+# TYPE t_slice_size_p50 gauge
+t_slice_size_p50 1
+# TYPE t_slice_size_p90 gauge
+t_slice_size_p90 1
+# TYPE t_slice_size_p99 gauge
+t_slice_size_p99 1
+# HELP t_span_count Completed span occurrences by path.
+# TYPE t_span_count counter
+t_span_count{span="build/fp"} 1
+# HELP t_span_seconds_total Cumulative span wall time by path.
+# TYPE t_span_seconds_total counter
+t_span_seconds_total{span="build/fp"} 1.5
+`
+	if got := b.String(); got != want {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+var promNameRE = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+
+// TestWritePrometheusValid checks structural invariants on a richer
+// registry: legal metric names, every sample preceded by a TYPE line,
+// and monotonically non-decreasing cumulative buckets.
+func TestWritePrometheusValid(t *testing.T) {
+	r := New()
+	r.Counter("trace.write.bytes").Add(1 << 20)
+	r.Counter("engine.cache.hits").Add(3)
+	r.Gauge("pipeline.queue-depth").Set(7)
+	h := r.Histogram("slice.size")
+	for _, v := range []int64{0, 1, 2, 3, 100, 5000, 5000, 1 << 40} {
+		h.Observe(v)
+	}
+	r.ObserveSpan("build/opt", 20*time.Millisecond)
+	r.ObserveSpan("slice/OPT", 3*time.Millisecond)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b, "dynslice"); err != nil {
+		t.Fatal(err)
+	}
+	typed := map[string]bool{}
+	var lastCum int64
+	var lastHist string
+	for _, line := range strings.Split(strings.TrimRight(b.String(), "\n"), "\n") {
+		if strings.HasPrefix(line, "# TYPE ") {
+			f := strings.Fields(line)
+			if len(f) != 4 {
+				t.Fatalf("malformed TYPE line: %q", line)
+			}
+			if !promNameRE.MatchString(f[2]) {
+				t.Errorf("illegal family name %q", f[2])
+			}
+			typed[f[2]] = true
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		name := line
+		if i := strings.IndexAny(line, "{ "); i >= 0 {
+			name = line[:i]
+		}
+		if !promNameRE.MatchString(name) {
+			t.Errorf("illegal metric name %q in line %q", name, line)
+		}
+		// Every sample must belong to a family announced by a TYPE line
+		// (histogram samples use the family's _bucket/_sum/_count suffixes).
+		fam := name
+		for _, suf := range []string{"_bucket", "_sum", "_count"} {
+			if base, ok := strings.CutSuffix(name, suf); ok && typed[base] {
+				fam = base
+				break
+			}
+		}
+		if !typed[fam] {
+			t.Errorf("sample %q has no TYPE line", line)
+		}
+		// Cumulative bucket monotonicity per histogram.
+		if strings.Contains(line, "_bucket{le=") {
+			hist := name
+			val, err := strconv.ParseInt(line[strings.LastIndex(line, " ")+1:], 10, 64)
+			if err != nil {
+				t.Fatalf("bad bucket sample %q: %v", line, err)
+			}
+			if hist != lastHist {
+				lastHist, lastCum = hist, 0
+			}
+			if val < lastCum {
+				t.Errorf("bucket counts not cumulative: %q after %d", line, lastCum)
+			}
+			lastCum = val
+		}
+	}
+}
+
+func TestWritePrometheusNilRegistry(t *testing.T) {
+	var r *Registry
+	var b strings.Builder
+	if err := r.WritePrometheus(&b, "x"); err != nil {
+		t.Fatal(err)
+	}
+	if b.Len() != 0 {
+		t.Errorf("nil registry wrote %q", b.String())
+	}
+}
+
+func TestPromName(t *testing.T) {
+	tests := []struct{ ns, name, want string }{
+		{"dynslice", "slice.queries", "dynslice_slice_queries"},
+		{"dynslice", "engine.cache-hits", "dynslice_engine_cache_hits"},
+		{"", "9lives", "_9lives"},
+		{"", "a/b c", "a_b_c"},
+		{"ns", "", "ns"},
+	}
+	for _, tc := range tests {
+		if got := PromName(tc.ns, tc.name); got != tc.want {
+			t.Errorf("PromName(%q, %q) = %q, want %q", tc.ns, tc.name, got, tc.want)
+		}
+		if got := PromName(tc.ns, tc.name); !promNameRE.MatchString(got) {
+			t.Errorf("PromName(%q, %q) = %q: illegal", tc.ns, tc.name, got)
+		}
+	}
+}

@@ -1,0 +1,121 @@
+package telemetry
+
+import (
+	"math"
+	"testing"
+)
+
+// bucketize builds a power-of-two counts slice from raw observations,
+// mirroring Histogram.Observe's bucket choice.
+func bucketize(values ...int64) []int64 {
+	counts := make([]int64, histBuckets)
+	for _, v := range values {
+		if v < 0 {
+			v = 0
+		}
+		i := 0
+		for vv := uint64(v); vv > 0; vv >>= 1 {
+			i++
+		}
+		counts[i]++
+	}
+	return counts
+}
+
+func TestPow2QuantileKnownDistributions(t *testing.T) {
+	tests := []struct {
+		name   string
+		counts []int64
+		q      float64
+		want   float64
+		tol    float64
+	}{
+		{name: "empty", counts: make([]int64, histBuckets), q: 0.5, want: 0},
+		{name: "all zeros", counts: bucketize(0, 0, 0, 0), q: 0.99, want: 0},
+		{name: "all ones p50", counts: bucketize(1, 1, 1, 1), q: 0.50, want: 1},
+		{name: "all ones p99", counts: bucketize(1, 1, 1, 1), q: 0.99, want: 1},
+		// Nine zeros and one 1000: the p50 is a zero, the p99 lands in
+		// 1000's bucket [512, 1023].
+		{name: "zero heavy p50", counts: bucketize(0, 0, 0, 0, 0, 0, 0, 0, 0, 1000), q: 0.50, want: 0},
+		{name: "zero heavy p99", counts: bucketize(0, 0, 0, 0, 0, 0, 0, 0, 0, 1000), q: 0.99, want: 512, tol: 512},
+		// Uniform 1..8: exact values are bucket-blurred, but each
+		// quantile must land inside the right bucket (factor-2 error).
+		{name: "uniform p50", counts: bucketize(1, 2, 3, 4, 5, 6, 7, 8), q: 0.50, want: 3.5, tol: 3.5},
+		{name: "uniform p90", counts: bucketize(1, 2, 3, 4, 5, 6, 7, 8), q: 0.90, want: 11, tol: 4.1},
+	}
+	for _, tc := range tests {
+		got := Pow2Quantile(tc.counts, tc.q)
+		if tc.tol == 0 {
+			if got != tc.want {
+				t.Errorf("%s: Pow2Quantile(q=%v) = %v, want %v", tc.name, tc.q, got, tc.want)
+			}
+		} else if math.Abs(got-tc.want) > tc.tol {
+			t.Errorf("%s: Pow2Quantile(q=%v) = %v, want %v +/- %v", tc.name, tc.q, got, tc.want, tc.tol)
+		}
+	}
+}
+
+func TestPow2QuantileMonotoneInQ(t *testing.T) {
+	counts := bucketize(0, 1, 2, 5, 9, 17, 100, 1000, 1000, 4096)
+	prev := -1.0
+	for _, q := range []float64{0.01, 0.10, 0.25, 0.50, 0.75, 0.90, 0.99} {
+		got := Pow2Quantile(counts, q)
+		if got < prev {
+			t.Errorf("quantile not monotone: q=%v gives %v < previous %v", q, got, prev)
+		}
+		prev = got
+	}
+}
+
+func TestPow2QuantileBoundedByBucket(t *testing.T) {
+	// Whatever the interpolation does, a quantile of observations all
+	// equal to v must stay within v's bucket bounds.
+	for _, v := range []int64{1, 2, 7, 63, 64, 1 << 20} {
+		counts := bucketize(v, v, v)
+		lo := math.Ldexp(1, len64(v)-1)
+		hi := math.Ldexp(1, len64(v)) - 1
+		for _, q := range []float64{0.50, 0.90, 0.99} {
+			got := Pow2Quantile(counts, q)
+			if got < lo || got > hi {
+				t.Errorf("v=%d q=%v: quantile %v outside bucket [%v, %v]", v, q, got, lo, hi)
+			}
+		}
+	}
+}
+
+func len64(v int64) int {
+	n := 0
+	for vv := uint64(v); vv > 0; vv >>= 1 {
+		n++
+	}
+	return n
+}
+
+func TestHistogramSnapshotQuantiles(t *testing.T) {
+	r := New()
+	h := r.Histogram("lat")
+	// 90 observations of 1 and 10 of 1000: p50/p90 sit in bucket [1,1],
+	// p99 in 1000's bucket [512,1023].
+	for i := 0; i < 90; i++ {
+		h.Observe(1)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(1000)
+	}
+	s := r.Snapshot().Histograms["lat"]
+	if s.Count != 100 || s.Sum != 90+10*1000 {
+		t.Fatalf("count/sum = %d/%d", s.Count, s.Sum)
+	}
+	if s.P50 != 1 {
+		t.Errorf("P50 = %v, want 1", s.P50)
+	}
+	if s.P90 != 1 {
+		t.Errorf("P90 = %v, want 1", s.P90)
+	}
+	if s.P99 < 512 || s.P99 > 1023 {
+		t.Errorf("P99 = %v, want within [512, 1023]", s.P99)
+	}
+	if s.P50 > s.P90 || s.P90 > s.P99 {
+		t.Errorf("quantiles not ordered: %v %v %v", s.P50, s.P90, s.P99)
+	}
+}

@@ -1,0 +1,161 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilRecorderIsInert(t *testing.T) {
+	var r *Recorder
+	r.ObserveQuery("OPT", time.Millisecond, 0, false, false)
+	r.ObserveEdges("OPT", 1, 2, 3)
+	s := r.Snapshot()
+	if s == nil || len(s.Backends) != 0 || s.Queries != 0 {
+		t.Errorf("nil recorder snapshot = %+v", s)
+	}
+}
+
+func TestObserveQueryAggregates(t *testing.T) {
+	r := New()
+	// Four OPT queries: 1ms, 2ms, 3ms, and a 10ms cache hit.
+	r.ObserveQuery("OPT", 1*time.Millisecond, 0, false, false)
+	r.ObserveQuery("OPT", 2*time.Millisecond, 0, false, false)
+	r.ObserveQuery("OPT", 3*time.Millisecond, 0, false, false)
+	r.ObserveQuery("OPT", 10*time.Millisecond, 0, true, false)
+	// One errored FP query: no latency contribution.
+	r.ObserveQuery("FP", time.Hour, 0, false, true)
+
+	s := r.Snapshot()
+	opt := s.Backends["OPT"]
+	if opt.Queries != 4 || opt.CacheHit != 1 {
+		t.Errorf("OPT queries/hits = %d/%d", opt.Queries, opt.CacheHit)
+	}
+	if want := (1.0 + 2 + 3 + 10) / 4; math.Abs(opt.MeanMs-want) > 1e-9 {
+		t.Errorf("OPT MeanMs = %v, want %v", opt.MeanMs, want)
+	}
+	if opt.EWMAMs <= 0 {
+		t.Errorf("OPT EWMAMs = %v", opt.EWMAMs)
+	}
+	// Quantiles in milliseconds must stay within the observed range
+	// (bucket blur allows up to 2x the max).
+	if opt.P50Ms <= 0 || opt.P99Ms < opt.P50Ms || opt.P99Ms > 20 {
+		t.Errorf("OPT quantiles p50=%v p99=%v", opt.P50Ms, opt.P99Ms)
+	}
+	fp := s.Backends["FP"]
+	if fp.Queries != 1 || fp.Errors != 1 {
+		t.Errorf("FP queries/errors = %d/%d", fp.Queries, fp.Errors)
+	}
+	if fp.MeanMs != 0 {
+		t.Errorf("errored query leaked into FP latency: mean %v", fp.MeanMs)
+	}
+	if s.Queries != 5 {
+		t.Errorf("total queries = %d", s.Queries)
+	}
+	if want := 1.0 / 5; math.Abs(s.CacheHitRate-want) > 1e-9 {
+		t.Errorf("CacheHitRate = %v, want %v", s.CacheHitRate, want)
+	}
+}
+
+func TestEWMASeedAndDecay(t *testing.T) {
+	r := New()
+	r.ObserveQuery("LP", 100*time.Millisecond, 0, false, false)
+	if got := r.Snapshot().Backends["LP"].EWMAMs; got != 100 {
+		t.Fatalf("EWMA seed = %v, want 100", got)
+	}
+	r.ObserveQuery("LP", 0, 0, false, false)
+	if got, want := r.Snapshot().Backends["LP"].EWMAMs, (1-EWMAAlpha)*100; math.Abs(got-want) > 1e-9 {
+		t.Fatalf("EWMA after decay = %v, want %v", got, want)
+	}
+}
+
+func TestBatchDistribution(t *testing.T) {
+	r := New()
+	for i := 0; i < 10; i++ {
+		r.ObserveQuery("OPT", time.Millisecond, 25, false, false)
+	}
+	r.ObserveQuery("OPT", time.Millisecond, 0, false, false) // single: not batched
+	r.ObserveQuery("OPT", time.Millisecond, 1, false, false) // batch of 1: not batched
+	s := r.Snapshot()
+	if s.Batches != 10 {
+		t.Errorf("Batches = %d, want 10", s.Batches)
+	}
+	if s.BatchMax != 25 {
+		t.Errorf("BatchMax = %d, want 25", s.BatchMax)
+	}
+	// 25 lives in bucket [16,31].
+	if s.BatchP50 < 16 || s.BatchP50 > 31 {
+		t.Errorf("BatchP50 = %v, want within [16,31]", s.BatchP50)
+	}
+}
+
+func TestInferredRatio(t *testing.T) {
+	r := New()
+	r.ObserveEdges("OPT", 75, 25, 40)
+	s := r.Snapshot().Backends["OPT"]
+	if s.Observed != 1 || s.ExplicitEdges != 75 || s.InferredEdges != 25 || s.ShortcutEdges != 40 {
+		t.Errorf("edge totals = %+v", s)
+	}
+	if want := 0.25; math.Abs(s.InferredRatio-want) > 1e-9 {
+		t.Errorf("InferredRatio = %v, want %v", s.InferredRatio, want)
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	r := New()
+	r.ObserveQuery("OPT", 3*time.Millisecond, 25, false, false)
+	r.ObserveQuery("OPT", 5*time.Millisecond, 0, true, false)
+	r.ObserveQuery("FP", 40*time.Millisecond, 0, false, false)
+	r.ObserveEdges("OPT", 60, 40, 10)
+	var b strings.Builder
+	if err := r.Snapshot().WritePrometheus(&b, "dynslice"); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		`dynslice_queries_total{backend="FP"} 1`,
+		`dynslice_queries_total{backend="OPT"} 2`,
+		`dynslice_query_latency_seconds_count{backend="OPT"} 2`,
+		`dynslice_query_latency_seconds_bucket{backend="OPT",le="+Inf"} 2`,
+		`dynslice_query_inferred_ratio{backend="OPT"} 0.4`,
+		`dynslice_query_cache_hits_total 1`,
+		`dynslice_query_cache_misses_total 2`,
+		`dynslice_query_batched_total 1`,
+		`dynslice_query_batch_max 25`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestConcurrentObservers(t *testing.T) {
+	r := New()
+	var wg sync.WaitGroup
+	const workers, per = 8, 500
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				r.ObserveQuery("OPT", time.Duration(i)*time.Microsecond, i%30, i%5 == 0, false)
+				if i%50 == 0 {
+					r.ObserveEdges("OPT", 10, 3, 1)
+				}
+				if i%100 == 0 {
+					_ = r.Snapshot()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	s := r.Snapshot()
+	if s.Queries != workers*per {
+		t.Errorf("Queries = %d, want %d", s.Queries, workers*per)
+	}
+	if s.CacheHits+s.CacheMisses != workers*per {
+		t.Errorf("hits+misses = %d", s.CacheHits+s.CacheMisses)
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"encoding/json"
 	"expvar"
 	"io"
+	"math"
 	"math/bits"
 	"os"
 	"path/filepath"
@@ -199,11 +200,18 @@ func (h *Histogram) Observe(v int64) {
 
 // HistogramSnapshot is the exported state of one histogram. Buckets maps
 // the inclusive upper bound of each non-empty power-of-two bucket
-// (2^i - 1) to its count.
+// (2^i - 1) to its count. P50/P90/P99 are quantile estimates derived
+// from the bucket counts by linear interpolation inside the containing
+// bucket, so their error is bounded by the bucket width (a factor of
+// two); they are the same estimates the Prometheus exposition and the
+// per-recording workload stats report.
 type HistogramSnapshot struct {
 	Count   int64            `json:"count"`
 	Sum     int64            `json:"sum"`
 	Mean    float64          `json:"mean"`
+	P50     float64          `json:"p50"`
+	P90     float64          `json:"p90"`
+	P99     float64          `json:"p99"`
 	Buckets map[string]int64 `json:"buckets,omitempty"`
 }
 
@@ -212,8 +220,10 @@ func (h *Histogram) snapshot() HistogramSnapshot {
 	if s.Count > 0 {
 		s.Mean = float64(s.Sum) / float64(s.Count)
 	}
+	var counts [histBuckets]int64
 	for i := range h.buckets {
 		n := h.buckets[i].Load()
+		counts[i] = n
 		if n == 0 {
 			continue
 		}
@@ -223,7 +233,46 @@ func (h *Histogram) snapshot() HistogramSnapshot {
 		}
 		s.Buckets[formatUint(hi)] = n
 	}
+	s.P50 = Pow2Quantile(counts[:], 0.50)
+	s.P90 = Pow2Quantile(counts[:], 0.90)
+	s.P99 = Pow2Quantile(counts[:], 0.99)
 	return s
+}
+
+// Pow2Quantile estimates the q-quantile (0 < q < 1) of a power-of-two
+// bucketed distribution: counts[i] holds the observations v with
+// bits.Len64(v) == i, i.e. counts[0] is v == 0 and counts[i] covers
+// [2^(i-1), 2^i - 1]. The estimate interpolates linearly inside the
+// containing bucket. Returns 0 for an empty distribution.
+func Pow2Quantile(counts []int64, q float64) float64 {
+	var total int64
+	for _, c := range counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	rank := q * float64(total)
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for i, c := range counts {
+		if c == 0 {
+			continue
+		}
+		prev := float64(cum)
+		cum += c
+		if float64(cum) >= rank {
+			if i == 0 {
+				return 0
+			}
+			lo := math.Ldexp(1, i-1)
+			hi := math.Ldexp(1, i) - 1
+			return lo + (rank-prev)/float64(c)*(hi-lo)
+		}
+	}
+	return math.Ldexp(1, len(counts)-1) // unreachable: cum == total >= rank
 }
 
 // formatUint avoids strconv to keep the dependency footprint minimal in
@@ -292,12 +341,14 @@ func (r *Registry) WriteJSON(w io.Writer) error {
 // snapshot goes to a temp file in the same directory which is renamed
 // over path, so a crash mid-export cannot leave a truncated file.
 func (r *Registry) WriteFile(path string) error {
-	return writeFileAtomic(path, r.WriteJSON)
+	return WriteFileAtomic(path, r.WriteJSON)
 }
 
-// writeFileAtomic streams write into a temp file next to path and
+// WriteFileAtomic streams write into a temp file next to path and
 // renames it into place (same-directory rename is atomic on POSIX).
-func writeFileAtomic(path string, write func(io.Writer) error) error {
+// Exported for sibling observability packages (querylog snapshots use
+// the same discipline).
+func WriteFileAtomic(path string, write func(io.Writer) error) error {
 	dir := filepath.Dir(path)
 	f, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
 	if err != nil {

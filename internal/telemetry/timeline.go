@@ -105,7 +105,7 @@ func (t *Timeline) WriteJSON(w io.Writer) error {
 // WriteFile writes the timeline atomically (temp file + rename), so a
 // crash mid-export cannot leave a truncated trace.
 func (t *Timeline) WriteFile(path string) error {
-	return writeFileAtomic(path, t.WriteJSON)
+	return WriteFileAtomic(path, t.WriteJSON)
 }
 
 // AttachTimeline directs span completions on r into tl (nil detaches).

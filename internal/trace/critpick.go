@@ -1,0 +1,94 @@
+package trace
+
+import (
+	"sort"
+
+	"dynslice/internal/ir"
+)
+
+// CritPicker is a Sink that selects slicing criteria the way the paper
+// does: distinct memory addresses defined during execution, preferring
+// the most recently defined (and distinct defining statements, for
+// slice diversity). It is used by the bench harness and by the façade's
+// RunOptions.TrackCriteria.
+type CritPicker struct {
+	lastOrd map[int64]int64
+	defStmt map[int64]ir.StmtID
+	ord     int64
+}
+
+// NewCritPicker returns an empty picker.
+func NewCritPicker() *CritPicker {
+	return &CritPicker{lastOrd: map[int64]int64{}, defStmt: map[int64]ir.StmtID{}}
+}
+
+// Block implements Sink.
+func (c *CritPicker) Block(*ir.Block) { c.ord++ }
+
+// Stmt implements Sink.
+func (c *CritPicker) Stmt(s *ir.Stmt, _, defs []int64) {
+	for _, a := range defs {
+		c.lastOrd[a] = c.ord
+		c.defStmt[a] = s.ID
+	}
+}
+
+// RegionDef implements Sink.
+func (c *CritPicker) RegionDef(s *ir.Stmt, start, length int64) {
+	for a := start; a < start+length; a++ {
+		c.lastOrd[a] = c.ord
+		c.defStmt[a] = s.ID
+	}
+}
+
+// End implements Sink.
+func (c *CritPicker) End() {}
+
+// Pick returns up to n addresses, most recently defined first,
+// preferring distinct defining statements.
+func (c *CritPicker) Pick(n int) []int64 {
+	type ent struct {
+		addr int64
+		ord  int64
+		stmt ir.StmtID
+	}
+	all := make([]ent, 0, len(c.lastOrd))
+	for a, o := range c.lastOrd {
+		all = append(all, ent{addr: a, ord: o, stmt: c.defStmt[a]})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].ord != all[j].ord {
+			return all[i].ord > all[j].ord
+		}
+		return all[i].addr < all[j].addr
+	})
+	var out []int64
+	seenStmt := map[ir.StmtID]bool{}
+	for _, e := range all {
+		if len(out) >= n {
+			return out
+		}
+		if seenStmt[e.stmt] {
+			continue
+		}
+		seenStmt[e.stmt] = true
+		out = append(out, e.addr)
+	}
+	// Not enough distinct defining statements: fill with remaining addrs.
+	for _, e := range all {
+		if len(out) >= n {
+			break
+		}
+		dup := false
+		for _, a := range out {
+			if a == e.addr {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			out = append(out, e.addr)
+		}
+	}
+	return out
+}

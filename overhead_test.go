@@ -41,10 +41,12 @@ func main() {
 }`
 
 // pipeline runs the full instrumented path: record (profile + traced
-// interpretation + FP/OPT graph builds) and a slice per algorithm. Every
-// slice routes through the observed traversal with a nil
-// explain.Recorder, so the ≤5% guard below also covers the provenance
-// hooks' disabled path.
+// interpretation + FP/OPT graph builds) and a slice per algorithm —
+// one direct and one through the QueryEngine, so the measured region
+// includes the query audit hooks (querylog/stats nil checks) on their
+// disabled path. Every slice routes through the observed traversal with
+// a nil explain.Recorder, so the ≤5% guard below also covers the
+// provenance hooks' disabled path.
 func pipeline(tb testing.TB, p *slicer.Program, reg *telemetry.Registry) {
 	rec, err := p.Record(slicer.RunOptions{Telemetry: reg})
 	if err != nil {
@@ -54,6 +56,12 @@ func pipeline(tb testing.TB, p *slicer.Program, reg *telemetry.Registry) {
 	for _, s := range []*slicer.Slicer{rec.OPT(), rec.FP()} {
 		if _, err := s.SliceVar("acc"); err != nil {
 			tb.Fatal(err)
+		}
+		e := s.Engine(slicer.EngineOptions{})
+		for i := 0; i < 2; i++ { // second query is a cache hit (logHit path)
+			if _, err := e.SliceVar("acc"); err != nil {
+				tb.Fatal(err)
+			}
 		}
 	}
 }

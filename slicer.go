@@ -37,6 +37,8 @@ import (
 	"dynslice/internal/slicing/lp"
 	"dynslice/internal/slicing/opt"
 	"dynslice/internal/telemetry"
+	"dynslice/internal/telemetry/querylog"
+	"dynslice/internal/telemetry/stats"
 	"dynslice/internal/trace"
 )
 
@@ -87,6 +89,21 @@ type RunOptions struct {
 	// recording and its slicers. Nil disables collection at near-zero
 	// cost (see docs/OBSERVABILITY.md).
 	Telemetry *telemetry.Registry
+	// QueryLog receives one audit record per slicing query answered
+	// against this recording (single, batched, cached, or observed) —
+	// the query flight recorder. Nil disables recording at the cost of
+	// one nil check per query (see docs/OBSERVABILITY.md).
+	QueryLog *querylog.Log
+	// QueryStats accumulates per-backend rolling workload statistics
+	// (latency quantiles, EWMA, cache hit rate, inferred-edge ratio)
+	// over the same query stream — the cost-based planner's feedback
+	// input. Nil disables collection.
+	QueryStats *stats.Recorder
+	// TrackCriteria, when positive, records up to this many slicing
+	// criteria during the instrumented run (distinct addresses, most
+	// recently defined first — the paper's selection), retrievable via
+	// Recording.Criteria.
+	TrackCriteria int
 }
 
 // Recording is one instrumented execution: its outputs, its on-disk trace,
@@ -99,6 +116,9 @@ type Recording struct {
 	path    string
 	cleanup func()
 	tel     *telemetry.Registry
+	qlog    *querylog.Log
+	qstats  *stats.Recorder
+	crit    []int64
 
 	segs    []*trace.Segment
 	fpG     *fp.Graph
@@ -114,7 +134,7 @@ type Recording struct {
 // profile (as the paper does), once instrumented — building the FP and OPT
 // graphs online and writing the trace file the LP slicer reads.
 func (p *Program) Record(o RunOptions) (*Recording, error) {
-	rec := &Recording{p: p, optCfg: opt.Full(), tel: o.Telemetry}
+	rec := &Recording{p: p, optCfg: opt.Full(), tel: o.Telemetry, qlog: o.QueryLog, qstats: o.QueryStats}
 	if o.OptConfig != nil {
 		rec.optCfg = *o.OptConfig
 	}
@@ -177,6 +197,10 @@ func (p *Program) Record(o RunOptions) (*Recording, error) {
 	// consumes its own feed concurrently. The trace writer stays inline
 	// so trace I/O errors surface synchronously.
 	sink := trace.Multi{tw, rec.fpG, rec.optG}
+	var picker *trace.CritPicker
+	if o.TrackCriteria > 0 {
+		picker = trace.NewCritPicker()
+	}
 	var asyncs []*trace.Async
 	if !o.SequentialBuild {
 		// An attached timeline (telemetry.AttachTimeline) gives each
@@ -186,6 +210,11 @@ func (p *Program) Record(o RunOptions) (*Recording, error) {
 		aopt := trace.NewAsync(rec.optG, trace.PipelineConfig{Timeline: tl, TimelineNames: []string{"opt-build"}})
 		asyncs = []*trace.Async{afp, aopt}
 		sink = trace.Multi{tw, afp, aopt}
+	}
+	if picker != nil {
+		// Criterion tracking stays inline: the picker is cheap (two map
+		// stores per defining statement) and must see the full run.
+		sink = append(sink, picker)
 	}
 	sp = span.Child("interp")
 	res, err := interp.Run(p.ir, interp.Options{
@@ -216,6 +245,9 @@ func (p *Program) Record(o RunOptions) (*Recording, error) {
 	rec.Output = res.Output
 	rec.Steps = res.Steps
 	rec.Return = res.ReturnValue
+	if picker != nil {
+		rec.crit = picker.Pick(o.TrackCriteria)
+	}
 	ok = true
 	return rec, nil
 }
@@ -237,6 +269,36 @@ func (r *Recording) TracePath() string { return r.path }
 // Telemetry returns the registry attached via RunOptions, or nil.
 func (r *Recording) Telemetry() *telemetry.Registry { return r.tel }
 
+// QueryLog returns the query flight recorder attached via RunOptions,
+// or nil.
+func (r *Recording) QueryLog() *querylog.Log { return r.qlog }
+
+// QueryStats returns the workload-statistics recorder attached via
+// RunOptions, or nil.
+func (r *Recording) QueryStats() *stats.Recorder { return r.qstats }
+
+// Criteria returns the slicing criteria tracked during the instrumented
+// run (RunOptions.TrackCriteria): distinct defined addresses, most
+// recently defined first. Empty when tracking was off.
+func (r *Recording) Criteria() []int64 { return r.crit }
+
+// queryObserved reports whether per-query audit recording is attached.
+// When false, the query path pays exactly two nil checks (the
+// TestOverhead guard covers this).
+func (r *Recording) queryObserved() bool { return r.qlog != nil || r.qstats != nil }
+
+// logQuery publishes one finished query's audit record to the flight
+// recorder and the rolling workload statistics.
+func (r *Recording) logQuery(qr querylog.Record) {
+	r.qlog.Add(qr)
+	if r.qstats != nil {
+		r.qstats.ObserveQuery(qr.Backend, qr.Latency, qr.Batch, qr.CacheHit, qr.Err != "")
+		if qr.Kind == querylog.KindExplain {
+			r.qstats.ObserveEdges(qr.Backend, qr.Explicit, qr.Inferred, qr.Shortcut)
+		}
+	}
+}
+
 // Slice is a slicing result mapped back to the source program.
 type Slice struct {
 	// Lines are the distinct source lines in the slice, ascending.
@@ -245,7 +307,12 @@ type Slice struct {
 	Stmts int
 	// Time is the wall-clock cost of the query.
 	Time time.Duration
-	raw  *slicing.Slice
+	// QueryID is the flight-recorder ID of the query that computed this
+	// slice (0 when no query log was attached). A cached result keeps
+	// the ID of the query that originally computed it; the cache hit
+	// itself is audited under its own ID.
+	QueryID uint64
+	raw     *slicing.Slice
 }
 
 // HasLine reports whether the slice contains the given source line.
@@ -282,27 +349,51 @@ func (s *Slicer) Name() string { return s.name }
 
 // SliceAddr slices on the last definition of the given memory address.
 func (s *Slicer) SliceAddr(addr int64) (*Slice, error) {
+	var id uint64
+	obs := s.rec.queryObserved()
+	if obs {
+		id = s.rec.qlog.NextID()
+	}
 	t0 := time.Now()
-	raw, stats, err := s.impl.Slice(slicing.AddrCriterion(addr))
+	raw, st, err := s.impl.Slice(slicing.AddrCriterion(addr))
+	elapsed := time.Since(t0)
 	if err != nil {
+		if obs {
+			s.rec.logQuery(querylog.Record{
+				ID: id, Start: t0, Backend: s.name, Kind: querylog.KindSlice,
+				Addr: addr, Latency: elapsed, Err: querylog.Classify(err),
+			})
+		}
 		return nil, err
 	}
-	elapsed := time.Since(t0)
 	if reg := s.rec.tel; reg != nil {
 		reg.ObserveSpan("slice/"+s.name, elapsed)
 		reg.Counter("slice.queries").Inc()
 		reg.Histogram("slice.size").Observe(int64(raw.Len()))
-		if stats != nil {
-			reg.Counter("slice.instances").Add(stats.Instances)
-			reg.Counter("slice.label_probes").Add(stats.LabelProbes)
+		if st != nil {
+			reg.Counter("slice.instances").Add(st.Instances)
+			reg.Counter("slice.label_probes").Add(st.LabelProbes)
 		}
 	}
-	return &Slice{
-		Lines: raw.Lines(s.rec.p.ir),
-		Stmts: raw.Len(),
-		Time:  elapsed,
-		raw:   raw,
-	}, nil
+	sl := &Slice{
+		Lines:   raw.Lines(s.rec.p.ir),
+		Stmts:   raw.Len(),
+		Time:    elapsed,
+		QueryID: id,
+		raw:     raw,
+	}
+	if obs {
+		qr := querylog.Record{
+			ID: id, Start: t0, Backend: s.name, Kind: querylog.KindSlice,
+			Addr: addr, Latency: elapsed, Stmts: sl.Stmts, Lines: len(sl.Lines),
+		}
+		if st != nil {
+			qr.Instances = st.Instances
+			qr.LabelProbes = st.LabelProbes
+		}
+		s.rec.logQuery(qr)
+	}
+	return sl, nil
 }
 
 // SliceAddrs answers a batch of address criteria in one shared backward
@@ -317,18 +408,26 @@ func (s *Slicer) SliceAddrs(addrs []int64) ([]*Slice, error) {
 	for i, a := range addrs {
 		cs[i] = slicing.AddrCriterion(a)
 	}
+	obs := s.rec.queryObserved()
 	t0 := time.Now()
-	raws, stats, err := s.impl.SliceAll(cs)
+	raws, st, err := s.impl.SliceAll(cs)
+	elapsed := time.Since(t0)
 	if err != nil {
+		if obs {
+			s.rec.logQuery(querylog.Record{
+				ID: s.rec.qlog.NextID(), Start: t0, Backend: s.name,
+				Kind: querylog.KindBatch, Addr: addrs[0], Batch: len(addrs),
+				Latency: elapsed, Err: querylog.Classify(err),
+			})
+		}
 		return nil, err
 	}
-	elapsed := time.Since(t0)
 	if reg := s.rec.tel; reg != nil {
 		reg.ObserveSpan("slice/"+s.name, elapsed)
 		reg.Counter("slice.queries").Add(int64(len(addrs)))
-		if stats != nil {
-			reg.Counter("slice.instances").Add(stats.Instances)
-			reg.Counter("slice.label_probes").Add(stats.LabelProbes)
+		if st != nil {
+			reg.Counter("slice.instances").Add(st.Instances)
+			reg.Counter("slice.label_probes").Add(st.LabelProbes)
 		}
 	}
 	outs := make([]*Slice, len(raws))
@@ -336,11 +435,31 @@ func (s *Slicer) SliceAddrs(addrs []int64) ([]*Slice, error) {
 		if reg := s.rec.tel; reg != nil {
 			reg.Histogram("slice.size").Observe(int64(raw.Len()))
 		}
+		var id uint64
+		if obs {
+			id = s.rec.qlog.NextID()
+		}
 		outs[i] = &Slice{
-			Lines: raw.Lines(s.rec.p.ir),
-			Stmts: raw.Len(),
-			Time:  elapsed / time.Duration(len(raws)),
-			raw:   raw,
+			Lines:   raw.Lines(s.rec.p.ir),
+			Stmts:   raw.Len(),
+			Time:    elapsed / time.Duration(len(raws)),
+			QueryID: id,
+			raw:     raw,
+		}
+		if obs {
+			// One audit record per criterion; the batch's wall time is
+			// shared evenly, and the batch-aggregate traversal stats ride
+			// on the first record.
+			qr := querylog.Record{
+				ID: id, Start: t0, Backend: s.name, Kind: querylog.KindBatch,
+				Addr: addrs[i], Batch: len(addrs), Latency: outs[i].Time,
+				Stmts: outs[i].Stmts, Lines: len(outs[i].Lines),
+			}
+			if i == 0 && st != nil {
+				qr.Instances = st.Instances
+				qr.LabelProbes = st.LabelProbes
+			}
+			s.rec.logQuery(qr)
 		}
 	}
 	return outs, nil
