@@ -10,9 +10,16 @@
 // by cmd/experiments. For every workload present in BOTH the baseline
 // and the current artifact, benchdiff compares the key metrics:
 //
-//	BENCH_parallel.json   lp_batch_speedup, opt_batch_speedup  (higher is better)
+//	BENCH_parallel.json   lp_batch_speedup, opt_batch_speedup,
+//	                      build_speedup                        (higher is better)
 //	BENCH_memory.json     fp/opt compact_resident_bytes        (lower is better)
 //	BENCH_telemetry.json  slice_avg_ms.{FP,OPT,LP}             (lower is better)
+//
+// BENCH_parallel.json carries one row per (workload, GOMAXPROCS)
+// setting; rows are keyed "name@pN" so every setting is gated
+// independently — a speedup that holds at GOMAXPROCS=1 but collapses at
+// 4 is a regression of the parallel path even though the workload's
+// other row looks fine.
 //
 // A metric family (one spec, all workloads) regresses when the MEDIAN
 // of its per-workload deltas moves in the bad direction by more than
@@ -53,6 +60,7 @@ var specs = map[string][]metricSpec{
 	"BENCH_parallel.json": {
 		{path: "lp_batch_speedup", higherBetter: true, noise: 1.5},
 		{path: "opt_batch_speedup", higherBetter: true, noise: 1.5},
+		{path: "build_speedup", higherBetter: true, noise: 1.5},
 	},
 	"BENCH_memory.json": {
 		{path: "fp.compact_resident_bytes"},
@@ -147,7 +155,9 @@ func main() {
 }
 
 // loadBench reads one BENCH_*.json artifact (an array of per-workload
-// objects with a "name" field) into a name-keyed map.
+// objects with a "name" field) into a keyed map. Artifacts with several
+// rows per workload (the parallel sweep) append a "@pN" GOMAXPROCS
+// discriminator so every row gates independently.
 func loadBench(path string) (map[string]map[string]any, bool) {
 	data, err := os.ReadFile(path)
 	if err != nil {
@@ -160,9 +170,14 @@ func loadBench(path string) (map[string]map[string]any, bool) {
 	}
 	out := make(map[string]map[string]any, len(arr))
 	for _, w := range arr {
-		if name, ok := w["name"].(string); ok {
-			out[name] = w
+		name, ok := w["name"].(string)
+		if !ok {
+			continue
 		}
+		if p, ok := w["gomaxprocs"].(float64); ok {
+			name = fmt.Sprintf("%s@p%.0f", name, p)
+		}
+		out[name] = w
 	}
 	return out, len(out) > 0
 }

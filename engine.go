@@ -2,6 +2,7 @@ package slicer
 
 import (
 	"container/list"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -11,9 +12,12 @@ import (
 
 // EngineOptions configures a QueryEngine.
 type EngineOptions struct {
-	// Workers is the number of goroutines answering uncached queries in
-	// SliceAddrs (default: 4). Post-build graphs are frozen, so queries
-	// from multiple workers never race.
+	// Workers bounds the worker pool a batched SliceAddrs traversal runs
+	// on (default: 4). The pool lives inside the backend's work-stealing
+	// scheduler, so concurrent workers share one visited table instead of
+	// re-walking subgraphs their siblings already covered; backends
+	// without a scheduler (LP's trace scan) answer the batch in one pass
+	// regardless.
 	Workers int
 	// CacheSize is the number of slices the LRU cache retains, keyed by
 	// criterion address (default: 64; negative disables caching).
@@ -176,9 +180,12 @@ func (e *QueryEngine) ExplainVar(name string) (*Explanation, error) {
 }
 
 // SliceAddrs answers a batch of criteria: cached results are returned
-// directly; the distinct misses are split across the engine's workers,
-// each answering its share in one batched traversal (SliceAddrs on the
-// underlying slicer). Results are positionally aligned with addrs.
+// directly; the distinct misses are answered by ONE batched traversal
+// (SliceAddrs on the underlying slicer), parallelized internally by the
+// backend's work-stealing scheduler across the engine's workers. One
+// shared traversal beats splitting the batch across goroutines — split
+// chunks each re-walk the subgraph the criteria share, which is most of
+// the work. Results are positionally aligned with addrs.
 func (e *QueryEngine) SliceAddrs(addrs []int64) ([]*Slice, error) {
 	var start time.Time
 	if e.s.rec.queryObserved() {
@@ -204,43 +211,21 @@ func (e *QueryEngine) SliceAddrs(addrs []int64) ([]*Slice, error) {
 	for a := range missSet {
 		miss = append(miss, a)
 	}
+	// Deterministic chunking: map iteration order must not decide which
+	// criteria share a 64-bit mask chunk.
+	sort.Slice(miss, func(i, j int) bool { return miss[i] < miss[j] })
 
-	// Partition the misses into one contiguous chunk per worker; each
-	// worker answers its chunk as one batched traversal.
-	workers := e.workers
-	if workers > len(miss) {
-		workers = len(miss)
+	if sw, ok := e.s.impl.(interface{ SetWorkers(int) }); ok {
+		sw.SetWorkers(e.workers)
 	}
-	chunk := (len(miss) + workers - 1) / workers
-	errs := make([]error, workers)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		hi := min(lo+chunk, len(miss))
-		if lo >= hi {
-			break
-		}
-		wg.Add(1)
-		go func(w, lo, hi int) {
-			defer wg.Done()
-			slices, err := e.s.SliceAddrs(miss[lo:hi])
-			if err != nil {
-				errs[w] = err
-				return
-			}
-			for k, sl := range slices {
-				addr := miss[lo+k]
-				e.insert(addr, sl)
-				for _, pos := range missSet[addr] {
-					outs[pos] = sl
-				}
-			}
-		}(w, lo, hi)
+	slices, err := e.s.SliceAddrs(miss)
+	if err != nil {
+		return nil, err
 	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
+	for k, sl := range slices {
+		e.insert(miss[k], sl)
+		for _, pos := range missSet[miss[k]] {
+			outs[pos] = sl
 		}
 	}
 	return outs, nil

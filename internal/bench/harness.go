@@ -212,6 +212,7 @@ func buildPipelined(res *Result, o Options, hot []*profile.PathProfile, cuts *pr
 	if o.WithFP {
 		res.FP = fp.NewGraph(res.P)
 		res.FP.SetTelemetry(reg)
+		res.FP.SetParallelEncode(0)
 		fpIdx = len(sinks)
 		sinks = append(sinks, res.FP)
 	}
@@ -222,6 +223,7 @@ func buildPipelined(res *Result, o Options, hot []*profile.PathProfile, cuts *pr
 		}
 		res.OPT = opt.NewGraph(res.P, cfg, hot, cuts)
 		res.OPT.SetTelemetry(reg)
+		res.OPT.SetParallelEncode(0)
 		optIdx = len(sinks)
 		sinks = append(sinks, res.OPT)
 	}

@@ -6,8 +6,7 @@ import (
 	"io"
 	"os"
 	"runtime"
-	"sync"
-	"sync/atomic"
+	"sort"
 	"time"
 
 	"dynslice/internal/slicing"
@@ -16,29 +15,35 @@ import (
 	"dynslice/internal/trace"
 )
 
-// ParallelBench is one workload's parallel-engine record: pipelined vs
-// sequential graph construction, and the paper's 25-criteria experiment
-// answered three ways — a sequential loop (the GOMAXPROCS=1 baseline),
-// one batched SliceAll traversal, and a concurrent worker pool — on both
-// the OPT graph and the demand-driven LP slicer. Batching is the
-// designed win for LP (one shared backward trace scan instead of one per
-// criterion); for OPT the sequential loop already shares the graph's
-// memoized shortcut closures, so batch and loop run close. See
-// docs/PERFORMANCE.md for how to read these numbers.
+// ParallelBench is one (workload, GOMAXPROCS) record of the parallel
+// engine experiment: pipelined vs sequential graph construction, and the
+// paper's 25-criteria experiment answered by the batched work-stealing
+// SliceAll against a sequential per-criterion loop, on both the OPT graph
+// and the demand-driven LP slicer.
+//
+// The sequential baselines (seq_build_ms, opt_seq_slice_ms,
+// lp_seq_slice_ms) are always measured pinned to GOMAXPROCS=1 and are
+// repeated verbatim on every row of a workload, so each row's speedups
+// read directly as "parallel path at this GOMAXPROCS vs the sequential
+// baseline". The parallel contenders (pipelined build with epoch-parallel
+// label encoding, batched SliceAll on the work-stealing scheduler) run
+// under the row's GOMAXPROCS, with the scheduler's worker pool set to
+// match. Batching wins even at one worker — LP shares one backward scan,
+// OPT shares the visited table and memoized expansions across criteria —
+// and the per-setting rows show what the worker pool adds on top. See
+// docs/PERFORMANCE.md ("Batch scheduling") for how to read these numbers.
 type ParallelBench struct {
 	Name       string `json:"name"`
 	GOMAXPROCS int    `json:"gomaxprocs"`
 	NCriteria  int    `json:"n_criteria"`
 
-	SeqBuildMs   float64 `json:"seq_build_ms"`       // FP then OPT, one trace replay each
+	SeqBuildMs   float64 `json:"seq_build_ms"`       // FP then OPT, one replay each, GOMAXPROCS=1
 	PipeBuildMs  float64 `json:"pipelined_build_ms"` // both graphs, one shared pipelined pass
 	BuildSpeedup float64 `json:"build_speedup"`
 
 	OPTSeqMs      float64 `json:"opt_seq_slice_ms"`   // criterion loop under GOMAXPROCS=1
-	OPTBatchMs    float64 `json:"opt_batch_slice_ms"` // one SliceAll call
-	OPTConcMs     float64 `json:"opt_conc_slice_ms"`  // worker-pool independent queries
+	OPTBatchMs    float64 `json:"opt_batch_slice_ms"` // one SliceAll call, workers = GOMAXPROCS
 	OPTBatchSpeed float64 `json:"opt_batch_speedup"`  // opt seq / batch
-	OPTConcSpeed  float64 `json:"opt_conc_speedup"`   // opt seq / conc
 
 	LPSeqMs      float64 `json:"lp_seq_slice_ms"`   // criterion loop under GOMAXPROCS=1
 	LPBatchMs    float64 `json:"lp_batch_slice_ms"` // one SliceAll (one shared scan)
@@ -53,33 +58,51 @@ type ParallelBench struct {
 
 const parallelReps = 3
 
+// procSweep returns the GOMAXPROCS settings to measure: 1, 4, and the
+// machine's CPU count, deduplicated and ascending. GOMAXPROCS above
+// NumCPU is still measured — it exercises the scheduler's worker pool
+// and oversubscription behavior even when the hardware cannot run the
+// workers simultaneously.
+func procSweep() []int {
+	set := map[int]bool{1: true, 4: true, runtime.NumCPU(): true}
+	var ps []int
+	for p := range set {
+		ps = append(ps, p)
+	}
+	sort.Ints(ps)
+	return ps
+}
+
 // RunParallel measures the parallel slicing engine against its sequential
-// baselines and writes per-workload records to outPath
-// (cmd/experiments -exp parallel).
+// baselines across a GOMAXPROCS sweep and writes one record per
+// (workload, setting) to outPath (cmd/experiments -exp parallel).
 func RunParallel(w io.Writer, workloads []Workload, outPath string) error {
-	header(w, "Parallel engine: pipelined builds and batched/concurrent slicing",
-		fmt.Sprintf("%-12s %9s %9s %10s %10s %10s %10s %10s %8s\n",
-			"Program", "build", "build|", "opt", "opt[]", "opt||", "lp", "lp[]", "speedup"))
-	procs := runtime.GOMAXPROCS(0)
+	header(w, "Parallel engine: pipelined builds and batched slicing, GOMAXPROCS sweep",
+		fmt.Sprintf("%-12s %5s %9s %9s %10s %10s %10s %10s %8s\n",
+			"Program", "P", "build", "build|", "opt", "opt[]", "lp", "lp[]", "speedup"))
+	origProcs := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(origProcs)
 	var out []ParallelBench
 	for _, wl := range workloads {
 		res, err := Build(wl, Options{WithFP: true, WithOPT: true, WithLP: true, SegBlocks: 512})
 		if err != nil {
 			return err
 		}
-		pb, err := measureParallel(res, procs)
+		rows, err := measureParallel(res)
 		res.Close()
 		if err != nil {
 			return err
 		}
-		fmt.Fprintf(w, "%-12s %7.0fms %7.0fms %8.1fms %8.1fms %8.1fms %8.1fms %8.1fms %7.2fx\n",
-			wl.Name, pb.SeqBuildMs, pb.PipeBuildMs,
-			pb.OPTSeqMs, pb.OPTBatchMs, pb.OPTConcMs,
-			pb.LPSeqMs, pb.LPBatchMs, pb.Speedup)
-		if !pb.IdenticalSlices {
-			return fmt.Errorf("parallel %s: batched/concurrent slices diverge from sequential", wl.Name)
+		for _, pb := range rows {
+			fmt.Fprintf(w, "%-12s %5d %7.0fms %7.0fms %8.1fms %8.1fms %8.1fms %8.1fms %7.2fx\n",
+				wl.Name, pb.GOMAXPROCS, pb.SeqBuildMs, pb.PipeBuildMs,
+				pb.OPTSeqMs, pb.OPTBatchMs,
+				pb.LPSeqMs, pb.LPBatchMs, pb.Speedup)
+			if !pb.IdenticalSlices {
+				return fmt.Errorf("parallel %s (GOMAXPROCS=%d): batched slices diverge from sequential", wl.Name, pb.GOMAXPROCS)
+			}
 		}
-		out = append(out, pb)
+		out = append(out, rows...)
 	}
 	if outPath != "" {
 		data, err := json.MarshalIndent(out, "", "  ")
@@ -94,100 +117,120 @@ func RunParallel(w io.Writer, workloads []Workload, outPath string) error {
 	return nil
 }
 
-func measureParallel(res *Result, procs int) (ParallelBench, error) {
-	pb := ParallelBench{Name: res.W.Name, GOMAXPROCS: procs, NCriteria: len(res.Crit)}
-
+// measureParallel produces one ParallelBench row per GOMAXPROCS setting.
+// The sequential baselines are measured once, pinned to one proc, and
+// shared by every row.
+func measureParallel(res *Result) ([]ParallelBench, error) {
 	hot, cuts, err := reprofile(res)
 	if err != nil {
-		return pb, err
+		return nil, err
 	}
 
-	// Graph construction: two sequential replays (FP then OPT) vs one
-	// shared pipelined pass. Best-of-N to damp scheduler noise.
-	seqBuild, pipeBuild := time.Duration(1<<62), time.Duration(1<<62)
-	for rep := 0; rep < parallelReps; rep++ {
-		t0 := time.Now()
-		fpg := fp.NewGraph(res.P)
-		if err := replayFile(res, fpg); err != nil {
-			return pb, err
+	// Sequential build baseline: two plain replays (FP then OPT), pinned.
+	var seqBuild time.Duration
+	{
+		old := runtime.GOMAXPROCS(1)
+		seqBuild = time.Duration(1 << 62)
+		for rep := 0; rep < parallelReps; rep++ {
+			t0 := time.Now()
+			fpg := fp.NewGraph(res.P)
+			if err := replayFile(res, fpg); err != nil {
+				runtime.GOMAXPROCS(old)
+				return nil, err
+			}
+			og := opt.NewGraph(res.P, opt.Full(), hot, cuts)
+			if err := replayFile(res, og); err != nil {
+				runtime.GOMAXPROCS(old)
+				return nil, err
+			}
+			seqBuild = min(seqBuild, time.Since(t0))
 		}
-		og := opt.NewGraph(res.P, opt.Full(), hot, cuts)
-		if err := replayFile(res, og); err != nil {
-			return pb, err
-		}
-		seqBuild = min(seqBuild, time.Since(t0))
-
-		t0 = time.Now()
-		fpg = fp.NewGraph(res.P)
-		og = opt.NewGraph(res.P, opt.Full(), hot, cuts)
-		f, err := os.Open(res.TracePath)
-		if err != nil {
-			return pb, err
-		}
-		err = trace.ParallelReplay(res.P, f, trace.PipelineConfig{}, fpg, og)
-		f.Close()
-		if err != nil {
-			return pb, err
-		}
-		pipeBuild = min(pipeBuild, time.Since(t0))
+		runtime.GOMAXPROCS(old)
 	}
-	pb.SeqBuildMs, pb.PipeBuildMs = ms(seqBuild), ms(pipeBuild)
-	pb.BuildSpeedup = ratio(seqBuild, pipeBuild)
 
-	// OPT slicing. Warm up once so the lazily memoized shortcut closures
-	// don't bias whichever contender runs first.
+	// Sequential slicing baselines. Warm up once so the lazily memoized
+	// shortcut closures don't bias whichever contender runs first.
 	crit := res.Crit
 	want, err := sliceLoop(res.OPT, crit)
 	if err != nil {
-		return pb, err
+		return nil, err
 	}
 	optSeq, optSlices, err := timeSliceLoopPinned(res.OPT, crit, parallelReps)
 	if err != nil {
-		return pb, err
+		return nil, err
 	}
-	optBatch, optBatchSlices, err := timeSliceBatch(res.OPT, crit, parallelReps)
-	if err != nil {
-		return pb, err
-	}
-	optConc := time.Duration(1 << 62)
-	var optConcSlices []*slicing.Slice
-	for rep := 0; rep < parallelReps; rep++ {
-		t0 := time.Now()
-		outs, err := concurrentSlices(res.OPT, crit, procs)
-		if err != nil {
-			return pb, err
-		}
-		optConc = min(optConc, time.Since(t0))
-		optConcSlices = outs
-	}
-	pb.OPTSeqMs, pb.OPTBatchMs, pb.OPTConcMs = ms(optSeq), ms(optBatch), ms(optConc)
-	pb.OPTBatchSpeed = ratio(optSeq, optBatch)
-	pb.OPTConcSpeed = ratio(optSeq, optConc)
-
-	// LP slicing: the sequential loop re-scans the trace per criterion,
-	// so one timed pass suffices (and keeps the experiment tractable);
-	// the batch answers all criteria in one shared backward scan.
+	// The LP sequential loop re-scans the trace per criterion, so one
+	// timed pass suffices (and keeps the experiment tractable).
 	lpSeq, lpSlices, err := timeSliceLoopPinned(res.LP, crit, 1)
 	if err != nil {
-		return pb, err
+		return nil, err
 	}
-	lpBatch, lpBatchSlices, err := timeSliceBatch(res.LP, crit, parallelReps)
-	if err != nil {
-		return pb, err
-	}
-	pb.LPSeqMs, pb.LPBatchMs = ms(lpSeq), ms(lpBatch)
-	pb.LPBatchSpeed = ratio(lpSeq, lpBatch)
-	pb.Speedup = pb.LPBatchSpeed
 
-	pb.IdenticalSlices = true
-	for i := range want {
-		for _, got := range [][]*slicing.Slice{optSlices, optBatchSlices, optConcSlices, lpSlices, lpBatchSlices} {
-			if !want[i].Equal(got[i]) {
-				pb.IdenticalSlices = false
+	var rows []ParallelBench
+	for _, procs := range procSweep() {
+		old := runtime.GOMAXPROCS(procs)
+		pb := ParallelBench{Name: res.W.Name, GOMAXPROCS: procs, NCriteria: len(crit)}
+		pb.SeqBuildMs = ms(seqBuild)
+		pb.OPTSeqMs = ms(optSeq)
+		pb.LPSeqMs = ms(lpSeq)
+
+		// Pipelined construction: one shared decode pass fanning to both
+		// builders, each sealing label epochs on encode workers.
+		pipeBuild := time.Duration(1 << 62)
+		for rep := 0; rep < parallelReps; rep++ {
+			t0 := time.Now()
+			fpg := fp.NewGraph(res.P)
+			fpg.SetParallelEncode(procs)
+			og := opt.NewGraph(res.P, opt.Full(), hot, cuts)
+			og.SetParallelEncode(procs)
+			f, err := os.Open(res.TracePath)
+			if err != nil {
+				runtime.GOMAXPROCS(old)
+				return nil, err
+			}
+			err = trace.ParallelReplay(res.P, f, trace.PipelineConfig{}, fpg, og)
+			f.Close()
+			if err != nil {
+				runtime.GOMAXPROCS(old)
+				return nil, err
+			}
+			pipeBuild = min(pipeBuild, time.Since(t0))
+		}
+		pb.PipeBuildMs = ms(pipeBuild)
+		pb.BuildSpeedup = ratio(seqBuild, pipeBuild)
+
+		// Batched slicing with the scheduler's pool matched to the row.
+		res.OPT.SetWorkers(procs)
+		optBatch, optBatchSlices, err := timeSliceBatch(res.OPT, crit, parallelReps)
+		if err != nil {
+			runtime.GOMAXPROCS(old)
+			return nil, err
+		}
+		pb.OPTBatchMs = ms(optBatch)
+		pb.OPTBatchSpeed = ratio(optSeq, optBatch)
+
+		lpBatch, lpBatchSlices, err := timeSliceBatch(res.LP, crit, parallelReps)
+		if err != nil {
+			runtime.GOMAXPROCS(old)
+			return nil, err
+		}
+		pb.LPBatchMs = ms(lpBatch)
+		pb.LPBatchSpeed = ratio(lpSeq, lpBatch)
+		pb.Speedup = pb.LPBatchSpeed
+
+		pb.IdenticalSlices = true
+		for i := range want {
+			for _, got := range [][]*slicing.Slice{optSlices, optBatchSlices, lpSlices, lpBatchSlices} {
+				if !want[i].Equal(got[i]) {
+					pb.IdenticalSlices = false
+				}
 			}
 		}
+		rows = append(rows, pb)
+		runtime.GOMAXPROCS(old)
 	}
-	return pb, nil
+	res.OPT.SetWorkers(0)
+	return rows, nil
 }
 
 // replayFile replays the recorded trace into one sink.
@@ -250,45 +293,6 @@ func timeSliceBatch(s slicing.MultiSlicer, crit []int64, reps int) (time.Duratio
 		outs = o
 	}
 	return best, outs, nil
-}
-
-// concurrentSlices answers each criterion independently on a worker pool.
-func concurrentSlices(s slicing.Slicer, crit []int64, workers int) ([]*slicing.Slice, error) {
-	if workers < 1 {
-		workers = 1
-	}
-	if workers > len(crit) {
-		workers = len(crit)
-	}
-	outs := make([]*slicing.Slice, len(crit))
-	errs := make([]error, workers)
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			for {
-				i := next.Add(1) - 1
-				if i >= int64(len(crit)) {
-					return
-				}
-				sl, _, err := s.Slice(slicing.AddrCriterion(crit[i]))
-				if err != nil {
-					errs[w] = err
-					return
-				}
-				outs[i] = sl
-			}
-		}(w)
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
-	}
-	return outs, nil
 }
 
 func ratio(a, b time.Duration) float64 {

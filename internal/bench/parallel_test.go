@@ -78,20 +78,29 @@ func TestRunParallelSmoke(t *testing.T) {
 	if err := json.Unmarshal(data, &recs); err != nil {
 		t.Fatal(err)
 	}
-	if len(recs) != 1 {
-		t.Fatalf("want 1 record, got %d", len(recs))
+	if want := len(procSweep()); len(recs) != want {
+		t.Fatalf("want one record per GOMAXPROCS setting (%d), got %d", want, len(recs))
 	}
-	r := recs[0]
-	if !r.IdenticalSlices {
-		t.Error("batched/concurrent slices diverged from sequential")
+	seen := map[int]bool{}
+	for _, r := range recs {
+		if seen[r.GOMAXPROCS] {
+			t.Errorf("duplicate GOMAXPROCS row %d", r.GOMAXPROCS)
+		}
+		seen[r.GOMAXPROCS] = true
+		if !r.IdenticalSlices {
+			t.Errorf("GOMAXPROCS=%d: batched slices diverged from sequential", r.GOMAXPROCS)
+		}
+		if r.NCriteria != 25 {
+			t.Errorf("want 25 criteria, got %d", r.NCriteria)
+		}
+		if r.Speedup <= 0 || r.OPTBatchSpeed <= 0 || r.BuildSpeedup <= 0 {
+			t.Errorf("speedups must be positive: %+v", r)
+		}
+		if r.Speedup < 1.5 {
+			t.Errorf("GOMAXPROCS=%d: batched+parallel speedup = %.2fx, want >= 1.5x", r.GOMAXPROCS, r.Speedup)
+		}
 	}
-	if r.NCriteria != 25 {
-		t.Errorf("want 25 criteria, got %d", r.NCriteria)
-	}
-	if r.Speedup <= 0 || r.OPTBatchSpeed <= 0 || r.OPTConcSpeed <= 0 || r.BuildSpeedup <= 0 {
-		t.Errorf("speedups must be positive: %+v", r)
-	}
-	if r.Speedup < 1.5 {
-		t.Errorf("batched+parallel speedup = %.2fx, want >= 1.5x", r.Speedup)
+	if !seen[1] || !seen[4] {
+		t.Errorf("sweep must include GOMAXPROCS 1 and 4, got %v", seen)
 	}
 }

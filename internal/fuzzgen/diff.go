@@ -26,6 +26,12 @@ type Variant struct {
 	Plain     bool   // flat label storage (-compact=false)
 	Pipelined bool   // build via trace.Async on a worker goroutine
 	Hybrid    bool   // OPT only: disk-epoch mode with an aggressive budget
+	// Batch > 0 answers every criterion through one batched SliceAll with
+	// a worker pool of that size (the work-stealing scheduler for FP/OPT,
+	// the shared backward scan for LP) instead of per-criterion Slice
+	// calls — the batch results must still match the oracle slice for
+	// slice.
+	Batch int
 }
 
 // Name renders the variant as a stable, human-readable tuple.
@@ -47,13 +53,17 @@ func (v Variant) Name() string {
 			s += "/hybrid"
 		}
 	}
+	if v.Batch > 0 {
+		s += fmt.Sprintf("/batch%d", v.Batch)
+	}
 	return s
 }
 
 // FullMatrix is the complete configuration matrix the tentpole checks:
 // FP x {compact,plain} x {seq,pipe}, OPT additionally x {hybrid,resident},
-// plus LP and the forward slicer. Every variant is compared against the
-// brute-force oracle.
+// plus LP and the forward slicer, plus batched work-stealing SliceAll
+// variants (multi-worker FP/OPT, hybrid OPT, and the LP shared scan).
+// Every variant is compared against the brute-force oracle.
 func FullMatrix() []Variant {
 	var vs []Variant
 	for _, plain := range []bool{false, true} {
@@ -68,12 +78,19 @@ func FullMatrix() []Variant {
 			}
 		}
 	}
+	vs = append(vs,
+		Variant{Alg: "FP", Batch: 8},
+		Variant{Alg: "OPT", Batch: 8},
+		Variant{Alg: "OPT", Hybrid: true, Batch: 8},
+		Variant{Alg: "LP", Batch: 1},
+	)
 	vs = append(vs, Variant{Alg: "LP"}, Variant{Alg: "forward"})
 	return vs
 }
 
 // QuickMatrix is a reduced matrix for per-exec fuzz targets: one FP, the
-// three interesting OPT corners, LP, and forward.
+// three interesting OPT corners plus the batched scheduler, LP, and
+// forward.
 func QuickMatrix() []Variant {
 	return []Variant{
 		{Alg: "FP"},
@@ -81,6 +98,7 @@ func QuickMatrix() []Variant {
 		{Alg: "OPT"},
 		{Alg: "OPT", Plain: true, Pipelined: true},
 		{Alg: "OPT", Hybrid: true},
+		{Alg: "OPT", Batch: 8},
 		{Alg: "LP"},
 		{Alg: "forward"},
 	}
@@ -344,19 +362,58 @@ func Check(src string, input []int64, o Options) (*Result, error) {
 
 	addrs := smp.sample(o.criteria())
 	out := &Result{Stmts: int(res.Steps), Criteria: len(addrs), Variants: len(variants)}
+
+	// Batched variants answer the whole criterion set through one
+	// SliceAll pass on the work-stealing scheduler; the per-criterion
+	// loop below then compares each precomputed answer slice for slice.
+	batched := make(map[int][]*slicing.Slice)
+	if cs := make([]slicing.Criterion, len(addrs)); len(cs) > 0 {
+		for i, a := range addrs {
+			cs[i] = slicing.AddrCriterion(a)
+		}
+		for vi, vs := range variants {
+			if vs.v.Batch <= 0 {
+				continue
+			}
+			ms, ok := vs.s.(slicing.MultiSlicer)
+			if !ok {
+				return nil, fmt.Errorf("fuzzgen: variant %s has no batched SliceAll", vs.v.Name())
+			}
+			if sw, ok := vs.s.(interface{ SetWorkers(int) }); ok {
+				sw.SetWorkers(vs.v.Batch)
+			}
+			outs, _, err := ms.SliceAll(cs)
+			if err != nil {
+				for _, a := range addrs {
+					out.Divergences = append(out.Divergences, Divergence{
+						Variant: vs.v.Name(), Addr: a, Err: err.Error(),
+					})
+				}
+				continue
+			}
+			batched[vi] = outs
+		}
+	}
+
 	var deps *oracle.Deps
 	if o.Witness {
 		deps = ora.Deps()
 	}
-	for _, a := range addrs {
+	for ci, a := range addrs {
 		c := slicing.AddrCriterion(a)
 		want, _, err := ora.Slice(c)
 		if err != nil {
 			return nil, fmt.Errorf("fuzzgen: oracle slice addr %d: %w", a, err)
 		}
-		for _, vs := range variants {
-			got, _, err := vs.s.Slice(c)
-			if err != nil {
+		for vi, vs := range variants {
+			var got *slicing.Slice
+			if vs.v.Batch > 0 {
+				outs, ok := batched[vi]
+				if !ok {
+					continue // SliceAll errored; divergences already recorded
+				}
+				got = outs[ci]
+			} else if got, _, err = vs.s.Slice(c); err != nil {
 				out.Divergences = append(out.Divergences, Divergence{
 					Variant: vs.v.Name(), Addr: a, Err: err.Error(),
 				})

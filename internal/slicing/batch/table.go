@@ -1,0 +1,173 @@
+package batch
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// The visited table: a power-of-two set of shards, each an open-addressing
+// bucket array over slab-allocated entries. Entries never move once
+// created (slabs are fixed-capacity chunks), so workers hold *entry across
+// shard growth; only the bucket index array is rehashed, under the shard's
+// write lock. The common revisit path is: read-lock, probe a few buckets,
+// CAS the mask — no allocation, no map hashing.
+
+type entry struct {
+	k1, k2 uint64
+	mask   atomic.Uint64
+	exp    atomic.Pointer[Expansion]
+}
+
+const entryChunkShift = 9 // 512 entries per slab chunk
+
+type shard struct {
+	mu      sync.RWMutex
+	buckets []int32 // entry index + 1; 0 = empty
+	chunks  [][]entry
+	count   int
+}
+
+type table struct {
+	shards []shard
+	smask  uint64
+}
+
+// newTable sizes the shard set to the worker count: enough shards that
+// concurrent inserts rarely collide, bounded so a single-worker run stays
+// tiny.
+func newTable(workers int) *table {
+	n := 8
+	for n < workers*4 {
+		n <<= 1
+	}
+	if n > 64 {
+		n = 64
+	}
+	t := &table{shards: make([]shard, n), smask: uint64(n - 1)}
+	return t
+}
+
+// hash mixes both key words (splitmix64 finalizer over their combination).
+func hash(k Key) uint64 {
+	h := k.K1*0x9e3779b97f4a7c15 + k.K2
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return h
+}
+
+// visit merges mask into k's entry, creating it if needed, and returns the
+// newly claimed bits (0 if every bit was already present) plus the stable
+// entry.
+func (t *table) visit(k Key, mask uint64) (uint64, *entry) {
+	h := hash(k)
+	sh := &t.shards[h&t.smask]
+	sh.mu.RLock()
+	e := sh.lookup(k, h)
+	sh.mu.RUnlock()
+	if e == nil {
+		sh.mu.Lock()
+		e = sh.insert(k, h)
+		sh.mu.Unlock()
+	}
+	for {
+		old := e.mask.Load()
+		nv := mask &^ old
+		if nv == 0 {
+			return 0, e
+		}
+		if e.mask.CompareAndSwap(old, old|nv) {
+			return nv, e
+		}
+	}
+}
+
+// lookup probes under the read lock. The returned entry outlives the lock:
+// entries live in fixed chunks that are never reallocated.
+func (sh *shard) lookup(k Key, h uint64) *entry {
+	n := uint64(len(sh.buckets))
+	if n == 0 {
+		return nil
+	}
+	for i := h & (n - 1); ; i = (i + 1) & (n - 1) {
+		b := sh.buckets[i]
+		if b == 0 {
+			return nil
+		}
+		e := sh.at(int(b - 1))
+		if e.k1 == k.K1 && e.k2 == k.K2 {
+			return e
+		}
+	}
+}
+
+func (sh *shard) at(idx int) *entry {
+	return &sh.chunks[idx>>entryChunkShift][idx&(1<<entryChunkShift-1)]
+}
+
+// insert re-probes under the write lock (another worker may have won the
+// race) and otherwise allocates the entry, growing the bucket array at 3/4
+// load.
+func (sh *shard) insert(k Key, h uint64) *entry {
+	if sh.buckets == nil {
+		sh.buckets = make([]int32, 64)
+	}
+	if e := sh.lookupLocked(k, h); e != nil {
+		return e
+	}
+	if (sh.count+1)*4 > len(sh.buckets)*3 {
+		sh.grow()
+	}
+	ci := sh.count >> entryChunkShift
+	if ci == len(sh.chunks) {
+		sh.chunks = append(sh.chunks, make([]entry, 1<<entryChunkShift))
+	}
+	idx := sh.count
+	sh.count++
+	e := sh.at(idx)
+	e.k1, e.k2 = k.K1, k.K2
+	n := uint64(len(sh.buckets))
+	for i := h & (n - 1); ; i = (i + 1) & (n - 1) {
+		if sh.buckets[i] == 0 {
+			sh.buckets[i] = int32(idx + 1)
+			break
+		}
+	}
+	return e
+}
+
+func (sh *shard) lookupLocked(k Key, h uint64) *entry {
+	n := uint64(len(sh.buckets))
+	for i := h & (n - 1); ; i = (i + 1) & (n - 1) {
+		b := sh.buckets[i]
+		if b == 0 {
+			return nil
+		}
+		e := sh.at(int(b - 1))
+		if e.k1 == k.K1 && e.k2 == k.K2 {
+			return e
+		}
+	}
+}
+
+// grow doubles the bucket array and rehashes the indices; entries stay put.
+func (sh *shard) grow() {
+	old := sh.buckets
+	sh.buckets = make([]int32, len(old)*2)
+	n := uint64(len(sh.buckets))
+	for _, b := range old {
+		if b == 0 {
+			continue
+		}
+		e := sh.at(int(b - 1))
+		h := hash(Key{e.k1, e.k2})
+		for i := h & (n - 1); ; i = (i + 1) & (n - 1) {
+			if sh.buckets[i] == 0 {
+				sh.buckets[i] = b
+				break
+			}
+		}
+	}
+}

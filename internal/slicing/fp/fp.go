@@ -18,6 +18,7 @@ package fp
 
 import (
 	"fmt"
+	"sync/atomic"
 	"unsafe"
 
 	"dynslice/internal/ir"
@@ -67,6 +68,9 @@ type Graph struct {
 
 	mem   *labelblock.Arena
 	plain bool // -compact=false escape hatch: flat []Pair tails, no blocks
+	enc   *labelblock.Encoder
+
+	workers atomic.Int32 // batched-query pool bound; 0 = GOMAXPROCS
 
 	tel *telemetry.Registry // optional; flushed once at End
 }
@@ -104,6 +108,14 @@ func (g *Graph) SetPlainLabels(on bool) {
 	}
 }
 
+// SetParallelEncode enables epoch-parallel construction: filled label
+// epochs are sealed by n encode workers (n <= 0: GOMAXPROCS) off the
+// resolver's critical path. Must be called before feeding the trace;
+// incompatible with SetPlainLabels (plain lists never seal).
+func (g *Graph) SetParallelEncode(n int) {
+	g.enc = labelblock.NewEncoder(n)
+}
+
 // Block implements trace.Sink.
 func (g *Graph) Block(b *ir.Block) {
 	g.curTs = g.ts
@@ -125,7 +137,7 @@ func (g *Graph) Block(b *ir.Block) {
 	}
 	if bestAnc != nil {
 		term := bestAnc.Terminator()
-		g.cdEdges[b.ID].Append(g.mem, labelblock.Pair{Td: bestTs, Tu: g.curTs}, int32(term.ID))
+		g.cdEdges[b.ID].AppendEnc(g.mem, g.enc, labelblock.Pair{Td: bestTs, Tu: g.curTs}, int32(term.ID))
 		g.cdPairs++
 	} else if fr.hasCallSite && b == b.Fn.Entry() {
 		// Interprocedural control dependence: the function entry depends on
@@ -133,7 +145,7 @@ func (g *Graph) Block(b *ir.Block) {
 		// without intraprocedural ancestors execute unconditionally within
 		// the frame, and the call statement still enters slices through
 		// parameter data dependences.
-		g.cdEdges[b.ID].Append(g.mem, labelblock.Pair{Td: fr.callSite.ts, Tu: g.curTs}, int32(fr.callSite.stmt))
+		g.cdEdges[b.ID].AppendEnc(g.mem, g.enc, labelblock.Pair{Td: fr.callSite.ts, Tu: g.curTs}, int32(fr.callSite.stmt))
 		g.cdPairs++
 	}
 	fr.lastExec[b.ID] = g.curTs
@@ -150,7 +162,7 @@ func (g *Graph) Stmt(s *ir.Stmt, uses, defs []int64) {
 	}
 	for i, a := range uses {
 		if d, ok := g.lastDef[a]; ok {
-			g.useEdges[s.ID][i].Append(g.mem, labelblock.Pair{Td: d.ts, Tu: g.curTs}, int32(d.stmt))
+			g.useEdges[s.ID][i].AppendEnc(g.mem, g.enc, labelblock.Pair{Td: d.ts, Tu: g.curTs}, int32(d.stmt))
 			g.dataPairs++
 		}
 	}
@@ -187,6 +199,7 @@ func (g *Graph) SetTelemetry(reg *telemetry.Registry) { g.tel = reg }
 // sealed) so the frozen graph sits at maximum compression and lookups
 // never mutate it — required for concurrent SliceAll.
 func (g *Graph) End() {
+	g.enc.Drain()
 	for _, slots := range g.useEdges {
 		for i := range slots {
 			slots[i].Compact(g.mem, false)
@@ -196,6 +209,10 @@ func (g *Graph) End() {
 		g.cdEdges[i].Compact(g.mem, false)
 	}
 	if reg := g.tel; reg != nil {
+		if g.enc != nil {
+			reg.Gauge("build.epoch.workers").Set(int64(g.enc.Workers()))
+			reg.Counter("build.epoch.blocks").Add(g.enc.Blocks())
+		}
 		reg.Counter("fp.labels.data").Add(g.dataPairs)
 		reg.Counter("fp.labels.cd").Add(g.cdPairs)
 		reg.Counter("fp.block_execs").Add(g.ts)

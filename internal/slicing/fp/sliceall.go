@@ -2,19 +2,33 @@ package fp
 
 import (
 	"fmt"
-	"math/bits"
 
 	"dynslice/internal/ir"
 	"dynslice/internal/slicing"
+	"dynslice/internal/slicing/batch"
+	"dynslice/internal/slicing/labelblock"
 )
 
+// SetWorkers bounds the worker pool batched queries (SliceAll) run on;
+// n <= 0 means GOMAXPROCS. Atomic, so concurrent engine callers may
+// retune it between (but not during) their own queries.
+func (g *Graph) SetWorkers(n int) { g.workers.Store(int32(n)) }
+
+// fpKey packs a statement instance into a scheduler key.
+func fpKey(stmt ir.StmtID, ts int64) batch.Key {
+	return batch.Key{K1: uint64(uint32(stmt)), K2: uint64(ts)}
+}
+
 // SliceAll implements slicing.MultiSlicer: N criteria are answered in one
-// traversal per 64-criterion chunk. Each statement instance carries a
-// bitmask of the criteria whose slices reach it, so a subgraph shared by
-// several slices is walked — and its per-slot binary searches performed —
-// once instead of once per criterion. Every returned slice is identical
-// to what Slice would produce; the aggregate stats count each unique
-// instance and label probe once.
+// work-stealing traversal per 64-criterion chunk. Each statement instance
+// carries a bitmask of the criteria whose slices reach it, merged through
+// the shared flat visited table (internal/slicing/batch), so a subgraph
+// shared by several slices is walked — and its per-slot label searches
+// performed — once instead of once per criterion. Per-worker label-block
+// cursors answer clustered probes from one decoded block (the
+// block-granular merge). Every returned slice is identical to what Slice
+// would produce; the aggregate stats count each unique instance and label
+// probe once.
 func (g *Graph) SliceAll(cs []slicing.Criterion) ([]*slicing.Slice, *slicing.Stats, error) {
 	stats := &slicing.Stats{}
 	outs := make([]*slicing.Slice, len(cs))
@@ -31,61 +45,65 @@ func (g *Graph) SliceAll(cs []slicing.Criterion) ([]*slicing.Slice, *slicing.Sta
 		}
 		outs[i] = slicing.NewSlice()
 	}
-	type btask struct {
-		in   instRef
-		mask uint64
+	var blockHits int64
+	cfg := batch.Config{
+		Workers:    int(g.workers.Load()),
+		NumStmts:   len(g.p.Stmts),
+		Expand:     g.expandInstance,
+		NewScratch: func() any { return labelblock.NewCursorCache() },
+		FinishScratch: func(sc any) {
+			if cc, ok := sc.(*labelblock.CursorCache); ok {
+				blockHits += cc.Hits
+			}
+		},
 	}
+	var ctr batch.Counters
 	for base := 0; base < len(cs); base += 64 {
 		chunk := min(64, len(cs)-base)
-		couts := outs[base : base+chunk]
-		visited := map[instKey]uint64{}
-		memo := map[instKey][]instRef{}
-		var work []btask
-		push := func(in instRef, mask uint64) {
-			k := instKey{in.stmt, in.ts}
-			nv := mask &^ visited[k]
-			if nv == 0 {
-				return
-			}
-			visited[k] |= nv
-			work = append(work, btask{in: in, mask: nv})
-		}
+		tasks := make([]batch.Task, chunk)
 		for j := 0; j < chunk; j++ {
-			push(seeds[base+j], uint64(1)<<j)
+			s := seeds[base+j]
+			tasks[j] = batch.Task{K: fpKey(s.stmt, s.ts), Mask: uint64(1) << j}
 		}
-		for len(work) > 0 {
-			t := work[len(work)-1]
-			work = work[:len(work)-1]
-			k := instKey{t.in.stmt, t.in.ts}
-			targets, ok := memo[k]
-			if !ok {
-				stats.Instances++
-				s := g.p.Stmt(t.in.stmt)
-				for i := range s.Uses {
-					slots := g.useEdges[t.in.stmt]
-					if slots == nil {
-						continue
-					}
-					td, def, probes, found := slots[i].Find(t.in.ts)
-					stats.LabelProbes += probes
-					if found {
-						targets = append(targets, instRef{stmt: ir.StmtID(def), ts: td})
-					}
-				}
-				ta, anc, probes, found := g.cdEdges[s.Block.ID].Find(t.in.ts)
-				stats.LabelProbes += probes
-				if found {
-					targets = append(targets, instRef{stmt: ir.StmtID(anc), ts: ta})
-				}
-				memo[k] = targets
-			}
-			for m := t.mask; m != 0; m &= m - 1 {
-				couts[bits.TrailingZeros64(m)].Add(t.in.stmt)
-			}
-			for _, tg := range targets {
-				push(tg, t.mask)
-			}
-		}
+		masks, st, c := batch.Run(cfg, tasks)
+		batch.MaskSlices(masks, outs[base:base+chunk])
+		stats.Instances += st.Instances
+		stats.LabelProbes += st.LabelProbes
+		ctr.Steals += c.Steals
+		ctr.Merges += c.Merges
+	}
+	if reg := g.tel; reg != nil {
+		reg.Counter("slice.batch.steals").Add(ctr.Steals)
+		reg.Counter("slice.batch.block_merges").Add(ctr.Merges + blockHits)
 	}
 	return outs, stats, nil
+}
+
+// expandInstance resolves one statement instance's dependences — the same
+// per-slot and control-edge Finds the sequential SliceObserved performs,
+// answered through the worker's block cursors.
+func (g *Graph) expandInstance(k batch.Key, stats *slicing.Stats, scratch any) *batch.Expansion {
+	cc, _ := scratch.(*labelblock.CursorCache)
+	stmt := ir.StmtID(int32(uint32(k.K1)))
+	ts := int64(k.K2)
+	stats.Instances++
+	exp := &batch.Expansion{Stmts: []ir.StmtID{stmt}}
+	s := g.p.Stmt(stmt)
+	slots := g.useEdges[stmt]
+	for i := range s.Uses {
+		if slots == nil {
+			continue
+		}
+		td, def, probes, found := cc.Find(&slots[i], ts)
+		stats.LabelProbes += probes
+		if found {
+			exp.Targets = append(exp.Targets, fpKey(ir.StmtID(def), td))
+		}
+	}
+	ta, anc, probes, found := cc.Find(&g.cdEdges[s.Block.ID], ts)
+	stats.LabelProbes += probes
+	if found {
+		exp.Targets = append(exp.Targets, fpKey(ir.StmtID(anc), ta))
+	}
+	return exp
 }

@@ -1,0 +1,108 @@
+package labelblock
+
+import "sort"
+
+// Cursor caches the most recently decoded block of one List so that
+// clustered probes — the common shape in batched slicing, where one
+// traversal resolves many timestamps against the same hot edge list —
+// decode each block's varint stream once and binary-search the decoded
+// pairs afterwards, instead of linearly re-decoding the block per probe.
+// A Cursor is single-goroutine state (batched slicing keeps one cache per
+// worker); the underlying List must be sealed (sorted) and is never
+// mutated.
+type Cursor struct {
+	bi    int // decoded block index; -1 = none
+	pairs []Pair
+	aux   []int32
+}
+
+// find resolves tu against l through the cursor. Probe accounting counts
+// real work: a full block decode costs N probes (same unit Block.Find
+// charges per decoded entry), a search within the cached block costs its
+// binary-search comparisons. hit reports whether the cached block answered
+// without a decode — the block-granular merge event.
+func (c *Cursor) find(l *List, tu int64) (td int64, aux int32, probes int64, found bool, hit bool) {
+	blocks := l.blocks
+	if c.bi >= 0 && c.bi < len(blocks) &&
+		tu >= blocks[c.bi].FirstTu && tu <= blocks[c.bi].LastTu {
+		td, aux, probes, found = c.search(tu)
+		hit = true
+	} else if i := sort.Search(len(blocks), func(i int) bool { return blocks[i].LastTu >= tu }); i < len(blocks) && blocks[i].FirstTu <= tu {
+		c.pairs, c.aux = blocks[i].Decode(c.pairs[:0], c.aux[:0])
+		c.bi = i
+		var p int64
+		td, aux, p, found = c.search(tu)
+		probes = int64(blocks[i].N) + p
+	} else if len(blocks) > 0 {
+		probes++ // the boundary comparison that rejected the sealed range
+	}
+	if found {
+		return td, aux, probes, true, hit
+	}
+	// Mirror List.Find: a miss in the sealed range still consults the
+	// tail (a straddling tail can hold the pair).
+	td, aux, p, ok := l.findTail(tu)
+	return td, aux, probes + p, ok, hit
+}
+
+// search binary-searches the decoded block.
+func (c *Cursor) search(tu int64) (td int64, aux int32, probes int64, found bool) {
+	lo, hi := 0, len(c.pairs)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		probes++
+		if c.pairs[mid].Tu < tu {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(c.pairs) && c.pairs[lo].Tu == tu {
+		var a int32
+		if len(c.aux) == len(c.pairs) {
+			a = c.aux[lo]
+		}
+		return c.pairs[lo].Td, a, probes, true
+	}
+	return 0, 0, probes, false
+}
+
+// CursorCache maps lists to their cursors for one worker, with a one-slot
+// fast path for consecutive probes against the same list. Lists without
+// sealed blocks bypass the cache (their tail binary search is already
+// minimal).
+type CursorCache struct {
+	m     map[*List]*Cursor
+	lastL *List
+	lastC *Cursor
+	// Hits counts probes answered inside an already-decoded block — the
+	// block-granular merge events surfaced as slice.batch.block_merges.
+	Hits int64
+}
+
+// NewCursorCache returns an empty per-worker cache.
+func NewCursorCache() *CursorCache {
+	return &CursorCache{m: map[*List]*Cursor{}}
+}
+
+// Find is List.Find through the worker's cursor for l.
+func (cc *CursorCache) Find(l *List, tu int64) (td int64, aux int32, probes int64, found bool) {
+	if cc == nil || len(l.blocks) == 0 {
+		return l.Find(tu)
+	}
+	c := cc.lastC
+	if cc.lastL != l {
+		var ok bool
+		c, ok = cc.m[l]
+		if !ok {
+			c = &Cursor{bi: -1}
+			cc.m[l] = c
+		}
+		cc.lastL, cc.lastC = l, c
+	}
+	td, aux, probes, found, hit := c.find(l, tu)
+	if hit {
+		cc.Hits++
+	}
+	return td, aux, probes, found
+}

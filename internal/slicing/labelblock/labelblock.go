@@ -415,6 +415,12 @@ func (l *List) Find(tu int64) (td int64, aux int32, probes int64, found bool) {
 	if found {
 		return td, aux, probes, true
 	}
+	td, aux, p, found := l.findTail(tu)
+	return td, aux, probes + p, found
+}
+
+// findTail binary-searches the (sorted) uncompressed tail only.
+func (l *List) findTail(tu int64) (td int64, aux int32, probes int64, found bool) {
 	lo, hi := 0, len(l.tail)
 	for lo < hi {
 		mid := int(uint(lo+hi) >> 1)

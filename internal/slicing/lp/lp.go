@@ -147,11 +147,6 @@ type cdNeed struct {
 	fromOrd   int64
 }
 
-type instKey struct {
-	stmt ir.StmtID
-	ord  int64
-}
-
 // locCrit is a pending statement-instance criterion (mode B).
 type locCrit struct {
 	stmt ir.StmtID
@@ -166,9 +161,16 @@ type query struct {
 	stats    *slicing.Stats
 	needDefs map[int64][]defNeed
 	needCDs  []*cdNeed
-	cdSeen   map[instKey]uint64 // criteria bits whose cd need exists for a block instance
-	visited  map[instKey]uint64
 	edges    int64
+
+	// Visited words, flat instead of map[{id, ord}]uint64: admit only ever
+	// keys with the ordinal of the block execution being processed, so one
+	// mask word per statement (per block for control needs) suffices,
+	// invalidated lazily when the stamp trails the current ordinal.
+	visStamp []int64 // by StmtID: ordinal visMask is valid for (-1 = never)
+	visMask  []uint64
+	cdStamp  []int64 // by BlockID: ordinal cdMask is valid for
+	cdMask   []uint64
 	obs      *explain.Recorder // single-criterion observed queries only
 
 	// Criterion plumbing.
@@ -256,8 +258,10 @@ func (s *Slicer) sliceAll(cs []slicing.Criterion, obs *explain.Recorder) ([]*sli
 			outs:      make([]*slicing.Slice, chunk),
 			stats:     stats,
 			needDefs:  map[int64][]defNeed{},
-			cdSeen:    map[instKey]uint64{},
-			visited:   map[instKey]uint64{},
+			visStamp:  newStamps(len(s.p.Stmts)),
+			visMask:   make([]uint64, len(s.p.Stmts)),
+			cdStamp:   newStamps(len(s.p.Blocks)),
+			cdMask:    make([]uint64, len(s.p.Blocks)),
 			seedAddrs: map[int64]uint64{},
 			obs:       obs,
 		}
@@ -533,19 +537,31 @@ func (q *query) resolveRegion(st *ir.Stmt, be *blockExec, lay blockLayout, here 
 	}
 }
 
+// newStamps returns n ordinal stamps, all "never".
+func newStamps(n int) []int64 {
+	s := make([]int64, n)
+	for i := range s {
+		s[i] = -1
+	}
+	return s
+}
+
 // admit adds a statement instance to the slices in mask and queues its
 // needs for the criteria bits that reach it for the first time.
 func (q *query) admit(st *ir.Stmt, be *blockExec, lay blockLayout, mask uint64) {
-	k := instKey{stmt: st.ID, ord: be.ord}
-	nv := mask &^ q.visited[k]
+	if q.visStamp[st.ID] != be.ord {
+		q.visStamp[st.ID] = be.ord
+		q.visMask[st.ID] = 0
+	}
+	nv := mask &^ q.visMask[st.ID]
 	if nv == 0 {
 		return
 	}
-	if q.visited[k] == 0 {
+	if q.visMask[st.ID] == 0 {
 		q.stats.Instances++
 		q.obs.Visit(st.ID, be.ord)
 	}
-	q.visited[k] |= nv
+	q.visMask[st.ID] |= nv
 	for m := nv; m != 0; m &= m - 1 {
 		q.outs[bits.TrailingZeros64(m)].Add(st.ID)
 	}
@@ -562,12 +578,15 @@ func (q *query) admit(st *ir.Stmt, be *blockExec, lay blockLayout, mask uint64) 
 
 	// Control need for the enclosing block instance (once per instance and
 	// criterion bit).
-	bk := instKey{stmt: ir.StmtID(st.Block.ID), ord: be.ord}
-	cnv := nv &^ q.cdSeen[bk]
+	if q.cdStamp[st.Block.ID] != be.ord {
+		q.cdStamp[st.Block.ID] = be.ord
+		q.cdMask[st.Block.ID] = 0
+	}
+	cnv := nv &^ q.cdMask[st.Block.ID]
 	if cnv == 0 {
 		return
 	}
-	q.cdSeen[bk] |= cnv
+	q.cdMask[st.Block.ID] |= cnv
 	ancs := st.Block.CDAncestors
 	if len(ancs) == 0 {
 		// Only function entries carry the interprocedural (call-site)

@@ -121,6 +121,38 @@ func TestSliceAllMatchesSequential(t *testing.T) {
 	}
 }
 
+// TestSliceAllCriteriaCounts sweeps batch sizes straddling the 64-bit
+// chunk boundaries (1, 63, 64, 65, and 200 with duplicated addresses);
+// every chunked scan must reproduce the sequential answer.
+func TestSliceAllCriteriaCounts(t *testing.T) {
+	s, addrs := buildBatchLP(t, 16)
+	seq := map[int64]*slicing.Slice{}
+	for _, a := range addrs {
+		sl, _, err := s.Slice(slicing.AddrCriterion(a))
+		if err != nil {
+			t.Fatal(err)
+		}
+		seq[a] = sl
+	}
+	for _, n := range []int{1, 63, 64, 65, 200} {
+		picked := make([]int64, n)
+		cs := make([]slicing.Criterion, n)
+		for i := 0; i < n; i++ {
+			picked[i] = addrs[i%len(addrs)] // >len(addrs) duplicates criteria
+			cs[i] = slicing.AddrCriterion(picked[i])
+		}
+		outs, _, err := s.SliceAll(cs)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		for i, a := range picked {
+			if !outs[i].Equal(seq[a]) {
+				t.Fatalf("n=%d: addr %d diverged from sequential", n, a)
+			}
+		}
+	}
+}
+
 // TestSliceAllBatchedScanSharing: the whole point of batching LP queries
 // is amortizing trace scans; N criteria in one batch must decode far
 // fewer segments than N sequential queries.

@@ -382,7 +382,7 @@ func (g *Graph) appendDataLabel(us *UseEdgeSet, tgt InstLoc, p Pair) {
 		us.Dyn = append(us.Dyn, DynEdge{Tgt: tgt, L: l})
 		edge = &us.Dyn[len(us.Dyn)-1]
 	}
-	if !edge.L.Append(g.mem, p) {
+	if !edge.L.AppendEnc(g.mem, g.enc, p) {
 		g.elim.OPT3Dedup++
 	}
 }
@@ -486,7 +486,7 @@ func (g *Graph) appendCDLabel(cd *CDEdgeSet, tgt InstLoc, p Pair) {
 		cd.Dyn = append(cd.Dyn, CDDynEdge{Tgt: tgt, L: l})
 		edge = &cd.Dyn[len(cd.Dyn)-1]
 	}
-	if !edge.L.Append(g.mem, p) {
+	if !edge.L.AppendEnc(g.mem, g.enc, p) {
 		g.elim.OPT6Dedup++
 	}
 }

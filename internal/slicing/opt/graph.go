@@ -2,6 +2,7 @@ package opt
 
 import (
 	"sync"
+	"sync/atomic"
 	"unsafe"
 
 	"dynslice/internal/ir"
@@ -41,11 +42,17 @@ type Labels struct {
 // It reports whether the pair was stored (false = deduped). Pairs land in
 // ar-backed storage; a nil arena falls back to the heap.
 func (l *Labels) Append(ar *labelblock.Arena, p Pair) bool {
+	return l.AppendEnc(ar, nil, p)
+}
+
+// AppendEnc is Append with epoch-parallel block sealing through enc (nil:
+// inline sealing, exactly Append).
+func (l *Labels) AppendEnc(ar *labelblock.Arena, enc *labelblock.Encoder, p Pair) bool {
 	if l.shared && l.hasLast && l.last == p {
 		return false
 	}
 	l.last, l.hasLast = p, true
-	l.list.Append(ar, labelblock.Pair(p), 0)
+	l.list.AppendEnc(ar, enc, labelblock.Pair(p), 0)
 	return true
 }
 
@@ -62,8 +69,15 @@ func (l *Labels) ensureSorted() {
 // then a scan within one block. The second result counts label probes
 // (for traversal-cost accounting); found reports success.
 func (l *Labels) Find(tu int64) (td int64, probes int64, found bool) {
+	return l.FindCached(nil, tu)
+}
+
+// FindCached is Find through a per-worker block cursor cache (nil: plain
+// Find). Batched traversals resolve clustered timestamps against the same
+// hot lists; the cursor answers those from one decoded block.
+func (l *Labels) FindCached(cc *labelblock.CursorCache, tu int64) (td int64, probes int64, found bool) {
 	l.ensureSorted()
-	td, _, probes, found = l.list.Find(tu)
+	td, _, probes, found = cc.Find(&l.list, tu)
 	return td, probes, found
 }
 
@@ -386,6 +400,12 @@ type Graph struct {
 	// §4.2 hybrid disk-epoch mode (nil when disabled); see hybrid.go.
 	hybrid *hybridState
 
+	// Epoch-parallel block sealing (nil: inline); see SetParallelEncode.
+	enc *labelblock.Encoder
+
+	// Batched-query pool bound (0 = GOMAXPROCS); see SetWorkers.
+	workers atomic.Int32
+
 	// Builder scratch.
 	framePool  []*frameCtx
 	keyScratch []byte
@@ -508,12 +528,27 @@ func (g *Graph) SizeBytes() int64 {
 	return sz
 }
 
-// Finalize freezes the graph for concurrent queries: every label list is
-// compacted — out-of-order or straddling lists are repacked into globally
-// sorted blocks (deduped when shared), clean tails worth sealing are
-// sealed — so Find never mutates shared state afterwards. End calls it
-// automatically; calling it again is a cheap no-op.
+// SetParallelEncode enables epoch-parallel construction: filled label
+// epochs are sealed by n encode workers (n <= 0: GOMAXPROCS) off the
+// resolver's critical path. Must be called before feeding the trace.
+// Mutually exclusive with EnableHybrid — disk-epoch flushing splits lists
+// mid-build, which requires every sealed block's payload to be resident;
+// with hybrid enabled the call is a no-op.
+func (g *Graph) SetParallelEncode(n int) {
+	if g.hybrid != nil {
+		return
+	}
+	g.enc = labelblock.NewEncoder(n)
+}
+
+// Finalize freezes the graph for concurrent queries: the epoch encoder
+// (if any) is drained so every sealed block is materialized, then every
+// label list is compacted — out-of-order or straddling lists are repacked
+// into globally sorted blocks (deduped when shared), clean tails worth
+// sealing are sealed — so Find never mutates shared state afterwards. End
+// calls it automatically; calling it again is a cheap no-op.
 func (g *Graph) Finalize() {
+	g.enc.Drain()
 	for _, l := range g.allLabels {
 		l.list.Compact(g.mem, l.shared)
 	}

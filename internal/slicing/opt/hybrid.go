@@ -66,6 +66,12 @@ func (g *Graph) EnableHybrid(dir string, budget int64) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
+	// Incompatible with epoch-parallel encoding: flushing splits lists
+	// mid-build, which needs every sealed block's payload resident.
+	if g.enc != nil {
+		g.enc.Drain()
+		g.enc = nil
+	}
 	g.hybrid = &hybridState{dir: dir, budget: budget, cachedEpoch: -1}
 	return nil
 }
@@ -168,12 +174,13 @@ func (g *Graph) flushEpoch() error {
 	return nil
 }
 
-// findLabel searches l for tu: resident pairs first, then the epoch file
+// findLabel searches l for tu: resident pairs first (through cc, the
+// caller's per-worker cursor cache, when non-nil), then the epoch file
 // whose range contains tu (loaded on demand, one-epoch cache). An
 // observer is told about each actual epoch-file load charged to its
 // query.
-func (g *Graph) findLabel(l *Labels, id int32, tu int64, obs *explain.Recorder) (int64, int64, bool) {
-	td, probes, ok := l.Find(tu)
+func (g *Graph) findLabel(l *Labels, id int32, tu int64, cc *labelblock.CursorCache, obs *explain.Recorder) (int64, int64, bool) {
+	td, probes, ok := l.FindCached(cc, tu)
 	if ok || g.hybrid == nil {
 		return td, probes, ok
 	}

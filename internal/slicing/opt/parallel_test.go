@@ -133,6 +133,43 @@ func TestSliceAllMatchesSequential(t *testing.T) {
 	}
 }
 
+// TestSliceAllWorkerSweep crosses scheduler pool sizes with criteria
+// counts straddling the 64-bit chunk boundaries (1, 63, 64, 65, and 200
+// with duplicated addresses): every combination must reproduce the
+// sequential answer, shortcut closures included.
+func TestSliceAllWorkerSweep(t *testing.T) {
+	g, addrs := buildFull(t, opt.Full(), 0)
+	seq := map[int64]*slicing.Slice{}
+	for _, a := range addrs {
+		sl, _, err := g.Slice(slicing.AddrCriterion(a))
+		if err != nil {
+			t.Fatal(err)
+		}
+		seq[a] = sl
+	}
+	for _, workers := range []int{1, 2, 8} {
+		g.SetWorkers(workers)
+		for _, n := range []int{1, 63, 64, 65, 200} {
+			picked := make([]int64, n)
+			cs := make([]slicing.Criterion, n)
+			for i := 0; i < n; i++ {
+				picked[i] = addrs[i%len(addrs)] // >len(addrs) duplicates criteria
+				cs[i] = slicing.AddrCriterion(picked[i])
+			}
+			outs, _, err := g.SliceAll(cs)
+			if err != nil {
+				t.Fatalf("workers=%d n=%d: %v", workers, n, err)
+			}
+			for i, a := range picked {
+				if !outs[i].Equal(seq[a]) {
+					t.Fatalf("workers=%d n=%d: addr %d diverged from sequential", workers, n, a)
+				}
+			}
+		}
+	}
+	g.SetWorkers(0)
+}
+
 // TestSliceAllHybrid repeats the determinism check on a graph whose labels
 // were flushed to disk epochs, so batched resolution exercises the
 // epoch-cache path too.

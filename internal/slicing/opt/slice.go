@@ -6,6 +6,7 @@ import (
 
 	"dynslice/internal/slicing"
 	"dynslice/internal/slicing/explain"
+	"dynslice/internal/slicing/labelblock"
 )
 
 // Slicing traversal (paper §3.4 "Dynamic Slicing" and Fig. 13): for each
@@ -228,7 +229,7 @@ func (st *sliceState) observeClosure(loc InstLoc, ts int64, cl *closure) {
 // a use-point redirect target (an OPT-2 chain) rather than an instance's
 // own use.
 func (st *sliceState) resolveUse(loc InstLoc, slot int32, ts int64, fromUse bool) {
-	d := st.g.resolveUseDep(loc, slot, ts, st.stats, st.obs)
+	d := st.g.resolveUseDep(loc, slot, ts, st.stats, nil, st.obs)
 	if st.obs != nil && d.kind != depNone {
 		from := st.g.nodes[loc.Node].Stmts[loc.Stmt].S.ID
 		switch d.kind {
@@ -249,7 +250,7 @@ func (st *sliceState) resolveUse(loc InstLoc, slot int32, ts int64, fromUse bool
 // resolveCD resolves the control dependence of one occurrence; fromSi is
 // the statement copy the edge is traversed on behalf of (for witnesses).
 func (st *sliceState) resolveCD(node NodeID, occIdx int32, ts int64, fromSi int32) {
-	d := st.g.resolveCDDep(node, occIdx, ts, st.stats, st.obs)
+	d := st.g.resolveCDDep(node, occIdx, ts, st.stats, nil, st.obs)
 	if d.kind != depInst {
 		return
 	}
@@ -264,10 +265,10 @@ func (st *sliceState) resolveCD(node NodeID, occIdx int32, ts int64, fromSi int3
 // Dynamic labels take precedence; the static edge is the fallback (paper
 // Fig. 13, cases (a) and (c)). Read-only on the graph after Finalize.
 // The dep's why field classifies the resolution for observed queries.
-func (g *Graph) resolveUseDep(loc InstLoc, slot int32, ts int64, stats *slicing.Stats, obs *explain.Recorder) dep {
+func (g *Graph) resolveUseDep(loc InstLoc, slot int32, ts int64, stats *slicing.Stats, cc *labelblock.CursorCache, obs *explain.Recorder) dep {
 	us := g.nodes[loc.Node].useSet(loc.Stmt, slot)
 	for i := range us.Dyn {
-		td, probes, found := g.findLabel(us.Dyn[i].L, us.Dyn[i].L.id, ts, obs)
+		td, probes, found := g.findLabel(us.Dyn[i].L, us.Dyn[i].L.id, ts, cc, obs)
 		stats.LabelProbes += probes
 		if found {
 			if td < 0 {
@@ -299,11 +300,11 @@ func (g *Graph) resolveUseDep(loc InstLoc, slot int32, ts int64, stats *slicing.
 // time ts. CDSame chains (control-equivalent occurrences of superblock
 // nodes) are followed iteratively; an observer counts each deferral and
 // the eventual resolution is attributed to the final hop.
-func (g *Graph) resolveCDDep(node NodeID, occIdx int32, ts int64, stats *slicing.Stats, obs *explain.Recorder) dep {
+func (g *Graph) resolveCDDep(node NodeID, occIdx int32, ts int64, stats *slicing.Stats, cc *labelblock.CursorCache, obs *explain.Recorder) dep {
 	for {
 		occ := &g.nodes[node].Occs[occIdx]
 		for i := range occ.CD.Dyn {
-			ta, probes, found := g.findLabel(occ.CD.Dyn[i].L, occ.CD.Dyn[i].L.id, ts, obs)
+			ta, probes, found := g.findLabel(occ.CD.Dyn[i].L, occ.CD.Dyn[i].L.id, ts, cc, obs)
 			stats.LabelProbes += probes
 			if found {
 				if ta < 0 {

@@ -2,84 +2,59 @@ package opt
 
 import (
 	"fmt"
-	"math/bits"
-	"sync"
 
-	"dynslice/internal/ir"
 	"dynslice/internal/slicing"
+	"dynslice/internal/slicing/batch"
+	"dynslice/internal/slicing/labelblock"
 )
 
 // Batched multi-criterion slicing: N criteria are answered in one shared
-// traversal. Each traversal point — a statement instance or a pending
-// use-slot redirect — carries a bitmask of the criteria whose slices it
-// belongs to, so a subgraph shared by several slices (the common case:
+// traversal per 64-criterion chunk, run on the work-stealing scheduler in
+// internal/slicing/batch. Each traversal point — a statement instance or
+// a pending use-slot redirect — carries a bitmask of the criteria whose
+// slices it belongs to, merged through the scheduler's sharded flat
+// visited table, so a subgraph shared by several slices (the common case:
 // the paper's 25 criteria are all end-of-run definitions that converge on
 // the program's core) is walked once instead of once per criterion, and
 // its dependence resolution (label probes, default-edge inference) is
 // memoized once per unique (location, timestamp) rather than recomputed
-// for every criterion that reaches it.
+// for every criterion that reaches it. Expansion goes through the exact
+// resolvers the sequential path uses (resolveUseDep/resolveCDDep in
+// slice.go), answered through per-worker label-block cursors.
 
-// bkey identifies one traversal point: a statement instance (slot == -1)
-// or a use-slot redirect introduced by a use-use edge.
-type bkey struct {
-	loc  InstLoc
-	ts   int64
-	slot int32
+// SetWorkers bounds the worker pool batched queries (SliceAll) run on;
+// n <= 0 means GOMAXPROCS. Atomic, so concurrent engine callers may
+// retune it between (but not during) their own queries.
+func (g *Graph) SetWorkers(n int) { g.workers.Store(int32(n)) }
+
+// optKey packs a traversal point — a statement instance (slot == -1) or a
+// use-slot redirect introduced by a use-use edge — into a scheduler key.
+// Timestamps are node ordinals, non-negative for every key that reaches
+// the scheduler (expandPoint filters the out-of-range inferences the
+// sequential pushInstance guard drops), so the shifted packing is
+// collision-free.
+func optKey(loc InstLoc, ts int64, slot int32) batch.Key {
+	return batch.Key{
+		K1: uint64(uint32(loc.Node))<<32 | uint64(uint32(loc.Stmt)),
+		K2: uint64(ts)<<16 | uint64(uint16(slot+2)),
+	}
 }
 
-// bdeps is the memoized expansion of a traversal point: the statements it
-// contributes (instances only) and the downstream points it reaches.
-type bdeps struct {
-	stmts   []ir.StmtID
-	targets []bkey
-}
-
-type btask struct {
-	k    bkey
-	mask uint64
-}
-
-type batchState struct {
-	g       *Graph
-	stats   *slicing.Stats
-	visited map[bkey]uint64 // criteria bits already propagated through key
-	memo    map[bkey]*bdeps // dependence resolution, once per unique key
-	work    []btask
-}
-
-// batchPool recycles the batched-traversal maps and worklist (satellite of
-// the sliceState pool in slice.go).
-var batchPool = sync.Pool{New: func() any {
-	return &batchState{visited: map[bkey]uint64{}, memo: map[bkey]*bdeps{}}
-}}
-
-func getBatchState(g *Graph, stats *slicing.Stats) *batchState {
-	st := batchPool.Get().(*batchState)
-	st.g = g
-	st.stats = stats
-	return st
-}
-
-func (st *batchState) release() {
-	clear(st.visited)
-	clear(st.memo)
-	st.work = st.work[:0]
-	st.g, st.stats = nil, nil
-	batchPool.Put(st)
+func unpackKey(k batch.Key) (loc InstLoc, ts int64, slot int32) {
+	loc = InstLoc{Node: NodeID(int32(k.K1 >> 32)), Stmt: int32(uint32(k.K1))}
+	ts = int64(k.K2 >> 16)
+	slot = int32(uint16(k.K2)) - 2
+	return loc, ts, slot
 }
 
 // SliceAll implements slicing.MultiSlicer: it answers every criterion with
-// the slice Slice would produce, in one traversal per 64-criterion chunk.
-// The aggregate stats count each unique instance and label probe once,
-// not once per criterion that reaches it — that sharing is the point.
+// the slice Slice would produce. The aggregate stats count each unique
+// instance and label probe once, not once per criterion that reaches it —
+// that sharing is the point.
 func (g *Graph) SliceAll(cs []slicing.Criterion) ([]*slicing.Slice, *slicing.Stats, error) {
 	outs := make([]*slicing.Slice, len(cs))
 	stats := &slicing.Stats{}
-	type seed struct {
-		loc InstLoc
-		ts  int64
-	}
-	seeds := make([]seed, len(cs))
+	seeds := make([]DefRef, len(cs))
 	for i, c := range cs {
 		if c.Stmt >= 0 {
 			return nil, nil, fmt.Errorf("opt: statement-instance criteria require SliceAt (OPT timestamps are node ordinals)")
@@ -88,93 +63,86 @@ func (g *Graph) SliceAll(cs []slicing.Criterion) ([]*slicing.Slice, *slicing.Sta
 		if !ok {
 			return nil, nil, fmt.Errorf("opt: address %d was never defined", c.Addr)
 		}
-		seeds[i] = seed{loc: d.Loc, ts: d.Ts}
+		seeds[i] = d
 		outs[i] = slicing.NewSlice()
 	}
+	var blockHits int64
+	cfg := batch.Config{
+		Workers:    int(g.workers.Load()),
+		NumStmts:   len(g.p.Stmts),
+		Expand:     g.expandPoint,
+		NewScratch: func() any { return labelblock.NewCursorCache() },
+		FinishScratch: func(sc any) {
+			if cc, ok := sc.(*labelblock.CursorCache); ok {
+				blockHits += cc.Hits
+			}
+		},
+	}
+	var ctr batch.Counters
 	for base := 0; base < len(cs); base += 64 {
 		chunk := min(64, len(cs)-base)
-		st := getBatchState(g, stats)
+		tasks := make([]batch.Task, chunk)
 		for j := 0; j < chunk; j++ {
-			st.push(bkey{loc: seeds[base+j].loc, ts: seeds[base+j].ts, slot: -1}, uint64(1)<<j)
+			s := seeds[base+j]
+			tasks[j] = batch.Task{K: optKey(s.Loc, s.Ts, -1), Mask: uint64(1) << j}
 		}
-		st.run(outs[base : base+chunk])
-		st.release()
+		masks, st, c := batch.Run(cfg, tasks)
+		batch.MaskSlices(masks, outs[base:base+chunk])
+		stats.Instances += st.Instances
+		stats.LabelProbes += st.LabelProbes
+		ctr.Steals += c.Steals
+		ctr.Merges += c.Merges
+	}
+	if reg := g.tel; reg != nil {
+		reg.Counter("slice.batch.steals").Add(ctr.Steals)
+		reg.Counter("slice.batch.block_merges").Add(ctr.Merges + blockHits)
 	}
 	return outs, stats, nil
 }
 
-// push enqueues the criteria bits of mask not yet propagated through k.
-func (st *batchState) push(k bkey, mask uint64) {
-	if k.slot < 0 && (k.ts < 0 || k.ts >= st.g.ts) {
-		// Same guard as the sequential pushInstance: no fabricated
-		// instances outside the executed timestamp range.
-		return
+// expandPoint resolves one traversal point through the shared resolvers.
+func (g *Graph) expandPoint(k batch.Key, stats *slicing.Stats, scratch any) *batch.Expansion {
+	cc, _ := scratch.(*labelblock.CursorCache)
+	loc, ts, slot := unpackKey(k)
+	exp := &batch.Expansion{}
+	if slot >= 0 {
+		g.addDep(exp, g.resolveUseDep(loc, slot, ts, stats, cc, nil))
+		return exp
 	}
-	nv := mask &^ st.visited[k]
-	if nv == 0 {
-		return
-	}
-	st.visited[k] |= nv
-	st.work = append(st.work, btask{k: k, mask: nv})
-}
-
-func (st *batchState) run(outs []*slicing.Slice) {
-	for len(st.work) > 0 {
-		t := st.work[len(st.work)-1]
-		st.work = st.work[:len(st.work)-1]
-		d, ok := st.memo[t.k]
-		if !ok {
-			d = st.compute(t.k)
-			st.memo[t.k] = d
-		}
-		for _, id := range d.stmts {
-			for m := t.mask; m != 0; m &= m - 1 {
-				outs[bits.TrailingZeros64(m)].Add(id)
-			}
-		}
-		for _, tk := range d.targets {
-			st.push(tk, t.mask)
-		}
-	}
-}
-
-// compute expands a traversal point through the exact resolvers the
-// sequential path uses (resolveUseDep/resolveCDDep in slice.go).
-func (st *batchState) compute(k bkey) *bdeps {
-	g := st.g
-	d := &bdeps{}
-	if k.slot >= 0 {
-		d.add(g.resolveUseDep(k.loc, k.slot, k.ts, st.stats, nil))
-		return d
-	}
-	st.stats.Instances++
+	stats.Instances++
 	if g.cfg.Shortcuts {
 		g.cShortcut.Inc()
-		cl := g.closureFor(k.loc)
-		d.stmts = cl.stmts // shared read-only with the closure memo
+		cl := g.closureFor(loc)
+		exp.Stmts = cl.stmts // shared read-only with the closure memo
 		for _, u := range cl.uFront {
-			d.add(g.resolveUseDep(InstLoc{Node: k.loc.Node, Stmt: u.stmt}, u.slot, k.ts, st.stats, nil))
+			g.addDep(exp, g.resolveUseDep(InstLoc{Node: loc.Node, Stmt: u.stmt}, u.slot, ts, stats, cc, nil))
 		}
 		for _, cf := range cl.cFront {
-			d.add(g.resolveCDDep(k.loc.Node, cf.occ, k.ts, st.stats, nil))
+			g.addDep(exp, g.resolveCDDep(loc.Node, cf.occ, ts, stats, cc, nil))
 		}
-		return d
+		return exp
 	}
-	n := g.nodes[k.loc.Node]
-	sc := &n.Stmts[k.loc.Stmt]
-	d.stmts = append(d.stmts, sc.S.ID)
-	for slot := range sc.S.Uses {
-		d.add(g.resolveUseDep(k.loc, int32(slot), k.ts, st.stats, nil))
+	n := g.nodes[loc.Node]
+	sc := &n.Stmts[loc.Stmt]
+	exp.Stmts = append(exp.Stmts, sc.S.ID)
+	for s := range sc.S.Uses {
+		g.addDep(exp, g.resolveUseDep(loc, int32(s), ts, stats, cc, nil))
 	}
-	d.add(g.resolveCDDep(k.loc.Node, sc.OccIdx, k.ts, st.stats, nil))
-	return d
+	g.addDep(exp, g.resolveCDDep(loc.Node, sc.OccIdx, ts, stats, cc, nil))
+	return exp
 }
 
-func (d *bdeps) add(dp dep) {
+// addDep appends a resolved dependence as a downstream traversal point.
+func (g *Graph) addDep(e *batch.Expansion, dp dep) {
 	switch dp.kind {
 	case depInst:
-		d.targets = append(d.targets, bkey{loc: dp.loc, ts: dp.ts, slot: -1})
+		if dp.ts < 0 || dp.ts >= g.ts {
+			// Same guard as the sequential pushInstance: no fabricated
+			// instances outside the executed timestamp range.
+			return
+		}
+		e.Targets = append(e.Targets, optKey(dp.loc, dp.ts, -1))
 	case depUse:
-		d.targets = append(d.targets, bkey{loc: dp.loc, ts: dp.ts, slot: dp.slot})
+		e.Targets = append(e.Targets, optKey(dp.loc, dp.ts, dp.slot))
 	}
 }

@@ -206,6 +206,11 @@ func (p *Program) Record(o RunOptions) (*Recording, error) {
 		// An attached timeline (telemetry.AttachTimeline) gives each
 		// builder worker its own named row of per-batch activity.
 		tl := o.Telemetry.Timeline()
+		// Epoch-parallel block sealing rides along with the pipelined
+		// build: each builder ships filled label epochs to encode workers
+		// instead of delta-varint compressing them inline.
+		rec.fpG.SetParallelEncode(0)
+		rec.optG.SetParallelEncode(0)
 		afp := trace.NewAsync(rec.fpG, trace.PipelineConfig{Timeline: tl, TimelineNames: []string{"fp-build"}})
 		aopt := trace.NewAsync(rec.optG, trace.PipelineConfig{Timeline: tl, TimelineNames: []string{"opt-build"}})
 		asyncs = []*trace.Async{afp, aopt}
