@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: ci build vet fmt test test-race fuzz-smoke fuzz-native overhead bench bench-parallel bench-mem bench-explain bench-queries bench-baseline bench-check experiments
+.PHONY: ci build vet fmt test test-race fuzz-smoke fuzz-native overhead bench bench-parallel bench-mem bench-explain bench-queries bench-snapshot bench-baseline bench-check experiments
 
-ci: build vet fmt test test-race fuzz-smoke bench-mem bench-explain bench-queries overhead bench-check
+ci: build vet fmt test test-race fuzz-smoke bench-mem bench-explain bench-queries bench-snapshot overhead bench-check
 
 build:
 	$(GO) build ./...
@@ -73,6 +73,14 @@ bench-explain:
 bench-queries:
 	$(GO) run ./cmd/experiments -exp queries -workload li -queries-out $$(mktemp -u)
 
+# Persistent-snapshot smoke: save FP+OPT graph images for one small
+# workload, load them back, and compare against the trace-replay build.
+# RunSnapshot fails the target if any loaded graph answers a criterion
+# differently from the graphs it was saved from, or if loading is not at
+# least 5x faster than rebuilding from the trace (see PERFORMANCE.md).
+bench-snapshot:
+	$(GO) run ./cmd/experiments -exp snapshot -workload li -snapshot-out $$(mktemp -u)
+
 # Regression gate: regenerate the gated benchmark artifacts into a temp
 # directory and diff against bench/baselines (fails when the median
 # cross-workload delta of lp/opt batch speedup, compact resident label
@@ -82,19 +90,20 @@ bench-queries:
 # `make bench-baseline`.
 bench-check:
 	@dir=$$(mktemp -d) && \
-	$(GO) run ./cmd/experiments -exp parallel,memory,telemetry \
+	$(GO) run ./cmd/experiments -exp parallel,memory,telemetry,snapshot \
 		-parallel-out $$dir/BENCH_parallel.json \
 		-memory-out $$dir/BENCH_memory.json \
-		-telemetry-out $$dir/BENCH_telemetry.json && \
+		-telemetry-out $$dir/BENCH_telemetry.json \
+		-snapshot-out $$dir/BENCH_snapshot.json && \
 	$(GO) run ./cmd/benchdiff -current $$dir; \
 	st=$$?; rm -rf $$dir; exit $$st
 
 # Refresh the bench-check baselines (and the checked-in root artifacts)
 # from this machine.
 bench-baseline:
-	$(GO) run ./cmd/experiments -exp parallel,memory,telemetry,queries
+	$(GO) run ./cmd/experiments -exp parallel,memory,telemetry,queries,snapshot
 	mkdir -p bench/baselines
-	cp BENCH_parallel.json BENCH_memory.json BENCH_telemetry.json bench/baselines/
+	cp BENCH_parallel.json BENCH_memory.json BENCH_telemetry.json BENCH_snapshot.json bench/baselines/
 
 experiments:
 	$(GO) run ./cmd/experiments -exp all

@@ -14,6 +14,8 @@
 //	                      build_speedup                        (higher is better)
 //	BENCH_memory.json     fp/opt compact_resident_bytes        (lower is better)
 //	BENCH_telemetry.json  slice_avg_ms.{FP,OPT,LP}             (lower is better)
+//	BENCH_snapshot.json   snapshot_load_speedup                (higher is better)
+//	                      file_bytes                           (lower is better)
 //
 // BENCH_parallel.json carries one row per (workload, GOMAXPROCS)
 // setting; rows are keyed "name@pN" so every setting is gated
@@ -71,10 +73,14 @@ var specs = map[string][]metricSpec{
 		{path: "slice_avg_ms.OPT", noise: 2.5},
 		{path: "slice_avg_ms.LP", noise: 2.5},
 	},
+	"BENCH_snapshot.json": {
+		{path: "snapshot_load_speedup", higherBetter: true, noise: 1.5},
+		{path: "file_bytes"},
+	},
 }
 
 // fileOrder keeps the report deterministic (map iteration is not).
-var fileOrder = []string{"BENCH_parallel.json", "BENCH_memory.json", "BENCH_telemetry.json"}
+var fileOrder = []string{"BENCH_parallel.json", "BENCH_memory.json", "BENCH_telemetry.json", "BENCH_snapshot.json"}
 
 func main() {
 	baselineDir := flag.String("baseline", "bench/baselines", "directory with baseline BENCH_*.json files")

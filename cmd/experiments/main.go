@@ -3,10 +3,10 @@
 //
 // Usage:
 //
-//	experiments [-exp all|1|2|3|4|5|6|7|8|15|16|17|18|sequitur|telemetry|parallel|memory|explain|queries] [-workload name] [-scale n]
+//	experiments [-exp all|1|2|3|4|5|6|7|8|15|16|17|18|sequitur|telemetry|parallel|memory|explain|queries|snapshot] [-workload name] [-scale n]
 //	            [-telemetry-out BENCH_telemetry.json] [-parallel-out BENCH_parallel.json]
 //	            [-memory-out BENCH_memory.json] [-explain-out BENCH_explain.json]
-//	            [-queries-out BENCH_queries.json]
+//	            [-queries-out BENCH_queries.json] [-snapshot-out BENCH_snapshot.json]
 //
 // Numbers 1-8 are tables, 15-18 figures, matching the paper's numbering.
 // -scale multiplies each workload's default input size. The telemetry
@@ -41,7 +41,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: all, 1-8 (tables), 15-18 (figures), sequitur, ablation, forward, telemetry, parallel, memory, explain, queries")
+	exp := flag.String("exp", "all", "experiment to run: all, 1-8 (tables), 15-18 (figures), sequitur, ablation, forward, telemetry, parallel, memory, explain, queries, snapshot")
 	workload := flag.String("workload", "", "restrict to one workload (e.g. 164.gzip or gzip)")
 	scale := flag.Int64("scale", 1, "input-size multiplier for every workload")
 	telemetryOut := flag.String("telemetry-out", "BENCH_telemetry.json", "output file for -exp telemetry")
@@ -49,6 +49,7 @@ func main() {
 	memoryOut := flag.String("memory-out", "BENCH_memory.json", "output file for -exp memory")
 	explainOut := flag.String("explain-out", "BENCH_explain.json", "output file for -exp explain")
 	queriesOut := flag.String("queries-out", "BENCH_queries.json", "output file for -exp queries")
+	snapshotOut := flag.String("snapshot-out", "BENCH_snapshot.json", "output file for -exp snapshot")
 	flag.Parse()
 
 	wls := bench.Workloads()
@@ -143,6 +144,9 @@ func main() {
 	}
 	if want("queries") {
 		run("queries", func() error { return bench.RunQueries(w, wls, *queriesOut) })
+	}
+	if want("snapshot") {
+		run("snapshot", func() error { return bench.RunSnapshot(w, wls, *snapshotOut) })
 	}
 }
 

@@ -7,6 +7,7 @@
 //	       [-vars a,b,c] [-workers n] [-ir] [-stats] [-repl] [-compact=false]
 //	       [-explain line|sID] [-metrics out.json] [-timeline out.json]
 //	       [-pprof localhost:6060] [-querylog out.jsonl] [-slowms n]
+//	       [-snapshot] [-snapshot-dir dir]
 //
 // With -var (a global variable) or -addr (a raw address), the tool prints
 // the dynamic slice of that location's final value: the source lines it
@@ -31,6 +32,12 @@
 // result size; see docs/OBSERVABILITY.md). -slowms N additionally logs
 // queries slower than N milliseconds as structured slog warnings on
 // stderr.
+//
+// -snapshot turns on the persistent graph cache: the FP and OPT graphs
+// are loaded from a content-addressed on-disk image when a matching one
+// exists (skipping program execution entirely — LP is unavailable in
+// that case) and saved after a fresh build. -snapshot-dir overrides the
+// cache directory. See docs/PERFORMANCE.md "Snapshot format".
 //
 // -pprof serves an explicit-mux HTTP server for the life of the process
 // — most useful together with -repl:
@@ -83,6 +90,8 @@ func main() {
 	pprofAddr := flag.String("pprof", "", "serve pprof, expvar, /metrics (Prometheus), and /debug/queries on this address (e.g. localhost:6060)")
 	querylogOut := flag.String("querylog", "", "append one JSONL audit record per slicing query to this file")
 	slowMS := flag.Int("slowms", 0, "log queries slower than this many milliseconds as slog warnings on stderr")
+	useSnap := flag.Bool("snapshot", false, "use the persistent graph cache: load the FP/OPT graphs from a content-addressed snapshot when one matches (skipping execution entirely), and save them after a fresh build")
+	snapDir := flag.String("snapshot-dir", "", "snapshot cache directory (default: the per-user cache dir)")
 	flag.Parse()
 
 	if *srcPath == "" {
@@ -178,12 +187,18 @@ func main() {
 	rec, err := prog.Record(slicer.RunOptions{
 		Input: input, Telemetry: reg, PlainLabels: !*compact,
 		QueryLog: qlog, QueryStats: qstats,
+		Snapshot: slicer.SnapshotOptions{Dir: *snapDir, Read: *useSnap, Write: *useSnap},
 	})
 	check(err)
 	defer rec.Close()
 
-	fmt.Printf("executed %d statements; output: %v; main returned %d\n",
-		rec.Steps, rec.Output, rec.Return)
+	if rec.Source() == "snapshot" {
+		fmt.Printf("loaded graphs from snapshot cache; recorded run: %d statements; output: %v; main returned %d\n",
+			rec.Steps, rec.Output, rec.Return)
+	} else {
+		fmt.Printf("executed %d statements; output: %v; main returned %d\n",
+			rec.Steps, rec.Output, rec.Return)
+	}
 	if *showStats {
 		st := rec.Stats()
 		fmt.Printf("graphs: FP %d labels (%.2f MB), OPT %d labels (%.2f MB), %d static edges, %d path nodes\n",

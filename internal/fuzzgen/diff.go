@@ -17,6 +17,7 @@ import (
 	"dynslice/internal/slicing/lp"
 	"dynslice/internal/slicing/opt"
 	"dynslice/internal/slicing/oracle"
+	"dynslice/internal/slicing/snapshot"
 	"dynslice/internal/trace"
 )
 
@@ -26,6 +27,10 @@ type Variant struct {
 	Plain     bool   // flat label storage (-compact=false)
 	Pipelined bool   // build via trace.Async on a worker goroutine
 	Hybrid    bool   // OPT only: disk-epoch mode with an aggressive budget
+	// Snapshot (FP/OPT) answers criteria from a graph that was serialized
+	// into an on-disk snapshot image and loaded back (the persistent dyDG
+	// cache round trip), instead of the resident graph the run built.
+	Snapshot bool
 	// Batch > 0 answers every criterion through one batched SliceAll with
 	// a worker pool of that size (the work-stealing scheduler for FP/OPT,
 	// the shared backward scan for LP) instead of per-criterion Slice
@@ -51,6 +56,9 @@ func (v Variant) Name() string {
 		}
 		if v.Hybrid {
 			s += "/hybrid"
+		}
+		if v.Snapshot {
+			s += "/snap"
 		}
 	}
 	if v.Batch > 0 {
@@ -84,6 +92,12 @@ func FullMatrix() []Variant {
 		Variant{Alg: "OPT", Hybrid: true, Batch: 8},
 		Variant{Alg: "LP", Batch: 1},
 	)
+	vs = append(vs,
+		Variant{Alg: "FP", Snapshot: true},
+		Variant{Alg: "OPT", Snapshot: true},
+		Variant{Alg: "FP", Snapshot: true, Batch: 8},
+		Variant{Alg: "OPT", Snapshot: true, Batch: 8},
+	)
 	vs = append(vs, Variant{Alg: "LP"}, Variant{Alg: "forward"})
 	return vs
 }
@@ -99,6 +113,8 @@ func QuickMatrix() []Variant {
 		{Alg: "OPT", Plain: true, Pipelined: true},
 		{Alg: "OPT", Hybrid: true},
 		{Alg: "OPT", Batch: 8},
+		{Alg: "FP", Snapshot: true},
+		{Alg: "OPT", Snapshot: true},
 		{Alg: "LP"},
 		{Alg: "forward"},
 	}
@@ -294,12 +310,32 @@ func Check(src string, input []int64, o Options) (*Result, error) {
 	tw := trace.NewWriter(p, tf, 64)
 	sinks = append(sinks, tw)
 
+	// Snapshot variants answer from graphs that round-tripped through the
+	// on-disk image: one dedicated FP+OPT builder pair feeds the image,
+	// which is written and re-read after the run.
+	needSnap := false
+	for _, v := range o.variants() {
+		if v.Snapshot {
+			needSnap = true
+		}
+	}
+	var fpSnap *fp.Graph
+	var optSnap *opt.Graph
+	if needSnap {
+		fpSnap = fp.NewGraph(p)
+		optSnap = opt.NewGraph(p, opt.Full(), hot, cuts)
+		sinks = append(sinks, fpSnap, optSnap)
+	}
+
 	// Matrix variants. Pipelined ones are wrapped in trace.Async so the
 	// events arrive batched on a worker goroutine, as in production.
 	var variants []variantSlicer
 	var asyncs []*trace.Async
 	hybrids := 0
 	for _, v := range o.variants() {
+		if v.Snapshot {
+			continue // built from the image after the run
+		}
 		var sink trace.Sink
 		var sl slicing.Slicer
 		switch v.Alg {
@@ -350,7 +386,33 @@ func Check(src string, input []int64, o Options) (*Result, error) {
 		return nil, fmt.Errorf("fuzzgen: trace write: %w", tw.Err())
 	}
 
+	var img *snapshot.Image
+	if needSnap {
+		snapPath := filepath.Join(dir, "run.dysnap")
+		var key snapshot.Key // content addressing is the cache's concern, not the codec's
+		if _, err := snapshot.Write(snapPath, key, &snapshot.Image{
+			Output: res.Output, Steps: res.Steps, Return: res.ReturnValue,
+			Segs: tw.Segments(), FP: fpSnap, OPT: optSnap,
+		}); err != nil {
+			return nil, fmt.Errorf("fuzzgen: snapshot write: %w", err)
+		}
+		if img, err = snapshot.Read(snapPath, p, key); err != nil {
+			return nil, fmt.Errorf("fuzzgen: snapshot read: %w", err)
+		}
+	}
+
 	for _, v := range o.variants() {
+		if v.Snapshot {
+			switch v.Alg {
+			case "FP":
+				variants = append(variants, variantSlicer{v: v, s: img.FP})
+			case "OPT":
+				variants = append(variants, variantSlicer{v: v, s: img.OPT})
+			default:
+				return nil, fmt.Errorf("fuzzgen: variant %s: snapshot applies to FP/OPT only", v.Name())
+			}
+			continue
+		}
 		switch v.Alg {
 		case "LP":
 			lps := lp.New(p, filepath.Join(dir, "run.trace"), tw.Segments())

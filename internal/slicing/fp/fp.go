@@ -18,6 +18,7 @@ package fp
 
 import (
 	"fmt"
+	"slices"
 	"sync/atomic"
 	"unsafe"
 
@@ -58,6 +59,14 @@ type Graph struct {
 	curTs   int64 // ordinal of the block being executed
 	lastDef map[int64]instRef
 	frames  []*frameCtx
+
+	// Snapshot-loaded graphs carry the last-definition table as sorted
+	// parallel arrays instead of the builder's map (lastDef == nil):
+	// bulk array fills load an order of magnitude faster than map
+	// inserts, and criterion resolution only needs one binary search per
+	// query. defOf dispatches between the two forms.
+	defAddrs []int64
+	defRefs  []instRef
 
 	// Graph proper: per use slot / per block, a compressed (Td, Tu) list
 	// whose aux column is the producing statement ID.
@@ -225,8 +234,21 @@ func (g *Graph) End() {
 
 // LastDefOf returns the statement instance that last defined addr.
 func (g *Graph) LastDefOf(addr int64) (ir.StmtID, int64, bool) {
-	d, ok := g.lastDef[addr]
+	d, ok := g.defOf(addr)
 	return d.stmt, d.ts, ok
+}
+
+// defOf resolves the last definition of addr in either table form: the
+// builder's map, or a loaded graph's sorted arrays.
+func (g *Graph) defOf(addr int64) (instRef, bool) {
+	if g.lastDef != nil {
+		d, ok := g.lastDef[addr]
+		return d, ok
+	}
+	if i, ok := slices.BinarySearch(g.defAddrs, addr); ok {
+		return g.defRefs[i], true
+	}
+	return instRef{}, false
 }
 
 // DataPairs returns the number of data dependence labels.
@@ -307,7 +329,7 @@ func (g *Graph) SliceObserved(c slicing.Criterion, rec *explain.Recorder) (*slic
 	if c.Stmt >= 0 {
 		start = instRef{stmt: c.Stmt, ts: c.TS}
 	} else {
-		d, ok := g.lastDef[c.Addr]
+		d, ok := g.defOf(c.Addr)
 		if !ok {
 			return nil, nil, fmt.Errorf("fp: address %d was never defined", c.Addr)
 		}

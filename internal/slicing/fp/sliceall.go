@@ -37,7 +37,7 @@ func (g *Graph) SliceAll(cs []slicing.Criterion) ([]*slicing.Slice, *slicing.Sta
 		if c.Stmt >= 0 {
 			seeds[i] = instRef{stmt: c.Stmt, ts: c.TS}
 		} else {
-			d, ok := g.lastDef[c.Addr]
+			d, ok := g.defOf(c.Addr)
 			if !ok {
 				return nil, nil, fmt.Errorf("fp: address %d was never defined", c.Addr)
 			}

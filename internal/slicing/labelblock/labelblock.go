@@ -23,6 +23,8 @@ import (
 	"bufio"
 	"cmp"
 	"encoding/binary"
+	"errors"
+	"io"
 	"slices"
 	"sort"
 )
@@ -546,10 +548,18 @@ func (l *List) auxScratch() []int32 {
 	return nil
 }
 
-// WriteBlocks serializes blocks with the epoch-file framing: uvarint
-// count, then per block uvarint N, FirstTu, LastTu, payload length,
-// payload.
+// WriteBlocks serializes blocks with the epoch-file framing: a 4-byte
+// magic plus version byte, then uvarint count, then per block uvarint N,
+// FirstTu, LastTu, payload length, payload. The header lets ReadBlocks
+// reject stale or misaligned frames with a classified error instead of
+// misparsing varints.
 func WriteBlocks(bw *bufio.Writer, blocks []Block) error {
+	if _, err := bw.Write(frameMagic[:]); err != nil {
+		return err
+	}
+	if err := bw.WriteByte(frameVersion); err != nil {
+		return err
+	}
 	put := func(v uint64) error {
 		var buf [binary.MaxVarintLen64]byte
 		n := binary.PutUvarint(buf[:], v)
@@ -580,43 +590,78 @@ func WriteBlocks(bw *bufio.Writer, blocks []Block) error {
 	return nil
 }
 
-// ReadBlocks reads a WriteBlocks frame. hasAux must match what was
-// encoded (the framing does not repeat it per block).
+// ReadBlocks reads a WriteBlocks frame, validating the magic and version
+// first. hasAux must match what was encoded (the framing does not repeat
+// it per block). Decode failures are classified *CorruptError values.
 func ReadBlocks(br *bufio.Reader, hasAux bool) ([]Block, error) {
-	count, err := binary.ReadUvarint(br)
+	var hdr [len(frameMagic) + 1]byte
+	if _, err := readFull(br, hdr[:]); err != nil {
+		return nil, corrupt(ClassTruncated, "frame header: %v", err)
+	}
+	if [4]byte(hdr[:4]) != frameMagic {
+		return nil, corrupt(ClassBadMagic, "frame starts %q, want %q", hdr[:4], frameMagic[:])
+	}
+	if hdr[4] != frameVersion {
+		return nil, corrupt(ClassBadVersion, "frame version %d, want %d", hdr[4], frameVersion)
+	}
+	count, err := readUvarint(br, "block count")
 	if err != nil {
 		return nil, err
+	}
+	if count > maxFramedBlocks {
+		return nil, corrupt(ClassBadBlock, "implausible block count %d", count)
 	}
 	blocks := make([]Block, 0, count)
 	for i := uint64(0); i < count; i++ {
 		var b Block
 		b.HasAux = hasAux
-		n, err := binary.ReadUvarint(br)
+		n, err := readUvarint(br, "block pair count")
 		if err != nil {
 			return nil, err
 		}
+		if n == 0 || n > maxBlockPairs {
+			return nil, corrupt(ClassBadBlock, "implausible pair count %d", n)
+		}
 		b.N = int32(n)
-		ft, err := binary.ReadUvarint(br)
+		ft, err := readUvarint(br, "block first Tu")
 		if err != nil {
 			return nil, err
 		}
 		b.FirstTu = int64(ft)
-		lt, err := binary.ReadUvarint(br)
+		lt, err := readUvarint(br, "block last Tu")
 		if err != nil {
 			return nil, err
 		}
 		b.LastTu = int64(lt)
-		sz, err := binary.ReadUvarint(br)
+		if b.FirstTu > b.LastTu {
+			return nil, corrupt(ClassBadBlock, "block range [%d, %d] inverted", b.FirstTu, b.LastTu)
+		}
+		sz, err := readUvarint(br, "block payload length")
 		if err != nil {
 			return nil, err
 		}
+		if sz > maxBlockPayload(n) {
+			return nil, corrupt(ClassBadBlock, "payload of %d bytes for %d pairs", sz, n)
+		}
 		b.Data = make([]byte, sz)
 		if _, err := readFull(br, b.Data); err != nil {
-			return nil, err
+			return nil, corrupt(ClassTruncated, "block payload: %v", err)
 		}
 		blocks = append(blocks, b)
 	}
 	return blocks, nil
+}
+
+// readUvarint reads one uvarint off br, classifying failures.
+func readUvarint(br *bufio.Reader, what string) (uint64, error) {
+	v, err := binary.ReadUvarint(br)
+	if err != nil {
+		if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+			return 0, corrupt(ClassTruncated, "stream ends inside %s", what)
+		}
+		return 0, corrupt(ClassBadBlock, "%s: %v", what, err)
+	}
+	return v, nil
 }
 
 func readFull(br *bufio.Reader, dst []byte) (int, error) {

@@ -1,6 +1,7 @@
 package opt
 
 import (
+	"slices"
 	"sync"
 	"sync/atomic"
 	"unsafe"
@@ -384,8 +385,15 @@ type Graph struct {
 	occCopies map[ir.BlockID][]occLoc
 
 	// Dynamic state (builder); see build.go.
-	ts          int64
-	lastDef     map[int64]DefRef
+	ts      int64
+	lastDef map[int64]DefRef
+	// Snapshot-loaded graphs carry the last-definition table as sorted
+	// parallel arrays instead of the builder's map (lastDef == nil):
+	// bulk array fills load an order of magnitude faster than map
+	// inserts, and criterion resolution only needs one binary search per
+	// query. defOf dispatches between the two forms.
+	defAddrs    []int64
+	defRefs     []DefRef
 	cuts        *profile.Cuts
 	frames      []*frameCtx
 	buf         []bufEntry
@@ -598,8 +606,20 @@ func (g *Graph) ResidentBytes() int64 { return g.LabelBytes() + g.EdgeBytes() }
 
 // LastDefOf returns the instance that last defined addr.
 func (g *Graph) LastDefOf(addr int64) (DefRef, bool) {
-	d, ok := g.lastDef[addr]
-	return d, ok
+	return g.defOf(addr)
+}
+
+// defOf resolves the last definition of addr in either table form: the
+// builder's map, or a loaded graph's sorted arrays.
+func (g *Graph) defOf(addr int64) (DefRef, bool) {
+	if g.lastDef != nil {
+		d, ok := g.lastDef[addr]
+		return d, ok
+	}
+	if i, ok := slices.BinarySearch(g.defAddrs, addr); ok {
+		return g.defRefs[i], true
+	}
+	return DefRef{}, false
 }
 
 // StmtAt returns the IR statement of a copy location.

@@ -109,7 +109,7 @@ func (g *Graph) SliceObserved(c slicing.Criterion, rec *explain.Recorder) (*slic
 	if c.Stmt >= 0 {
 		return nil, nil, fmt.Errorf("opt: statement-instance criteria require SliceAt (OPT timestamps are node ordinals)")
 	}
-	d, ok := g.lastDef[c.Addr]
+	d, ok := g.defOf(c.Addr)
 	if !ok {
 		return nil, nil, fmt.Errorf("opt: address %d was never defined", c.Addr)
 	}

@@ -59,7 +59,7 @@ func (g *Graph) SliceAll(cs []slicing.Criterion) ([]*slicing.Slice, *slicing.Sta
 		if c.Stmt >= 0 {
 			return nil, nil, fmt.Errorf("opt: statement-instance criteria require SliceAt (OPT timestamps are node ordinals)")
 		}
-		d, ok := g.lastDef[c.Addr]
+		d, ok := g.defOf(c.Addr)
 		if !ok {
 			return nil, nil, fmt.Errorf("opt: address %d was never defined", c.Addr)
 		}

@@ -78,6 +78,10 @@ type Record struct {
 	Shortcut int64 `json:"shortcut_edges,omitempty"`
 	// Err classifies a failed query ("" on success; see Classify).
 	Err string `json:"err,omitempty"`
+	// Source reports where the answering recording's graphs came from:
+	// "build" (fresh instrumented execution) or "snapshot" (loaded from
+	// the persistent graph cache).
+	Source string `json:"source,omitempty"`
 }
 
 // Classify maps a query error to its audit class: "" for nil,

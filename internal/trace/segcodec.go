@@ -1,0 +1,137 @@
+package trace
+
+import (
+	"encoding/binary"
+
+	"dynslice/internal/slicing/labelblock"
+)
+
+// Segment-summary codec for the on-disk graph image
+// (internal/slicing/snapshot): a snapshot-loaded recording has no trace
+// file, but its segment summaries still describe the execution's shape —
+// the input the planned re-execution backend (ROADMAP) needs to pick a
+// restart point without the graph. Bitset words are stored sparse
+// (index, word) pairs: block sets and address filters are mostly zeros
+// for all but the hottest segments.
+
+// AppendSegments serializes segment summaries.
+func AppendSegments(dst []byte, segs []*Segment) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(segs)))
+	for _, s := range segs {
+		dst = binary.AppendUvarint(dst, uint64(s.StartOrd))
+		dst = binary.AppendUvarint(dst, uint64(s.EndOrd))
+		dst = binary.AppendUvarint(dst, uint64(s.Off))
+		if s.DefsAll {
+			dst = append(dst, 1)
+		} else {
+			dst = append(dst, 0)
+		}
+		dst = appendSparseWords(dst, s.Blocks)
+		dst = appendSparseWords(dst, s.Defs.bits[:])
+	}
+	return dst
+}
+
+func appendSparseWords(dst []byte, words []uint64) []byte {
+	nz := 0
+	for _, w := range words {
+		if w != 0 {
+			nz++
+		}
+	}
+	dst = binary.AppendUvarint(dst, uint64(len(words)))
+	dst = binary.AppendUvarint(dst, uint64(nz))
+	for i, w := range words {
+		if w != 0 {
+			dst = binary.AppendUvarint(dst, uint64(i))
+			dst = binary.AppendUvarint(dst, w)
+		}
+	}
+	return dst
+}
+
+// DecodeSegments parses an AppendSegments run, returning the segments
+// and the unconsumed remainder. Errors are classified
+// *labelblock.CorruptError values.
+func DecodeSegments(data []byte) ([]*Segment, []byte, error) {
+	count, data, err := labelblock.DecodeUvarint(data, "trace: segment count")
+	if err != nil {
+		return nil, nil, err
+	}
+	if count > 1<<28 {
+		return nil, nil, labelblock.Corrupt(labelblock.ClassBadBlock, "trace: implausible segment count %d", count)
+	}
+	segs := make([]*Segment, 0, count)
+	for i := uint64(0); i < count; i++ {
+		s := &Segment{}
+		var so, eo, off uint64
+		if so, data, err = labelblock.DecodeUvarint(data, "trace: segment start"); err != nil {
+			return nil, nil, err
+		}
+		if eo, data, err = labelblock.DecodeUvarint(data, "trace: segment end"); err != nil {
+			return nil, nil, err
+		}
+		if off, data, err = labelblock.DecodeUvarint(data, "trace: segment offset"); err != nil {
+			return nil, nil, err
+		}
+		if so > eo {
+			return nil, nil, labelblock.Corrupt(labelblock.ClassBadBlock, "trace: segment range [%d, %d) inverted", so, eo)
+		}
+		s.StartOrd, s.EndOrd, s.Off = int64(so), int64(eo), int64(off)
+		if len(data) == 0 {
+			return nil, nil, labelblock.Corrupt(labelblock.ClassTruncated, "trace: data ends inside segment flags")
+		}
+		s.DefsAll = data[0] != 0
+		data = data[1:]
+		var words []uint64
+		if words, data, err = decodeSparseWords(data, nil); err != nil {
+			return nil, nil, err
+		}
+		s.Blocks = words
+		if _, data, err = decodeSparseWords(data, s.Defs.bits[:]); err != nil {
+			return nil, nil, err
+		}
+		segs = append(segs, s)
+	}
+	return segs, data, nil
+}
+
+// decodeSparseWords parses an appendSparseWords run into into (when
+// non-nil, which also pins the expected length) or a fresh slice.
+func decodeSparseWords(data []byte, into []uint64) ([]uint64, []byte, error) {
+	n, data, err := labelblock.DecodeUvarint(data, "trace: bitset length")
+	if err != nil {
+		return nil, nil, err
+	}
+	if into != nil && n != uint64(len(into)) {
+		return nil, nil, labelblock.Corrupt(labelblock.ClassBadBlock, "trace: bitset of %d words, want %d", n, len(into))
+	}
+	if n > 1<<26 {
+		return nil, nil, labelblock.Corrupt(labelblock.ClassBadBlock, "trace: implausible bitset length %d", n)
+	}
+	nz, data, err := labelblock.DecodeUvarint(data, "trace: bitset population")
+	if err != nil {
+		return nil, nil, err
+	}
+	if nz > n {
+		return nil, nil, labelblock.Corrupt(labelblock.ClassBadBlock, "trace: %d non-zero words in a %d-word bitset", nz, n)
+	}
+	words := into
+	if words == nil {
+		words = make([]uint64, n)
+	}
+	for i := uint64(0); i < nz; i++ {
+		var idx, w uint64
+		if idx, data, err = labelblock.DecodeUvarint(data, "trace: bitset word index"); err != nil {
+			return nil, nil, err
+		}
+		if w, data, err = labelblock.DecodeUvarint(data, "trace: bitset word"); err != nil {
+			return nil, nil, err
+		}
+		if idx >= n {
+			return nil, nil, labelblock.Corrupt(labelblock.ClassBadBlock, "trace: bitset word index %d out of range", idx)
+		}
+		words[idx] = w
+	}
+	return words, data, nil
+}

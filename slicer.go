@@ -23,6 +23,7 @@
 package slicer
 
 import (
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -36,6 +37,7 @@ import (
 	"dynslice/internal/slicing/fp"
 	"dynslice/internal/slicing/lp"
 	"dynslice/internal/slicing/opt"
+	"dynslice/internal/slicing/snapshot"
 	"dynslice/internal/telemetry"
 	"dynslice/internal/telemetry/querylog"
 	"dynslice/internal/telemetry/stats"
@@ -104,6 +106,30 @@ type RunOptions struct {
 	// recently defined first — the paper's selection), retrievable via
 	// Recording.Criteria.
 	TrackCriteria int
+	// Snapshot enables the persistent graph cache: with Read set, Record
+	// first looks for an on-disk graph image content-addressed by
+	// (program, input, configuration) and, on a hit, returns a recording
+	// without executing the program at all; with Write set, a freshly
+	// built recording is saved back. See docs/PERFORMANCE.md "Snapshot
+	// format".
+	Snapshot SnapshotOptions
+}
+
+// SnapshotOptions configures the persistent graph cache (see
+// RunOptions.Snapshot).
+type SnapshotOptions struct {
+	// Dir is the cache directory; empty means the per-user default
+	// (os.UserCacheDir()/dynslice/snapshots).
+	Dir string
+	// Read makes Record try to load a cached graph image before running
+	// the program. A corrupt or mismatched image is counted
+	// (engine.snapshot.fallback, snapshot.read.err.<class>) and falls
+	// back to a fresh build — never an error, never a wrong slice.
+	Read bool
+	// Write makes Record save the built graphs after a fresh build (or a
+	// cache miss). Write failures are counted (snapshot.write.err) but do
+	// not fail the recording.
+	Write bool
 }
 
 // Recording is one instrumented execution: its outputs, its on-disk trace,
@@ -119,6 +145,7 @@ type Recording struct {
 	qlog    *querylog.Log
 	qstats  *stats.Recorder
 	crit    []int64
+	source  string // "build" or "snapshot"
 
 	segs    []*trace.Segment
 	fpG     *fp.Graph
@@ -134,7 +161,7 @@ type Recording struct {
 // profile (as the paper does), once instrumented — building the FP and OPT
 // graphs online and writing the trace file the LP slicer reads.
 func (p *Program) Record(o RunOptions) (*Recording, error) {
-	rec := &Recording{p: p, optCfg: opt.Full(), tel: o.Telemetry, qlog: o.QueryLog, qstats: o.QueryStats}
+	rec := &Recording{p: p, optCfg: opt.Full(), tel: o.Telemetry, qlog: o.QueryLog, qstats: o.QueryStats, source: "build"}
 	if o.OptConfig != nil {
 		rec.optCfg = *o.OptConfig
 	}
@@ -143,6 +170,31 @@ func (p *Program) Record(o RunOptions) (*Recording, error) {
 	}
 	span := o.Telemetry.StartSpan("record")
 	defer span.End()
+
+	// Persistent graph cache: resolve the content address first; a hit
+	// answers the whole Record call without executing the program.
+	var cache *snapshot.Cache
+	var key snapshot.Key
+	if o.Snapshot.Read || o.Snapshot.Write {
+		var err error
+		if cache, err = snapshot.NewCache(o.Snapshot.Dir); err != nil {
+			if reg := o.Telemetry; reg != nil {
+				reg.Counter("snapshot.cache.err").Inc()
+			}
+			cache = nil // cache trouble disables snapshotting, never the build
+		} else {
+			key = snapshot.Key{
+				Program: snapshot.HashProgram(p.ir),
+				Input:   snapshot.HashInput(o.Input, o.MaxSteps),
+				Config:  snapshot.HashConfig(configFingerprint(rec.optCfg, o.PlainLabels, o.TrackCriteria)),
+			}
+		}
+	}
+	if cache != nil && o.Snapshot.Read {
+		if hit := p.loadSnapshot(cache, key, o, rec.optCfg); hit != nil {
+			return hit, nil
+		}
+	}
 
 	sp := span.Child("profile")
 	col := profile.NewCollector(p.ir)
@@ -254,7 +306,75 @@ func (p *Program) Record(o RunOptions) (*Recording, error) {
 		rec.crit = picker.Pick(o.TrackCriteria)
 	}
 	ok = true
+	if cache != nil && o.Snapshot.Write {
+		rec.writeSnapshot(cache, key)
+	}
 	return rec, nil
+}
+
+// configFingerprint renders every knob that shapes the built graphs (and
+// therefore the snapshot bytes) into the stable string the cache key's
+// Config digest covers. Telemetry, logging, and build parallelism are
+// deliberately absent: they do not change the graph.
+func configFingerprint(cfg opt.Config, fpPlain bool, trackCriteria int) string {
+	return fmt.Sprintf("opt=%+v|fpplain=%t|crit=%d", cfg, fpPlain, trackCriteria)
+}
+
+// loadSnapshot tries to answer Record from the cache. It returns nil on
+// any miss — absent file, corrupt file, mismatched key — counting the
+// reason; the caller falls back to a fresh build.
+func (p *Program) loadSnapshot(cache *snapshot.Cache, key snapshot.Key, o RunOptions, cfg opt.Config) *Recording {
+	path := cache.Path(key)
+	fi, err := os.Stat(path)
+	if err != nil {
+		if reg := o.Telemetry; reg != nil {
+			reg.Counter("engine.snapshot.miss").Inc()
+		}
+		return nil
+	}
+	t0 := time.Now()
+	img, err := snapshot.Read(path, p.ir, key)
+	if err != nil {
+		if reg := o.Telemetry; reg != nil {
+			reg.Counter("snapshot.read.err." + snapshot.Classify(err)).Inc()
+			reg.Counter("engine.snapshot.fallback").Inc()
+		}
+		return nil
+	}
+	if reg := o.Telemetry; reg != nil {
+		reg.Counter("engine.snapshot.hit").Inc()
+		reg.Counter("snapshot.load.ns").Add(time.Since(t0).Nanoseconds())
+		reg.Counter("snapshot.load.bytes").Add(fi.Size())
+	}
+	rec := &Recording{
+		p: p, optCfg: cfg, tel: o.Telemetry, qlog: o.QueryLog, qstats: o.QueryStats,
+		source: "snapshot",
+		Output: img.Output, Steps: img.Steps, Return: img.Return, crit: img.Criteria,
+		segs: img.Segs, fpG: img.FP, optG: img.OPT,
+	}
+	rec.fpG.SetTelemetry(o.Telemetry)
+	rec.optG.SetTelemetry(o.Telemetry)
+	return rec
+}
+
+// writeSnapshot saves the built graphs to the cache. Failures are counted
+// but never fail the recording: the snapshot is an accelerator, not an
+// output.
+func (r *Recording) writeSnapshot(cache *snapshot.Cache, key snapshot.Key) {
+	img := &snapshot.Image{
+		Output: r.Output, Steps: r.Steps, Return: r.Return, Criteria: r.crit,
+		Segs: r.segs, FP: r.fpG, OPT: r.optG,
+	}
+	t0 := time.Now()
+	n, err := snapshot.Write(cache.Path(key), key, img)
+	if reg := r.tel; reg != nil {
+		if err != nil {
+			reg.Counter("snapshot.write.err").Inc()
+			return
+		}
+		reg.Counter("snapshot.write.ns").Add(time.Since(t0).Nanoseconds())
+		reg.Counter("snapshot.write.bytes").Add(n)
+	}
 }
 
 // Close removes temporary artifacts (the trace file and, when Record
@@ -287,6 +407,12 @@ func (r *Recording) QueryStats() *stats.Recorder { return r.qstats }
 // recently defined first. Empty when tracking was off.
 func (r *Recording) Criteria() []int64 { return r.crit }
 
+// Source reports where this recording's graphs came from: "build" (fresh
+// instrumented execution) or "snapshot" (loaded from the persistent
+// graph cache). Every audit record the recording emits carries the same
+// value.
+func (r *Recording) Source() string { return r.source }
+
 // queryObserved reports whether per-query audit recording is attached.
 // When false, the query path pays exactly two nil checks (the
 // TestOverhead guard covers this).
@@ -295,6 +421,7 @@ func (r *Recording) queryObserved() bool { return r.qlog != nil || r.qstats != n
 // logQuery publishes one finished query's audit record to the flight
 // recorder and the rolling workload statistics.
 func (r *Recording) logQuery(qr querylog.Record) {
+	qr.Source = r.source
 	r.qlog.Add(qr)
 	if r.qstats != nil {
 		r.qstats.ObserveQuery(qr.Backend, qr.Latency, qr.Batch, qr.CacheHit, qr.Err != "")
@@ -346,8 +473,30 @@ func (r *Recording) FP() *Slicer { return &Slicer{rec: r, name: "FP", impl: r.fp
 // OPT returns the compacted-graph slicer (the paper's algorithm).
 func (r *Recording) OPT() *Slicer { return &Slicer{rec: r, name: "OPT", impl: r.optG} }
 
-// LP returns the demand-driven trace slicer.
-func (r *Recording) LP() *Slicer { return &Slicer{rec: r, name: "LP", impl: r.lpS} }
+// LP returns the demand-driven trace slicer. A snapshot-loaded recording
+// has no trace file, so its LP slicer answers every query with an error
+// (snapshots persist the graphs, not the execution trace).
+func (r *Recording) LP() *Slicer {
+	if r.lpS == nil {
+		return &Slicer{rec: r, name: "LP", impl: unavailableSlicer{errLPSnapshot}}
+	}
+	return &Slicer{rec: r, name: "LP", impl: r.lpS}
+}
+
+// errLPSnapshot is returned by LP queries against snapshot-loaded
+// recordings.
+var errLPSnapshot = errors.New("slicer: LP is unavailable for a snapshot-loaded recording (no trace file)")
+
+// unavailableSlicer rejects every query with a fixed error.
+type unavailableSlicer struct{ err error }
+
+func (u unavailableSlicer) Slice(slicing.Criterion) (*slicing.Slice, *slicing.Stats, error) {
+	return nil, nil, u.err
+}
+
+func (u unavailableSlicer) SliceAll([]slicing.Criterion) ([]*slicing.Slice, *slicing.Stats, error) {
+	return nil, nil, u.err
+}
 
 // Name reports which algorithm this slicer uses.
 func (s *Slicer) Name() string { return s.name }
