@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: ci build vet fmt test test-race fuzz-smoke fuzz-native overhead bench bench-parallel bench-mem bench-explain bench-queries bench-snapshot bench-baseline bench-check experiments
+.PHONY: ci build vet fmt test test-race fuzz-smoke fuzz-native overhead bench bench-parallel bench-mem bench-explain bench-queries bench-snapshot bench-planner bench-baseline bench-check experiments
 
-ci: build vet fmt test test-race fuzz-smoke bench-mem bench-explain bench-queries bench-snapshot overhead bench-check
+ci: build vet fmt test test-race fuzz-smoke bench-mem bench-explain bench-queries bench-snapshot bench-planner overhead bench-check
 
 build:
 	$(GO) build ./...
@@ -81,6 +81,16 @@ bench-queries:
 bench-snapshot:
 	$(GO) run ./cmd/experiments -exp snapshot -workload li -snapshot-out $$(mktemp -u)
 
+# Planner smoke: on one small workload, answer a cold criterion by
+# checkpointed re-execution and compare against the cheapest graph-build
+# path, then replay the criterion stream through the cost-based planner.
+# RunPlanner fails the target if the median reexec-vs-build speedup
+# falls below 2x, the median planning regret (chosen backend's latency
+# over the per-query best) exceeds 1.2, or any backend disagrees on a
+# slice (see docs/PLANNER.md).
+bench-planner:
+	$(GO) run ./cmd/experiments -exp planner -workload li -planner-out $$(mktemp -u)
+
 # Regression gate: regenerate the gated benchmark artifacts into a temp
 # directory and diff against bench/baselines (fails when the median
 # cross-workload delta of lp/opt batch speedup, compact resident label
@@ -90,20 +100,21 @@ bench-snapshot:
 # `make bench-baseline`.
 bench-check:
 	@dir=$$(mktemp -d) && \
-	$(GO) run ./cmd/experiments -exp parallel,memory,telemetry,snapshot \
+	$(GO) run ./cmd/experiments -exp parallel,memory,telemetry,snapshot,planner \
 		-parallel-out $$dir/BENCH_parallel.json \
 		-memory-out $$dir/BENCH_memory.json \
 		-telemetry-out $$dir/BENCH_telemetry.json \
-		-snapshot-out $$dir/BENCH_snapshot.json && \
+		-snapshot-out $$dir/BENCH_snapshot.json \
+		-planner-out $$dir/BENCH_planner.json && \
 	$(GO) run ./cmd/benchdiff -current $$dir; \
 	st=$$?; rm -rf $$dir; exit $$st
 
 # Refresh the bench-check baselines (and the checked-in root artifacts)
 # from this machine.
 bench-baseline:
-	$(GO) run ./cmd/experiments -exp parallel,memory,telemetry,queries,snapshot
+	$(GO) run ./cmd/experiments -exp parallel,memory,telemetry,queries,snapshot,planner
 	mkdir -p bench/baselines
-	cp BENCH_parallel.json BENCH_memory.json BENCH_telemetry.json BENCH_snapshot.json bench/baselines/
+	cp BENCH_parallel.json BENCH_memory.json BENCH_telemetry.json BENCH_snapshot.json BENCH_planner.json bench/baselines/
 
 experiments:
 	$(GO) run ./cmd/experiments -exp all

@@ -16,6 +16,8 @@
 //	BENCH_telemetry.json  slice_avg_ms.{FP,OPT,LP}             (lower is better)
 //	BENCH_snapshot.json   snapshot_load_speedup                (higher is better)
 //	                      file_bytes                           (lower is better)
+//	BENCH_planner.json    reexec_vs_build_speedup              (higher is better)
+//	                      planner_regret                       (lower is better)
 //
 // BENCH_parallel.json carries one row per (workload, GOMAXPROCS)
 // setting; rows are keyed "name@pN" so every setting is gated
@@ -77,10 +79,14 @@ var specs = map[string][]metricSpec{
 		{path: "snapshot_load_speedup", higherBetter: true, noise: 1.5},
 		{path: "file_bytes"},
 	},
+	"BENCH_planner.json": {
+		{path: "reexec_vs_build_speedup", higherBetter: true, noise: 1.5},
+		{path: "planner_regret", noise: 1.5},
+	},
 }
 
 // fileOrder keeps the report deterministic (map iteration is not).
-var fileOrder = []string{"BENCH_parallel.json", "BENCH_memory.json", "BENCH_telemetry.json", "BENCH_snapshot.json"}
+var fileOrder = []string{"BENCH_parallel.json", "BENCH_memory.json", "BENCH_telemetry.json", "BENCH_snapshot.json", "BENCH_planner.json"}
 
 func main() {
 	baselineDir := flag.String("baseline", "bench/baselines", "directory with baseline BENCH_*.json files")

@@ -3,10 +3,11 @@
 //
 // Usage:
 //
-//	experiments [-exp all|1|2|3|4|5|6|7|8|15|16|17|18|sequitur|telemetry|parallel|memory|explain|queries|snapshot] [-workload name] [-scale n]
+//	experiments [-exp all|1|2|3|4|5|6|7|8|15|16|17|18|sequitur|telemetry|parallel|memory|explain|queries|snapshot|planner] [-workload name] [-scale n]
 //	            [-telemetry-out BENCH_telemetry.json] [-parallel-out BENCH_parallel.json]
 //	            [-memory-out BENCH_memory.json] [-explain-out BENCH_explain.json]
 //	            [-queries-out BENCH_queries.json] [-snapshot-out BENCH_snapshot.json]
+//	            [-planner-out BENCH_planner.json]
 //
 // Numbers 1-8 are tables, 15-18 figures, matching the paper's numbering.
 // -scale multiplies each workload's default input size. The telemetry
@@ -28,7 +29,10 @@
 // through each backend's QueryEngine with the query flight recorder
 // attached, validates every audit record, and writes per-workload
 // latency quantiles and cache statistics to -queries-out (see
-// docs/OBSERVABILITY.md).
+// docs/OBSERVABILITY.md). The planner experiment measures the
+// re-execution backend's rare-query path against the cheapest
+// graph-build path and the cost-based planner's regret on a criterion
+// stream, writing both to -planner-out (see docs/PLANNER.md).
 package main
 
 import (
@@ -41,7 +45,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: all, 1-8 (tables), 15-18 (figures), sequitur, ablation, forward, telemetry, parallel, memory, explain, queries, snapshot")
+	exp := flag.String("exp", "all", "experiment to run: all, 1-8 (tables), 15-18 (figures), sequitur, ablation, forward, telemetry, parallel, memory, explain, queries, snapshot, planner")
 	workload := flag.String("workload", "", "restrict to one workload (e.g. 164.gzip or gzip)")
 	scale := flag.Int64("scale", 1, "input-size multiplier for every workload")
 	telemetryOut := flag.String("telemetry-out", "BENCH_telemetry.json", "output file for -exp telemetry")
@@ -50,6 +54,7 @@ func main() {
 	explainOut := flag.String("explain-out", "BENCH_explain.json", "output file for -exp explain")
 	queriesOut := flag.String("queries-out", "BENCH_queries.json", "output file for -exp queries")
 	snapshotOut := flag.String("snapshot-out", "BENCH_snapshot.json", "output file for -exp snapshot")
+	plannerOut := flag.String("planner-out", "BENCH_planner.json", "output file for -exp planner")
 	flag.Parse()
 
 	wls := bench.Workloads()
@@ -147,6 +152,9 @@ func main() {
 	}
 	if want("snapshot") {
 		run("snapshot", func() error { return bench.RunSnapshot(w, wls, *snapshotOut) })
+	}
+	if want("planner") {
+		run("planner", func() error { return bench.RunPlanner(w, wls, *plannerOut) })
 	}
 }
 

@@ -7,7 +7,7 @@
 //	       [-vars a,b,c] [-workers n] [-ir] [-stats] [-repl] [-compact=false]
 //	       [-explain line|sID] [-metrics out.json] [-timeline out.json]
 //	       [-pprof localhost:6060] [-querylog out.jsonl] [-slowms n]
-//	       [-snapshot] [-snapshot-dir dir]
+//	       [-snapshot] [-snapshot-dir dir] [-plan auto|fp|lp|opt|reexec|forward]
 //
 // With -var (a global variable) or -addr (a raw address), the tool prints
 // the dynamic slice of that location's final value: the source lines it
@@ -32,6 +32,15 @@
 // result size; see docs/OBSERVABILITY.md). -slowms N additionally logs
 // queries slower than N milliseconds as structured slog warnings on
 // stderr.
+//
+// -plan selects how queries are dispatched. "auto" sends every query
+// through the cost-based planner (docs/PLANNER.md): the cheapest
+// backend for the query's shape answers, graphs are built lazily only
+// when the planner decides they pay for themselves, and the forward
+// and re-execution backends join the candidate set. Any other value
+// pins one backend — a superset of -algo that adds reexec (answer by
+// resuming the interpreter from checkpoints) and forward (precomputed
+// forward sets). -plan overrides -algo when both are given.
 //
 // -snapshot turns on the persistent graph cache: the FP and OPT graphs
 // are loaded from a content-addressed on-disk image when a matching one
@@ -92,6 +101,7 @@ func main() {
 	slowMS := flag.Int("slowms", 0, "log queries slower than this many milliseconds as slog warnings on stderr")
 	useSnap := flag.Bool("snapshot", false, "use the persistent graph cache: load the FP/OPT graphs from a content-addressed snapshot when one matches (skipping execution entirely), and save them after a fresh build")
 	snapDir := flag.String("snapshot-dir", "", "snapshot cache directory (default: the per-user cache dir)")
+	planMode := flag.String("plan", "", "query dispatch: auto (cost-based planner picks the backend per query) or a pinned backend: fp, lp, opt, reexec, forward (overrides -algo)")
 	flag.Parse()
 
 	if *srcPath == "" {
@@ -184,10 +194,18 @@ func main() {
 			input = append(input, v)
 		}
 	}
+	switch *planMode {
+	case "", "auto", "fp", "lp", "opt", "reexec", "forward":
+	default:
+		check(fmt.Errorf("unknown -plan mode %q (use auto, fp, lp, opt, reexec, or forward)", *planMode))
+	}
 	rec, err := prog.Record(slicer.RunOptions{
 		Input: input, Telemetry: reg, PlainLabels: !*compact,
 		QueryLog: qlog, QueryStats: qstats,
-		Snapshot: slicer.SnapshotOptions{Dir: *snapDir, Read: *useSnap, Write: *useSnap},
+		// The forward index only exists if computed during the run, so
+		// build it whenever the forward backend could be asked for.
+		WithForward: *planMode == "auto" || *planMode == "forward",
+		Snapshot:    slicer.SnapshotOptions{Dir: *snapDir, Read: *useSnap, Write: *useSnap},
 	})
 	check(err)
 	defer rec.Close()
@@ -207,20 +225,27 @@ func main() {
 			st.StaticEdges, st.PathNodes)
 	}
 
+	// -plan auto answers through the planned engine (no pinned backend);
+	// any other -plan value pins a backend, overriding -algo.
+	auto := *planMode == "auto"
+	backend := *algo
+	if *planMode != "" && !auto {
+		backend = *planMode
+	}
 	var s *slicer.Slicer
-	switch *algo {
-	case "opt":
-		s = rec.OPT()
-	case "fp":
-		s = rec.FP()
-	case "lp":
-		s = rec.LP()
-	default:
-		check(fmt.Errorf("unknown algorithm %q", *algo))
+	if !auto {
+		s = pickBackend(rec, backend)
+		if s == nil {
+			check(fmt.Errorf("unknown algorithm %q", backend))
+		}
+	}
+	var eng *slicer.QueryEngine
+	if auto {
+		eng = rec.Engine(slicer.EngineOptions{Workers: *workers})
 	}
 
 	if *repl {
-		runREPL(rec, s, string(src))
+		runREPL(rec, s, eng, string(src))
 		return
 	}
 
@@ -232,12 +257,14 @@ func main() {
 			check(err)
 			addrs[i] = a
 		}
-		eng := s.Engine(slicer.EngineOptions{Workers: *workers})
+		if !auto {
+			eng = s.Engine(slicer.EngineOptions{Workers: *workers})
+		}
 		slices, err := eng.SliceAddrs(addrs)
 		check(err)
 		for i, sl := range slices {
 			fmt.Printf("--- %s\n", strings.TrimSpace(names[i]))
-			printSlice(s, sl, string(src))
+			printSlice(backendLabel(s), sl, string(src))
 		}
 		return
 	}
@@ -245,6 +272,10 @@ func main() {
 	if *explainSpec != "" {
 		var ex *slicer.Explanation
 		switch {
+		case auto && *varName != "":
+			ex, err = eng.ExplainVar(*varName)
+		case auto && *addr >= 0:
+			ex, err = eng.Explain(*addr)
 		case *varName != "":
 			ex, err = s.ExplainVar(*varName)
 		case *addr >= 0:
@@ -253,13 +284,17 @@ func main() {
 			check(fmt.Errorf("-explain needs a criterion: pass -var or -addr"))
 		}
 		check(err)
-		printSlice(s, ex.Slice, string(src))
+		printSlice(backendLabel(s), ex.Slice, string(src))
 		printExplanation(ex, *explainSpec)
 		return
 	}
 
 	var sl *slicer.Slice
 	switch {
+	case auto && *varName != "":
+		sl, err = eng.SliceVar(*varName)
+	case auto && *addr >= 0:
+		sl, err = eng.SliceAddr(*addr)
 	case *varName != "":
 		sl, err = s.SliceVar(*varName)
 	case *addr >= 0:
@@ -268,7 +303,34 @@ func main() {
 		return // run-only mode
 	}
 	check(err)
-	printSlice(s, sl, string(src))
+	printSlice(backendLabel(s), sl, string(src))
+}
+
+// pickBackend maps a backend name to its slicer; nil for unknown names.
+func pickBackend(rec *slicer.Recording, name string) *slicer.Slicer {
+	switch name {
+	case "opt":
+		return rec.OPT()
+	case "fp":
+		return rec.FP()
+	case "lp":
+		return rec.LP()
+	case "reexec":
+		return rec.Reexec()
+	case "forward":
+		return rec.Forward()
+	}
+	return nil
+}
+
+// backendLabel names the answering configuration for output headers:
+// the pinned backend, or "auto" when the planner chose per query (the
+// per-query attribution lands in the -querylog audit records).
+func backendLabel(s *slicer.Slicer) string {
+	if s == nil {
+		return "auto"
+	}
+	return s.Name()
 }
 
 // printExplanation prints the traversal profile and the witness chain for
@@ -301,9 +363,9 @@ func printExplanation(ex *slicer.Explanation, spec string) {
 	fmt.Print(ex.FormatWitness(w))
 }
 
-func printSlice(s *slicer.Slicer, sl *slicer.Slice, src string) {
+func printSlice(name string, sl *slicer.Slice, src string) {
 	fmt.Printf("%s slice: %d statements, %d source lines (%.3f ms)\n",
-		s.Name(), sl.Stmts, len(sl.Lines), float64(sl.Time.Microseconds())/1000)
+		name, sl.Stmts, len(sl.Lines), float64(sl.Time.Microseconds())/1000)
 	lines := strings.Split(src, "\n")
 	for _, ln := range sl.Lines {
 		if ln-1 < len(lines) {
@@ -314,14 +376,35 @@ func printSlice(s *slicer.Slicer, sl *slicer.Slice, src string) {
 
 // runREPL answers slicing queries interactively against one recording —
 // the usage pattern the paper optimizes for: many slices, one build.
-func runREPL(rec *slicer.Recording, s *slicer.Slicer, src string) {
+// With eng set (started under -plan auto) queries dispatch through the
+// cost-based planner; `algo` switches between pinned backends and
+// `algo auto` back to the planner.
+func runREPL(rec *slicer.Recording, s *slicer.Slicer, eng *slicer.QueryEngine, src string) {
+	sliceVar := func(name string) (*slicer.Slice, error) {
+		if eng != nil {
+			return eng.SliceVar(name)
+		}
+		return s.SliceVar(name)
+	}
+	sliceAddr := func(a int64) (*slicer.Slice, error) {
+		if eng != nil {
+			return eng.SliceAddr(a)
+		}
+		return s.SliceAddr(a)
+	}
+	label := func() string {
+		if eng != nil {
+			return "auto"
+		}
+		return strings.ToLower(s.Name())
+	}
 	sc := bufio.NewScanner(os.Stdin)
-	fmt.Println("slicer repl — commands: var NAME | addr N | algo opt|fp|lp | quit")
-	fmt.Printf("[%s]> ", strings.ToLower(s.Name()))
+	fmt.Println("slicer repl — commands: var NAME | addr N | algo auto|opt|fp|lp|reexec|forward | quit")
+	fmt.Printf("[%s]> ", label())
 	for sc.Scan() {
 		fields := strings.Fields(sc.Text())
 		if len(fields) == 0 {
-			fmt.Printf("[%s]> ", strings.ToLower(s.Name()))
+			fmt.Printf("[%s]> ", label())
 			continue
 		}
 		switch fields[0] {
@@ -329,39 +412,38 @@ func runREPL(rec *slicer.Recording, s *slicer.Slicer, src string) {
 			return
 		case "algo":
 			if len(fields) == 2 {
-				switch fields[1] {
-				case "opt":
-					s = rec.OPT()
-				case "fp":
-					s = rec.FP()
-				case "lp":
-					s = rec.LP()
-				default:
-					fmt.Println("unknown algorithm; use opt, fp, or lp")
+				if fields[1] == "auto" {
+					if eng == nil {
+						eng = rec.Engine(slicer.EngineOptions{})
+					}
+				} else if next := pickBackend(rec, fields[1]); next != nil {
+					s, eng = next, nil
+				} else {
+					fmt.Println("unknown algorithm; use auto, opt, fp, lp, reexec, or forward")
 				}
 			}
 		case "var":
 			if len(fields) == 2 {
-				if sl, err := s.SliceVar(fields[1]); err != nil {
+				if sl, err := sliceVar(fields[1]); err != nil {
 					fmt.Println("error:", err)
 				} else {
-					printSlice(s, sl, src)
+					printSlice(label(), sl, src)
 				}
 			}
 		case "addr":
 			if len(fields) == 2 {
 				if a, err := strconv.ParseInt(fields[1], 10, 64); err == nil {
-					if sl, serr := s.SliceAddr(a); serr != nil {
+					if sl, serr := sliceAddr(a); serr != nil {
 						fmt.Println("error:", serr)
 					} else {
-						printSlice(s, sl, src)
+						printSlice(label(), sl, src)
 					}
 				}
 			}
 		default:
-			fmt.Println("commands: var NAME | addr N | algo opt|fp|lp | quit")
+			fmt.Println("commands: var NAME | addr N | algo auto|opt|fp|lp|reexec|forward | quit")
 		}
-		fmt.Printf("[%s]> ", strings.ToLower(s.Name()))
+		fmt.Printf("[%s]> ", label())
 	}
 }
 

@@ -2,11 +2,14 @@ package slicer
 
 import (
 	"container/list"
+	"errors"
+	"fmt"
 	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"dynslice/internal/slicing/plan"
 	"dynslice/internal/telemetry/querylog"
 )
 
@@ -30,12 +33,21 @@ const (
 )
 
 // QueryEngine answers slicing queries concurrently with a small LRU
-// result cache. It wraps one Slicer; all its methods are safe for
-// concurrent use. Repeated criteria — common when a user explores a
-// fault from several variables that share dependences — hit the cache
-// and cost one map lookup.
+// result cache. All its methods are safe for concurrent use. Repeated
+// criteria — common when a user explores a fault from several variables
+// that share dependences — hit the cache and cost one map lookup.
+//
+// An engine wraps either one fixed Slicer (Slicer.Engine) or, when
+// created with Recording.Engine, the cost-based planner: each cache
+// miss consults plan.Decide for the cheapest backend given the query's
+// shape, which graphs are warm, and the live workload statistics, then
+// walks the decision's fallback ladder until a backend answers. All
+// backends return identical slices (the differential matrix proves
+// it), so the shared cache and the planner only ever change latency,
+// never answers.
 type QueryEngine struct {
-	s       *Slicer
+	s       *Slicer    // fixed backend; nil for a planned engine
+	rec     *Recording // owning recording (always set)
 	workers int
 
 	mu    sync.Mutex
@@ -47,13 +59,29 @@ type QueryEngine struct {
 }
 
 type cacheEntry struct {
-	addr int64
-	sl   *Slice
+	addr    int64
+	sl      *Slice
+	backend string // backend that computed the slice (for hit audit records)
 }
 
-// Engine wraps the slicer in a concurrent query engine.
+// Engine wraps the slicer in a concurrent query engine with a fixed
+// backend.
 func (s *Slicer) Engine(o EngineOptions) *QueryEngine {
-	e := &QueryEngine{s: s, workers: o.Workers, max: o.CacheSize}
+	e := newEngine(s.rec, o)
+	e.s = s
+	return e
+}
+
+// Engine returns a planned query engine: every cache miss is dispatched
+// to the backend the cost-based planner picks for it (see
+// docs/PLANNER.md). The planner never changes results — only which
+// backend computes them.
+func (r *Recording) Engine(o EngineOptions) *QueryEngine {
+	return newEngine(r, o)
+}
+
+func newEngine(r *Recording, o EngineOptions) *QueryEngine {
+	e := &QueryEngine{rec: r, workers: o.Workers, max: o.CacheSize}
 	if e.workers <= 0 {
 		e.workers = defaultEngineWorkers
 	}
@@ -66,26 +94,68 @@ func (s *Slicer) Engine(o EngineOptions) *QueryEngine {
 	return e
 }
 
+// errNoBackend is returned by a planned engine when no backend at all
+// can answer the query shape.
+var errNoBackend = errors.New("slicer: no backend available for this query")
+
+// dispatch plans one query shape and walks the fallback ladder: the
+// chosen backend first, then the remaining candidates cheapest-first.
+// Backend faults (a desynced re-execution, a missing trace file) move
+// down the ladder; criterion errors are terminal — every backend would
+// reject the same address the same way, because answers never differ.
+func (e *QueryEngine) dispatch(shape plan.Shape, run func(*Slicer) error) error {
+	d := e.rec.PlanFor(shape)
+	if d.Backend == "" {
+		return errNoBackend
+	}
+	ladder := append([]string{d.Backend}, d.Fallback...)
+	var lastErr error
+	for i, name := range ladder {
+		s := e.rec.backendSlicer(name)
+		if s == nil {
+			continue
+		}
+		// Each attempt gets a fresh *Slicer stamped with the plan, so
+		// concurrent dispatches never share mutable attribution state.
+		s.plan = d.Backend
+		if i == 0 {
+			s.planReason = d.Reason
+		} else {
+			s.planReason = fmt.Sprintf("fallback from %s: %v", ladder[i-1], lastErr)
+		}
+		err := run(s)
+		if err == nil {
+			return nil
+		}
+		if querylog.Classify(err) == "bad_criterion" {
+			return err
+		}
+		lastErr = err
+	}
+	return lastErr
+}
+
 // CacheStats reports cache hits and misses since the engine was created.
 func (e *QueryEngine) CacheStats() (hits, misses int64) {
 	return e.hits.Load(), e.misses.Load()
 }
 
-func (e *QueryEngine) lookup(addr int64) (*Slice, bool) {
+func (e *QueryEngine) lookup(addr int64) (*Slice, string, bool) {
 	if e.cache == nil {
-		return nil, false
+		return nil, "", false
 	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	el, ok := e.cache[addr]
 	if !ok {
-		return nil, false
+		return nil, "", false
 	}
 	e.lru.MoveToFront(el)
-	return el.Value.(*cacheEntry).sl, true
+	ent := el.Value.(*cacheEntry)
+	return ent.sl, ent.backend, true
 }
 
-func (e *QueryEngine) insert(addr int64, sl *Slice) {
+func (e *QueryEngine) insert(addr int64, sl *Slice, backend string) {
 	if e.cache == nil {
 		return
 	}
@@ -95,7 +165,7 @@ func (e *QueryEngine) insert(addr int64, sl *Slice) {
 		e.lru.MoveToFront(el)
 		return
 	}
-	e.cache[addr] = e.lru.PushFront(&cacheEntry{addr: addr, sl: sl})
+	e.cache[addr] = e.lru.PushFront(&cacheEntry{addr: addr, sl: sl, backend: backend})
 	if e.lru.Len() > e.max {
 		old := e.lru.Back()
 		e.lru.Remove(old)
@@ -106,7 +176,7 @@ func (e *QueryEngine) insert(addr int64, sl *Slice) {
 func (e *QueryEngine) tally(hits, misses int64) {
 	e.hits.Add(hits)
 	e.misses.Add(misses)
-	if reg := e.s.rec.tel; reg != nil {
+	if reg := e.rec.tel; reg != nil {
 		reg.Counter("engine.cache.hits").Add(hits)
 		reg.Counter("engine.cache.misses").Add(misses)
 	}
@@ -115,13 +185,13 @@ func (e *QueryEngine) tally(hits, misses int64) {
 // logHit audits one cache-served query: the flight recorder gets a
 // fresh query ID with CacheHit set, while the slice keeps the ID of the
 // query that originally computed it.
-func (e *QueryEngine) logHit(addr int64, sl *Slice, kind string, batch int, start time.Time) {
-	rec := e.s.rec
+func (e *QueryEngine) logHit(addr int64, sl *Slice, backend, kind string, batch int, start time.Time) {
+	rec := e.rec
 	if !rec.queryObserved() {
 		return
 	}
 	rec.logQuery(querylog.Record{
-		ID: rec.qlog.NextID(), Start: start, Backend: e.s.name, Kind: kind,
+		ID: rec.qlog.NextID(), Start: start, Backend: backend, Kind: kind,
 		Addr: addr, Batch: batch, Latency: time.Since(start), CacheHit: true,
 		Stmts: sl.Stmts, Lines: len(sl.Lines),
 	})
@@ -130,26 +200,39 @@ func (e *QueryEngine) logHit(addr int64, sl *Slice, kind string, batch int, star
 // SliceAddr answers one address criterion, consulting the cache first.
 func (e *QueryEngine) SliceAddr(addr int64) (*Slice, error) {
 	var start time.Time
-	if e.s.rec.queryObserved() {
+	if e.rec.queryObserved() {
 		start = time.Now()
 	}
-	if sl, ok := e.lookup(addr); ok {
+	if sl, backend, ok := e.lookup(addr); ok {
 		e.tally(1, 0)
-		e.logHit(addr, sl, querylog.KindSlice, 0, start)
+		e.logHit(addr, sl, backend, querylog.KindSlice, 0, start)
 		return sl, nil
 	}
 	e.tally(0, 1)
-	sl, err := e.s.SliceAddr(addr)
+	var sl *Slice
+	var backend string
+	var err error
+	if e.s != nil {
+		backend = e.s.name
+		sl, err = e.s.SliceAddr(addr)
+	} else {
+		err = e.dispatch(plan.Shape{Kind: plan.KindSlice, Batch: 1}, func(s *Slicer) error {
+			var rerr error
+			sl, rerr = s.SliceAddr(addr)
+			backend = s.name
+			return rerr
+		})
+	}
 	if err != nil {
 		return nil, err
 	}
-	e.insert(addr, sl)
+	e.insert(addr, sl, backend)
 	return sl, nil
 }
 
 // SliceVar is SliceAddr on a global scalar variable.
 func (e *QueryEngine) SliceVar(name string) (*Slice, error) {
-	addr, err := e.s.rec.p.GlobalAddr(name)
+	addr, err := e.rec.p.GlobalAddr(name)
 	if err != nil {
 		return nil, err
 	}
@@ -160,19 +243,34 @@ func (e *QueryEngine) SliceVar(name string) (*Slice, error) {
 // (Slicer.ExplainAddr). Observed queries bypass the cache: the witness
 // and profile are products of an actual traversal, so a cached slice
 // cannot answer them. The slice itself is still inserted, so later
-// SliceAddr calls for the same address hit.
+// SliceAddr calls for the same address hit. A planned engine plans the
+// explain shape (forward slicing is never a candidate: it cannot
+// attribute edges).
 func (e *QueryEngine) Explain(addr int64) (*Explanation, error) {
-	ex, err := e.s.ExplainAddr(addr)
+	var ex *Explanation
+	var backend string
+	var err error
+	if e.s != nil {
+		backend = e.s.name
+		ex, err = e.s.ExplainAddr(addr)
+	} else {
+		err = e.dispatch(plan.Shape{Kind: plan.KindExplain, Batch: 1}, func(s *Slicer) error {
+			var rerr error
+			ex, rerr = s.ExplainAddr(addr)
+			backend = s.name
+			return rerr
+		})
+	}
 	if err != nil {
 		return nil, err
 	}
-	e.insert(addr, ex.Slice)
+	e.insert(addr, ex.Slice, backend)
 	return ex, nil
 }
 
 // ExplainVar is Explain on a global scalar variable.
 func (e *QueryEngine) ExplainVar(name string) (*Explanation, error) {
-	addr, err := e.s.rec.p.GlobalAddr(name)
+	addr, err := e.rec.p.GlobalAddr(name)
 	if err != nil {
 		return nil, err
 	}
@@ -185,20 +283,21 @@ func (e *QueryEngine) ExplainVar(name string) (*Explanation, error) {
 // backend's work-stealing scheduler across the engine's workers. One
 // shared traversal beats splitting the batch across goroutines — split
 // chunks each re-walk the subgraph the criteria share, which is most of
-// the work. Results are positionally aligned with addrs.
+// the work. Results are positionally aligned with addrs. A planned
+// engine plans once per batch, on the distinct-miss count.
 func (e *QueryEngine) SliceAddrs(addrs []int64) ([]*Slice, error) {
 	var start time.Time
-	if e.s.rec.queryObserved() {
+	if e.rec.queryObserved() {
 		start = time.Now()
 	}
 	outs := make([]*Slice, len(addrs))
 	var missSet = make(map[int64][]int) // addr -> positions in addrs
 	var hits int64
 	for i, a := range addrs {
-		if sl, ok := e.lookup(a); ok {
+		if sl, backend, ok := e.lookup(a); ok {
 			outs[i] = sl
 			hits++
-			e.logHit(a, sl, querylog.KindBatch, len(addrs), start)
+			e.logHit(a, sl, backend, querylog.KindBatch, len(addrs), start)
 			continue
 		}
 		missSet[a] = append(missSet[a], i)
@@ -215,15 +314,31 @@ func (e *QueryEngine) SliceAddrs(addrs []int64) ([]*Slice, error) {
 	// criteria share a 64-bit mask chunk.
 	sort.Slice(miss, func(i, j int) bool { return miss[i] < miss[j] })
 
-	if sw, ok := e.s.impl.(interface{ SetWorkers(int) }); ok {
-		sw.SetWorkers(e.workers)
+	var slices []*Slice
+	var backend string
+	var err error
+	if e.s != nil {
+		backend = e.s.name
+		if sw, ok := e.s.impl.(interface{ SetWorkers(int) }); ok {
+			sw.SetWorkers(e.workers)
+		}
+		slices, err = e.s.SliceAddrs(miss)
+	} else {
+		err = e.dispatch(plan.Shape{Kind: plan.KindBatch, Batch: len(miss)}, func(s *Slicer) error {
+			if sw, ok := s.impl.(interface{ SetWorkers(int) }); ok {
+				sw.SetWorkers(e.workers)
+			}
+			var rerr error
+			slices, rerr = s.SliceAddrs(miss)
+			backend = s.name
+			return rerr
+		})
 	}
-	slices, err := e.s.SliceAddrs(miss)
 	if err != nil {
 		return nil, err
 	}
 	for k, sl := range slices {
-		e.insert(miss[k], sl)
+		e.insert(miss[k], sl, backend)
 		for _, pos := range missSet[miss[k]] {
 			outs[pos] = sl
 		}

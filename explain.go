@@ -51,7 +51,7 @@ func (s *Slicer) ExplainAddr(addr int64) (*Explanation, error) {
 	elapsed := time.Since(t0)
 	if err != nil {
 		if obs {
-			s.rec.logQuery(querylog.Record{
+			s.logQuery(querylog.Record{
 				ID: id, Start: t0, Backend: s.name, Kind: querylog.KindExplain,
 				Addr: addr, Latency: elapsed, Err: querylog.Classify(err),
 			})
@@ -86,7 +86,7 @@ func (s *Slicer) ExplainAddr(addr int64) (*Explanation, error) {
 	if obs {
 		// The observed query's audit record folds in the traversal
 		// profile's edge attribution (explicit vs inferred vs shortcut).
-		s.rec.logQuery(querylog.Record{
+		s.logQuery(querylog.Record{
 			ID: id, Start: t0, Backend: s.name, Kind: querylog.KindExplain,
 			Addr: addr, Latency: elapsed, Stmts: sl.Stmts, Lines: len(sl.Lines),
 			Instances: prof.NodesVisited, LabelProbes: prof.LabelProbes,

@@ -47,7 +47,8 @@ type Result struct {
 	OPT     *opt.Graph
 	Stages  []*opt.Graph
 	LP      *lp.Slicer
-	Crit    []int64 // criterion addresses (last-defined first)
+	Segs    []*trace.Segment // summary-segment index of the written trace
+	Crit    []int64          // criterion addresses (last-defined first)
 	RunInfo *interp.Result
 	USE     int // unique statements executed
 
@@ -137,6 +138,7 @@ func Build(w Workload, o Options) (*Result, error) {
 	}
 	res.RunInfo = run
 	res.USE = counter.USE()
+	res.Segs = tw.Segments()
 	res.Crit = picker.Pick(o.NCriteria)
 
 	// Graph builds replay the trace from disk so preprocessing is measured

@@ -17,13 +17,16 @@ import (
 	"dynslice/internal/slicing/lp"
 	"dynslice/internal/slicing/opt"
 	"dynslice/internal/slicing/oracle"
+	"dynslice/internal/slicing/plan"
+	"dynslice/internal/slicing/reexec"
 	"dynslice/internal/slicing/snapshot"
+	"dynslice/internal/telemetry/stats"
 	"dynslice/internal/trace"
 )
 
 // Variant is one slicer configuration in the differential matrix.
 type Variant struct {
-	Alg       string // "FP", "OPT", "LP", "forward"
+	Alg       string // "FP", "OPT", "LP", "forward", "reexec", "plan"
 	Plain     bool   // flat label storage (-compact=false)
 	Pipelined bool   // build via trace.Async on a worker goroutine
 	Hybrid    bool   // OPT only: disk-epoch mode with an aggressive budget
@@ -69,9 +72,11 @@ func (v Variant) Name() string {
 
 // FullMatrix is the complete configuration matrix the tentpole checks:
 // FP x {compact,plain} x {seq,pipe}, OPT additionally x {hybrid,resident},
-// plus LP and the forward slicer, plus batched work-stealing SliceAll
-// variants (multi-worker FP/OPT, hybrid OPT, and the LP shared scan).
-// Every variant is compared against the brute-force oracle.
+// plus LP, the forward slicer, the checkpoint re-execution backend
+// (single and batched), and the cost-based planner dispatching over all
+// of them, plus batched work-stealing SliceAll variants (multi-worker
+// FP/OPT, hybrid OPT, and the LP shared scan). Every variant is
+// compared against the brute-force oracle.
 func FullMatrix() []Variant {
 	var vs []Variant
 	for _, plain := range []bool{false, true} {
@@ -99,6 +104,11 @@ func FullMatrix() []Variant {
 		Variant{Alg: "OPT", Snapshot: true, Batch: 8},
 	)
 	vs = append(vs, Variant{Alg: "LP"}, Variant{Alg: "forward"})
+	vs = append(vs,
+		Variant{Alg: "reexec"},
+		Variant{Alg: "reexec", Batch: 8},
+		Variant{Alg: "plan"},
+	)
 	return vs
 }
 
@@ -117,6 +127,8 @@ func QuickMatrix() []Variant {
 		{Alg: "OPT", Snapshot: true},
 		{Alg: "LP"},
 		{Alg: "forward"},
+		{Alg: "reexec"},
+		{Alg: "plan"},
 	}
 }
 
@@ -331,6 +343,16 @@ func Check(src string, input []int64, o Options) (*Result, error) {
 	// events arrive batched on a worker goroutine, as in production.
 	var variants []variantSlicer
 	var asyncs []*trace.Async
+	// planFP/planOPT are resident graphs the plan variant reuses as its
+	// warm graph backends (the first plain-free, unpipelined instance of
+	// each — any instance computes identical slices).
+	var planFP, planOPT slicing.Slicer
+	needRx := false
+	for _, v := range o.variants() {
+		if v.Alg == "reexec" || v.Alg == "plan" {
+			needRx = true
+		}
+	}
 	hybrids := 0
 	for _, v := range o.variants() {
 		if v.Snapshot {
@@ -342,11 +364,17 @@ func Check(src string, input []int64, o Options) (*Result, error) {
 		case "FP":
 			g := fp.NewGraph(p)
 			g.SetPlainLabels(v.Plain)
+			if planFP == nil && !v.Plain && !v.Pipelined {
+				planFP = g
+			}
 			sink, sl = g, g
 		case "OPT":
 			cfg := opt.Full()
 			cfg.PlainLabels = v.Plain
 			g := opt.NewGraph(p, cfg, hot, cuts)
+			if planOPT == nil && !v.Plain && !v.Pipelined && !v.Hybrid {
+				planOPT = g
+			}
 			if v.Hybrid {
 				hd := filepath.Join(dir, fmt.Sprintf("hybrid%d", hybrids))
 				hybrids++
@@ -355,9 +383,10 @@ func Check(src string, input []int64, o Options) (*Result, error) {
 				}
 			}
 			sink, sl = g, g
-		case "LP", "forward":
-			// LP is built from the trace writer after the run; forward is
-			// registered once below (it is its own sink).
+		case "LP", "forward", "reexec", "plan":
+			// LP and reexec are built from the trace writer's segment index
+			// after the run; forward is registered once below (it is its own
+			// sink); plan dispatches over the others.
 			continue
 		default:
 			return nil, fmt.Errorf("fuzzgen: unknown variant algorithm %q", v.Alg)
@@ -371,8 +400,17 @@ func Check(src string, input []int64, o Options) (*Result, error) {
 		variants = append(variants, variantSlicer{v: v, s: sl})
 	}
 
-	// The single instrumented execution feeding every variant.
-	if _, err := interp.Run(p, interp.Options{Input: input, MaxSteps: o.maxSteps(), Sink: sinks}); err != nil {
+	// The single instrumented execution feeding every variant. When the
+	// matrix includes re-execution, the run also captures checkpoints at
+	// a small interval so resumes exercise the windowed suffix path.
+	ckEvery := int64(0)
+	if needRx {
+		ckEvery = 64
+	}
+	res2, err := interp.Run(p, interp.Options{
+		Input: input, MaxSteps: o.maxSteps(), Sink: sinks, CheckpointEvery: ckEvery,
+	})
+	if err != nil {
 		for _, a := range asyncs {
 			a.Close()
 		}
@@ -401,6 +439,21 @@ func Check(src string, input []int64, o Options) (*Result, error) {
 		}
 	}
 
+	// One shared re-execution slicer serves the reexec variants and the
+	// plan variant's reexec backend: queries are sequential here, and
+	// every Slice call opens its own resume cursor.
+	var rxS *reexec.Slicer
+	mkRx := func() *reexec.Slicer {
+		if rxS == nil {
+			rxS = reexec.New(p, tw.Segments(), reexec.Options{
+				Input:       input,
+				MaxSteps:    o.maxSteps(),
+				TotalBlocks: res2.BlockExecs,
+				Checkpoints: res2.Checkpoints,
+			})
+		}
+		return rxS
+	}
 	for _, v := range o.variants() {
 		if v.Snapshot {
 			switch v.Alg {
@@ -419,6 +472,31 @@ func Check(src string, input []int64, o Options) (*Result, error) {
 			variants = append(variants, variantSlicer{v: v, s: lps})
 		case "forward":
 			variants = append(variants, variantSlicer{v: v, s: fwd})
+		case "reexec":
+			variants = append(variants, variantSlicer{v: v, s: mkRx()})
+		case "plan":
+			pv := &planVariant{
+				feats: plan.Features{
+					TraceBlocks: res2.BlockExecs,
+					TraceSteps:  res2.Steps,
+					Segments:    len(tw.Segments()),
+					IRStmts:     len(p.Stmts),
+				},
+				av: plan.Availability{
+					FP: planFP != nil, FPWarm: planFP != nil,
+					OPT: planOPT != nil, OPTWarm: planOPT != nil,
+					LP: true, Reexec: true, Forward: true,
+				},
+				backends: map[string]slicing.Slicer{
+					plan.FP:      planFP,
+					plan.OPT:     planOPT,
+					plan.LP:      lp.New(p, filepath.Join(dir, "run.trace"), tw.Segments()),
+					plan.Reexec:  mkRx(),
+					plan.Forward: fwd,
+				},
+				stats: stats.New(),
+			}
+			variants = append(variants, variantSlicer{v: v, s: pv})
 		}
 	}
 

@@ -165,6 +165,46 @@ func TestShrinkPlantedBug(t *testing.T) {
 	}
 }
 
+// TestNewVariantsAreLive plants a wrong-answer bug in the reexec and
+// plan matrix entries and requires the differential driver to flag it —
+// proof the new variants are genuinely compared against the oracle, not
+// just constructed.
+func TestNewVariantsAreLive(t *testing.T) {
+	for _, target := range []string{"reexec", "plan"} {
+		t.Run(target, func(t *testing.T) {
+			tamper := func(variant string, s *slicing.Slice) {
+				if !strings.HasPrefix(variant, target) || s.Len() < 2 {
+					return
+				}
+				ids := s.Stmts()
+				*s = *slicing.NewSlice()
+				for _, id := range ids[:len(ids)-1] {
+					s.Add(id)
+				}
+			}
+			found := false
+			for seed := uint64(1); seed <= 20 && !found; seed++ {
+				pr := Generate(seed)
+				res, err := Check(pr.Src, pr.Input, Options{
+					Variants: []Variant{{Alg: target}},
+					Criteria: 6,
+					Tamper:   tamper,
+				})
+				if err != nil {
+					if IsSubjectError(err) {
+						continue
+					}
+					t.Fatal(err)
+				}
+				found = len(res.Divergences) > 0
+			}
+			if !found {
+				t.Fatalf("tampered %s answers never diverged — variant not live", target)
+			}
+		})
+	}
+}
+
 // TestShrinkStructural exercises the structural edits in isolation with
 // a cheap predicate: minimize while preserving "compiles and still
 // contains a while loop".

@@ -1,0 +1,236 @@
+package interp_test
+
+import (
+	"fmt"
+	"testing"
+
+	"dynslice/internal/interp"
+	"dynslice/internal/ir"
+)
+
+// ckSrc exercises calls, recursion, arrays, input, and output so a
+// checkpoint must capture every piece of machine state faithfully.
+const ckSrc = `
+var acc = 0;
+var arr[16];
+
+func fib(n) {
+	if (n < 2) { return n; }
+	return fib(n - 1) + fib(n - 2);
+}
+
+func main() {
+	var i = 0;
+	while (i < 16) {
+		arr[i] = fib(i % 9) + input();
+		acc = acc + arr[i];
+		i = i + 1;
+	}
+	print(acc);
+	print(arr[7]);
+	return acc;
+}`
+
+// eventLog flattens the event stream into comparable strings.
+type eventLog struct {
+	events []string
+	ord    int64
+}
+
+func (l *eventLog) Block(b *ir.Block) {
+	l.events = append(l.events, fmt.Sprintf("B%d@%d", b.ID, l.ord))
+	l.ord++
+}
+func (l *eventLog) Stmt(s *ir.Stmt, uses, defs []int64) {
+	l.events = append(l.events, fmt.Sprintf("S%d u%v d%v", s.ID, uses, defs))
+}
+func (l *eventLog) RegionDef(s *ir.Stmt, start, length int64) {
+	l.events = append(l.events, fmt.Sprintf("R%d %d+%d", s.ID, start, length))
+}
+func (l *eventLog) End() { l.events = append(l.events, "END") }
+
+func runWithLog(t *testing.T, p *ir.Program, every int64, input ...int64) (*interp.Result, *eventLog) {
+	t.Helper()
+	log := &eventLog{}
+	res, err := interp.Run(p, interp.Options{Input: input, Sink: log, CheckpointEvery: every})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return res, log
+}
+
+func TestCheckpointCapture(t *testing.T) {
+	p := compile(t, ckSrc)
+	input := []int64{3, 1, 4, 1, 5}
+	res, _ := runWithLog(t, p, 8, input...)
+	if len(res.Checkpoints) == 0 {
+		t.Fatal("no checkpoints captured")
+	}
+	prev := int64(0)
+	for _, cp := range res.Checkpoints {
+		if cp.Ord <= prev && prev != 0 {
+			t.Fatalf("checkpoint ordinals not increasing: %d after %d", cp.Ord, prev)
+		}
+		if cp.Ord >= res.BlockExecs {
+			t.Fatalf("checkpoint ordinal %d past end %d", cp.Ord, res.BlockExecs)
+		}
+		prev = cp.Ord
+	}
+	// Disabled capture stays empty.
+	res2, _ := runWithLog(t, p, 0, input...)
+	if len(res2.Checkpoints) != 0 {
+		t.Fatalf("checkpoints captured with CheckpointEvery=0: %d", len(res2.Checkpoints))
+	}
+}
+
+// TestResumeRegeneratesSuffix replays every checkpoint to the end and
+// checks the regenerated events are byte-identical to the recorded
+// suffix of the original stream.
+func TestResumeRegeneratesSuffix(t *testing.T) {
+	p := compile(t, ckSrc)
+	input := []int64{3, 1, 4, 1, 5}
+	res, full := runWithLog(t, p, 8, input...)
+
+	// Index of the first event of each block ordinal in the full log.
+	blockAt := map[int64]int{}
+	ord := int64(0)
+	for i, e := range full.events {
+		if e[0] == 'B' {
+			blockAt[ord] = i
+			ord++
+		}
+	}
+
+	cps := append([]*interp.Checkpoint{nil}, res.Checkpoints...)
+	for _, cp := range cps {
+		start := int64(0)
+		if cp != nil {
+			start = cp.Ord
+		}
+		log := &eventLog{ord: start}
+		rres, err := interp.Resume(p, cp, interp.ResumeOptions{
+			Input: input, Sink: log, StartOrd: start,
+		})
+		if err != nil {
+			t.Fatalf("resume @%d: %v", start, err)
+		}
+		if rres.Stopped {
+			t.Fatalf("resume @%d: stopped before natural end", start)
+		}
+		want := full.events[blockAt[start]:]
+		if len(log.events) != len(want) {
+			t.Fatalf("resume @%d: %d events, want %d", start, len(log.events), len(want))
+		}
+		for i := range want {
+			if log.events[i] != want[i] {
+				t.Fatalf("resume @%d: event %d = %q, want %q", start, i, log.events[i], want[i])
+			}
+		}
+		if rres.Steps != res.Steps || rres.BlockExecs != res.BlockExecs {
+			t.Fatalf("resume @%d: counters steps=%d blocks=%d, want %d/%d",
+				start, rres.Steps, rres.BlockExecs, res.Steps, res.BlockExecs)
+		}
+	}
+}
+
+// TestResumeWindow checks the [StartOrd, StopOrd) gating: only the
+// window's events are delivered and the run halts at the stop ordinal.
+func TestResumeWindow(t *testing.T) {
+	p := compile(t, ckSrc)
+	input := []int64{3, 1, 4, 1, 5}
+	res, full := runWithLog(t, p, 8, input...)
+	if res.BlockExecs < 30 {
+		t.Fatalf("trace too short for a window test: %d blocks", res.BlockExecs)
+	}
+
+	var cp *interp.Checkpoint // nearest checkpoint at or before ord 10
+	for _, c := range res.Checkpoints {
+		if c.Ord <= 10 {
+			cp = c
+		}
+	}
+	log := &eventLog{ord: 10}
+	rres, err := interp.Resume(p, cp, interp.ResumeOptions{
+		Input: input, Sink: log, StartOrd: 10, StopOrd: 20,
+	})
+	if err != nil {
+		t.Fatalf("resume window: %v", err)
+	}
+	if !rres.Stopped {
+		t.Fatal("window resume did not report Stopped")
+	}
+	if rres.BlockExecs != 20 {
+		t.Fatalf("window resume stopped at ordinal %d, want 20", rres.BlockExecs)
+	}
+	// Extract the window from the full stream: events from block 10's
+	// Block record up to (excluding) block 20's.
+	var want []string
+	ord := int64(0)
+	for _, e := range full.events {
+		if e[0] == 'B' {
+			ord++
+		}
+		// ord is now 1 + the ordinal of the block this event belongs to.
+		if ord >= 11 && ord <= 20 {
+			want = append(want, e)
+		}
+	}
+	if len(log.events) != len(want) {
+		t.Fatalf("window: %d events, want %d", len(log.events), len(want))
+	}
+	for i := range want {
+		if log.events[i] != want[i] {
+			t.Fatalf("window event %d = %q, want %q", i, log.events[i], want[i])
+		}
+	}
+	// No End event inside a stopped window.
+	for _, e := range log.events {
+		if e == "END" {
+			t.Fatal("window delivered End")
+		}
+	}
+}
+
+// TestCheckpointBudgetThins forces a tiny budget and checks capture
+// degrades to sparser checkpoints instead of unbounded memory.
+func TestCheckpointBudgetThins(t *testing.T) {
+	p := compile(t, ckSrc)
+	input := []int64{3, 1, 4, 1, 5}
+	res, err := interp.Run(p, interp.Options{
+		Input: input, CheckpointEvery: 2, CheckpointBudget: 1, // thin on every capture
+	})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if len(res.Checkpoints) != 1 {
+		t.Fatalf("budget=1 retained %d checkpoints, want 1", len(res.Checkpoints))
+	}
+	// The survivor must still resume correctly.
+	cp := res.Checkpoints[0]
+	rres, err := interp.Resume(p, cp, interp.ResumeOptions{Input: input, StartOrd: cp.Ord})
+	if err != nil {
+		t.Fatalf("resume survivor: %v", err)
+	}
+	if rres.ReturnValue != res.ReturnValue || rres.Steps != res.Steps {
+		t.Fatalf("survivor resume diverged: ret=%d steps=%d, want %d/%d",
+			rres.ReturnValue, rres.Steps, res.ReturnValue, res.Steps)
+	}
+}
+
+// TestResumeBeforeCheckpointRejected: a window starting before the
+// checkpoint's ordinal cannot be served.
+func TestResumeBeforeCheckpointRejected(t *testing.T) {
+	p := compile(t, ckSrc)
+	input := []int64{3}
+	res, err := interp.Run(p, interp.Options{Input: input, CheckpointEvery: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Checkpoints) == 0 {
+		t.Skip("no checkpoints")
+	}
+	cp := res.Checkpoints[len(res.Checkpoints)-1]
+	if _, err := interp.Resume(p, cp, interp.ResumeOptions{Input: input, StartOrd: cp.Ord - 1}); err == nil {
+		t.Fatal("resume before checkpoint ordinal succeeded")
+	}
+}

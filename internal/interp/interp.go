@@ -38,6 +38,13 @@ type Options struct {
 	MaxSteps  int64               // statement execution budget (0 = DefaultMaxSteps)
 	Sink      trace.Sink          // optional trace consumer
 	Telemetry *telemetry.Registry // optional metrics (nil = off, zero cost)
+	// CheckpointEvery captures a resumable machine snapshot every N
+	// block executions (0 = no checkpoints). Snapshots land in
+	// Result.Checkpoints, ordered by ordinal, and feed Resume.
+	CheckpointEvery int64
+	// CheckpointBudget caps the bytes retained across checkpoints
+	// (0 = DefaultCheckpointBudget); see Checkpoint.
+	CheckpointBudget int64
 }
 
 // Result summarizes a completed run.
@@ -47,6 +54,10 @@ type Result struct {
 	Steps       int64 // statement executions
 	BlockExecs  int64 // basic-block executions (== full-graph timestamps)
 	Watermark   int64 // final address-space size in words
+	Checkpoints []*Checkpoint
+	// Stopped marks a Resume run halted by StopOrd before natural
+	// termination (always false for Run).
+	Stopped bool
 }
 
 // RuntimeError is an execution fault with a source position.
@@ -79,6 +90,20 @@ type machine struct {
 	stepAbort bool    // run ended by the step-limit fault
 	uses      []int64 // per-statement scratch
 	defs      [1]int64
+
+	// Checkpoint capture (Run with Options.CheckpointEvery > 0).
+	ckEvery  int64
+	ckNext   int64
+	ckBudget int64
+	ckBytes  int64
+	cks      []*Checkpoint
+
+	// Windowed resume (Resume): suppress events before emitFrom, halt
+	// before stopOrd.
+	emitFrom int64
+	gated    trace.Sink // real sink to swap in once blockEx reaches emitFrom
+	stopOrd  int64
+	stopped  bool
 }
 
 // Run executes the program's main function.
@@ -95,6 +120,14 @@ func Run(p *ir.Program, opts Options) (*Result, error) {
 	if m.sink == nil {
 		m.sink = nopSink{}
 	}
+	if opts.CheckpointEvery > 0 {
+		m.ckEvery = opts.CheckpointEvery
+		m.ckNext = opts.CheckpointEvery
+		m.ckBudget = opts.CheckpointBudget
+		if m.ckBudget == 0 {
+			m.ckBudget = DefaultCheckpointBudget
+		}
+	}
 	m.watermark = GlobalBase + p.GlobalSize
 	m.grow(m.watermark)
 
@@ -104,7 +137,7 @@ func Run(p *ir.Program, opts Options) (*Result, error) {
 	m.grow(m.watermark)
 	m.frames = append(m.frames, frame{fn: p.Main, base: mainBase})
 
-	ret, err := m.run()
+	ret, err := m.run(p.Main.Entry())
 	// Telemetry is flushed once from accumulated machine state, so the
 	// per-statement execution loop carries no instrumentation at all.
 	if reg := opts.Telemetry; reg != nil {
@@ -131,6 +164,7 @@ func Run(p *ir.Program, opts Options) (*Result, error) {
 		Steps:       m.steps,
 		BlockExecs:  m.blockEx,
 		Watermark:   m.watermark,
+		Checkpoints: m.cks,
 	}, nil
 }
 
@@ -160,9 +194,20 @@ func (m *machine) fault(s *ir.Stmt, format string, args ...interface{}) error {
 	return &RuntimeError{Pos: s.Pos, Msg: fmt.Sprintf(format, args...)}
 }
 
-func (m *machine) run() (int64, error) {
-	b := m.p.Main.Entry()
+func (m *machine) run(b *ir.Block) (int64, error) {
 	for {
+		if m.stopOrd > 0 && m.blockEx >= m.stopOrd {
+			m.stopped = true
+			return 0, nil
+		}
+		if m.gated != nil && m.blockEx >= m.emitFrom {
+			m.sink = m.gated
+			m.gated = nil
+		}
+		if m.ckEvery > 0 && m.blockEx == m.ckNext {
+			m.capture(b)
+			m.ckNext = m.blockEx + m.ckEvery
+		}
 		m.sink.Block(b)
 		m.blockEx++
 		next, ret, halted, err := m.execBlock(b)

@@ -24,7 +24,6 @@ package lp
 import (
 	"fmt"
 	"math/bits"
-	"os"
 	"sync"
 
 	"dynslice/internal/ir"
@@ -34,13 +33,14 @@ import (
 	"dynslice/internal/trace"
 )
 
-// Slicer answers slicing queries from an on-disk trace. Queries may run
-// concurrently: each opens its own file handle, and the shared caches
-// below are lock-guarded.
+// Slicer answers slicing queries from an on-disk trace (or any other
+// segment Source). Queries may run concurrently: each opens its own
+// cursor, and the shared caches below are lock-guarded.
 type Slicer struct {
 	p    *ir.Program
 	path string
 	segs []*trace.Segment
+	src  Source
 
 	// offsets caches, per block, the cumulative record layout used to
 	// iterate a block execution's flat address array (layoutMu-guarded).
@@ -69,7 +69,16 @@ type blockLayout struct {
 
 // New returns an LP slicer over a trace file written by trace.Writer.
 func New(p *ir.Program, tracePath string, segs []*trace.Segment) *Slicer {
-	return &Slicer{p: p, path: tracePath, segs: segs, offsets: map[*ir.Block]blockLayout{}}
+	s := &Slicer{p: p, path: tracePath, segs: segs, offsets: map[*ir.Block]blockLayout{}}
+	s.src = &fileSource{s: s}
+	return s
+}
+
+// NewFromSource returns a slicer whose backward traversal materializes
+// segments through src instead of the trace file — the reexec backend's
+// entry point into the shared traversal.
+func NewFromSource(p *ir.Program, segs []*trace.Segment, src Source) *Slicer {
+	return &Slicer{p: p, segs: segs, src: src, offsets: map[*ir.Block]blockLayout{}}
 }
 
 // SetTelemetry mints the LP counters on reg and attaches trace-read
@@ -77,11 +86,18 @@ func New(p *ir.Program, tracePath string, segs []*trace.Segment) *Slicer {
 // query from the per-query stats, so the scan itself carries no
 // instrumentation.
 func (s *Slicer) SetTelemetry(reg *telemetry.Registry) {
+	s.SetTelemetryNamed(reg, "lp")
+}
+
+// SetTelemetryNamed is SetTelemetry under a different counter
+// namespace, so wrappers of the shared traversal (reexec) report their
+// effort under their own name.
+func (s *Slicer) SetTelemetryNamed(reg *telemetry.Registry, ns string) {
 	s.met = trace.NewMetrics(reg)
-	s.cQueries = reg.Counter("lp.queries")
-	s.cSegScans = reg.Counter("lp.seg_scans")
-	s.cSegSkips = reg.Counter("lp.seg_skips")
-	s.cEdges = reg.Counter("lp.subgraph_edges")
+	s.cQueries = reg.Counter(ns + ".queries")
+	s.cSegScans = reg.Counter(ns + ".seg_scans")
+	s.cSegSkips = reg.Counter(ns + ".seg_skips")
+	s.cEdges = reg.Counter(ns + ".subgraph_edges")
 }
 
 func (s *Slicer) layout(b *ir.Block) blockLayout {
@@ -178,7 +194,7 @@ type query struct {
 	hitMask   uint64           // bits whose seed address was defined somewhere
 	locs      []locCrit
 
-	// Free list of blockExec address buffers: a segment's buffers are
+	// Free list of BlockExec address buffers: a segment's buffers are
 	// recycled into the next segment's decode (same idea as the pooled
 	// record batches in trace.ParallelReplay), so a backward scan reaches
 	// steady state after one segment instead of allocating one slice per
@@ -201,13 +217,13 @@ func (q *query) getBuf(n int) []int64 {
 
 // recycleBufs returns a processed segment's address buffers to the free
 // list (bounded so one giant segment cannot pin memory).
-func (q *query) recycleBufs(execs []blockExec) {
+func (q *query) recycleBufs(execs []BlockExec) {
 	for i := range execs {
-		if execs[i].addrs == nil || len(q.bufFree) >= 4096 {
+		if execs[i].Addrs == nil || len(q.bufFree) >= 4096 {
 			break
 		}
-		q.bufFree = append(q.bufFree, execs[i].addrs)
-		execs[i].addrs = nil
+		q.bufFree = append(q.bufFree, execs[i].Addrs)
+		execs[i].Addrs = nil
 	}
 }
 
@@ -300,19 +316,12 @@ func (s *Slicer) sliceAll(cs []slicing.Criterion, obs *explain.Recorder) ([]*sli
 	return outs, stats, nil
 }
 
-// blockExec is one buffered block execution.
-type blockExec struct {
-	b     *ir.Block
-	ord   int64
-	addrs []int64 // flat per-stmt use+def addresses (layout per blockLayout)
-}
-
 func (q *query) scan() error {
-	f, err := os.Open(q.s.path)
+	cur, err := q.s.src.Open()
 	if err != nil {
-		return fmt.Errorf("lp: %w", err)
+		return err
 	}
-	defer f.Close()
+	defer cur.Close()
 
 	for si := len(q.s.segs) - 1; si >= 0; si-- {
 		seg := q.s.segs[si]
@@ -324,7 +333,7 @@ func (q *query) scan() error {
 			continue
 		}
 		q.stats.SegScans++
-		execs, err := q.decodeSegment(f, seg)
+		execs, err := cur.Segment(seg, q.getBuf)
 		if err != nil {
 			return err
 		}
@@ -371,80 +380,19 @@ func (q *query) canSkip(seg *trace.Segment) bool {
 	return true
 }
 
-func (q *query) decodeSegment(f *os.File, seg *trace.Segment) ([]blockExec, error) {
-	if _, err := f.Seek(seg.Off, 0); err != nil {
-		return nil, fmt.Errorf("lp: seek: %w", err)
-	}
-	d := trace.NewDecoder(q.s.p, f, seg.StartOrd)
-	d.SetMetrics(q.s.met)
-	n := seg.EndOrd - seg.StartOrd
-	execs := make([]blockExec, 0, n)
-	var cur *blockExec
-	for int64(len(execs)) < n {
-		ev, err := d.Next()
-		if err != nil {
-			return nil, err
-		}
-		switch ev.Kind {
-		case trace.EvBlock:
-			execs = append(execs, blockExec{b: ev.Block, ord: ev.Ord})
-			cur = &execs[len(execs)-1]
-			cur.addrs = q.getBuf(q.s.layout(ev.Block).total)
-		case trace.EvStmt:
-			cur.addrs = append(cur.addrs, ev.Uses...)
-			cur.addrs = append(cur.addrs, ev.Defs...)
-		case trace.EvRegion:
-			cur.addrs = append(cur.addrs, ev.RegStart, ev.RegLen)
-		case trace.EvEnd:
-			return execs, nil
-		}
-		// Stop once the final block of the segment is fully decoded: the
-		// decoder would otherwise run into the next segment. We detect
-		// completion by count of block records; trailing statement records
-		// of the last block still need decoding, so only break on the next
-		// block boundary — handled by the loop condition plus one extra
-		// round below.
-	}
-	// The loop exits after appending the segment's last block record; its
-	// statement records still follow. Decode until the next block record
-	// or end.
-	lay := q.s.layout(cur.b)
-	for len(cur.addrs) < lay.total {
-		ev, err := d.Next()
-		if err != nil {
-			return nil, err
-		}
-		switch ev.Kind {
-		case trace.EvStmt:
-			cur.addrs = append(cur.addrs, ev.Uses...)
-			cur.addrs = append(cur.addrs, ev.Defs...)
-		case trace.EvRegion:
-			cur.addrs = append(cur.addrs, ev.RegStart, ev.RegLen)
-		case trace.EvEnd:
-			return execs, nil
-		case trace.EvBlock:
-			if m := q.s.met; m != nil {
-				m.ErrDesync.Inc()
-			}
-			return nil, fmt.Errorf("lp: segment decoding desynchronized")
-		}
-	}
-	return execs, nil
-}
-
-func (q *query) processBlockExec(be *blockExec) {
-	lay := q.s.layout(be.b)
+func (q *query) processBlockExec(be *BlockExec) {
+	lay := q.s.layout(be.B)
 
 	// Locate criterion instances.
 	for i := range q.locs {
 		lc := &q.locs[i]
-		if lc.done || be.ord != lc.ord {
+		if lc.done || be.Ord != lc.ord {
 			continue
 		}
 		st := q.s.p.Stmt(lc.stmt)
-		if st.Block == be.b {
+		if st.Block == be.B {
 			lc.done = true
-			q.obs.Criterion(st.ID, be.ord)
+			q.obs.Criterion(st.ID, be.Ord)
 			q.admit(st, be, lay, lc.mask)
 		}
 	}
@@ -456,16 +404,16 @@ func (q *query) processBlockExec(be *blockExec) {
 	q.updateCDs(be, lay)
 
 	// Statements in reverse order: defs may satisfy pending needs.
-	for idx := len(be.b.Stmts) - 1; idx >= 0; idx-- {
-		st := be.b.Stmts[idx]
-		here := pos{ord: be.ord, idx: idx}
+	for idx := len(be.B.Stmts) - 1; idx >= 0; idx-- {
+		st := be.B.Stmts[idx]
+		here := pos{ord: be.Ord, idx: idx}
 		if st.Op == ir.OpDeclArr {
-			start, length := be.addrs[lay.useOff[idx]], be.addrs[lay.useOff[idx]+1]
+			start, length := be.Addrs[lay.useOff[idx]], be.Addrs[lay.useOff[idx]+1]
 			q.resolveRegion(st, be, lay, here, start, length)
 			continue
 		}
 		for di := 0; di < st.NumDefs; di++ {
-			a := be.addrs[lay.defOff[idx]+di]
+			a := be.Addrs[lay.defOff[idx]+di]
 			q.resolveDefs(st, be, lay, here, a)
 		}
 	}
@@ -473,7 +421,7 @@ func (q *query) processBlockExec(be *blockExec) {
 
 // resolveDefs satisfies pending needs on address a with the definition at
 // position here.
-func (q *query) resolveDefs(st *ir.Stmt, be *blockExec, lay blockLayout, here pos, a int64) {
+func (q *query) resolveDefs(st *ir.Stmt, be *BlockExec, lay blockLayout, here pos, a int64) {
 	needs := q.needDefs[a]
 	if len(needs) == 0 {
 		return
@@ -486,9 +434,9 @@ func (q *query) resolveDefs(st *ir.Stmt, be *blockExec, lay blockLayout, here po
 			q.edges++
 			if n.use.ord == seedOrd {
 				q.hitMask |= n.mask
-				q.obs.Criterion(st.ID, be.ord)
+				q.obs.Criterion(st.ID, be.Ord)
 			} else {
-				q.obs.Edge(n.stmt, n.use.ord, false, n.slot, st.ID, be.ord, explain.KindExplicit, false)
+				q.obs.Edge(n.stmt, n.use.ord, false, n.slot, st.ID, be.Ord, explain.KindExplicit, false)
 			}
 		} else {
 			kept = append(kept, n)
@@ -504,7 +452,7 @@ func (q *query) resolveDefs(st *ir.Stmt, be *blockExec, lay blockLayout, here po
 	}
 }
 
-func (q *query) resolveRegion(st *ir.Stmt, be *blockExec, lay blockLayout, here pos, start, length int64) {
+func (q *query) resolveRegion(st *ir.Stmt, be *BlockExec, lay blockLayout, here pos, start, length int64) {
 	var hit uint64
 	for a := range q.needDefs {
 		if a < start || a >= start+length {
@@ -518,9 +466,9 @@ func (q *query) resolveRegion(st *ir.Stmt, be *blockExec, lay blockLayout, here 
 				q.edges++
 				if n.use.ord == seedOrd {
 					q.hitMask |= n.mask
-					q.obs.Criterion(st.ID, be.ord)
+					q.obs.Criterion(st.ID, be.Ord)
 				} else {
-					q.obs.Edge(n.stmt, n.use.ord, false, n.slot, st.ID, be.ord, explain.KindExplicit, false)
+					q.obs.Edge(n.stmt, n.use.ord, false, n.slot, st.ID, be.Ord, explain.KindExplicit, false)
 				}
 			} else {
 				kept = append(kept, n)
@@ -548,9 +496,9 @@ func newStamps(n int) []int64 {
 
 // admit adds a statement instance to the slices in mask and queues its
 // needs for the criteria bits that reach it for the first time.
-func (q *query) admit(st *ir.Stmt, be *blockExec, lay blockLayout, mask uint64) {
-	if q.visStamp[st.ID] != be.ord {
-		q.visStamp[st.ID] = be.ord
+func (q *query) admit(st *ir.Stmt, be *BlockExec, lay blockLayout, mask uint64) {
+	if q.visStamp[st.ID] != be.Ord {
+		q.visStamp[st.ID] = be.Ord
 		q.visMask[st.ID] = 0
 	}
 	nv := mask &^ q.visMask[st.ID]
@@ -559,7 +507,7 @@ func (q *query) admit(st *ir.Stmt, be *blockExec, lay blockLayout, mask uint64) 
 	}
 	if q.visMask[st.ID] == 0 {
 		q.stats.Instances++
-		q.obs.Visit(st.ID, be.ord)
+		q.obs.Visit(st.ID, be.Ord)
 	}
 	q.visMask[st.ID] |= nv
 	for m := nv; m != 0; m &= m - 1 {
@@ -569,17 +517,17 @@ func (q *query) admit(st *ir.Stmt, be *blockExec, lay blockLayout, mask uint64) 
 	// Data needs: one per use slot, at this instance's position.
 	if st.Op != ir.OpDeclArr {
 		for ui := 0; ui < len(st.Uses); ui++ {
-			a := be.addrs[lay.useOff[st.Idx]+ui]
+			a := be.Addrs[lay.useOff[st.Idx]+ui]
 			q.needDefs[a] = append(q.needDefs[a], defNeed{
-				use: pos{ord: be.ord, idx: st.Idx}, mask: nv, stmt: st.ID, slot: int32(ui),
+				use: pos{ord: be.Ord, idx: st.Idx}, mask: nv, stmt: st.ID, slot: int32(ui),
 			})
 		}
 	}
 
 	// Control need for the enclosing block instance (once per instance and
 	// criterion bit).
-	if q.cdStamp[st.Block.ID] != be.ord {
-		q.cdStamp[st.Block.ID] = be.ord
+	if q.cdStamp[st.Block.ID] != be.Ord {
+		q.cdStamp[st.Block.ID] = be.Ord
 		q.cdMask[st.Block.ID] = 0
 	}
 	cnv := nv &^ q.cdMask[st.Block.ID]
@@ -596,8 +544,8 @@ func (q *query) admit(st *ir.Stmt, be *blockExec, lay blockLayout, mask uint64) 
 			return
 		}
 	}
-	n := &cdNeed{fn: st.Block.Fn, ancestors: map[ir.BlockID]bool{}, startOrd: be.ord, mask: cnv,
-		fromStmt: st.ID, fromOrd: be.ord}
+	n := &cdNeed{fn: st.Block.Fn, ancestors: map[ir.BlockID]bool{}, startOrd: be.Ord, mask: cnv,
+		fromStmt: st.ID, fromOrd: be.Ord}
 	for _, ab := range ancs {
 		n.ancestors[ab.ID] = true
 	}
@@ -606,12 +554,12 @@ func (q *query) admit(st *ir.Stmt, be *blockExec, lay blockLayout, mask uint64) 
 }
 
 // updateCDs advances every pending control need over this block execution.
-func (q *query) updateCDs(be *blockExec, lay blockLayout) {
+func (q *query) updateCDs(be *BlockExec, lay blockLayout) {
 	for _, n := range q.needCDs {
-		if n.done || be.ord >= n.startOrd {
+		if n.done || be.Ord >= n.startOrd {
 			continue
 		}
-		term := be.b.Terminator()
+		term := be.B.Terminator()
 		if term != nil && term.Op == ir.OpReturn {
 			n.depth++
 			continue
@@ -622,7 +570,7 @@ func (q *query) updateCDs(be *blockExec, lay blockLayout) {
 				// procedural needs cannot match beyond this boundary.
 				if n.entryLike {
 					q.edges++
-					q.obs.Edge(n.fromStmt, n.fromOrd, false, -1, term.ID, be.ord, explain.KindExplicit, true)
+					q.obs.Edge(n.fromStmt, n.fromOrd, false, -1, term.ID, be.Ord, explain.KindExplicit, true)
 					q.admit(term, be, lay, n.mask)
 				}
 				n.done = true
@@ -633,10 +581,10 @@ func (q *query) updateCDs(be *blockExec, lay blockLayout) {
 			// through only for depth accounting.
 			continue
 		}
-		if n.depth == 0 && n.ancestors[be.b.ID] {
+		if n.depth == 0 && n.ancestors[be.B.ID] {
 			q.edges++
-			term := be.b.Terminator()
-			q.obs.Edge(n.fromStmt, n.fromOrd, false, -1, term.ID, be.ord, explain.KindExplicit, true)
+			term := be.B.Terminator()
+			q.obs.Edge(n.fromStmt, n.fromOrd, false, -1, term.ID, be.Ord, explain.KindExplicit, true)
 			q.admit(term, be, lay, n.mask)
 			n.done = true
 		}

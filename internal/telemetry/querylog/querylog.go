@@ -50,7 +50,8 @@ type Record struct {
 	ID uint64 `json:"id"`
 	// Start is the wall-clock time the query began.
 	Start time.Time `json:"start"`
-	// Backend is the algorithm that answered: "FP", "OPT", or "LP".
+	// Backend is the algorithm that answered: "FP", "OPT", "LP",
+	// "reexec", or "forward".
 	Backend string `json:"backend"`
 	// Kind is the query shape: slice, batch, or explain.
 	Kind string `json:"kind"`
@@ -78,6 +79,14 @@ type Record struct {
 	Shortcut int64 `json:"shortcut_edges,omitempty"`
 	// Err classifies a failed query ("" on success; see Classify).
 	Err string `json:"err,omitempty"`
+	// Plan is the backend the cost-based planner originally chose for
+	// this query ("" when the query was dispatched directly rather than
+	// through a planned engine). Plan != Backend means the planned
+	// backend failed and the fallback ladder promoted another.
+	Plan string `json:"plan,omitempty"`
+	// PlanReason is the planner's cost rationale (or the fallback cause
+	// when a ladder rung other than the first answered).
+	PlanReason string `json:"plan_reason,omitempty"`
 	// Source reports where the answering recording's graphs came from:
 	// "build" (fresh instrumented execution) or "snapshot" (loaded from
 	// the persistent graph cache).

@@ -1,0 +1,56 @@
+package trace
+
+import "fmt"
+
+// SegmentAt returns the index in segs of the segment whose ordinal
+// range contains block ordinal ord, or -1 when no segment covers it.
+// segs must be ordered by StartOrd, as Writer.Segments produces them.
+func SegmentAt(segs []*Segment, ord int64) int {
+	lo, hi := 0, len(segs)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if segs[mid].EndOrd <= ord {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(segs) && ord >= segs[lo].StartOrd {
+		return lo
+	}
+	return -1
+}
+
+// ValidateSegments checks that a summary index is complete: the
+// segments tile the ordinal range [0, totalBlocks) contiguously and in
+// order. It returns nil for a healthy index and a descriptive error
+// naming the first defect otherwise — the check consumers run before
+// trusting summaries to skip (or regenerate) parts of the trace.
+func ValidateSegments(segs []*Segment, totalBlocks int64) error {
+	if len(segs) == 0 {
+		if totalBlocks == 0 {
+			return nil
+		}
+		return fmt.Errorf("trace: summary index empty, want coverage of %d block executions", totalBlocks)
+	}
+	want := int64(0)
+	for i, s := range segs {
+		if s.StartOrd > want {
+			return fmt.Errorf("trace: summary gap before segment %d: starts at ordinal %d, want %d", i, s.StartOrd, want)
+		}
+		if s.StartOrd < want {
+			return fmt.Errorf("trace: summary overlap at segment %d: starts at ordinal %d, want %d", i, s.StartOrd, want)
+		}
+		if s.EndOrd <= s.StartOrd {
+			return fmt.Errorf("trace: summary segment %d is empty (ordinals [%d,%d))", i, s.StartOrd, s.EndOrd)
+		}
+		want = s.EndOrd
+	}
+	if want < totalBlocks {
+		return fmt.Errorf("trace: summary truncated: segments cover ordinals [0,%d) of %d block executions", want, totalBlocks)
+	}
+	if want > totalBlocks {
+		return fmt.Errorf("trace: summary overruns the trace: segments cover ordinals [0,%d), trace has %d block executions", want, totalBlocks)
+	}
+	return nil
+}

@@ -27,6 +27,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sync"
 	"time"
 
 	"dynslice/internal/compile"
@@ -34,9 +35,12 @@ import (
 	"dynslice/internal/ir"
 	"dynslice/internal/profile"
 	"dynslice/internal/slicing"
+	"dynslice/internal/slicing/forward"
 	"dynslice/internal/slicing/fp"
 	"dynslice/internal/slicing/lp"
 	"dynslice/internal/slicing/opt"
+	"dynslice/internal/slicing/plan"
+	"dynslice/internal/slicing/reexec"
 	"dynslice/internal/slicing/snapshot"
 	"dynslice/internal/telemetry"
 	"dynslice/internal/telemetry/querylog"
@@ -113,6 +117,28 @@ type RunOptions struct {
 	// built recording is saved back. See docs/PERFORMANCE.md "Snapshot
 	// format".
 	Snapshot SnapshotOptions
+	// DeferGraphs skips the FP and OPT graph construction during Record:
+	// only the trace file (and segment summaries) are produced, and the
+	// graphs are built lazily — by replaying the trace — the first time
+	// an FP or OPT query needs them. A rare-query workload answered by
+	// the re-execution or LP backend then never pays graph construction
+	// at all. Ignored when Snapshot.Write is set (the snapshot needs the
+	// graphs). See docs/PLANNER.md.
+	DeferGraphs bool
+	// CheckpointEvery captures an interpreter checkpoint every N block
+	// executions during the instrumented run, giving the re-execution
+	// backend resume points (see internal/slicing/reexec). 0 picks a
+	// default (one checkpoint per trace segment) when DeferGraphs is
+	// set and disables capture otherwise; negative always disables.
+	CheckpointEvery int64
+	// Planner supplies the cost-based query planner consulted by
+	// Recording.Engine. Nil creates a fresh one seeded from this
+	// recording's features. See docs/PLANNER.md.
+	Planner *plan.Planner
+	// WithForward additionally computes the forward-slicing index during
+	// the instrumented run (precomputed slice sets; O(1) queries, no
+	// explain support). It becomes a planner candidate.
+	WithForward bool
 }
 
 // SnapshotOptions configures the persistent graph cache (see
@@ -151,10 +177,27 @@ type Recording struct {
 	fpG     *fp.Graph
 	optG    *opt.Graph
 	lpS     *lp.Slicer
+	reexecS *reexec.Slicer
+	fwd     *forward.Slicer
 	optCfg  opt.Config
 	hot     []*profile.PathProfile
 	cuts    *profile.Cuts
 	lastErr error
+
+	// Inputs of the instrumented run, kept so the re-execution backend
+	// (and deferred graph builds) can regenerate it.
+	input       []int64
+	maxSteps    int64
+	totalBlocks int64
+	fpPlain     bool
+
+	// Deferred graph construction (RunOptions.DeferGraphs): fpG/optG stay
+	// nil until first use; buildMu serializes the lazy builds and guards
+	// the graph fields against concurrent planner availability checks.
+	deferred      bool
+	buildMu       sync.Mutex
+	fpErr, optErr error
+	planner       *plan.Planner
 }
 
 // Record runs the program twice — once to collect the Ball-Larus path
@@ -239,46 +282,72 @@ func (p *Program) Record(o RunOptions) (*Recording, error) {
 	}
 	tw := trace.NewWriter(p.ir, f, 4096)
 	tw.SetMetrics(trace.NewMetrics(o.Telemetry))
-	rec.fpG = fp.NewGraph(p.ir)
-	rec.fpG.SetPlainLabels(o.PlainLabels)
-	rec.fpG.SetTelemetry(o.Telemetry)
-	rec.optG = opt.NewGraph(p.ir, rec.optCfg, rec.hot, rec.cuts)
-	rec.optG.SetTelemetry(o.Telemetry)
-	// By default the graph builders run as pipelined Async sinks: the
-	// interpreter batches events into pooled buffers and each builder
-	// consumes its own feed concurrently. The trace writer stays inline
-	// so trace I/O errors surface synchronously.
-	sink := trace.Multi{tw, rec.fpG, rec.optG}
+	// DeferGraphs skips the online FP/OPT construction entirely (the
+	// graphs are replay-built on demand); a snapshot write needs them
+	// now, so it overrides the deferral.
+	rec.deferred = o.DeferGraphs && !(cache != nil && o.Snapshot.Write)
+	rec.fpPlain = o.PlainLabels
+	sink := trace.Multi{tw}
 	var picker *trace.CritPicker
 	if o.TrackCriteria > 0 {
 		picker = trace.NewCritPicker()
 	}
 	var asyncs []*trace.Async
-	if !o.SequentialBuild {
-		// An attached timeline (telemetry.AttachTimeline) gives each
-		// builder worker its own named row of per-batch activity.
-		tl := o.Telemetry.Timeline()
-		// Epoch-parallel block sealing rides along with the pipelined
-		// build: each builder ships filled label epochs to encode workers
-		// instead of delta-varint compressing them inline.
-		rec.fpG.SetParallelEncode(0)
-		rec.optG.SetParallelEncode(0)
-		afp := trace.NewAsync(rec.fpG, trace.PipelineConfig{Timeline: tl, TimelineNames: []string{"fp-build"}})
-		aopt := trace.NewAsync(rec.optG, trace.PipelineConfig{Timeline: tl, TimelineNames: []string{"opt-build"}})
-		asyncs = []*trace.Async{afp, aopt}
-		sink = trace.Multi{tw, afp, aopt}
+	if !rec.deferred {
+		rec.fpG = fp.NewGraph(p.ir)
+		rec.fpG.SetPlainLabels(o.PlainLabels)
+		rec.fpG.SetTelemetry(o.Telemetry)
+		rec.optG = opt.NewGraph(p.ir, rec.optCfg, rec.hot, rec.cuts)
+		rec.optG.SetTelemetry(o.Telemetry)
+		if o.SequentialBuild {
+			sink = append(sink, rec.fpG, rec.optG)
+		} else {
+			// By default the graph builders run as pipelined Async sinks:
+			// the interpreter batches events into pooled buffers and each
+			// builder consumes its own feed concurrently. The trace writer
+			// stays inline so trace I/O errors surface synchronously. An
+			// attached timeline (telemetry.AttachTimeline) gives each
+			// builder worker its own named row of per-batch activity.
+			tl := o.Telemetry.Timeline()
+			// Epoch-parallel block sealing rides along with the pipelined
+			// build: each builder ships filled label epochs to encode
+			// workers instead of delta-varint compressing them inline.
+			rec.fpG.SetParallelEncode(0)
+			rec.optG.SetParallelEncode(0)
+			afp := trace.NewAsync(rec.fpG, trace.PipelineConfig{Timeline: tl, TimelineNames: []string{"fp-build"}})
+			aopt := trace.NewAsync(rec.optG, trace.PipelineConfig{Timeline: tl, TimelineNames: []string{"opt-build"}})
+			asyncs = []*trace.Async{afp, aopt}
+			sink = append(sink, afp, aopt)
+		}
+	}
+	if o.WithForward {
+		// The forward index builder stays inline like the picker: its
+		// per-event work is set arithmetic on interned IDs.
+		rec.fwd = forward.New(p.ir)
+		sink = append(sink, rec.fwd)
 	}
 	if picker != nil {
 		// Criterion tracking stays inline: the picker is cheap (two map
 		// stores per defining statement) and must see the full run.
 		sink = append(sink, picker)
 	}
+	// Checkpoint capture feeds the re-execution backend. The default
+	// Record path leaves it off; DeferGraphs turns it on (one checkpoint
+	// per trace segment) since re-execution is then the expected backend.
+	ckEvery := o.CheckpointEvery
+	if ckEvery == 0 && rec.deferred {
+		ckEvery = 4096
+	}
+	if ckEvery < 0 {
+		ckEvery = 0
+	}
 	sp = span.Child("interp")
 	res, err := interp.Run(p.ir, interp.Options{
-		Input:     o.Input,
-		MaxSteps:  o.MaxSteps,
-		Sink:      sink,
-		Telemetry: o.Telemetry,
+		Input:           o.Input,
+		MaxSteps:        o.MaxSteps,
+		Sink:            sink,
+		Telemetry:       o.Telemetry,
+		CheckpointEvery: ckEvery,
 	})
 	sp.End()
 	if err != nil {
@@ -302,6 +371,26 @@ func (p *Program) Record(o RunOptions) (*Recording, error) {
 	rec.Output = res.Output
 	rec.Steps = res.Steps
 	rec.Return = res.ReturnValue
+	rec.input = o.Input
+	rec.maxSteps = o.MaxSteps
+	rec.totalBlocks = res.BlockExecs
+	rec.reexecS = reexec.New(p.ir, rec.segs, reexec.Options{
+		Input:       o.Input,
+		MaxSteps:    o.MaxSteps,
+		TotalBlocks: res.BlockExecs,
+		Checkpoints: res.Checkpoints,
+	})
+	rec.reexecS.SetTelemetry(o.Telemetry)
+	rec.planner = o.Planner
+	if rec.planner == nil {
+		rec.planner = plan.New()
+	}
+	rec.planner.Seed(plan.Features{
+		TraceBlocks: res.BlockExecs,
+		TraceSteps:  res.Steps,
+		Segments:    len(rec.segs),
+		IRStmts:     len(p.ir.Stmts),
+	})
 	if picker != nil {
 		rec.crit = picker.Pick(o.TrackCriteria)
 	}
@@ -354,6 +443,31 @@ func (p *Program) loadSnapshot(cache *snapshot.Cache, key snapshot.Key, o RunOpt
 	}
 	rec.fpG.SetTelemetry(o.Telemetry)
 	rec.optG.SetTelemetry(o.Telemetry)
+	// A snapshot persists the graphs, not the trace — but the inputs are
+	// part of the cache key, so the re-execution backend still works: it
+	// regenerates any segment from scratch (no checkpoints survive the
+	// snapshot round-trip).
+	rec.input = o.Input
+	rec.maxSteps = o.MaxSteps
+	if n := len(img.Segs); n > 0 {
+		rec.totalBlocks = img.Segs[n-1].EndOrd
+	}
+	rec.reexecS = reexec.New(p.ir, rec.segs, reexec.Options{
+		Input:       o.Input,
+		MaxSteps:    o.MaxSteps,
+		TotalBlocks: rec.totalBlocks,
+	})
+	rec.reexecS.SetTelemetry(o.Telemetry)
+	rec.planner = o.Planner
+	if rec.planner == nil {
+		rec.planner = plan.New()
+	}
+	rec.planner.Seed(plan.Features{
+		TraceBlocks: rec.totalBlocks,
+		TraceSteps:  img.Steps,
+		Segments:    len(img.Segs),
+		IRStmts:     len(p.ir.Stmts),
+	})
 	return rec
 }
 
@@ -465,13 +579,154 @@ type Slicer struct {
 	rec  *Recording
 	name string
 	impl slicing.MultiSlicer
+
+	// Planner attribution, set by planned dispatch (Recording.Engine):
+	// plan is the backend the planner chose, planReason its rationale
+	// (or the fallback cause when this slicer is a later ladder rung).
+	// Every dispatch stamps a fresh *Slicer, so these are immutable once
+	// queries run.
+	plan       string
+	planReason string
 }
 
-// FP returns the full-graph slicer.
-func (r *Recording) FP() *Slicer { return &Slicer{rec: r, name: "FP", impl: r.fpG} }
+// logQuery stamps the planner attribution and publishes the record.
+func (s *Slicer) logQuery(qr querylog.Record) {
+	qr.Plan = s.plan
+	qr.PlanReason = s.planReason
+	s.rec.logQuery(qr)
+}
 
-// OPT returns the compacted-graph slicer (the paper's algorithm).
-func (r *Recording) OPT() *Slicer { return &Slicer{rec: r, name: "OPT", impl: r.optG} }
+// ensureFP returns the FP graph, building it from the trace on first
+// use when construction was deferred (RunOptions.DeferGraphs). A build
+// failure latches: later calls return the same error without retrying.
+func (r *Recording) ensureFP() (*fp.Graph, error) {
+	r.buildMu.Lock()
+	defer r.buildMu.Unlock()
+	if r.fpG != nil {
+		return r.fpG, nil
+	}
+	if r.fpErr != nil {
+		return nil, r.fpErr
+	}
+	span := r.tel.StartSpan("fp-deferred-build")
+	g := fp.NewGraph(r.p.ir)
+	g.SetPlainLabels(r.fpPlain)
+	g.SetTelemetry(r.tel)
+	if err := r.replayInto(g); err != nil {
+		r.fpErr = fmt.Errorf("slicer: deferred FP build: %w", err)
+		span.End()
+		return nil, r.fpErr
+	}
+	span.End()
+	r.fpG = g
+	return g, nil
+}
+
+// ensureOPT is ensureFP for the compacted graph.
+func (r *Recording) ensureOPT() (*opt.Graph, error) {
+	r.buildMu.Lock()
+	defer r.buildMu.Unlock()
+	if r.optG != nil {
+		return r.optG, nil
+	}
+	if r.optErr != nil {
+		return nil, r.optErr
+	}
+	span := r.tel.StartSpan("opt-deferred-build")
+	g := opt.NewGraph(r.p.ir, r.optCfg, r.hot, r.cuts)
+	g.SetTelemetry(r.tel)
+	if err := r.replayInto(g); err != nil {
+		r.optErr = fmt.Errorf("slicer: deferred OPT build: %w", err)
+		span.End()
+		return nil, r.optErr
+	}
+	span.End()
+	r.optG = g
+	return g, nil
+}
+
+// replayInto feeds the recorded trace through a sink — the deferred
+// graph build path. The event stream is identical to what the builders
+// would have seen online, so the graphs are identical too.
+func (r *Recording) replayInto(sink trace.Sink) error {
+	f, err := os.Open(r.path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return trace.ReplayWith(r.p.ir, f, sink, trace.NewMetrics(r.tel))
+}
+
+// FP returns the full-graph slicer (building the graph on first use
+// when Record deferred it).
+func (r *Recording) FP() *Slicer {
+	g, err := r.ensureFP()
+	if err != nil {
+		return &Slicer{rec: r, name: "FP", impl: unavailableSlicer{err}}
+	}
+	return &Slicer{rec: r, name: "FP", impl: g}
+}
+
+// OPT returns the compacted-graph slicer (the paper's algorithm),
+// building the graph on first use when Record deferred it.
+func (r *Recording) OPT() *Slicer {
+	g, err := r.ensureOPT()
+	if err != nil {
+		return &Slicer{rec: r, name: "OPT", impl: unavailableSlicer{err}}
+	}
+	return &Slicer{rec: r, name: "OPT", impl: g}
+}
+
+// Reexec returns the re-execution slicer: queries are answered by
+// resuming the interpreter from checkpoints and running the LP
+// traversal over the regenerated events — no graph, no trace reads.
+func (r *Recording) Reexec() *Slicer {
+	if r.reexecS == nil {
+		return &Slicer{rec: r, name: "reexec", impl: unavailableSlicer{errNoReexec}}
+	}
+	return &Slicer{rec: r, name: "reexec", impl: r.reexecS}
+}
+
+// Forward returns the forward-computed slicer (RunOptions.WithForward):
+// per-address slice sets precomputed during the run, answered by
+// lookup. Unavailable unless the recording was made WithForward.
+func (r *Recording) Forward() *Slicer {
+	if r.fwd == nil {
+		return &Slicer{rec: r, name: "forward", impl: unavailableSlicer{errNoForward}}
+	}
+	return &Slicer{rec: r, name: "forward", impl: loopMulti{r.fwd}}
+}
+
+var (
+	errNoReexec  = errors.New("slicer: re-execution backend unavailable for this recording")
+	errNoForward = errors.New("slicer: forward index not built (RunOptions.WithForward was off)")
+)
+
+// loopMulti lifts a single-criterion slicer into MultiSlicer by
+// looping — for backends whose per-query cost is a lookup, batching
+// has nothing to share.
+type loopMulti struct{ s slicing.Slicer }
+
+func (m loopMulti) Slice(c slicing.Criterion) (*slicing.Slice, *slicing.Stats, error) {
+	return m.s.Slice(c)
+}
+
+func (m loopMulti) SliceAll(cs []slicing.Criterion) ([]*slicing.Slice, *slicing.Stats, error) {
+	outs := make([]*slicing.Slice, len(cs))
+	agg := &slicing.Stats{}
+	for i, c := range cs {
+		sl, st, err := m.s.Slice(c)
+		if err != nil {
+			return nil, nil, err
+		}
+		outs[i] = sl
+		if st != nil {
+			agg.Instances += st.Instances
+			agg.LabelProbes += st.LabelProbes
+		}
+	}
+	return outs, agg, nil
+}
 
 // LP returns the demand-driven trace slicer. A snapshot-loaded recording
 // has no trace file, so its LP slicer answers every query with an error
@@ -513,7 +768,7 @@ func (s *Slicer) SliceAddr(addr int64) (*Slice, error) {
 	elapsed := time.Since(t0)
 	if err != nil {
 		if obs {
-			s.rec.logQuery(querylog.Record{
+			s.logQuery(querylog.Record{
 				ID: id, Start: t0, Backend: s.name, Kind: querylog.KindSlice,
 				Addr: addr, Latency: elapsed, Err: querylog.Classify(err),
 			})
@@ -545,7 +800,7 @@ func (s *Slicer) SliceAddr(addr int64) (*Slice, error) {
 			qr.Instances = st.Instances
 			qr.LabelProbes = st.LabelProbes
 		}
-		s.rec.logQuery(qr)
+		s.logQuery(qr)
 	}
 	return sl, nil
 }
@@ -568,7 +823,7 @@ func (s *Slicer) SliceAddrs(addrs []int64) ([]*Slice, error) {
 	elapsed := time.Since(t0)
 	if err != nil {
 		if obs {
-			s.rec.logQuery(querylog.Record{
+			s.logQuery(querylog.Record{
 				ID: s.rec.qlog.NextID(), Start: t0, Backend: s.name,
 				Kind: querylog.KindBatch, Addr: addrs[0], Batch: len(addrs),
 				Latency: elapsed, Err: querylog.Classify(err),
@@ -613,7 +868,7 @@ func (s *Slicer) SliceAddrs(addrs []int64) ([]*Slice, error) {
 				qr.Instances = st.Instances
 				qr.LabelProbes = st.LabelProbes
 			}
-			s.rec.logQuery(qr)
+			s.logQuery(qr)
 		}
 	}
 	return outs, nil
@@ -650,14 +905,67 @@ type GraphStats struct {
 	PathNodes     int
 }
 
-// Stats returns graph statistics for this recording.
+// Stats returns graph statistics for this recording, building deferred
+// graphs if necessary (zero stats when a deferred build fails).
 func (r *Recording) Stats() GraphStats {
-	return GraphStats{
-		FPLabelPairs:  r.fpG.LabelPairs(),
-		OPTLabelPairs: r.optG.LabelPairs(),
-		FPSizeBytes:   r.fpG.SizeBytes(),
-		OPTSizeBytes:  r.optG.SizeBytes(),
-		StaticEdges:   r.optG.StaticEdges(),
-		PathNodes:     r.optG.PathNodes(),
+	fpG, err1 := r.ensureFP()
+	optG, err2 := r.ensureOPT()
+	if err1 != nil || err2 != nil {
+		return GraphStats{}
 	}
+	return GraphStats{
+		FPLabelPairs:  fpG.LabelPairs(),
+		OPTLabelPairs: optG.LabelPairs(),
+		FPSizeBytes:   fpG.SizeBytes(),
+		OPTSizeBytes:  optG.SizeBytes(),
+		StaticEdges:   optG.StaticEdges(),
+		PathNodes:     optG.PathNodes(),
+	}
+}
+
+// Planner returns the recording's cost-based query planner (always
+// non-nil after Record).
+func (r *Recording) Planner() *plan.Planner { return r.planner }
+
+// PlanFor returns the planner's decision for one query shape against
+// the recording's current backend availability and live workload
+// statistics. Purely informational: it changes no state.
+func (r *Recording) PlanFor(shape plan.Shape) plan.Decision {
+	return r.planner.Decide(shape, r.availability(), r.qstats.Snapshot())
+}
+
+// availability reports which backends can answer right now and which
+// graphs are already built.
+func (r *Recording) availability() plan.Availability {
+	r.buildMu.Lock()
+	fpWarm, optWarm := r.fpG != nil, r.optG != nil
+	fpErr, optErr := r.fpErr, r.optErr
+	r.buildMu.Unlock()
+	return plan.Availability{
+		FP:      (fpWarm || r.path != "") && fpErr == nil,
+		OPT:     (optWarm || r.path != "") && optErr == nil,
+		LP:      r.lpS != nil,
+		Reexec:  r.reexecS != nil,
+		Forward: r.fwd != nil,
+		FPWarm:  fpWarm,
+		OPTWarm: optWarm,
+	}
+}
+
+// backendSlicer maps a planner backend name to this recording's slicer
+// for it (nil for unknown names).
+func (r *Recording) backendSlicer(name string) *Slicer {
+	switch name {
+	case plan.FP:
+		return r.FP()
+	case plan.OPT:
+		return r.OPT()
+	case plan.LP:
+		return r.LP()
+	case plan.Reexec:
+		return r.Reexec()
+	case plan.Forward:
+		return r.Forward()
+	}
+	return nil
 }
