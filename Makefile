@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: ci build vet fmt test test-race fuzz-smoke fuzz-native overhead bench bench-parallel bench-mem bench-explain bench-queries bench-snapshot bench-planner bench-baseline bench-check experiments
+.PHONY: ci build vet fmt test test-race fuzz-smoke fuzz-native overhead bench bench-parallel bench-mem bench-explain bench-queries bench-snapshot bench-planner bench-qtrace bench-baseline bench-check lint-metrics experiments
 
-ci: build vet fmt test test-race fuzz-smoke bench-mem bench-explain bench-queries bench-snapshot bench-planner overhead bench-check
+ci: build vet fmt lint-metrics test test-race fuzz-smoke bench-mem bench-explain bench-queries bench-snapshot bench-planner bench-qtrace overhead bench-check
 
 build:
 	$(GO) build ./...
@@ -81,6 +81,20 @@ bench-queries:
 bench-snapshot:
 	$(GO) run ./cmd/experiments -exp snapshot -workload li -snapshot-out $$(mktemp -u)
 
+# Causal-tracing smoke: replay the interactive query pattern on one
+# small workload with the per-query tracer attached. RunQtrace fails
+# the target if the tail-based sampler's retained set diverges from the
+# deterministic 1-in-N prediction, any retained span tree is malformed,
+# or any traced query errors.
+bench-qtrace:
+	$(GO) run ./cmd/experiments -exp qtrace -workload li -qtrace-out $$(mktemp -u)
+
+# Drift check: every stats.Recorder/telemetry counter and gauge name
+# registered in code must appear in docs/OBSERVABILITY.md's metric
+# tables, and every documented name must still exist in code.
+lint-metrics:
+	$(GO) run ./cmd/lintmetrics
+
 # Planner smoke: on one small workload, answer a cold criterion by
 # checkpointed re-execution and compare against the cheapest graph-build
 # path, then replay the criterion stream through the cost-based planner.
@@ -100,21 +114,24 @@ bench-planner:
 # `make bench-baseline`.
 bench-check:
 	@dir=$$(mktemp -d) && \
-	$(GO) run ./cmd/experiments -exp parallel,memory,telemetry,snapshot,planner \
+	$(GO) run ./cmd/experiments -exp parallel,memory,telemetry,snapshot,planner,queries,explain,qtrace \
 		-parallel-out $$dir/BENCH_parallel.json \
 		-memory-out $$dir/BENCH_memory.json \
 		-telemetry-out $$dir/BENCH_telemetry.json \
 		-snapshot-out $$dir/BENCH_snapshot.json \
-		-planner-out $$dir/BENCH_planner.json && \
+		-planner-out $$dir/BENCH_planner.json \
+		-queries-out $$dir/BENCH_queries.json \
+		-explain-out $$dir/BENCH_explain.json \
+		-qtrace-out $$dir/BENCH_qtrace.json && \
 	$(GO) run ./cmd/benchdiff -current $$dir; \
 	st=$$?; rm -rf $$dir; exit $$st
 
 # Refresh the bench-check baselines (and the checked-in root artifacts)
 # from this machine.
 bench-baseline:
-	$(GO) run ./cmd/experiments -exp parallel,memory,telemetry,queries,snapshot,planner
+	$(GO) run ./cmd/experiments -exp parallel,memory,telemetry,queries,explain,snapshot,planner,qtrace
 	mkdir -p bench/baselines
-	cp BENCH_parallel.json BENCH_memory.json BENCH_telemetry.json BENCH_snapshot.json BENCH_planner.json bench/baselines/
+	cp BENCH_parallel.json BENCH_memory.json BENCH_telemetry.json BENCH_snapshot.json BENCH_planner.json BENCH_queries.json BENCH_explain.json BENCH_qtrace.json bench/baselines/
 
 experiments:
 	$(GO) run ./cmd/experiments -exp all

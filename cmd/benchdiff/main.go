@@ -18,6 +18,12 @@
 //	                      file_bytes                           (lower is better)
 //	BENCH_planner.json    reexec_vs_build_speedup              (higher is better)
 //	                      planner_regret                       (lower is better)
+//	BENCH_queries.json    cache_hit_rate                       (higher is better)
+//	                      stats.backends.{OPT,LP}.p99_ms       (lower is better)
+//	BENCH_explain.json    opt.inferred_pct                     (higher is better)
+//	                      opt/lp slice_ms                      (lower is better)
+//	BENCH_qtrace.json     retained_rate (deterministic sampler) (lower is better)
+//	                      traced_overhead_ratio                (lower is better)
 //
 // BENCH_parallel.json carries one row per (workload, GOMAXPROCS)
 // setting; rows are keyed "name@pN" so every setting is gated
@@ -83,10 +89,27 @@ var specs = map[string][]metricSpec{
 		{path: "reexec_vs_build_speedup", higherBetter: true, noise: 1.5},
 		{path: "planner_regret", noise: 1.5},
 	},
+	"BENCH_queries.json": {
+		{path: "cache_hit_rate", higherBetter: true},
+		{path: "stats.backends.OPT.p99_ms", noise: 2.5},
+		{path: "stats.backends.LP.p99_ms", noise: 2.5},
+	},
+	"BENCH_explain.json": {
+		{path: "opt.inferred_pct", higherBetter: true},
+		{path: "opt.slice_ms", noise: 2.5},
+		{path: "lp.slice_ms", noise: 2.5},
+	},
+	"BENCH_qtrace.json": {
+		// The bench's retention policy is the deterministic sampler
+		// alone, so retained_rate is noise-free: any drift means the
+		// tail-sampling decision changed.
+		{path: "retained_rate"},
+		{path: "traced_overhead_ratio", noise: 2.5},
+	},
 }
 
 // fileOrder keeps the report deterministic (map iteration is not).
-var fileOrder = []string{"BENCH_parallel.json", "BENCH_memory.json", "BENCH_telemetry.json", "BENCH_snapshot.json", "BENCH_planner.json"}
+var fileOrder = []string{"BENCH_parallel.json", "BENCH_memory.json", "BENCH_telemetry.json", "BENCH_snapshot.json", "BENCH_planner.json", "BENCH_queries.json", "BENCH_explain.json", "BENCH_qtrace.json"}
 
 func main() {
 	baselineDir := flag.String("baseline", "bench/baselines", "directory with baseline BENCH_*.json files")

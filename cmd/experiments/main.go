@@ -3,11 +3,11 @@
 //
 // Usage:
 //
-//	experiments [-exp all|1|2|3|4|5|6|7|8|15|16|17|18|sequitur|telemetry|parallel|memory|explain|queries|snapshot|planner] [-workload name] [-scale n]
+//	experiments [-exp all|1|2|3|4|5|6|7|8|15|16|17|18|sequitur|telemetry|parallel|memory|explain|queries|snapshot|planner|qtrace] [-workload name] [-scale n]
 //	            [-telemetry-out BENCH_telemetry.json] [-parallel-out BENCH_parallel.json]
 //	            [-memory-out BENCH_memory.json] [-explain-out BENCH_explain.json]
 //	            [-queries-out BENCH_queries.json] [-snapshot-out BENCH_snapshot.json]
-//	            [-planner-out BENCH_planner.json]
+//	            [-planner-out BENCH_planner.json] [-qtrace-out BENCH_qtrace.json]
 //
 // Numbers 1-8 are tables, 15-18 figures, matching the paper's numbering.
 // -scale multiplies each workload's default input size. The telemetry
@@ -32,7 +32,12 @@
 // docs/OBSERVABILITY.md). The planner experiment measures the
 // re-execution backend's rare-query path against the cheapest
 // graph-build path and the cost-based planner's regret on a criterion
-// stream, writing both to -planner-out (see docs/PLANNER.md).
+// stream, writing both to -planner-out (see docs/PLANNER.md). The
+// qtrace experiment replays the same interactive pattern with the
+// per-query causal tracer attached, checks the tail-based sampler
+// retained exactly the deterministic 1-in-N prediction with well-formed
+// span trees, and writes capture rates and the traced-vs-plain overhead
+// ratio to -qtrace-out (see docs/OBSERVABILITY.md "Per-query tracing").
 package main
 
 import (
@@ -45,7 +50,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: all, 1-8 (tables), 15-18 (figures), sequitur, ablation, forward, telemetry, parallel, memory, explain, queries, snapshot, planner")
+	exp := flag.String("exp", "all", "experiment to run: all, 1-8 (tables), 15-18 (figures), sequitur, ablation, forward, telemetry, parallel, memory, explain, queries, snapshot, planner, qtrace")
 	workload := flag.String("workload", "", "restrict to one workload (e.g. 164.gzip or gzip)")
 	scale := flag.Int64("scale", 1, "input-size multiplier for every workload")
 	telemetryOut := flag.String("telemetry-out", "BENCH_telemetry.json", "output file for -exp telemetry")
@@ -55,6 +60,7 @@ func main() {
 	queriesOut := flag.String("queries-out", "BENCH_queries.json", "output file for -exp queries")
 	snapshotOut := flag.String("snapshot-out", "BENCH_snapshot.json", "output file for -exp snapshot")
 	plannerOut := flag.String("planner-out", "BENCH_planner.json", "output file for -exp planner")
+	qtraceOut := flag.String("qtrace-out", "BENCH_qtrace.json", "output file for -exp qtrace")
 	flag.Parse()
 
 	wls := bench.Workloads()
@@ -155,6 +161,9 @@ func main() {
 	}
 	if want("planner") {
 		run("planner", func() error { return bench.RunPlanner(w, wls, *plannerOut) })
+	}
+	if want("qtrace") {
+		run("qtrace", func() error { return bench.RunQtrace(w, wls, *qtraceOut) })
 	}
 }
 

@@ -1,0 +1,243 @@
+// Command lintmetrics is the metric-name drift gate behind
+// `make lint-metrics`: every telemetry counter, gauge, and histogram
+// the library registers must be documented in docs/OBSERVABILITY.md's
+// "## Metric names" section, and every name that section documents must
+// still be registered somewhere in the code. Documentation that lists
+// metrics nobody emits — or omits metrics operators will see on
+// /debug/metrics — is worse than none, and nothing else keeps the two
+// surfaces honest as counters are added and renamed.
+//
+// Code side. The tool scans non-test .go files in the root package and
+// under internal/ (cmd/ tools carry private metrics like fuzz.* that
+// are not part of the library's observability surface) for
+//
+//	reg.Counter("interp.runs")               a literal name
+//	reg.Counter("snapshot.read.err." + f(x)) a dynamic suffix: treated
+//	                                         as the wildcard family
+//	                                         snapshot.read.err.*
+//	reg.Counter(ns + ".seg_scans")           a namespaced registration:
+//	                                         expanded with every
+//	                                         namespace passed to a
+//	                                         SetTelemetryNamed call
+//	                                         ("lp", "reexec")
+//
+// Doc side. Only the "## Metric names" section is parsed (up to the
+// next ## heading). Backticked tokens shaped like metric names count;
+// shorthand continuation cells (`trace.write.blocks` / `.stmts`)
+// inherit the preceding name's prefix, and `<class>`-style tails
+// (`snapshot.read.err.<class>`) declare a documented wildcard family.
+// Tokens with uppercase letters, slashes, or `*` (package paths,
+// identifiers, family headers like `interp.*`) are ignored.
+//
+// Exit status 1 on any drift, with one line per undocumented or stale
+// name.
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+var (
+	reLiteral   = regexp.MustCompile(`\.(?:Counter|Gauge|Histogram)\("([a-z0-9_.]+)"\)`)
+	reDynPrefix = regexp.MustCompile(`\.(?:Counter|Gauge|Histogram)\("([a-z0-9_.]+\.)" ?\+`)
+	reNsSuffix  = regexp.MustCompile(`\.(?:Counter|Gauge|Histogram)\([A-Za-z_][A-Za-z0-9_]* ?\+ ?"(\.[a-z0-9_.]+)"\)`)
+	reNamespace = regexp.MustCompile(`SetTelemetryNamed\([^,]+, "([a-z0-9_]+)"\)`)
+
+	reBacktick = regexp.MustCompile("`([^`]+)`")
+	// A full metric name: lowercase dotted path, at least two segments.
+	reDocName = regexp.MustCompile(`^[a-z][a-z0-9_]*(\.[a-z0-9_]+)+$`)
+	// A continuation cell: `.stmts`, `.bytes.resident` — completes the
+	// preceding full name.
+	reDocSuffix = regexp.MustCompile(`^(\.[a-z0-9_]+)+$`)
+	// A wildcard family: `snapshot.read.err.<class>`.
+	reDocWild = regexp.MustCompile(`^([a-z][a-z0-9_]*(?:\.[a-z0-9_]+)*\.)<[a-z_]+>$`)
+)
+
+func main() {
+	root := "."
+	if len(os.Args) > 1 {
+		root = os.Args[1]
+	}
+	codeNames, codeWilds, err := scanCode(root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lintmetrics:", err)
+		os.Exit(2)
+	}
+	docPath := filepath.Join(root, "docs", "OBSERVABILITY.md")
+	docNames, docWilds, err := scanDocs(docPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lintmetrics:", err)
+		os.Exit(2)
+	}
+	if len(codeNames) == 0 || len(docNames) == 0 {
+		fmt.Fprintf(os.Stderr, "lintmetrics: suspicious inventory (code %d, docs %d) — parser drift?\n",
+			len(codeNames), len(docNames))
+		os.Exit(2)
+	}
+
+	var drift []string
+	for name, at := range codeNames {
+		if _, ok := docNames[name]; ok || matchesWild(name, docWilds) {
+			continue
+		}
+		drift = append(drift, fmt.Sprintf("undocumented: %-32s registered at %s, missing from %s", name, at, docPath))
+	}
+	for prefix, at := range codeWilds {
+		if _, ok := docWilds[prefix]; !ok {
+			drift = append(drift, fmt.Sprintf("undocumented: %-32s dynamic family at %s has no `%s<...>` doc entry", prefix+"*", at, prefix))
+		}
+	}
+	for name, line := range docNames {
+		if _, ok := codeNames[name]; ok || matchesWild(name, codeWilds) {
+			continue
+		}
+		drift = append(drift, fmt.Sprintf("stale doc:    %-32s %s:%d documents a name no code registers", name, docPath, line))
+	}
+	for prefix, line := range docWilds {
+		if _, ok := codeWilds[prefix]; ok {
+			continue
+		}
+		if !anyWithPrefix(codeNames, prefix) {
+			drift = append(drift, fmt.Sprintf("stale doc:    %-32s %s:%d documents a family no code registers", prefix+"*", docPath, line))
+		}
+	}
+	if len(drift) > 0 {
+		sort.Strings(drift)
+		for _, d := range drift {
+			fmt.Println(d)
+		}
+		fmt.Printf("lintmetrics: %d name(s) drifted between code and %s\n", len(drift), docPath)
+		os.Exit(1)
+	}
+	fmt.Printf("lintmetrics: %d metric names + %d dynamic families in sync with %s\n",
+		len(codeNames), len(codeWilds), docPath)
+}
+
+// scanCode walks the library sources and returns literal metric names
+// and dynamic-prefix families, each mapped to "file:line" of one
+// registration site.
+func scanCode(root string) (names, wilds map[string]string, err error) {
+	names, wilds = map[string]string{}, map[string]string{}
+	var files []string
+	err = filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		rel, _ := filepath.Rel(root, path)
+		if d.IsDir() {
+			top := strings.SplitN(rel, string(filepath.Separator), 2)[0]
+			switch top {
+			case "cmd", "docs", "bench", "testdata", ".git":
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(path, ".go") && !strings.HasSuffix(path, "_test.go") {
+			files = append(files, path)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+
+	// First pass: collect the namespaces SetTelemetryNamed is invoked
+	// with, so ns+".suffix" registrations can be expanded per caller.
+	var namespaces []string
+	srcs := make(map[string]string, len(files))
+	for _, f := range files {
+		data, err := os.ReadFile(f)
+		if err != nil {
+			return nil, nil, err
+		}
+		srcs[f] = string(data)
+		for _, m := range reNamespace.FindAllStringSubmatch(srcs[f], -1) {
+			namespaces = append(namespaces, m[1])
+		}
+	}
+	if len(namespaces) == 0 {
+		namespaces = []string{"lp"} // the in-package default
+	}
+
+	for _, f := range files {
+		rel, _ := filepath.Rel(root, f)
+		for i, line := range strings.Split(srcs[f], "\n") {
+			at := fmt.Sprintf("%s:%d", rel, i+1)
+			for _, m := range reLiteral.FindAllStringSubmatch(line, -1) {
+				names[m[1]] = at
+			}
+			for _, m := range reDynPrefix.FindAllStringSubmatch(line, -1) {
+				wilds[m[1]] = at
+			}
+			for _, m := range reNsSuffix.FindAllStringSubmatch(line, -1) {
+				for _, ns := range namespaces {
+					names[ns+m[1]] = at
+				}
+			}
+		}
+	}
+	return names, wilds, nil
+}
+
+// scanDocs parses the "## Metric names" section, returning documented
+// literal names and wildcard-family prefixes mapped to their line
+// number.
+func scanDocs(path string) (names map[string]int, wilds map[string]int, err error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	names, wilds = map[string]int{}, map[string]int{}
+	in := false
+	for i, line := range strings.Split(string(data), "\n") {
+		switch {
+		case strings.HasPrefix(line, "## Metric names"):
+			in = true
+			continue
+		case in && strings.HasPrefix(line, "## "):
+			in = false
+		}
+		if !in {
+			continue
+		}
+		last := "" // preceding full name, for `.suffix` continuations
+		for _, m := range reBacktick.FindAllStringSubmatch(line, -1) {
+			tok := m[1]
+			switch {
+			case reDocName.MatchString(tok):
+				names[tok] = i + 1
+				last = tok
+			case reDocSuffix.MatchString(tok) && last != "":
+				full := last[:strings.LastIndex(last, ".")] + tok
+				names[full] = i + 1
+				last = full
+			case reDocWild.MatchString(tok):
+				wilds[reDocWild.FindStringSubmatch(tok)[1]] = i + 1
+			}
+		}
+	}
+	return names, wilds, nil
+}
+
+func matchesWild[V any](name string, wilds map[string]V) bool {
+	for prefix := range wilds {
+		if strings.HasPrefix(name, prefix) {
+			return true
+		}
+	}
+	return false
+}
+
+func anyWithPrefix[V any](names map[string]V, prefix string) bool {
+	for n := range names {
+		if strings.HasPrefix(n, prefix) {
+			return true
+		}
+	}
+	return false
+}

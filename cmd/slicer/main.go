@@ -7,6 +7,7 @@
 //	       [-vars a,b,c] [-workers n] [-ir] [-stats] [-repl] [-compact=false]
 //	       [-explain line|sID] [-metrics out.json] [-timeline out.json]
 //	       [-pprof localhost:6060] [-querylog out.jsonl] [-slowms n]
+//	       [-qtrace out.jsonl] [-qtrace-slow ms] [-qtrace-sample n]
 //	       [-snapshot] [-snapshot-dir dir] [-plan auto|fp|lp|opt|reexec|forward]
 //
 // With -var (a global variable) or -addr (a raw address), the tool prints
@@ -33,6 +34,15 @@
 // queries slower than N milliseconds as structured slog warnings on
 // stderr.
 //
+// -qtrace turns on per-query causal tracing (docs/OBSERVABILITY.md
+// "Per-query tracing"): every query gets a span tree — planner decision,
+// fallback-ladder rungs with demotion error classes, backend execution,
+// snapshot load — and the tail-based sampler streams the retained ones
+// (slow, errored, demoted, cache-missed, or 1-in-N sampled) to the given
+// JSONL file. -qtrace-slow and -qtrace-sample tune the policy; with
+// -timeline, retained traces also render onto the Chrome trace-event
+// timeline; with -pprof, /debug/qtrace serves the retained ring live.
+//
 // -plan selects how queries are dispatched. "auto" sends every query
 // through the cost-based planner (docs/PLANNER.md): the cheapest
 // backend for the query's shape answers, graphs are built lazily only
@@ -51,12 +61,15 @@
 // -pprof serves an explicit-mux HTTP server for the life of the process
 // — most useful together with -repl:
 //
-//	/debug/pprof    net/http/pprof profiles
-//	/debug/vars     expvar (live registry under the "dynslice" var)
-//	/debug/queries  the recent-query ring as JSON
-//	/metrics        Prometheus text exposition: every registry
-//	                counter/gauge/histogram plus per-backend query
-//	                latency histograms and cache/batch series
+//	/debug/pprof       net/http/pprof profiles
+//	/debug/vars        expvar (live registry under the "dynslice" var)
+//	/debug/queries     the recent-query ring as JSON
+//	/debug/qtrace      the retained causal-trace ring (summaries;
+//	                   /debug/qtrace/<id> for one full span tree)
+//	/metrics           Prometheus text exposition: every registry
+//	                   counter/gauge/histogram plus per-backend query
+//	                   latency histograms (with trace-id exemplars) and
+//	                   cache/batch series
 package main
 
 import (
@@ -77,6 +90,7 @@ import (
 	"dynslice/internal/ir"
 	"dynslice/internal/slicing/explain"
 	"dynslice/internal/telemetry"
+	"dynslice/internal/telemetry/qtrace"
 	"dynslice/internal/telemetry/querylog"
 	"dynslice/internal/telemetry/stats"
 )
@@ -99,6 +113,9 @@ func main() {
 	pprofAddr := flag.String("pprof", "", "serve pprof, expvar, /metrics (Prometheus), and /debug/queries on this address (e.g. localhost:6060)")
 	querylogOut := flag.String("querylog", "", "append one JSONL audit record per slicing query to this file")
 	slowMS := flag.Int("slowms", 0, "log queries slower than this many milliseconds as slog warnings on stderr")
+	qtraceOut := flag.String("qtrace", "", "per-query causal tracing: stream retained (tail-sampled) span trees to this JSONL file")
+	qtraceSlowMS := flag.Int("qtrace-slow", 25, "qtrace: retain traces of queries slower than this many milliseconds (0 disables the slow trigger)")
+	qtraceSample := flag.Int("qtrace-sample", 128, "qtrace: additionally retain a deterministic 1-in-N sample of all queries (0 disables sampling)")
 	useSnap := flag.Bool("snapshot", false, "use the persistent graph cache: load the FP/OPT graphs from a content-addressed snapshot when one matches (skipping execution entirely), and save them after a fresh build")
 	snapDir := flag.String("snapshot-dir", "", "snapshot cache directory (default: the per-user cache dir)")
 	planMode := flag.String("plan", "", "query dispatch: auto (cost-based planner picks the backend per query) or a pinned backend: fp, lp, opt, reexec, forward (overrides -algo)")
@@ -136,6 +153,26 @@ func main() {
 		qlog.SetSlowQuery(time.Duration(*slowMS)*time.Millisecond,
 			slog.New(slog.NewTextHandler(os.Stderr, nil)))
 	}
+	// Per-query causal tracing backs -qtrace and the -pprof server's
+	// /debug/qtrace endpoints.
+	var qtr *qtrace.Tracer
+	if *qtraceOut != "" || *pprofAddr != "" {
+		pol := qtrace.DefaultPolicy()
+		pol.Slow = time.Duration(*qtraceSlowMS) * time.Millisecond
+		pol.SampleN = *qtraceSample
+		qtr = qtrace.New(0, pol)
+	}
+	if *qtraceOut != "" {
+		tf, err := os.Create(*qtraceOut)
+		check(err)
+		defer func() {
+			if err := qtr.SinkErr(); err != nil {
+				fmt.Fprintln(os.Stderr, "slicer: qtrace:", err)
+			}
+			tf.Close()
+		}()
+		qtr.SetSink(tf)
+	}
 	if *timelineOut != "" {
 		reg.AttachTimeline(telemetry.NewTimeline())
 	}
@@ -152,6 +189,9 @@ func main() {
 				}
 			}
 			if timeline != "" {
+				// Retained causal traces render onto the same timeline —
+				// each query's span tree stacks on its own trace-id row.
+				qtr.WriteTimeline(reg.Timeline())
 				if err := reg.Timeline().WriteFile(timeline); err != nil {
 					fmt.Fprintln(os.Stderr, "slicer: timeline:", err)
 				} else {
@@ -167,7 +207,7 @@ func main() {
 		ln, err := net.Listen("tcp", *pprofAddr)
 		check(err)
 		srv := &http.Server{
-			Handler:           debugMux(reg, qlog, qstats),
+			Handler:           debugMux(reg, qlog, qstats, qtr),
 			ReadHeaderTimeout: 5 * time.Second,
 		}
 		go func() {
@@ -175,7 +215,7 @@ func main() {
 				fmt.Fprintln(os.Stderr, "slicer: pprof:", err)
 			}
 		}()
-		fmt.Printf("debug server listening on http://%s (pprof at /debug/pprof, vars at /debug/vars, queries at /debug/queries, Prometheus at /metrics)\n", ln.Addr())
+		fmt.Printf("debug server listening on http://%s (pprof at /debug/pprof, vars at /debug/vars, queries at /debug/queries, traces at /debug/qtrace, Prometheus at /metrics)\n", ln.Addr())
 	}
 	src, err := os.ReadFile(*srcPath)
 	check(err)
@@ -201,7 +241,7 @@ func main() {
 	}
 	rec, err := prog.Record(slicer.RunOptions{
 		Input: input, Telemetry: reg, PlainLabels: !*compact,
-		QueryLog: qlog, QueryStats: qstats,
+		QueryLog: qlog, QueryStats: qstats, QueryTrace: qtr,
 		// The forward index only exists if computed during the run, so
 		// build it whenever the forward backend could be asked for.
 		WithForward: *planMode == "auto" || *planMode == "forward",
@@ -451,7 +491,7 @@ func runREPL(rec *slicer.Recording, s *slicer.Slicer, eng *slicer.QueryEngine, s
 // http.DefaultServeMux, so nothing else in the process can silently
 // register handlers on it) carrying pprof, expvar, the query ring, and
 // the Prometheus text exposition.
-func debugMux(reg *telemetry.Registry, qlog *querylog.Log, qstats *stats.Recorder) *http.ServeMux {
+func debugMux(reg *telemetry.Registry, qlog *querylog.Log, qstats *stats.Recorder, qtr *qtrace.Tracer) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -460,6 +500,9 @@ func debugMux(reg *telemetry.Registry, qlog *querylog.Log, qstats *stats.Recorde
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.Handle("/debug/queries", qlog)
+	// One handler serves both the ring listing and /debug/qtrace/<id>.
+	mux.Handle("/debug/qtrace", qtr)
+	mux.Handle("/debug/qtrace/", qtr)
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", telemetry.PromContentType)
 		if err := reg.WritePrometheus(w, "dynslice"); err != nil {

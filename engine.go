@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"dynslice/internal/slicing/plan"
+	"dynslice/internal/telemetry/qtrace"
 	"dynslice/internal/telemetry/querylog"
 )
 
@@ -103,36 +104,76 @@ var errNoBackend = errors.New("slicer: no backend available for this query")
 // Backend faults (a desynced re-execution, a missing trace file) move
 // down the ladder; criterion errors are terminal — every backend would
 // reject the same address the same way, because answers never differ.
-func (e *QueryEngine) dispatch(shape plan.Shape, run func(*Slicer) error) error {
+//
+// The query's causal trace records the walk as it happens: a "plan"
+// span carrying the decision (chosen backend, reason, per-backend cost
+// estimates), then one "attempt/<backend>" span per rung — each with an
+// "acquire" child covering backend acquisition (which is where deferred
+// graphs get built) — ending with the error class that demoted it, or
+// cleanly for the rung that answered.
+func (e *QueryEngine) dispatch(qt *qtrace.Trace, shape plan.Shape, run func(*Slicer) error) error {
 	d := e.rec.PlanFor(shape)
+	if qt != nil {
+		psp := qt.Root().Child("plan").Str("backend", d.Backend).Str("reason", d.Reason)
+		for _, name := range plannedCostOrder(d.CostMs) {
+			psp.Str("cost/"+name, fmt.Sprintf("%.3fms", d.CostMs[name]))
+		}
+		psp.End()
+		qt.SetPlan(d.Backend)
+	}
 	if d.Backend == "" {
+		qt.SetError(querylog.Classify(errNoBackend))
 		return errNoBackend
 	}
-	ladder := append([]string{d.Backend}, d.Fallback...)
+	ladder := d.Ladder()
 	var lastErr error
 	for i, name := range ladder {
+		asp := qt.Root().Child("attempt/" + name)
+		acq := asp.Child("acquire")
 		s := e.rec.backendSlicer(name)
 		if s == nil {
+			acq.End()
+			asp.EndErr("unavailable")
 			continue
 		}
-		// Each attempt gets a fresh *Slicer stamped with the plan, so
-		// concurrent dispatches never share mutable attribution state.
+		acq.End()
+		// Each attempt gets a fresh *Slicer stamped with the plan (and
+		// the trace), so concurrent dispatches never share mutable
+		// attribution state.
 		s.plan = d.Backend
 		if i == 0 {
 			s.planReason = d.Reason
 		} else {
 			s.planReason = fmt.Sprintf("fallback from %s: %v", ladder[i-1], lastErr)
 		}
+		s.qt, s.qspan = qt, asp
 		err := run(s)
 		if err == nil {
+			asp.End()
+			qt.SetBackend(s.name)
 			return nil
 		}
-		if querylog.Classify(err) == "bad_criterion" {
+		class := querylog.Classify(err)
+		asp.EndErr(class)
+		if class == "bad_criterion" {
+			qt.SetError(class)
 			return err
 		}
 		lastErr = err
 	}
+	qt.SetError(querylog.Classify(lastErr))
 	return lastErr
+}
+
+// plannedCostOrder returns the cost map's backends in a stable order so
+// plan-span attributes don't depend on map iteration.
+func plannedCostOrder(costs map[string]float64) []string {
+	names := make([]string, 0, len(costs))
+	for name := range costs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
 }
 
 // CacheStats reports cache hits and misses since the engine was created.
@@ -185,7 +226,7 @@ func (e *QueryEngine) tally(hits, misses int64) {
 // logHit audits one cache-served query: the flight recorder gets a
 // fresh query ID with CacheHit set, while the slice keeps the ID of the
 // query that originally computed it.
-func (e *QueryEngine) logHit(addr int64, sl *Slice, backend, kind string, batch int, start time.Time) {
+func (e *QueryEngine) logHit(addr int64, sl *Slice, backend, kind string, batch int, start time.Time, tid qtrace.TraceID) {
 	rec := e.rec
 	if !rec.queryObserved() {
 		return
@@ -193,7 +234,7 @@ func (e *QueryEngine) logHit(addr int64, sl *Slice, backend, kind string, batch 
 	rec.logQuery(querylog.Record{
 		ID: rec.qlog.NextID(), Start: start, Backend: backend, Kind: kind,
 		Addr: addr, Batch: batch, Latency: time.Since(start), CacheHit: true,
-		Stmts: sl.Stmts, Lines: len(sl.Lines),
+		Stmts: sl.Stmts, Lines: len(sl.Lines), TraceID: tid,
 	})
 }
 
@@ -203,31 +244,51 @@ func (e *QueryEngine) SliceAddr(addr int64) (*Slice, error) {
 	if e.rec.queryObserved() {
 		start = time.Now()
 	}
+	qt := e.rec.qtr.StartQuery(querylog.KindSlice, addr, 0)
 	if sl, backend, ok := e.lookup(addr); ok {
 		e.tally(1, 0)
-		e.logHit(addr, sl, backend, querylog.KindSlice, 0, start)
+		qt.SetCacheHit()
+		qt.SetBackend(backend)
+		e.logHit(addr, sl, backend, querylog.KindSlice, 0, start, qt.ID())
+		e.rec.finishTrace(qt)
 		return sl, nil
 	}
 	e.tally(0, 1)
+	qt.SetCacheMiss()
 	var sl *Slice
 	var backend string
 	var err error
 	if e.s != nil {
 		backend = e.s.name
-		sl, err = e.s.SliceAddr(addr)
+		sl, err = e.s.withTrace(qt, qt.Root()).SliceAddr(addr)
+		e.noteFixed(qt, backend, err)
 	} else {
-		err = e.dispatch(plan.Shape{Kind: plan.KindSlice, Batch: 1}, func(s *Slicer) error {
+		err = e.dispatch(qt, plan.Shape{Kind: plan.KindSlice, Batch: 1}, func(s *Slicer) error {
 			var rerr error
 			sl, rerr = s.SliceAddr(addr)
 			backend = s.name
 			return rerr
 		})
 	}
+	e.rec.finishTrace(qt)
 	if err != nil {
 		return nil, err
 	}
 	e.insert(addr, sl, backend)
 	return sl, nil
+}
+
+// noteFixed stamps a fixed-backend query's outcome on its trace
+// (dispatch does this for planned queries).
+func (e *QueryEngine) noteFixed(qt *qtrace.Trace, backend string, err error) {
+	if qt == nil {
+		return
+	}
+	if err != nil {
+		qt.SetError(querylog.Classify(err))
+		return
+	}
+	qt.SetBackend(backend)
 }
 
 // SliceVar is SliceAddr on a global scalar variable.
@@ -247,20 +308,23 @@ func (e *QueryEngine) SliceVar(name string) (*Slice, error) {
 // explain shape (forward slicing is never a candidate: it cannot
 // attribute edges).
 func (e *QueryEngine) Explain(addr int64) (*Explanation, error) {
+	qt := e.rec.qtr.StartQuery(querylog.KindExplain, addr, 0)
 	var ex *Explanation
 	var backend string
 	var err error
 	if e.s != nil {
 		backend = e.s.name
-		ex, err = e.s.ExplainAddr(addr)
+		ex, err = e.s.withTrace(qt, qt.Root()).ExplainAddr(addr)
+		e.noteFixed(qt, backend, err)
 	} else {
-		err = e.dispatch(plan.Shape{Kind: plan.KindExplain, Batch: 1}, func(s *Slicer) error {
+		err = e.dispatch(qt, plan.Shape{Kind: plan.KindExplain, Batch: 1}, func(s *Slicer) error {
 			var rerr error
 			ex, rerr = s.ExplainAddr(addr)
 			backend = s.name
 			return rerr
 		})
 	}
+	e.rec.finishTrace(qt)
 	if err != nil {
 		return nil, err
 	}
@@ -286,10 +350,14 @@ func (e *QueryEngine) ExplainVar(name string) (*Explanation, error) {
 // the work. Results are positionally aligned with addrs. A planned
 // engine plans once per batch, on the distinct-miss count.
 func (e *QueryEngine) SliceAddrs(addrs []int64) ([]*Slice, error) {
+	if len(addrs) == 0 {
+		return nil, nil
+	}
 	var start time.Time
 	if e.rec.queryObserved() {
 		start = time.Now()
 	}
+	qt := e.rec.qtr.StartQuery(querylog.KindBatch, addrs[0], len(addrs))
 	outs := make([]*Slice, len(addrs))
 	var missSet = make(map[int64][]int) // addr -> positions in addrs
 	var hits int64
@@ -297,15 +365,19 @@ func (e *QueryEngine) SliceAddrs(addrs []int64) ([]*Slice, error) {
 		if sl, backend, ok := e.lookup(a); ok {
 			outs[i] = sl
 			hits++
-			e.logHit(a, sl, backend, querylog.KindBatch, len(addrs), start)
+			e.logHit(a, sl, backend, querylog.KindBatch, len(addrs), start, qt.ID())
 			continue
 		}
 		missSet[a] = append(missSet[a], i)
 	}
 	e.tally(hits, int64(len(missSet)))
 	if len(missSet) == 0 {
+		// The whole batch came from the cache.
+		qt.SetCacheHit()
+		e.rec.finishTrace(qt)
 		return outs, nil
 	}
+	qt.SetCacheMiss()
 	miss := make([]int64, 0, len(missSet))
 	for a := range missSet {
 		miss = append(miss, a)
@@ -322,9 +394,10 @@ func (e *QueryEngine) SliceAddrs(addrs []int64) ([]*Slice, error) {
 		if sw, ok := e.s.impl.(interface{ SetWorkers(int) }); ok {
 			sw.SetWorkers(e.workers)
 		}
-		slices, err = e.s.SliceAddrs(miss)
+		slices, err = e.s.withTrace(qt, qt.Root()).SliceAddrs(miss)
+		e.noteFixed(qt, backend, err)
 	} else {
-		err = e.dispatch(plan.Shape{Kind: plan.KindBatch, Batch: len(miss)}, func(s *Slicer) error {
+		err = e.dispatch(qt, plan.Shape{Kind: plan.KindBatch, Batch: len(miss)}, func(s *Slicer) error {
 			if sw, ok := s.impl.(interface{ SetWorkers(int) }); ok {
 				sw.SetWorkers(e.workers)
 			}
@@ -334,6 +407,7 @@ func (e *QueryEngine) SliceAddrs(addrs []int64) ([]*Slice, error) {
 			return rerr
 		})
 	}
+	e.rec.finishTrace(qt)
 	if err != nil {
 		return nil, err
 	}

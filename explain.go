@@ -45,16 +45,24 @@ func (s *Slicer) ExplainAddr(addr int64) (*Explanation, error) {
 	if obs {
 		id = s.rec.qlog.NextID()
 	}
+	qt, parent, owned := s.queryTrace(querylog.KindExplain, addr, 0)
+	esp := parent.Child("exec/" + s.name)
 	rec := explain.NewRecorder()
 	t0 := time.Now()
 	raw, stats, err := ex.SliceObserved(slicing.AddrCriterion(addr), rec)
 	elapsed := time.Since(t0)
 	if err != nil {
+		class := querylog.Classify(err)
+		esp.EndErr(class)
 		if obs {
 			s.logQuery(querylog.Record{
 				ID: id, Start: t0, Backend: s.name, Kind: querylog.KindExplain,
-				Addr: addr, Latency: elapsed, Err: querylog.Classify(err),
+				Addr: addr, Latency: elapsed, Err: class, TraceID: qt.ID(),
 			})
+		}
+		if owned {
+			qt.SetError(class)
+			s.rec.finishTrace(qt)
 		}
 		return nil, err
 	}
@@ -76,11 +84,27 @@ func (s *Slicer) ExplainAddr(addr int64) (*Explanation, error) {
 		prof.SegScans = stats.SegScans
 		prof.SegSkips = stats.SegSkips
 	}
+	if qt != nil {
+		esp.Int("stmts", int64(raw.Len())).
+			Int("nodes_visited", prof.NodesVisited).
+			Int("label_probes", prof.LabelProbes).
+			Int("edges_explicit", prof.Explicit).
+			Int("edges_inferred", prof.Inferred).
+			Int("edges_shortcut", prof.Shortcut)
+		if stats != nil && (stats.SegScans != 0 || stats.SegSkips != 0) {
+			esp.Int("seg_scans", stats.SegScans).
+				Int("seg_skips", stats.SegSkips).
+				Int("seg_bytes", stats.SegBytes)
+		}
+	}
+	esp.End()
+	qt.SetQueryID(id)
 	sl := &Slice{
 		Lines:   raw.Lines(s.rec.p.ir),
 		Stmts:   raw.Len(),
 		Time:    elapsed,
 		QueryID: id,
+		TraceID: qt.ID(),
 		raw:     raw,
 	}
 	if obs {
@@ -91,7 +115,12 @@ func (s *Slicer) ExplainAddr(addr int64) (*Explanation, error) {
 			Addr: addr, Latency: elapsed, Stmts: sl.Stmts, Lines: len(sl.Lines),
 			Instances: prof.NodesVisited, LabelProbes: prof.LabelProbes,
 			Explicit: prof.Explicit, Inferred: prof.Inferred, Shortcut: prof.Shortcut,
+			TraceID: qt.ID(),
 		})
+	}
+	if owned {
+		qt.SetBackend(s.name)
+		s.rec.finishTrace(qt)
 	}
 	return &Explanation{
 		Slice:   sl,

@@ -58,6 +58,7 @@ type Slicer struct {
 	cQueries  *telemetry.Counter
 	cSegScans *telemetry.Counter
 	cSegSkips *telemetry.Counter
+	cSegBytes *telemetry.Counter
 	cEdges    *telemetry.Counter
 }
 
@@ -97,6 +98,7 @@ func (s *Slicer) SetTelemetryNamed(reg *telemetry.Registry, ns string) {
 	s.cQueries = reg.Counter(ns + ".queries")
 	s.cSegScans = reg.Counter(ns + ".seg_scans")
 	s.cSegSkips = reg.Counter(ns + ".seg_skips")
+	s.cSegBytes = reg.Counter(ns + ".seg_bytes")
 	s.cEdges = reg.Counter(ns + ".subgraph_edges")
 }
 
@@ -312,6 +314,7 @@ func (s *Slicer) sliceAll(cs []slicing.Criterion, obs *explain.Recorder) ([]*sli
 	s.cQueries.Add(int64(len(cs)))
 	s.cSegScans.Add(stats.SegScans)
 	s.cSegSkips.Add(stats.SegSkips)
+	s.cSegBytes.Add(stats.SegBytes)
 	s.cEdges.Add(edges)
 	return outs, stats, nil
 }
@@ -333,6 +336,7 @@ func (q *query) scan() error {
 			continue
 		}
 		q.stats.SegScans++
+		q.stats.SegBytes += segBytes(q.s.segs, si)
 		execs, err := cur.Segment(seg, q.getBuf)
 		if err != nil {
 			return err
@@ -344,6 +348,17 @@ func (q *query) scan() error {
 		q.compactCDs()
 	}
 	return nil
+}
+
+// segBytes estimates the on-disk size of segment si from the next
+// segment's start offset. Segments are written back to back, so the
+// delta is exact for all but the final segment, whose end offset the
+// index does not record (reported as 0).
+func segBytes(segs []*trace.Segment, si int) int64 {
+	if si+1 < len(segs) {
+		return segs[si+1].Off - segs[si].Off
+	}
+	return 0
 }
 
 // idle reports whether no needs remain.

@@ -74,6 +74,17 @@ type Decision struct {
 	CostMs   map[string]float64
 }
 
+// Ladder returns the full attempt order — the chosen backend followed
+// by the fallback candidates cheapest-first (nil when no backend can
+// answer). This is exactly the sequence the engine's dispatch walks and
+// a qtrace span tree renders, one attempt span per rung.
+func (d Decision) Ladder() []string {
+	if d.Backend == "" {
+		return nil
+	}
+	return append([]string{d.Backend}, d.Fallback...)
+}
+
 // Planner carries the seeded features. Decisions themselves are pure
 // (see Decide); the mutex only guards the seed.
 type Planner struct {

@@ -87,6 +87,7 @@ type Stats struct {
 	LabelProbes int64 // timestamp labels examined while locating edges
 	SegScans    int64 // (LP only) trace segments decoded
 	SegSkips    int64 // (LP only) trace segments skipped via summaries
+	SegBytes    int64 // (LP only) trace bytes decoded by the scanned segments
 }
 
 // Slicer is implemented by all three algorithms.

@@ -34,6 +34,7 @@ import (
 	"time"
 
 	"dynslice/internal/telemetry"
+	"dynslice/internal/telemetry/qtrace"
 )
 
 // Query kinds.
@@ -91,6 +92,10 @@ type Record struct {
 	// "build" (fresh instrumented execution) or "snapshot" (loaded from
 	// the persistent graph cache).
 	Source string `json:"source,omitempty"`
+	// TraceID links the record to the query's causal trace (qtrace):
+	// when the trace was retained, /debug/qtrace/<id> renders the span
+	// tree behind this record. 0 when no tracer was attached.
+	TraceID qtrace.TraceID `json:"trace_id,omitempty"`
 }
 
 // Classify maps a query error to its audit class: "" for nil,
@@ -229,6 +234,9 @@ func (l *Log) Add(r Record) {
 	l.mu.Unlock()
 	if slow > 0 && lg != nil && r.Latency >= slow {
 		l.slowSeen.Add(1)
+		// One line must explain a fallback: the plan, why it was chosen
+		// (or why the ladder demoted), where the graphs came from, and
+		// the causal trace to drill into.
 		lg.Warn("slow query",
 			"id", r.ID,
 			"backend", r.Backend,
@@ -237,7 +245,11 @@ func (l *Log) Add(r Record) {
 			"latency_ms", float64(r.Latency.Microseconds())/1000,
 			"cache_hit", r.CacheHit,
 			"stmts", r.Stmts,
-			"err", r.Err)
+			"err", r.Err,
+			"plan", r.Plan,
+			"plan_reason", r.PlanReason,
+			"source", r.Source,
+			"trace_id", r.TraceID.String())
 	}
 }
 

@@ -148,7 +148,12 @@ func TestSlowQueryLogging(t *testing.T) {
 	var buf bytes.Buffer
 	l.SetSlowQuery(10*time.Millisecond, slog.New(slog.NewTextHandler(&buf, nil)))
 	l.Add(Record{ID: 1, Backend: "OPT", Kind: KindSlice, Latency: 2 * time.Millisecond})
-	l.Add(Record{ID: 2, Backend: "LP", Kind: KindSlice, Addr: 77, Latency: 25 * time.Millisecond, Stmts: 9})
+	l.Add(Record{
+		ID: 2, Backend: "LP", Kind: KindSlice, Addr: 77,
+		Latency: 25 * time.Millisecond, Stmts: 9,
+		Plan: "reexec", PlanReason: "fallback from reexec: desync",
+		Source: "build", TraceID: 0xab,
+	})
 	if l.SlowQueries() != 1 {
 		t.Fatalf("SlowQueries = %d, want 1", l.SlowQueries())
 	}
@@ -156,6 +161,13 @@ func TestSlowQueryLogging(t *testing.T) {
 	if !strings.Contains(out, "slow query") || !strings.Contains(out, "id=2") ||
 		!strings.Contains(out, "backend=LP") || !strings.Contains(out, "latency_ms=25") {
 		t.Errorf("slow log missing fields: %q", out)
+	}
+	// One line explains the fallback: plan, reason, source, trace link.
+	if !strings.Contains(out, "plan=reexec") ||
+		!strings.Contains(out, `plan_reason="fallback from reexec: desync"`) ||
+		!strings.Contains(out, "source=build") ||
+		!strings.Contains(out, "trace_id=00000000000000ab") {
+		t.Errorf("slow log missing fallback fields: %q", out)
 	}
 }
 

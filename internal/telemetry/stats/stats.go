@@ -29,6 +29,7 @@ import (
 	"time"
 
 	"dynslice/internal/telemetry"
+	"dynslice/internal/telemetry/qtrace"
 )
 
 // EWMAAlpha is the smoothing factor of the per-backend latency EWMA:
@@ -47,11 +48,20 @@ type backend struct {
 	cacheHit int64
 	latSumNS int64
 	ewmaMS   float64
-	lat      [latBuckets]int64 // pow2 buckets of latency in microseconds
-	observed int64             // explain queries folded in
+	lat      [latBuckets]int64    // pow2 buckets of latency in microseconds
+	exemplar [latBuckets]Exemplar // most recent retained trace per bucket
+	observed int64                // explain queries folded in
 	explicit int64
 	inferred int64
 	shortcut int64
+}
+
+// Exemplar links one latency bucket to a recent retained qtrace trace
+// that landed in it, so a p99 spike in /metrics points at a concrete
+// span tree (/debug/qtrace/<trace_id>).
+type Exemplar struct {
+	TraceID qtrace.TraceID `json:"trace_id"`
+	Seconds float64        `json:"seconds"` // the exemplar query's latency
 }
 
 // Recorder collects the statistics for one recording.
@@ -122,6 +132,24 @@ func (r *Recorder) ObserveQuery(backendName string, d time.Duration, batch int, 
 	}
 }
 
+// ObserveExemplar records a retained trace as the exemplar of the
+// latency bucket its query landed in, overwriting any earlier exemplar
+// there — "a recent interesting query this slow". Callers only pass
+// retained traces, so every exposed exemplar resolves at /debug/qtrace.
+func (r *Recorder) ObserveExemplar(backendName string, d time.Duration, id qtrace.TraceID) {
+	if r == nil || id == 0 {
+		return
+	}
+	us := d.Microseconds()
+	if us < 0 {
+		us = 0
+	}
+	r.mu.Lock()
+	b := r.backendLocked(backendName)
+	b.exemplar[bits.Len64(uint64(us))] = Exemplar{TraceID: id, Seconds: d.Seconds()}
+	r.mu.Unlock()
+}
+
 // ObserveEdges folds one observed query's edge-resolution attribution
 // (explain.Profile) into the backend's totals.
 func (r *Recorder) ObserveEdges(backendName string, explicit, inferred, shortcut int64) {
@@ -154,9 +182,14 @@ type BackendStats struct {
 	InferredEdges int64   `json:"inferred_edges,omitempty"`
 	ShortcutEdges int64   `json:"shortcut_edges,omitempty"`
 	InferredRatio float64 `json:"inferred_ratio,omitempty"`
+	// Exemplars maps a latency bucket's upper bound in seconds (the
+	// same %g rendering as the Prometheus le label) to the most recent
+	// retained trace that landed in it.
+	Exemplars map[string]Exemplar `json:"exemplars,omitempty"`
 
-	latencyUS [latBuckets]int64
-	latSumNS  int64
+	latencyUS  [latBuckets]int64
+	exemplarUS [latBuckets]Exemplar
+	latSumNS   int64
 }
 
 // LatencyBucketsUS exposes the raw power-of-two microsecond bucket
@@ -165,6 +198,10 @@ func (b *BackendStats) LatencyBucketsUS() []int64 { return b.latencyUS[:] }
 
 // LatencySumNS exposes the exact latency sum in nanoseconds.
 func (b *BackendStats) LatencySumNS() int64 { return b.latSumNS }
+
+// LatencyExemplars exposes the per-bucket exemplars positionally
+// aligned with LatencyBucketsUS (zero TraceID means no exemplar).
+func (b *BackendStats) LatencyExemplars() []Exemplar { return b.exemplarUS[:] }
 
 // Snapshot is a point-in-time view of a recording's workload
 // statistics — the planner feedback record (see the package comment).
@@ -204,7 +241,17 @@ func (r *Recorder) Snapshot() *Snapshot {
 			InferredEdges: b.inferred,
 			ShortcutEdges: b.shortcut,
 			latencyUS:     b.lat,
+			exemplarUS:    b.exemplar,
 			latSumNS:      b.latSumNS,
+		}
+		for i, ex := range b.exemplar {
+			if ex.TraceID == 0 {
+				continue
+			}
+			if bs.Exemplars == nil {
+				bs.Exemplars = map[string]Exemplar{}
+			}
+			bs.Exemplars[fmt.Sprintf("%g", pow2USUpperSeconds(i))] = ex
 		}
 		if n := b.queries - b.errors; n > 0 {
 			bs.MeanMs = float64(b.latSumNS) / 1e6 / float64(n)
@@ -267,14 +314,27 @@ func (s *Snapshot) WritePrometheus(w io.Writer, namespace string) error {
 	p("# TYPE %s histogram\n", fam("query.latency.seconds"))
 	for _, n := range names {
 		b := s.Backends[n]
+		exemplars := b.LatencyExemplars()
 		var cum int64
 		for i, c := range b.LatencyBucketsUS() {
-			if c == 0 {
+			// An exemplar's bucket comes from its trace's wall time, which
+			// includes hops outside the recorded query latency — it can
+			// land in a bucket no latency observation has, so an exemplar
+			// alone keeps the (cumulative, hence still correct) line.
+			ex := exemplars[i]
+			if c == 0 && ex.TraceID == 0 {
 				continue
 			}
 			cum += c
-			p("%s_bucket{backend=%q,le=\"%g\"} %d\n",
+			p("%s_bucket{backend=%q,le=\"%g\"} %d",
 				fam("query.latency.seconds"), n, pow2USUpperSeconds(i), cum)
+			// OpenMetrics-style exemplar: the bucket carries the trace ID
+			// of a recent retained query this slow, so a latency spike in
+			// /metrics points straight at /debug/qtrace/<id>.
+			if ex.TraceID != 0 {
+				p(" # {trace_id=%q} %g", ex.TraceID.String(), ex.Seconds)
+			}
+			p("\n")
 		}
 		p("%s_bucket{backend=%q,le=\"+Inf\"} %d\n", fam("query.latency.seconds"), n, cum)
 		p("%s_sum{backend=%q} %g\n", fam("query.latency.seconds"), n, float64(b.LatencySumNS())/1e9)

@@ -6,6 +6,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"dynslice/internal/telemetry/qtrace"
 )
 
 func TestNilRecorderIsInert(t *testing.T) {
@@ -100,6 +102,48 @@ func TestInferredRatio(t *testing.T) {
 	}
 	if want := 0.25; math.Abs(s.InferredRatio-want) > 1e-9 {
 		t.Errorf("InferredRatio = %v, want %v", s.InferredRatio, want)
+	}
+}
+
+func TestExemplars(t *testing.T) {
+	var nr *Recorder
+	nr.ObserveExemplar("OPT", time.Millisecond, 1) // nil-safe
+
+	r := New()
+	r.ObserveQuery("OPT", 3*time.Millisecond, 0, false, false)
+	r.ObserveExemplar("OPT", 3*time.Millisecond, 0) // zero ID is dropped
+	if ex := r.Snapshot().Backends["OPT"].Exemplars; len(ex) != 0 {
+		t.Fatalf("zero trace ID stored: %+v", ex)
+	}
+	r.ObserveExemplar("OPT", 3*time.Millisecond, 0xbeef)
+	r.ObserveExemplar("OPT", 3200*time.Microsecond, 0xcafe) // same bucket: overwrites
+	r.ObserveExemplar("OPT", 40*time.Millisecond, 0xf00d)
+	s := r.Snapshot()
+	ex := s.Backends["OPT"].Exemplars
+	if len(ex) != 2 {
+		t.Fatalf("exemplars = %+v, want 2 buckets", ex)
+	}
+	found := map[qtrace.TraceID]bool{}
+	for _, e := range ex {
+		found[e.TraceID] = true
+	}
+	if !found[0xcafe] || !found[0xf00d] || found[0xbeef] {
+		t.Fatalf("exemplar overwrite wrong: %+v", ex)
+	}
+
+	var b strings.Builder
+	if err := s.WritePrometheus(&b, "dynslice"); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, `# {trace_id="000000000000cafe"} 0.0032`) {
+		t.Errorf("bucket exemplar missing from exposition:\n%s", out)
+	}
+	// The 40ms exemplar's bucket has no latency observation (a trace's
+	// wall time spans more than the recorded query latency): the bucket
+	// line must still be emitted so the exemplar is not silently lost.
+	if !strings.Contains(out, `# {trace_id="000000000000f00d"} 0.04`) {
+		t.Errorf("exemplar on count-zero bucket missing from exposition:\n%s", out)
 	}
 }
 

@@ -54,6 +54,13 @@ func NewTimeline() *Timeline { return &Timeline{t0: time.Now()} }
 // event renders on (0 for the main thread; pipeline workers use their
 // own rows so per-stage activity interleaves visibly).
 func (t *Timeline) Event(name, cat string, tid int, start time.Time, d time.Duration) {
+	t.EventArgs(name, cat, tid, start, d, nil)
+}
+
+// EventArgs is Event with per-event args rendered in the viewer's
+// detail pane — qtrace span trees attach trace IDs, probe counts, and
+// error classes this way.
+func (t *Timeline) EventArgs(name, cat string, tid int, start time.Time, d time.Duration, args map[string]any) {
 	if t == nil {
 		return
 	}
@@ -62,6 +69,7 @@ func (t *Timeline) Event(name, cat string, tid int, start time.Time, d time.Dura
 		Ts:  float64(start.Sub(t.t0).Nanoseconds()) / 1e3,
 		Dur: float64(d.Nanoseconds()) / 1e3,
 		Pid: 1, Tid: tid,
+		Args: args,
 	}
 	t.mu.Lock()
 	t.events = append(t.events, ev)

@@ -43,6 +43,7 @@ import (
 	"dynslice/internal/slicing/reexec"
 	"dynslice/internal/slicing/snapshot"
 	"dynslice/internal/telemetry"
+	"dynslice/internal/telemetry/qtrace"
 	"dynslice/internal/telemetry/querylog"
 	"dynslice/internal/telemetry/stats"
 	"dynslice/internal/trace"
@@ -105,6 +106,13 @@ type RunOptions struct {
 	// over the same query stream — the cost-based planner's feedback
 	// input. Nil disables collection.
 	QueryStats *stats.Recorder
+	// QueryTrace captures per-query causal span trees: the planner
+	// decision, each fallback-ladder rung, backend execution, lazy graph
+	// builds, and snapshot load, retained under the tracer's tail-based
+	// sampling policy (see internal/telemetry/qtrace and
+	// docs/OBSERVABILITY.md "Per-query tracing"). Nil disables tracing
+	// at the cost of nil checks on the query path.
+	QueryTrace *qtrace.Tracer
 	// TrackCriteria, when positive, records up to this many slicing
 	// criteria during the instrumented run (distinct addresses, most
 	// recently defined first — the paper's selection), retrievable via
@@ -170,6 +178,7 @@ type Recording struct {
 	tel     *telemetry.Registry
 	qlog    *querylog.Log
 	qstats  *stats.Recorder
+	qtr     *qtrace.Tracer
 	crit    []int64
 	source  string // "build" or "snapshot"
 
@@ -204,7 +213,21 @@ type Recording struct {
 // profile (as the paper does), once instrumented — building the FP and OPT
 // graphs online and writing the trace file the LP slicer reads.
 func (p *Program) Record(o RunOptions) (*Recording, error) {
-	rec := &Recording{p: p, optCfg: opt.Full(), tel: o.Telemetry, qlog: o.QueryLog, qstats: o.QueryStats, source: "build"}
+	// The recording itself gets a causal trace (kind "record"): profile
+	// run, snapshot load, and the instrumented run with its trace write
+	// each render as a span. Retention follows the query policy — a
+	// snapshot miss marks the trace cache-missed.
+	qt := o.QueryTrace.StartQuery("record", 0, 0)
+	rec, err := p.record(o, qt)
+	if err != nil {
+		qt.SetError(querylog.Classify(err))
+	}
+	o.QueryTrace.Finish(qt)
+	return rec, err
+}
+
+func (p *Program) record(o RunOptions, qt *qtrace.Trace) (*Recording, error) {
+	rec := &Recording{p: p, optCfg: opt.Full(), tel: o.Telemetry, qlog: o.QueryLog, qstats: o.QueryStats, qtr: o.QueryTrace, source: "build"}
 	if o.OptConfig != nil {
 		rec.optCfg = *o.OptConfig
 	}
@@ -234,15 +257,22 @@ func (p *Program) Record(o RunOptions) (*Recording, error) {
 		}
 	}
 	if cache != nil && o.Snapshot.Read {
-		if hit := p.loadSnapshot(cache, key, o, rec.optCfg); hit != nil {
+		lsp := qt.Root().Child("snapshot-load")
+		hit := p.loadSnapshot(cache, key, o, rec.optCfg, lsp)
+		lsp.End()
+		if hit != nil {
+			qt.SetCacheHit()
 			return hit, nil
 		}
+		qt.SetCacheMiss()
 	}
 
 	sp := span.Child("profile")
+	qsp := qt.Root().Child("profile")
 	col := profile.NewCollector(p.ir)
 	_, err := interp.Run(p.ir, interp.Options{Input: o.Input, MaxSteps: o.MaxSteps, Sink: col, Telemetry: o.Telemetry})
 	sp.End()
+	qsp.End()
 	if err != nil {
 		return nil, fmt.Errorf("slicer: profiling run: %w", err)
 	}
@@ -342,6 +372,7 @@ func (p *Program) Record(o RunOptions) (*Recording, error) {
 		ckEvery = 0
 	}
 	sp = span.Child("interp")
+	qsp = qt.Root().Child("interp")
 	res, err := interp.Run(p.ir, interp.Options{
 		Input:           o.Input,
 		MaxSteps:        o.MaxSteps,
@@ -350,6 +381,7 @@ func (p *Program) Record(o RunOptions) (*Recording, error) {
 		CheckpointEvery: ckEvery,
 	})
 	sp.End()
+	qsp.End()
 	if err != nil {
 		// The interpreter never delivered End; drain the async builders
 		// so their goroutines exit before we tear the recording down.
@@ -366,6 +398,10 @@ func (p *Program) Record(o RunOptions) (*Recording, error) {
 		return nil, tw.Err()
 	}
 	rec.segs = tw.Segments()
+	// Annotate the instrumented-run span with the trace I/O it produced.
+	if qt != nil {
+		qsp.Int("steps", res.Steps).Int("blocks", res.BlockExecs).Int("trace_segments", int64(len(rec.segs)))
+	}
 	rec.lpS = lp.New(p.ir, rec.path, rec.segs)
 	rec.lpS.SetTelemetry(o.Telemetry)
 	rec.Output = res.Output
@@ -411,14 +447,17 @@ func configFingerprint(cfg opt.Config, fpPlain bool, trackCriteria int) string {
 
 // loadSnapshot tries to answer Record from the cache. It returns nil on
 // any miss — absent file, corrupt file, mismatched key — counting the
-// reason; the caller falls back to a fresh build.
-func (p *Program) loadSnapshot(cache *snapshot.Cache, key snapshot.Key, o RunOptions, cfg opt.Config) *Recording {
+// reason; the caller falls back to a fresh build. sp (the record
+// trace's snapshot-load span) is annotated with the outcome and, on a
+// hit, the image size.
+func (p *Program) loadSnapshot(cache *snapshot.Cache, key snapshot.Key, o RunOptions, cfg opt.Config, sp qtrace.SpanRef) *Recording {
 	path := cache.Path(key)
 	fi, err := os.Stat(path)
 	if err != nil {
 		if reg := o.Telemetry; reg != nil {
 			reg.Counter("engine.snapshot.miss").Inc()
 		}
+		sp.Str("result", "miss")
 		return nil
 	}
 	t0 := time.Now()
@@ -428,6 +467,7 @@ func (p *Program) loadSnapshot(cache *snapshot.Cache, key snapshot.Key, o RunOpt
 			reg.Counter("snapshot.read.err." + snapshot.Classify(err)).Inc()
 			reg.Counter("engine.snapshot.fallback").Inc()
 		}
+		sp.Str("result", "fallback").Str("err_class", snapshot.Classify(err))
 		return nil
 	}
 	if reg := o.Telemetry; reg != nil {
@@ -435,8 +475,10 @@ func (p *Program) loadSnapshot(cache *snapshot.Cache, key snapshot.Key, o RunOpt
 		reg.Counter("snapshot.load.ns").Add(time.Since(t0).Nanoseconds())
 		reg.Counter("snapshot.load.bytes").Add(fi.Size())
 	}
+	sp.Str("result", "hit").Int("bytes", fi.Size())
 	rec := &Recording{
 		p: p, optCfg: cfg, tel: o.Telemetry, qlog: o.QueryLog, qstats: o.QueryStats,
+		qtr:    o.QueryTrace,
 		source: "snapshot",
 		Output: img.Output, Steps: img.Steps, Return: img.Return, crit: img.Criteria,
 		segs: img.Segs, fpG: img.FP, optG: img.OPT,
@@ -532,6 +574,25 @@ func (r *Recording) Source() string { return r.source }
 // TestOverhead guard covers this).
 func (r *Recording) queryObserved() bool { return r.qlog != nil || r.qstats != nil }
 
+// QueryTrace returns the per-query causal tracer attached via
+// RunOptions, or nil.
+func (r *Recording) QueryTrace() *qtrace.Tracer { return r.qtr }
+
+// finishTrace closes one query's causal trace and, when the tracer
+// retained it, links it as the latency-histogram exemplar of the bucket
+// the query landed in — the /metrics → /debug/qtrace hop. Safe on nil.
+func (r *Recording) finishTrace(t *qtrace.Trace) {
+	if t == nil {
+		return
+	}
+	r.qtr.Finish(t)
+	if t.Retained() {
+		if b := t.Backend(); b != "" {
+			r.qstats.ObserveExemplar(b, t.Duration(), t.ID())
+		}
+	}
+}
+
 // logQuery publishes one finished query's audit record to the flight
 // recorder and the rolling workload statistics.
 func (r *Recording) logQuery(qr querylog.Record) {
@@ -558,6 +619,11 @@ type Slice struct {
 	// the ID of the query that originally computed it; the cache hit
 	// itself is audited under its own ID.
 	QueryID uint64
+	// TraceID identifies the causal trace of the query that computed
+	// this slice (0 when no tracer was attached). When the trace was
+	// retained, /debug/qtrace/<id> renders its span tree. Like QueryID,
+	// a cached result keeps the computing query's trace.
+	TraceID qtrace.TraceID
 	raw     *slicing.Slice
 }
 
@@ -587,6 +653,26 @@ type Slicer struct {
 	// queries run.
 	plan       string
 	planReason string
+
+	// Causal-trace attribution, stamped the same way: qt is the active
+	// query trace, qspan the parent span execution spans nest under (the
+	// attempt span of this ladder rung, or the root for direct engine
+	// dispatch). Nil/zero when the caller carries no trace — the slicer
+	// then starts its own when the recording has a tracer attached.
+	qt    *qtrace.Trace
+	qspan qtrace.SpanRef
+}
+
+// withTrace returns a shallow copy stamped with the trace, so shared
+// slicers (a fixed-backend engine's) never carry per-query state.
+func (s *Slicer) withTrace(qt *qtrace.Trace, parent qtrace.SpanRef) *Slicer {
+	if qt == nil {
+		return s
+	}
+	c := *s
+	c.qt = qt
+	c.qspan = parent
+	return &c
 }
 
 // logQuery stamps the planner attribution and publishes the record.
@@ -756,6 +842,36 @@ func (u unavailableSlicer) SliceAll([]slicing.Criterion) ([]*slicing.Slice, *sli
 // Name reports which algorithm this slicer uses.
 func (s *Slicer) Name() string { return s.name }
 
+// queryTrace returns the active causal trace and the parent span this
+// query's execution span nests under, minting a fresh trace when the
+// caller carries none but the recording has a tracer attached (direct
+// façade queries). The bool reports ownership: an owned trace is
+// finished by this call; a stamped one belongs to the dispatching
+// engine.
+func (s *Slicer) queryTrace(kind string, addr int64, batch int) (*qtrace.Trace, qtrace.SpanRef, bool) {
+	if s.qt != nil {
+		return s.qt, s.qspan, false
+	}
+	if s.rec.qtr == nil {
+		return nil, qtrace.SpanRef{}, false
+	}
+	qt := s.rec.qtr.StartQuery(kind, addr, batch)
+	return qt, qt.Root(), true
+}
+
+// annotateExec attaches traversal-effort attributes — instance and
+// probe counts, and for LP the trace bytes decoded — to an execution
+// span.
+func annotateExec(esp qtrace.SpanRef, st *slicing.Stats) {
+	if st == nil {
+		return
+	}
+	esp.Int("instances", st.Instances).Int("label_probes", st.LabelProbes)
+	if st.SegScans > 0 || st.SegSkips > 0 {
+		esp.Int("seg_scans", st.SegScans).Int("seg_skips", st.SegSkips).Int("seg_bytes", st.SegBytes)
+	}
+}
+
 // SliceAddr slices on the last definition of the given memory address.
 func (s *Slicer) SliceAddr(addr int64) (*Slice, error) {
 	var id uint64
@@ -763,18 +879,31 @@ func (s *Slicer) SliceAddr(addr int64) (*Slice, error) {
 	if obs {
 		id = s.rec.qlog.NextID()
 	}
+	qt, parent, owned := s.queryTrace(querylog.KindSlice, addr, 0)
+	esp := parent.Child("exec/" + s.name)
 	t0 := time.Now()
 	raw, st, err := s.impl.Slice(slicing.AddrCriterion(addr))
 	elapsed := time.Since(t0)
 	if err != nil {
+		class := querylog.Classify(err)
+		esp.EndErr(class)
 		if obs {
 			s.logQuery(querylog.Record{
 				ID: id, Start: t0, Backend: s.name, Kind: querylog.KindSlice,
-				Addr: addr, Latency: elapsed, Err: querylog.Classify(err),
+				Addr: addr, Latency: elapsed, Err: class, TraceID: qt.ID(),
 			})
+		}
+		if owned {
+			qt.SetError(class)
+			s.rec.finishTrace(qt)
 		}
 		return nil, err
 	}
+	if qt != nil {
+		annotateExec(esp.Int("stmts", int64(raw.Len())), st)
+	}
+	esp.End()
+	qt.SetQueryID(id)
 	if reg := s.rec.tel; reg != nil {
 		reg.ObserveSpan("slice/"+s.name, elapsed)
 		reg.Counter("slice.queries").Inc()
@@ -789,18 +918,24 @@ func (s *Slicer) SliceAddr(addr int64) (*Slice, error) {
 		Stmts:   raw.Len(),
 		Time:    elapsed,
 		QueryID: id,
+		TraceID: qt.ID(),
 		raw:     raw,
 	}
 	if obs {
 		qr := querylog.Record{
 			ID: id, Start: t0, Backend: s.name, Kind: querylog.KindSlice,
 			Addr: addr, Latency: elapsed, Stmts: sl.Stmts, Lines: len(sl.Lines),
+			TraceID: qt.ID(),
 		}
 		if st != nil {
 			qr.Instances = st.Instances
 			qr.LabelProbes = st.LabelProbes
 		}
 		s.logQuery(qr)
+	}
+	if owned {
+		qt.SetBackend(s.name)
+		s.rec.finishTrace(qt)
 	}
 	return sl, nil
 }
@@ -818,19 +953,31 @@ func (s *Slicer) SliceAddrs(addrs []int64) ([]*Slice, error) {
 		cs[i] = slicing.AddrCriterion(a)
 	}
 	obs := s.rec.queryObserved()
+	qt, parent, owned := s.queryTrace(querylog.KindBatch, addrs[0], len(addrs))
+	esp := parent.Child("exec/" + s.name)
 	t0 := time.Now()
 	raws, st, err := s.impl.SliceAll(cs)
 	elapsed := time.Since(t0)
 	if err != nil {
+		class := querylog.Classify(err)
+		esp.EndErr(class)
 		if obs {
 			s.logQuery(querylog.Record{
 				ID: s.rec.qlog.NextID(), Start: t0, Backend: s.name,
 				Kind: querylog.KindBatch, Addr: addrs[0], Batch: len(addrs),
-				Latency: elapsed, Err: querylog.Classify(err),
+				Latency: elapsed, Err: class, TraceID: qt.ID(),
 			})
+		}
+		if owned {
+			qt.SetError(class)
+			s.rec.finishTrace(qt)
 		}
 		return nil, err
 	}
+	if qt != nil {
+		annotateExec(esp.Int("criteria", int64(len(addrs))), st)
+	}
+	esp.End()
 	if reg := s.rec.tel; reg != nil {
 		reg.ObserveSpan("slice/"+s.name, elapsed)
 		reg.Counter("slice.queries").Add(int64(len(addrs)))
@@ -853,23 +1000,33 @@ func (s *Slicer) SliceAddrs(addrs []int64) ([]*Slice, error) {
 			Stmts:   raw.Len(),
 			Time:    elapsed / time.Duration(len(raws)),
 			QueryID: id,
+			TraceID: qt.ID(),
 			raw:     raw,
 		}
 		if obs {
 			// One audit record per criterion; the batch's wall time is
 			// shared evenly, and the batch-aggregate traversal stats ride
-			// on the first record.
+			// on the first record. All records of one batch share the
+			// batch's causal trace.
 			qr := querylog.Record{
 				ID: id, Start: t0, Backend: s.name, Kind: querylog.KindBatch,
 				Addr: addrs[i], Batch: len(addrs), Latency: outs[i].Time,
 				Stmts: outs[i].Stmts, Lines: len(outs[i].Lines),
+				TraceID: qt.ID(),
 			}
 			if i == 0 && st != nil {
 				qr.Instances = st.Instances
 				qr.LabelProbes = st.LabelProbes
 			}
+			if i == 0 {
+				qt.SetQueryID(id)
+			}
 			s.logQuery(qr)
 		}
+	}
+	if owned {
+		qt.SetBackend(s.name)
+		s.rec.finishTrace(qt)
 	}
 	return outs, nil
 }
